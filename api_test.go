@@ -1,0 +1,167 @@
+package spmvtune_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"spmvtune"
+)
+
+// apiConfig shrinks the public-API pipeline for test speed.
+func apiTrainOptions() spmvtune.TrainOptions {
+	opts := spmvtune.DefaultTrainOptions()
+	opts.CorpusSize = 12
+	opts.MinRows, opts.MaxRows = 256, 768
+	return opts
+}
+
+func TestPublicAPITrainRunVerify(t *testing.T) {
+	cfg := spmvtune.DefaultConfig()
+	model, report, err := spmvtune.TrainPipeline(cfg, apiTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Corpus != 12 || report.Stage1Train == 0 || report.Stage2Train == 0 {
+		t.Fatalf("report: %+v", report)
+	}
+	fw := spmvtune.NewFramework(cfg, model)
+
+	a := spmvtune.GenMixed(3000, 3000, 64, []int{2, 120}, 77)
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = float64(i % 5)
+	}
+	u := make([]float64, a.Rows)
+	decision, stats, err := fw.RunSim(a, v, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decision.U == 0 || len(decision.KernelByBin) == 0 {
+		t.Errorf("empty decision: %v", decision)
+	}
+	if stats.Seconds <= 0 {
+		t.Error("no simulated time")
+	}
+	want := make([]float64, a.Rows)
+	spmvtune.Reference(a, v, want)
+	if !spmvtune.VecApproxEqual(want, u, 1e-9) {
+		t.Error("simulated result differs from reference")
+	}
+
+	uc := make([]float64, a.Rows)
+	fw.RunCPU(a, v, uc, 0)
+	if !spmvtune.VecApproxEqual(want, uc, 1e-9) {
+		t.Error("CPU result differs from reference")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	cfg := spmvtune.DefaultConfig()
+	a := spmvtune.GenRoadNetwork(2000, 5)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	for _, k := range spmvtune.KernelNames() {
+		st, err := spmvtune.RunSingleKernelSim(cfg.Device, a, v, u, k)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if st.Seconds <= 0 {
+			t.Errorf("%s: no time", k)
+		}
+	}
+	if _, err := spmvtune.RunSingleKernelSim(cfg.Device, a, v, u, "bogus"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	st := spmvtune.RunCSRAdaptiveSim(cfg.Device, a, v, u, 0)
+	if st.Seconds <= 0 {
+		t.Error("CSR-Adaptive: no time")
+	}
+}
+
+func TestPublicAPIBinningAndFeatures(t *testing.T) {
+	a := spmvtune.GenBanded(500, 5, 9)
+	f := spmvtune.Extract(a)
+	if f.M != 500 || f.AvgNNZ < 4 || f.AvgNNZ > 5 {
+		t.Errorf("features: %+v", f)
+	}
+	if len(spmvtune.FeatureNames()) != 7 {
+		t.Error("Table I has seven parameters")
+	}
+	if len(spmvtune.KernelNames()) != 9 {
+		t.Error("pool has nine kernels")
+	}
+	us := spmvtune.Granularities()
+	if us[0] != 10 {
+		t.Error("granularities should start at 10")
+	}
+	b := spmvtune.CoarseBin(a, 10, 100)
+	if b.TotalRows() != 500 {
+		t.Error("coarse binning lost rows")
+	}
+	s := spmvtune.SingleBin(a)
+	if len(s.NonEmpty()) != 1 {
+		t.Error("single bin layout wrong")
+	}
+}
+
+func TestPublicAPIMatrixMarketAndModelIO(t *testing.T) {
+	dir := t.TempDir()
+	a := spmvtune.GenPowerLaw(300, 4, 1.9, 100, 3)
+	mtx := filepath.Join(dir, "a.mtx")
+	if err := spmvtune.WriteMatrixMarket(mtx, a, "api test"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := spmvtune.ReadMatrixMarket(mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != a.NNZ() || back.Rows != a.Rows {
+		t.Error("matrix market round trip changed shape")
+	}
+
+	cfg := spmvtune.DefaultConfig()
+	model, _, err := spmvtune.TrainPipeline(cfg, apiTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := filepath.Join(dir, "model.json")
+	if err := spmvtune.SaveModel(mp, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := spmvtune.LoadModel(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := spmvtune.Extract(a)
+	if model.PredictU(f) != loaded.PredictU(f) {
+		t.Error("loaded model predicts differently")
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	gens := map[string]*spmvtune.Matrix{
+		"banded":    spmvtune.GenBanded(100, 3, 1),
+		"road":      spmvtune.GenRoadNetwork(100, 2),
+		"powerlaw":  spmvtune.GenPowerLaw(100, 3, 1.8, 50, 3),
+		"blockfem":  spmvtune.GenBlockFEM(50, 20, 5, 4),
+		"bipartite": spmvtune.GenBipartite(100, 40, 3, 5),
+		"mixed":     spmvtune.GenMixed(100, 100, 10, []int{1, 9}, 6),
+	}
+	for name, a := range gens {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if a.NNZ() == 0 {
+			t.Errorf("%s: empty", name)
+		}
+	}
+}
+
+func TestPublicAPITrainPipelineErrors(t *testing.T) {
+	cfg := spmvtune.DefaultConfig()
+	bad := apiTrainOptions()
+	bad.CorpusSize = 0
+	if _, _, err := spmvtune.TrainPipeline(cfg, bad); err == nil {
+		t.Error("zero corpus accepted")
+	}
+}

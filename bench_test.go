@@ -1,0 +1,288 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark per experiment; see DESIGN.md's per-experiment index).
+// Simulated-device experiments report the modeled device time as
+// "sim-ms/op" alongside the host time; Figure 8's binning overhead is a
+// pure host-side measurement, as in the paper.
+//
+//	go test -bench=. -benchmem
+package spmvtune_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spmvtune"
+	"spmvtune/internal/binning"
+	"spmvtune/internal/core"
+	"spmvtune/internal/cpu"
+	"spmvtune/internal/csradaptive"
+	"spmvtune/internal/experiments"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+// benchScale shrinks the representative matrices so the full bench suite
+// completes in minutes; the shapes are scale-stable.
+const benchScale = 128
+
+func benchVec(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// simKernel runs one simulated kernel launch per iteration and reports the
+// modeled device milliseconds.
+func simKernel(b *testing.B, a *sparse.CSR, k kernels.Kernel, groups []binning.Group) {
+	b.Helper()
+	v := benchVec(a.Cols)
+	u := make([]float64, a.Rows)
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := core.SimulateKernel(hsa.DefaultConfig(), a, v, u, k, groups)
+		sim = st.Seconds * 1e3
+	}
+	b.ReportMetric(sim, "sim-ms/op")
+}
+
+// --- Figure 2a: five kernels on two contrasting inputs, single bin -------
+
+func fig2aMatrix(long bool) *sparse.CSR {
+	if long {
+		return matgen.BlockFEM(40000/benchScale+128, 400, 60, 43)
+	}
+	return matgen.RoadNetwork(200000/benchScale+1024, 42)
+}
+
+func benchFig2a(b *testing.B, long bool, kernel string) {
+	a := fig2aMatrix(long)
+	info, ok := kernels.ByName(kernel)
+	if !ok {
+		b.Fatal("unknown kernel")
+	}
+	simKernel(b, a, info.Kernel, binning.Single(a).Bins[0])
+}
+
+func BenchmarkFig2aShortRowSerial(b *testing.B)      { benchFig2a(b, false, "serial") }
+func BenchmarkFig2aShortRowSubvector16(b *testing.B) { benchFig2a(b, false, "subvector16") }
+func BenchmarkFig2aShortRowVector(b *testing.B)      { benchFig2a(b, false, "vector") }
+func BenchmarkFig2aLongRowSerial(b *testing.B)       { benchFig2a(b, true, "serial") }
+func BenchmarkFig2aLongRowSubvector16(b *testing.B)  { benchFig2a(b, true, "subvector16") }
+func BenchmarkFig2aLongRowVector(b *testing.B)       { benchFig2a(b, true, "vector") }
+
+// --- Figure 2b: per-bin kernel choice on one mixed matrix ----------------
+
+func BenchmarkFig2bPerBinKernels(b *testing.B) {
+	var buf discardWriter
+	o := &experiments.Options{Out: buf, Scale: benchScale, Seed: 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2b(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: corpus row-length histogram --------------------------------
+
+func BenchmarkFig5Histogram(b *testing.B) {
+	corpus := matgen.Corpus(matgen.CorpusOptions{N: 40, MinRows: 512, MaxRows: 2048, Seed: 5})
+	bounds := []int{2, 4, 8, 16, 32, 64, 100, 256, 1024}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cm := range corpus {
+			sparse.RowLengthHistogram(cm.A, bounds)
+		}
+	}
+}
+
+// --- Table II: representative matrix generation + features ----------------
+
+func BenchmarkTable2Features(b *testing.B) {
+	reps := matgen.Representative()
+	mats := make([]*sparse.CSR, len(reps))
+	for i, r := range reps {
+		mats[i] = r.Gen(benchScale)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range mats {
+			spmvtune.Extract(a)
+		}
+	}
+}
+
+// --- Figures 6/7: auto vs defaults vs CSR-Adaptive -----------------------
+
+var (
+	benchModelOnce sync.Once
+	benchModel     *core.Model
+)
+
+// benchTrainedModel trains one small model for all Figure 6/7 benches.
+func benchTrainedModel(b *testing.B) *core.Model {
+	b.Helper()
+	benchModelOnce.Do(func() {
+		o := &experiments.Options{Scale: benchScale, CorpusN: 24, Seed: 9}
+		m, _, err := o.EnsureModel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchModel = m
+	})
+	return benchModel
+}
+
+func repMatrix(b *testing.B, name string) *sparse.CSR {
+	b.Helper()
+	for _, r := range matgen.Representative() {
+		if r.Name == name {
+			return r.Gen(benchScale)
+		}
+	}
+	b.Fatalf("unknown representative matrix %s", name)
+	return nil
+}
+
+func benchFig6Auto(b *testing.B, name string) {
+	m := benchTrainedModel(b)
+	a := repMatrix(b, name)
+	fw := core.NewFramework(core.DefaultConfig(), m)
+	v := benchVec(a.Cols)
+	u := make([]float64, a.Rows)
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := fw.RunSim(a, v, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = st.Seconds * 1e3
+	}
+	b.ReportMetric(sim, "sim-ms/op")
+}
+
+func benchFig6Single(b *testing.B, name string, kernelID int) {
+	a := repMatrix(b, name)
+	v := benchVec(a.Cols)
+	u := make([]float64, a.Rows)
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.SimulateSingleKernel(hsa.DefaultConfig(), a, v, u, kernelID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = st.Seconds * 1e3
+	}
+	b.ReportMetric(sim, "sim-ms/op")
+}
+
+// Three representative matrices spanning the row-length regimes; run
+// `cmd/experiments -exp fig6` for all sixteen.
+func BenchmarkFig6AutoEuropeOSM(b *testing.B)   { benchFig6Auto(b, "europe_osm") }
+func BenchmarkFig6SerialEuropeOSM(b *testing.B) { benchFig6Single(b, "europe_osm", 0) }
+func BenchmarkFig6VectorEuropeOSM(b *testing.B) { benchFig6Single(b, "europe_osm", 8) }
+func BenchmarkFig6AutoCrankseg2(b *testing.B)   { benchFig6Auto(b, "crankseg_2") }
+func BenchmarkFig6SerialCrankseg2(b *testing.B) { benchFig6Single(b, "crankseg_2", 0) }
+func BenchmarkFig6VectorCrankseg2(b *testing.B) { benchFig6Single(b, "crankseg_2", 8) }
+func BenchmarkFig6AutoPkustk14(b *testing.B)    { benchFig6Auto(b, "pkustk14") }
+func BenchmarkFig6SerialPkustk14(b *testing.B)  { benchFig6Single(b, "pkustk14", 0) }
+func BenchmarkFig6VectorPkustk14(b *testing.B)  { benchFig6Single(b, "pkustk14", 8) }
+
+func benchFig7Adaptive(b *testing.B, name string) {
+	a := repMatrix(b, name)
+	v := benchVec(a.Cols)
+	u := make([]float64, a.Rows)
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := csradaptive.SimulateSpMV(hsa.DefaultConfig(), a, v, u, 0)
+		sim = st.Seconds * 1e3
+	}
+	b.ReportMetric(sim, "sim-ms/op")
+}
+
+func BenchmarkFig7CSRAdaptiveEuropeOSM(b *testing.B) { benchFig7Adaptive(b, "europe_osm") }
+func BenchmarkFig7CSRAdaptiveCrankseg2(b *testing.B) { benchFig7Adaptive(b, "crankseg_2") }
+func BenchmarkFig7CSRAdaptivePkustk14(b *testing.B)  { benchFig7Adaptive(b, "pkustk14") }
+
+// --- Figure 8: binning overhead vs U (host wall time, as in the paper) ---
+
+func benchFig8Binning(b *testing.B, u int) {
+	a := matgen.SingleNNZRows(10000000/benchScale, 10000000/benchScale, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binning.Coarse(a, u, binning.DefaultMaxBins)
+	}
+}
+
+func BenchmarkFig8BinningU1(b *testing.B)      { benchFig8Binning(b, 1) }
+func BenchmarkFig8BinningU10(b *testing.B)     { benchFig8Binning(b, 10) }
+func BenchmarkFig8BinningU100(b *testing.B)    { benchFig8Binning(b, 100) }
+func BenchmarkFig8BinningU1000(b *testing.B)   { benchFig8Binning(b, 1000) }
+func BenchmarkFig8BinningU100000(b *testing.B) { benchFig8Binning(b, 100000) }
+
+// --- Figure 9: single-bin manual kernel sweep ----------------------------
+
+func benchFig9SingleBin(b *testing.B, name, kernel string) {
+	a := repMatrix(b, name)
+	info, ok := kernels.ByName(kernel)
+	if !ok {
+		b.Fatal("unknown kernel")
+	}
+	simKernel(b, a, info.Kernel, binning.Single(a).Bins[0])
+}
+
+func BenchmarkFig9Dictionary28BestSubvector4(b *testing.B) {
+	benchFig9SingleBin(b, "dictionary28", "subvector4")
+}
+func BenchmarkFig9D66BestSerial(b *testing.B)   { benchFig9SingleBin(b, "D6-6", "serial") }
+func BenchmarkFig9Ga3As3H12Best16(b *testing.B) { benchFig9SingleBin(b, "Ga3As3H12", "subvector16") }
+func BenchmarkFig9Crankseg2Best32(b *testing.B) { benchFig9SingleBin(b, "crankseg_2", "subvector32") }
+
+// --- Section III-C: two-stage training ------------------------------------
+
+func BenchmarkMLTrainTwoStage(b *testing.B) {
+	cfg := core.Config{Device: hsa.DefaultConfig(), MaxBins: 32, Us: []int{10, 100, 1000, 10000}}
+	corpus := matgen.Corpus(matgen.CorpusOptions{N: 10, MinRows: 256, MaxRows: 1024, Seed: 11})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		td := core.NewTrainingData(cfg)
+		for _, cm := range corpus {
+			td.AddMatrix(cfg, cm.A)
+		}
+		core.TrainModel(td, cfg, spmvtune.DefaultTreeOptions())
+	}
+}
+
+// --- Native CPU backend (the "multi-core" half of the title) --------------
+
+func benchCPU(b *testing.B, fn func(a *sparse.CSR, v, u []float64, workers int), workers int) {
+	a := matgen.Mixed(200000, 200000, 128, []int{2, 120}, 13)
+	v := benchVec(a.Cols)
+	u := make([]float64, a.Rows)
+	b.SetBytes(int64(a.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(a, v, u, workers)
+	}
+}
+
+func BenchmarkCPUSeq(b *testing.B) {
+	benchCPU(b, func(a *sparse.CSR, v, u []float64, _ int) { a.MulVec(v, u) }, 1)
+}
+func BenchmarkCPURows(b *testing.B)  { benchCPU(b, cpu.MulVecRows, 0) }
+func BenchmarkCPUNNZ(b *testing.B)   { benchCPU(b, cpu.MulVecNNZ, 0) }
+func BenchmarkCPUMerge(b *testing.B) { benchCPU(b, cpu.MulVecMerge, 0) }
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

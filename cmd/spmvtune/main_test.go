@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The subcommand functions are exercised end-to-end through temp files;
+// they print to stdout, so assertions are on errors and side effects.
+
+func TestCmdGenAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"road", "banded", "powerlaw", "blockfem", "bipartite", "single"} {
+		out := filepath.Join(dir, kind+".mtx")
+		if err := cmdGen([]string{"-kind", kind, "-rows", "500", "-out", out}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: output missing", kind)
+		}
+	}
+	if err := cmdGen([]string{"-kind", "nope", "-out", filepath.Join(dir, "x.mtx")}); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestCmdFeaturesAndBin(t *testing.T) {
+	dir := t.TempDir()
+	mtx := filepath.Join(dir, "m.mtx")
+	if err := cmdGen([]string{"-kind", "road", "-rows", "2000", "-out", mtx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFeatures([]string{"-in", mtx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFeatures([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := cmdBin([]string{"-in", mtx, "-u", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBin([]string{"-in", filepath.Join(dir, "missing.mtx")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := cmdConvert([]string{"-in", mtx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{}); err == nil {
+		t.Error("convert without -in accepted")
+	}
+}
+
+func TestCmdTrainPredictRunCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	dir := t.TempDir()
+	model := filepath.Join(dir, "model.json")
+	if err := cmdTrain([]string{"-out", model, "-corpus", "6", "-minrows", "256", "-maxrows", "1024"}); err != nil {
+		t.Fatal(err)
+	}
+	mtx := filepath.Join(dir, "m.mtx")
+	if err := cmdGen([]string{"-kind", "blockfem", "-rows", "400", "-param", "80", "-out", mtx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPredict([]string{"-in", mtx, "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-in", mtx, "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompare([]string{"-in", mtx, "-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	// Bad model path surfaces cleanly.
+	if err := cmdRun([]string{"-in", mtx, "-model", filepath.Join(dir, "nope.json")}); err == nil {
+		t.Error("missing model accepted")
+	}
+}

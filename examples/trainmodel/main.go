@@ -1,0 +1,67 @@
+// Trainmodel runs the paper's full offline path (Figure 3, green arrows):
+// generate a training corpus, label every matrix by exhaustive search over
+// (binning granularity x kernel pool) on the simulated device, train the
+// two-stage decision-tree model, report the held-out error rates of both
+// stages (Section III-C), and save the model for later `predict`/`run`.
+//
+//	go run ./examples/trainmodel [-corpus 120] [-out model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spmvtune"
+)
+
+func main() {
+	corpus := flag.Int("corpus", 120, "corpus size (paper: ~2000 UF matrices)")
+	out := flag.String("out", "model.json", "where to save the trained model")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	flag.Parse()
+	log.SetFlags(0)
+
+	cfg := spmvtune.DefaultConfig()
+	opts := spmvtune.DefaultTrainOptions()
+	opts.CorpusSize = *corpus
+	opts.Seed = *seed
+	opts.Progress = func(done, total int) {
+		if done%10 == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "\rlabeling by exhaustive search: %d/%d", done, total)
+		}
+	}
+
+	model, report, err := spmvtune.TrainPipeline(cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	fmt.Printf("corpus:           %d matrices (75%%/25%% train/test split)\n", report.Corpus)
+	fmt.Printf("stage-1 samples:  %d (features -> U)\n", report.Stage1Train)
+	fmt.Printf("stage-2 samples:  %d (features+U+binID+binRows -> kernel)\n", report.Stage2Train)
+	fmt.Printf("stage-1 error:    %.1f%% (paper: ~5%%)\n", 100*report.Stage1Error)
+	fmt.Printf("stage-2 error:    %.1f%% (paper: up to ~15%%)\n", 100*report.Stage2Error)
+
+	// C5.0's signature artifact is the if-then rule set; show the stage-1
+	// rules and a sample of stage-2's.
+	fmt.Println("\n--- stage-1 rule set (binning scheme selection) ---")
+	fmt.Print(model.Stage1.Rules())
+	rules2 := model.Stage2.Rules()
+	fmt.Printf("\n--- stage-2 rule set: %d rules (kernel selection; first 10) ---\n", len(rules2.Rules))
+	all := rules2.String()
+	shown := 0
+	for i := 0; i < len(all) && shown < 10; i++ {
+		fmt.Print(string(all[i]))
+		if all[i] == '\n' {
+			shown++
+		}
+	}
+
+	if err := spmvtune.SaveModel(*out, model); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel saved to %s\n", *out)
+}

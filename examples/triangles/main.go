@@ -1,0 +1,124 @@
+// Triangle counting on an undirected graph using the framework's sparse
+// kernel generalizations (the paper's conclusion: "this approach is also
+// generic to other sparse matrix applications (e.g., SpGeMM,
+// SpElementWise)"): the number of triangles is sum(A ∘ A²)/6 for a simple
+// undirected adjacency matrix A, combining the binned SpGeMM with the
+// element-wise Hadamard product.
+//
+//	go run ./examples/triangles [-scale 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spmvtune"
+)
+
+// symmetrize builds a simple undirected 0/1 adjacency matrix from a
+// directed generator output: union with the transpose, zero diagonal,
+// values forced to 1.
+func symmetrize(g *spmvtune.Matrix) *spmvtune.Matrix {
+	coo := &spmvtune.COO{Rows: g.Rows, Cols: g.Cols}
+	for i := 0; i < g.Rows; i++ {
+		cols, _ := g.Row(i)
+		for _, j := range cols {
+			if int(j) == i {
+				continue
+			}
+			coo.Add(i, int(j), 1)
+			coo.Add(int(j), i, 1)
+		}
+	}
+	a, err := coo.ToCSR()
+	if err != nil {
+		panic(err)
+	}
+	for k := range a.Val {
+		a.Val[k] = 1 // duplicate edges collapsed to weight 1
+	}
+	return a
+}
+
+// bruteForce counts triangles by enumerating wedges (small graphs only).
+func bruteForce(a *spmvtune.Matrix) int {
+	count := 0
+	for i := 0; i < a.Rows; i++ {
+		ci, _ := a.Row(i)
+		for _, j := range ci {
+			if int(j) <= i {
+				continue
+			}
+			cj, _ := a.Row(int(j))
+			// Intersect neighbor lists beyond j.
+			x, y := 0, 0
+			for x < len(ci) && y < len(cj) {
+				switch {
+				case ci[x] < cj[y]:
+					x++
+				case cj[y] < ci[x]:
+					y++
+				default:
+					if int(ci[x]) > int(j) {
+						count++
+					}
+					x++
+					y++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func main() {
+	scale := flag.Int("scale", 12, "R-MAT scale (2^scale vertices)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	// An R-MAT graph has the clustered hubs that make triangle counting
+	// interesting (and its skewed rows exercise the binned SpGeMM).
+	g := spmvtune.GenRMAT(*scale, 8, 0.57, 0.19, 0.19, 42)
+	a := symmetrize(g)
+	f := spmvtune.Extract(a)
+	fmt.Printf("graph: %d vertices, %d edges (%s)\n", a.Rows, a.NNZ()/2, f)
+
+	// A² via the binned SpGeMM, then mask with A via the Hadamard product.
+	a2, err := spmvtune.SpGeMM(a, a, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	masked, err := spmvtune.ElementWise(spmvtune.ElementHadamard, a, a2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range masked.Val {
+		sum += v
+	}
+	triangles := int(sum+0.5) / 6
+	fmt.Printf("triangles (sum(A∘A²)/6): %d\n", triangles)
+
+	// Verify on a subsampled small graph with the brute-force counter.
+	small := symmetrize(spmvtune.GenRMAT(9, 6, 0.57, 0.19, 0.19, 7))
+	s2, err := spmvtune.SpGeMM(small, small, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sm, err := spmvtune.ElementWise(spmvtune.ElementHadamard, small, s2, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssum := 0.0
+	for _, v := range sm.Val {
+		ssum += v
+	}
+	algebraic := int(ssum+0.5) / 6
+	direct := bruteForce(small)
+	fmt.Printf("verification on 2^9-vertex graph: algebraic=%d brute-force=%d\n", algebraic, direct)
+	if algebraic != direct {
+		log.Fatal("triangle counts disagree")
+	}
+	fmt.Println("verified ✓")
+}

@@ -1,0 +1,80 @@
+package spmvtune
+
+import (
+	"spmvtune/internal/binning"
+	"spmvtune/internal/formats"
+	"spmvtune/internal/hetero"
+	"spmvtune/internal/spew"
+	"spmvtune/internal/spgemm"
+)
+
+// This file exposes the paper's extensions and background substrates
+// through the public API: alternative storage formats (Sections I/II/V),
+// heterogeneous CPU+GPU bin scheduling and pipelined binning (Sections
+// IV-C and VI), and the SpGeMM / element-wise generalizations the
+// conclusion describes.
+
+// Alternative storage formats.
+type (
+	// ELL is ELLPACK storage (fixed-width, slot-major — SIMD friendly).
+	ELL = formats.ELL
+	// DIA is diagonal storage (stencil matrices).
+	DIA = formats.DIA
+	// HYB is the ELL+COO hybrid of Bell & Garland.
+	HYB = formats.HYB
+)
+
+// ToELL converts CSR to ELLPACK; it fails when padding would blow up the
+// storage (heavily skewed matrices).
+func ToELL(a *Matrix) (*ELL, error) { return formats.ELLFromCSR(a) }
+
+// ToDIA converts CSR to diagonal storage; it fails on matrices with too
+// many occupied diagonals.
+func ToDIA(a *Matrix) (*DIA, error) { return formats.DIAFromCSR(a) }
+
+// ToHYB splits CSR into an ELL part of the given width (0 = mean row
+// length) plus a COO overflow.
+func ToHYB(a *Matrix, width int) *HYB { return formats.HYBFromCSR(a, width) }
+
+// FormatBytes reports each format's storage footprint for the matrix
+// (formats that reject it are omitted) — the space side of the paper's
+// conversion-overhead argument.
+func FormatBytes(a *Matrix) map[string]int64 { return formats.Bytes(a) }
+
+// SpGeMM computes the sparse matrix-matrix product C = A*B with per-bin
+// accumulator selection (the framework's binning idea transplanted to
+// SpGeMM). workers <= 0 selects GOMAXPROCS.
+func SpGeMM(a, b *Matrix, workers int) (*Matrix, error) { return spgemm.Mul(a, b, workers) }
+
+// Element-wise sparse operations (SpElementWise).
+type ElementOp = spew.Op
+
+const (
+	ElementAdd      = spew.Add
+	ElementSub      = spew.Sub
+	ElementHadamard = spew.Hadamard
+)
+
+// ElementWise computes C = A op B with per-row combiner selection.
+func ElementWise(op ElementOp, a, b *Matrix, workers int) (*Matrix, error) {
+	return spew.Apply(op, a, b, workers)
+}
+
+// HeteroReport summarizes a heterogeneous (simulated GPU + native CPU)
+// execution of a binned SpMV.
+type HeteroReport = hetero.Report
+
+// RunHetero executes a binned SpMV across the simulated GPU (high-volume
+// bins) and the host CPU (low-volume bins) concurrently — the paper's
+// Section VI future-work scheduling. rowThreshold <= 0 uses the default.
+func RunHetero(dev DeviceConfig, a *Matrix, v, u []float64, b *Binning,
+	kernelByBin map[int]int, rowThreshold, workers int) (HeteroReport, error) {
+	return hetero.Run(dev, a, v, u, b, kernelByBin, rowThreshold, workers)
+}
+
+// PipelinedSpMV computes u = A*v on the host with segmented binning
+// overlapped against execution (Section IV-C's overhead hiding). unit is
+// the binning granularity U; segRows <= 0 disables segmentation.
+func PipelinedSpMV(a *Matrix, v, u []float64, unit, segRows, workers int) {
+	hetero.PipelinedRun(a, v, u, unit, binning.DefaultMaxBins, segRows, workers)
+}

@@ -1,0 +1,108 @@
+package spmvtune_test
+
+import (
+	"testing"
+
+	"spmvtune"
+)
+
+func TestExtensionFormats(t *testing.T) {
+	a := spmvtune.GenBanded(400, 5, 1)
+	e, err := spmvtune.ToELL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := spmvtune.ToDIA(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := spmvtune.ToHYB(a, 0)
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = float64(i % 3)
+	}
+	want := make([]float64, a.Rows)
+	spmvtune.Reference(a, v, want)
+	for name, mul := range map[string]func([]float64, []float64){
+		"ell": e.MulVec, "dia": d.MulVec, "hyb": h.MulVec,
+	} {
+		u := make([]float64, a.Rows)
+		mul(v, u)
+		if !spmvtune.VecApproxEqual(want, u, 1e-12) {
+			t.Errorf("%s SpMV differs from CSR", name)
+		}
+	}
+	fb := spmvtune.FormatBytes(a)
+	if fb["csr"] == 0 || fb["dia"] == 0 {
+		t.Errorf("footprints missing: %v", fb)
+	}
+}
+
+func TestExtensionSpGeMMAndElementWise(t *testing.T) {
+	a := spmvtune.GenRoadNetwork(200, 2)
+	c, err := spmvtune.SpGeMM(a, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (A*A)v == A*(Av)
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = 1
+	}
+	av := make([]float64, a.Rows)
+	spmvtune.Reference(a, v, av)
+	aav := make([]float64, a.Rows)
+	spmvtune.Reference(a, av, aav)
+	cv := make([]float64, c.Rows)
+	spmvtune.Reference(c, v, cv)
+	if !spmvtune.VecApproxEqual(aav, cv, 1e-9) {
+		t.Error("SpGeMM violates (AA)v == A(Av)")
+	}
+
+	sum, err := spmvtune.ElementWise(spmvtune.ElementAdd, a, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := make([]float64, sum.Rows)
+	spmvtune.Reference(sum, v, sv)
+	for i := range av {
+		av[i] *= 2
+	}
+	if !spmvtune.VecApproxEqual(av, sv, 1e-9) {
+		t.Error("(A+A)v != 2Av")
+	}
+}
+
+func TestExtensionHeteroAndPipelined(t *testing.T) {
+	cfg := spmvtune.DefaultConfig()
+	a := spmvtune.GenMixed(2000, 2000, 100, []int{2, 2, 2, 2, 300}, 3)
+	b := spmvtune.CoarseBin(a, 10, 100)
+	kb := map[int]int{}
+	for _, id := range b.NonEmpty() {
+		kb[id] = 0
+	}
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = float64(i % 7)
+	}
+	want := make([]float64, a.Rows)
+	spmvtune.Reference(a, v, want)
+
+	u := make([]float64, a.Rows)
+	rep, err := spmvtune.RunHetero(cfg.Device, a, v, u, b, kb, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spmvtune.VecApproxEqual(want, u, 1e-9) {
+		t.Error("hetero result wrong")
+	}
+	if rep.TotalSeconds <= 0 {
+		t.Error("no hetero time")
+	}
+
+	up := make([]float64, a.Rows)
+	spmvtune.PipelinedSpMV(a, v, up, 10, 500, 2)
+	if !spmvtune.VecApproxEqual(want, up, 1e-9) {
+		t.Error("pipelined result wrong")
+	}
+}

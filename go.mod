@@ -1,0 +1,3 @@
+module spmvtune
+
+go 1.22

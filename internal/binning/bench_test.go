@@ -1,0 +1,88 @@
+package binning
+
+import (
+	"sync"
+	"testing"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+var benchMatrixOnce struct {
+	sync.Once
+	a *sparse.CSR
+}
+
+func benchMatrix() *sparse.CSR {
+	benchMatrixOnce.Do(func() {
+		benchMatrixOnce.a = matgen.Mixed(500000, 500000, 128, []int{2, 40, 300}, 1)
+	})
+	return benchMatrixOnce.a
+}
+
+// Scheme construction cost on a half-million-row mixed matrix.
+func BenchmarkSchemeCoarseU10(b *testing.B) {
+	a := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coarse(a, 10, DefaultMaxBins)
+	}
+}
+
+func BenchmarkSchemeCoarseU1000(b *testing.B) {
+	a := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coarse(a, 1000, DefaultMaxBins)
+	}
+}
+
+func BenchmarkSchemeFine(b *testing.B) {
+	a := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fine(a, DefaultMaxBins)
+	}
+}
+
+func BenchmarkSchemeHybrid(b *testing.B) {
+	a := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Hybrid(a, 10, 100, DefaultMaxBins)
+	}
+}
+
+func BenchmarkSchemeSingle(b *testing.B) {
+	a := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Single(a)
+	}
+}
+
+// Step 1 alone (workload collection).
+func BenchmarkWorkloads(b *testing.B) {
+	a := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Workloads(a, 100)
+	}
+}
+
+// Ablation: bin-count cap.
+func BenchmarkAblationMaxBins10(b *testing.B) {
+	a := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coarse(a, 10, 10)
+	}
+}
+
+func BenchmarkAblationMaxBins1000(b *testing.B) {
+	a := benchMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coarse(a, 10, 1000)
+	}
+}

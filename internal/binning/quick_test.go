@@ -1,0 +1,89 @@
+package binning
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spmvtune/internal/matgen"
+)
+
+// Property: every coarse binning is a partition of the rows, bins respect
+// the workload contract, and group count equals ceil(rows/U) — for any
+// matrix shape and granularity.
+func TestQuickCoarseInvariants(t *testing.T) {
+	f := func(seed int64, rowsRaw, uRaw, maxBinsRaw uint8) bool {
+		rows := 1 + int(rowsRaw)%400
+		u := 1 + int(uRaw)%64
+		maxBins := 2 + int(maxBinsRaw)%120
+		rng := rand.New(rand.NewSource(seed))
+		a := matgen.RandomUniform(rows, 64, 0, 12, rng.Int63())
+
+		b := Coarse(a, u, maxBins)
+		if err := b.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		groups := 0
+		for binID := range b.Bins {
+			for _, g := range b.Bins[binID] {
+				groups++
+				wl := a.RowPtr[int(g.Start)+int(g.Count)] - a.RowPtr[g.Start]
+				if binID < maxBins-1 {
+					if wl < int64(binID*u) || wl >= int64((binID+1)*u) {
+						t.Logf("bin %d workload %d outside contract (u=%d)", binID, wl, u)
+						return false
+					}
+				} else if wl < int64(binID*u) {
+					// Overflow bin: workload must still be at least its own
+					// lower bound (anything above is the capped case).
+					t.Logf("overflow bin workload %d below %d", wl, binID*u)
+					return false
+				}
+			}
+		}
+		want := (rows + u - 1) / u
+		if groups != want {
+			t.Logf("groups=%d want=%d", groups, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hybrid binning also partitions rows, and no group mixes a
+// >=threshold row with others.
+func TestQuickHybridInvariants(t *testing.T) {
+	f := func(seed int64, rowsRaw, uRaw uint8) bool {
+		rows := 1 + int(rowsRaw)%300
+		u := 1 + int(uRaw)%32
+		threshold := 20
+		rng := rand.New(rand.NewSource(seed))
+		a := matgen.Mixed(rows, 128, 8, []int{1 + rng.Intn(4), 25 + rng.Intn(40)}, rng.Int63())
+		b := Hybrid(a, u, threshold, DefaultMaxBins)
+		if err := b.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		for binID := range b.Bins {
+			for _, g := range b.Bins[binID] {
+				if g.Count == 1 {
+					continue
+				}
+				for r := g.Start; r < g.Start+g.Count; r++ {
+					if a.RowLen(int(r)) >= threshold {
+						t.Logf("long row %d inside a %d-row group", r, g.Count)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package c50
+
+import "testing"
+
+// Ablation: pruned vs unpruned trees, tree vs rule-set prediction, and
+// boosting cost — the decision-tree knobs DESIGN.md calls out.
+
+func benchData() (*Dataset, *Dataset) {
+	d := thresholdSet(2000, 3, 0.08)
+	return d.Split(0.75, 1)
+}
+
+func BenchmarkTrainPruned(b *testing.B) {
+	tr, _ := benchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(tr, Options{MinLeaf: 2, CF: 0.25})
+	}
+}
+
+func BenchmarkTrainUnpruned(b *testing.B) {
+	tr, _ := benchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(tr, Options{MinLeaf: 2, CF: 0})
+	}
+}
+
+func BenchmarkTrainBoosted5(b *testing.B) {
+	tr, _ := benchData()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainBoosted(tr, Options{MinLeaf: 2, CF: 0.25}, 5)
+	}
+}
+
+func BenchmarkPredictTree(b *testing.B) {
+	tr, te := benchData()
+	t := Train(tr, DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Predict(te.X[i%te.Len()])
+	}
+}
+
+func BenchmarkPredictRuleSet(b *testing.B) {
+	tr, te := benchData()
+	rs := Train(tr, DefaultOptions()).Rules()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Predict(te.X[i%te.Len()])
+	}
+}
+
+// Report pruning's size effect as metrics for the ablation record.
+func BenchmarkTreeSizePrunedVsUnpruned(b *testing.B) {
+	tr, _ := benchData()
+	var pruned, unpruned int
+	for i := 0; i < b.N; i++ {
+		pruned = Train(tr, Options{MinLeaf: 2, CF: 0.25}).Size()
+		unpruned = Train(tr, Options{MinLeaf: 2, CF: 0}).Size()
+	}
+	b.ReportMetric(float64(pruned), "pruned-nodes")
+	b.ReportMetric(float64(unpruned), "unpruned-nodes")
+}

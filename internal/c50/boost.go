@@ -1,0 +1,87 @@
+package c50
+
+import "math"
+
+// Ensemble is an AdaBoost.M1-boosted committee of trees — C5.0's signature
+// "boosting" option. Prediction is a weighted vote.
+type Ensemble struct {
+	Trees  []*Tree
+	Alphas []float64
+}
+
+// TrainBoosted runs up to rounds of AdaBoost.M1 over weighted C4.5 trees.
+// Boosting stops early if a round's weighted error hits zero (the committee
+// is already consistent) or reaches 0.5 (no better than chance, as in
+// Freund & Schapire / C5.0).
+func TrainBoosted(d *Dataset, opts Options, rounds int) *Ensemble {
+	if rounds < 1 {
+		rounds = 1
+	}
+	n := d.Len()
+	e := &Ensemble{}
+	if n == 0 {
+		e.Trees = append(e.Trees, Train(d, opts))
+		e.Alphas = append(e.Alphas, 1)
+		return e
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1.0 / float64(n)
+	}
+	for round := 0; round < rounds; round++ {
+		t := TrainWeighted(d, w, opts)
+		errW := 0.0
+		for i, x := range d.X {
+			if t.Predict(x) != d.Y[i] {
+				errW += w[i]
+			}
+		}
+		if errW <= 1e-12 {
+			// Perfect on the weighted sample: dominate the vote and stop.
+			e.Trees = append(e.Trees, t)
+			e.Alphas = append(e.Alphas, 10)
+			break
+		}
+		if errW >= 0.5 {
+			if len(e.Trees) == 0 {
+				e.Trees = append(e.Trees, t)
+				e.Alphas = append(e.Alphas, 1)
+			}
+			break
+		}
+		beta := errW / (1 - errW)
+		alpha := math.Log(1 / beta)
+		e.Trees = append(e.Trees, t)
+		e.Alphas = append(e.Alphas, alpha)
+		// Reweight: correct instances shrink by beta, then normalize.
+		total := 0.0
+		for i, x := range d.X {
+			if t.Predict(x) == d.Y[i] {
+				w[i] *= beta
+			}
+			total += w[i]
+		}
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	return e
+}
+
+// Predict returns the alpha-weighted majority vote.
+func (e *Ensemble) Predict(x []float64) int {
+	if len(e.Trees) == 1 {
+		return e.Trees[0].Predict(x)
+	}
+	votes := map[int]float64{}
+	for i, t := range e.Trees {
+		votes[t.Predict(x)] += e.Alphas[i]
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range votes {
+		if v > bestV || (v == bestV && c < best) {
+			best, bestV = c, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,420 @@
+package c50
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// thresholdSet: class = x0 > 5, one clean continuous split.
+func thresholdSet(n int, seed int64, noise float64) *Dataset {
+	d := NewDataset([]string{"x0", "x1"}, []string{"low", "high"})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x0 := rng.Float64() * 10
+		x1 := rng.Float64() * 10
+		y := 0
+		if x0 > 5 {
+			y = 1
+		}
+		if rng.Float64() < noise {
+			y = 1 - y
+		}
+		d.Add([]float64{x0, x1}, y)
+	}
+	return d
+}
+
+// xorSet: class = (x0>0) XOR (x1>0), requires a two-level tree.
+func xorSet(n int, seed int64) *Dataset {
+	d := NewDataset([]string{"x0", "x1"}, []string{"no", "yes"})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x0 := rng.NormFloat64()
+		x1 := rng.NormFloat64()
+		y := 0
+		if (x0 > 0) != (x1 > 0) {
+			y = 1
+		}
+		d.Add([]float64{x0, x1}, y)
+	}
+	return d
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := NewDataset([]string{"a"}, []string{"c0", "c1"})
+	d.Add([]float64{1}, 0)
+	d.Add([]float64{2}, 1)
+	if d.Len() != 2 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	mustPanic(t, "bad dims", func() { d.Add([]float64{1, 2}, 0) })
+	mustPanic(t, "bad class", func() { d.Add([]float64{1}, 5) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestSplitFractions(t *testing.T) {
+	d := thresholdSet(400, 1, 0)
+	train, test := d.Split(0.75, 7)
+	if train.Len() != 300 || test.Len() != 100 {
+		t.Fatalf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	// Every instance appears exactly once across the two subsets.
+	if train.Len()+test.Len() != d.Len() {
+		t.Error("split lost instances")
+	}
+}
+
+func TestTrainThreshold(t *testing.T) {
+	d := thresholdSet(500, 2, 0)
+	tree := Train(d, DefaultOptions())
+	e, _ := Evaluate(tree, d)
+	if e != 0 {
+		t.Errorf("training error %v on separable data", e)
+	}
+	// Threshold must be close to 5.
+	if tree.root.isLeaf() {
+		t.Fatal("tree did not split")
+	}
+	if tree.root.attr != 0 {
+		t.Errorf("split attr = %d, want 0", tree.root.attr)
+	}
+	if math.Abs(tree.root.thresh-5) > 0.3 {
+		t.Errorf("threshold = %v, want ~5", tree.root.thresh)
+	}
+	// Generalization on a fresh sample.
+	fresh := thresholdSet(300, 77, 0)
+	e, _ = Evaluate(tree, fresh)
+	if e > 0.03 {
+		t.Errorf("test error %v too high", e)
+	}
+}
+
+func TestTrainXOR(t *testing.T) {
+	d := xorSet(800, 3)
+	tree := Train(d, DefaultOptions())
+	e, _ := Evaluate(tree, d)
+	if e > 0.05 {
+		t.Errorf("XOR training error %v; tree should nest splits", e)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("XOR tree depth %d, want >=2", tree.Depth())
+	}
+}
+
+func TestCategoricalSplit(t *testing.T) {
+	// class = category (3 values), with a useless continuous attribute.
+	d := &Dataset{
+		Attrs:   []Attribute{{Name: "cat", Categorical: true}, {Name: "junk"}},
+		Classes: []string{"a", "b", "c"},
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		c := float64(rng.Intn(3))
+		d.Add([]float64{c, rng.Float64()}, int(c))
+	}
+	tree := Train(d, DefaultOptions())
+	e, _ := Evaluate(tree, d)
+	if e != 0 {
+		t.Errorf("categorical error = %v", e)
+	}
+	if tree.root.attr != 0 || tree.root.catVals == nil {
+		t.Error("root should split on the categorical attribute")
+	}
+	if len(tree.root.children) != 3 {
+		t.Errorf("multiway split has %d children, want 3", len(tree.root.children))
+	}
+	// Unseen category falls back to the node majority without panicking.
+	_ = tree.Predict([]float64{99, 0.5})
+}
+
+func TestPruningShrinksNoisyTree(t *testing.T) {
+	d := thresholdSet(600, 5, 0.15) // 15% label noise
+	unpruned := Train(d, Options{MinLeaf: 2, CF: 0})
+	pruned := Train(d, Options{MinLeaf: 2, CF: 0.25})
+	if pruned.Size() > unpruned.Size() {
+		t.Errorf("pruned size %d > unpruned %d", pruned.Size(), unpruned.Size())
+	}
+	// Pruning must not hurt generalization on this problem.
+	fresh := thresholdSet(400, 88, 0)
+	eU, _ := Evaluate(unpruned, fresh)
+	eP, _ := Evaluate(pruned, fresh)
+	if eP > eU+0.05 {
+		t.Errorf("pruned test error %v much worse than unpruned %v", eP, eU)
+	}
+}
+
+func TestMaxDepthAndMinLeaf(t *testing.T) {
+	d := xorSet(500, 6)
+	shallow := Train(d, Options{MinLeaf: 2, MaxDepth: 1, CF: 0})
+	if shallow.Depth() > 1 {
+		t.Errorf("depth %d exceeds MaxDepth 1", shallow.Depth())
+	}
+	bigLeaf := Train(d, Options{MinLeaf: 200, CF: 0})
+	if bigLeaf.Size() >= Train(d, Options{MinLeaf: 2, CF: 0}).Size() {
+		t.Error("large MinLeaf should give a smaller tree")
+	}
+}
+
+func TestEmptyAndDegenerateData(t *testing.T) {
+	d := NewDataset([]string{"x"}, []string{"a", "b"})
+	tree := Train(d, DefaultOptions())
+	if got := tree.Predict([]float64{1}); got != 0 {
+		t.Errorf("empty-data prediction = %d", got)
+	}
+	// Single class.
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i)}, 1)
+	}
+	tree = Train(d, DefaultOptions())
+	if got := tree.Predict([]float64{3}); got != 1 {
+		t.Errorf("pure-class prediction = %d", got)
+	}
+	// Constant attribute: no split possible.
+	d2 := NewDataset([]string{"x"}, []string{"a", "b"})
+	for i := 0; i < 10; i++ {
+		d2.Add([]float64{1}, i%2)
+	}
+	tree2 := Train(d2, DefaultOptions())
+	if !tree2.root.isLeaf() {
+		t.Error("constant attribute should not split")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := entropy([]float64{5, 5}, 10); math.Abs(e-1) > 1e-12 {
+		t.Errorf("entropy(50/50) = %v, want 1", e)
+	}
+	if e := entropy([]float64{10, 0}, 10); e != 0 {
+		t.Errorf("entropy(pure) = %v, want 0", e)
+	}
+	if e := entropy(nil, 0); e != 0 {
+		t.Errorf("entropy(empty) = %v", e)
+	}
+}
+
+func TestNormalDeviate(t *testing.T) {
+	cases := map[float64]float64{0.5: 0, 0.75: 0.6745, 0.95: 1.6449, 0.975: 1.96}
+	for q, want := range cases {
+		if got := normalDeviate(q); math.Abs(got-want) > 1e-3 {
+			t.Errorf("normalDeviate(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if normalDeviate(0) > -7 || normalDeviate(1) < 7 {
+		t.Error("extreme quantiles should saturate")
+	}
+	// Symmetry.
+	if math.Abs(normalDeviate(0.3)+normalDeviate(0.7)) > 1e-9 {
+		t.Error("deviate not symmetric")
+	}
+}
+
+func TestErrUpperBound(t *testing.T) {
+	// Upper bound is above the point estimate and decreases with n.
+	p := 0.1
+	u10 := errUpperBound(p, 10, 0.25)
+	u1000 := errUpperBound(p, 1000, 0.25)
+	if u10 <= p || u1000 <= p {
+		t.Error("upper bound must exceed point estimate")
+	}
+	if u1000 >= u10 {
+		t.Errorf("bound should tighten with n: %v vs %v", u10, u1000)
+	}
+	if errUpperBound(1, 10, 0.25) > 1 {
+		t.Error("bound must not exceed 1")
+	}
+}
+
+func TestRulesMatchTree(t *testing.T) {
+	d := xorSet(600, 7)
+	tree := Train(d, DefaultOptions())
+	rs := tree.Rules()
+	if len(rs.Rules) != tree.Leaves() {
+		t.Errorf("%d rules for %d leaves", len(rs.Rules), tree.Leaves())
+	}
+	// Rule-set predictions must agree with the tree on training data in the
+	// overwhelming majority of cases (ordering by confidence can differ only
+	// when rules overlap, which tree paths never do).
+	for i, x := range d.X {
+		if rs.Predict(x) != tree.Predict(x) {
+			t.Fatalf("rule/tree disagree on instance %d", i)
+		}
+	}
+	s := rs.String()
+	if !strings.Contains(s, "Rule 1") || !strings.Contains(s, "Default:") {
+		t.Errorf("rule rendering missing parts:\n%s", s)
+	}
+}
+
+func TestRuleConfidenceOrdering(t *testing.T) {
+	d := thresholdSet(500, 8, 0.1)
+	rs := Train(d, DefaultOptions()).Rules()
+	for i := 1; i < len(rs.Rules); i++ {
+		if rs.Rules[i].Confidence > rs.Rules[i-1].Confidence+1e-12 {
+			t.Fatal("rules not ordered by confidence")
+		}
+	}
+}
+
+func TestBoostingImprovesHardProblem(t *testing.T) {
+	// Depth-limited stumps can't solve XOR alone; boosting several should
+	// do at least as well as one.
+	d := xorSet(600, 9)
+	opts := Options{MinLeaf: 2, MaxDepth: 2, CF: 0}
+	single := Train(d, opts)
+	boosted := TrainBoosted(d, opts, 10)
+	eS, _ := Evaluate(single, d)
+	eB, _ := Evaluate(boosted, d)
+	if eB > eS+1e-9 {
+		t.Errorf("boosted error %v worse than single tree %v", eB, eS)
+	}
+	if len(boosted.Trees) < 1 || len(boosted.Trees) != len(boosted.Alphas) {
+		t.Errorf("ensemble shape: %d trees, %d alphas", len(boosted.Trees), len(boosted.Alphas))
+	}
+}
+
+func TestBoostingDegenerate(t *testing.T) {
+	empty := NewDataset([]string{"x"}, []string{"a"})
+	e := TrainBoosted(empty, DefaultOptions(), 5)
+	if len(e.Trees) != 1 {
+		t.Errorf("empty boosting should yield one tree, got %d", len(e.Trees))
+	}
+	_ = e.Predict([]float64{0})
+
+	// Separable data: first round is perfect, boosting stops early.
+	d := thresholdSet(200, 10, 0)
+	ens := TrainBoosted(d, DefaultOptions(), 10)
+	if len(ens.Trees) != 1 {
+		t.Errorf("perfect first round should stop boosting, got %d trees", len(ens.Trees))
+	}
+	er, _ := Evaluate(ens, d)
+	if er != 0 {
+		t.Errorf("ensemble error %v on separable data", er)
+	}
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	d := thresholdSet(100, 11, 0)
+	tree := Train(d, DefaultOptions())
+	e, conf := Evaluate(tree, d)
+	total := 0
+	for _, row := range conf {
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != d.Len() {
+		t.Errorf("confusion total %d != %d", total, d.Len())
+	}
+	diag := conf[0][0] + conf[1][1]
+	if math.Abs(1-float64(diag)/float64(total)-e) > 1e-9 {
+		t.Error("error rate inconsistent with confusion diagonal")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	d := thresholdSet(300, 12, 0.05)
+	err := CrossValidate(d, 5, 3, func(tr *Dataset) Classifier { return Train(tr, DefaultOptions()) })
+	if err < 0 || err > 0.3 {
+		t.Errorf("cv error = %v, expected small", err)
+	}
+}
+
+func TestTreeSerializationRoundTrip(t *testing.T) {
+	d := xorSet(400, 13)
+	tree := Train(d, DefaultOptions())
+	blob, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range d.X {
+		if tree.Predict(x) != back.Predict(x) {
+			t.Fatal("round-tripped tree predicts differently")
+		}
+	}
+	if len(back.Classes()) != 2 {
+		t.Errorf("classes lost: %v", back.Classes())
+	}
+	var bad Tree
+	if err := json.Unmarshal([]byte(`{"attrs":[],"classes":[]}`), &bad); err == nil {
+		t.Error("missing root should error")
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	d := thresholdSet(200, 14, 0)
+	s := Train(d, DefaultOptions()).String()
+	if !strings.Contains(s, "x0 <= ") || !strings.Contains(s, "x0 > ") {
+		t.Errorf("rendering missing split lines:\n%s", s)
+	}
+}
+
+func TestWeightedTrainingRespectsWeights(t *testing.T) {
+	// Identical attribute values carrying both classes: leaf majorities are
+	// decided purely by instance weight, so up-weighting class 1 must flip
+	// every prediction to class 1.
+	d := NewDataset([]string{"x"}, []string{"a", "b"})
+	for i := 0; i < 50; i++ {
+		d.Add([]float64{float64(i % 10)}, 0)
+		d.Add([]float64{float64(i % 10)}, 1)
+	}
+	w := make([]float64, d.Len())
+	for i := range w {
+		if d.Y[i] == 1 {
+			w[i] = 100
+		} else {
+			w[i] = 1
+		}
+	}
+	tree := TrainWeighted(d, w, Options{MinLeaf: 2, CF: 0})
+	for i := 0; i < 10; i++ {
+		if got := tree.Predict([]float64{float64(i)}); got != 1 {
+			t.Fatalf("x=%d predicted %d; weighted majority should be class 1", i, got)
+		}
+	}
+	// Unweighted control: ties or class 0 may win, but the point is the
+	// weights changed the outcome, which the loop above already proves.
+	mustPanic(t, "weight mismatch", func() { TrainWeighted(d, w[:3], DefaultOptions()) })
+}
+
+// Gain-ratio sanity: an attribute with many distinct but uninformative
+// values must not beat an informative binary attribute (the failure mode
+// gain ratio exists to prevent).
+func TestGainRatioPrefersInformative(t *testing.T) {
+	d := &Dataset{
+		Attrs:   []Attribute{{Name: "id", Categorical: true}, {Name: "signal"}},
+		Classes: []string{"n", "y"},
+	}
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 200; i++ {
+		sig := rng.Float64()
+		y := 0
+		if sig > 0.5 {
+			y = 1
+		}
+		d.Add([]float64{float64(i % 50), sig}, y) // "id" has 50 near-unique values
+	}
+	tree := Train(d, Options{MinLeaf: 2, CF: 0})
+	if tree.root.attr != 1 {
+		t.Errorf("root split on attr %d, want the informative continuous one", tree.root.attr)
+	}
+}

@@ -1,0 +1,143 @@
+// Package c50 is a from-scratch C4.5/C5.0-style decision-tree learner: the
+// stand-in for the proprietary C5.0 tool the paper uses as its data-mining
+// model. It provides gain-ratio splitting on continuous and categorical
+// attributes, pessimistic (confidence-based) pruning, extraction of
+// if-then rule sets, adaptive boosting, and train/test evaluation.
+package c50
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Attribute describes one input column.
+type Attribute struct {
+	Name        string
+	Categorical bool // values are small integer category codes
+}
+
+// Dataset is a labeled training/testing set. X rows are attribute vectors
+// in Attrs order; Y holds class indices into Classes.
+type Dataset struct {
+	Attrs   []Attribute
+	Classes []string
+	X       [][]float64
+	Y       []int
+}
+
+// NewDataset creates an empty dataset over continuous attributes with the
+// given names.
+func NewDataset(attrNames, classes []string) *Dataset {
+	attrs := make([]Attribute, len(attrNames))
+	for i, n := range attrNames {
+		attrs[i] = Attribute{Name: n}
+	}
+	return &Dataset{Attrs: attrs, Classes: classes}
+}
+
+// Add appends one labeled instance. It panics on dimension or label
+// mismatch (programmer error).
+func (d *Dataset) Add(x []float64, y int) {
+	if len(x) != len(d.Attrs) {
+		panic(fmt.Sprintf("c50: instance has %d attributes, dataset %d", len(x), len(d.Attrs)))
+	}
+	if y < 0 || y >= len(d.Classes) {
+		panic(fmt.Sprintf("c50: class %d out of range [0,%d)", y, len(d.Classes)))
+	}
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Split randomly partitions the dataset into train and test subsets; frac
+// is the training fraction (the paper uses 0.75).
+func (d *Dataset) Split(frac float64, seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(d.Len())
+	nTrain := int(frac * float64(d.Len()))
+	train = &Dataset{Attrs: d.Attrs, Classes: d.Classes}
+	test = &Dataset{Attrs: d.Attrs, Classes: d.Classes}
+	for i, pi := range perm {
+		if i < nTrain {
+			train.X = append(train.X, d.X[pi])
+			train.Y = append(train.Y, d.Y[pi])
+		} else {
+			test.X = append(test.X, d.X[pi])
+			test.Y = append(test.Y, d.Y[pi])
+		}
+	}
+	return train, test
+}
+
+// Subset returns a view dataset containing the instances at idx.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{Attrs: d.Attrs, Classes: d.Classes}
+	for _, i := range idx {
+		s.X = append(s.X, d.X[i])
+		s.Y = append(s.Y, d.Y[i])
+	}
+	return s
+}
+
+// ClassCounts returns the number of instances per class.
+func (d *Dataset) ClassCounts() []int {
+	c := make([]int, len(d.Classes))
+	for _, y := range d.Y {
+		c[y]++
+	}
+	return c
+}
+
+// Classifier is anything that predicts a class index from an attribute
+// vector: a Tree, a RuleSet, or a boosted Ensemble.
+type Classifier interface {
+	Predict(x []float64) int
+}
+
+// Evaluate runs the classifier over the dataset and returns the error rate
+// and the confusion matrix (confusion[actual][predicted]).
+func Evaluate(c Classifier, d *Dataset) (errRate float64, confusion [][]int) {
+	confusion = make([][]int, len(d.Classes))
+	for i := range confusion {
+		confusion[i] = make([]int, len(d.Classes))
+	}
+	wrong := 0
+	for i, x := range d.X {
+		p := c.Predict(x)
+		confusion[d.Y[i]][p]++
+		if p != d.Y[i] {
+			wrong++
+		}
+	}
+	if d.Len() == 0 {
+		return 0, confusion
+	}
+	return float64(wrong) / float64(d.Len()), confusion
+}
+
+// CrossValidate runs k-fold cross-validation with the given training
+// function and returns the mean error rate across folds.
+func CrossValidate(d *Dataset, k int, seed int64, train func(*Dataset) Classifier) float64 {
+	if k < 2 || d.Len() < k {
+		k = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(d.Len())
+	total := 0.0
+	for fold := 0; fold < k; fold++ {
+		var trIdx, teIdx []int
+		for i, pi := range perm {
+			if i%k == fold {
+				teIdx = append(teIdx, pi)
+			} else {
+				trIdx = append(trIdx, pi)
+			}
+		}
+		model := train(d.Subset(trIdx))
+		e, _ := Evaluate(model, d.Subset(teIdx))
+		total += e
+	}
+	return total / float64(k)
+}

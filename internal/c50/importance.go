@@ -1,0 +1,39 @@
+package c50
+
+// Importance estimates per-attribute relevance as the total training
+// weight routed through splits on that attribute, normalized to sum to 1.
+// It answers the paper's Section IV-C question — which of the Table I
+// parameters carry the decision — without retraining.
+func (t *Tree) Importance() []float64 {
+	imp := make([]float64, len(t.attrs))
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.isLeaf() {
+			return
+		}
+		imp[n.attr] += n.weight
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+// AttrNames returns the attribute names in Importance order.
+func (t *Tree) AttrNames() []string {
+	names := make([]string, len(t.attrs))
+	for i, a := range t.attrs {
+		names[i] = a.Name
+	}
+	return names
+}

@@ -1,0 +1,50 @@
+package c50
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestImportanceFindsSignal(t *testing.T) {
+	// Attribute 1 fully determines the class; attribute 0 is noise.
+	d := NewDataset([]string{"noise", "signal"}, []string{"a", "b"})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		sig := rng.Float64()
+		y := 0
+		if sig > 0.5 {
+			y = 1
+		}
+		d.Add([]float64{rng.Float64(), sig}, y)
+	}
+	tree := Train(d, DefaultOptions())
+	imp := tree.Importance()
+	if len(imp) != 2 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	sum := imp[0] + imp[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sums to %v", sum)
+	}
+	if imp[1] < 0.8 {
+		t.Errorf("signal importance %v, want dominant", imp[1])
+	}
+	names := tree.AttrNames()
+	if names[0] != "noise" || names[1] != "signal" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestImportanceLeafOnlyTree(t *testing.T) {
+	d := NewDataset([]string{"x"}, []string{"a"})
+	for i := 0; i < 5; i++ {
+		d.Add([]float64{1}, 0)
+	}
+	imp := Train(d, DefaultOptions()).Importance()
+	for _, v := range imp {
+		if v != 0 {
+			t.Errorf("pure tree should have zero importances, got %v", imp)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package c50
+
+import "math"
+
+// prune applies C4.5's pessimistic error-based pruning: a subtree is
+// replaced by a leaf when the leaf's estimated error (binomial upper
+// confidence bound at confidence factor cf) does not exceed the sum of its
+// children's estimated errors.
+func prune(n *node, cf float64) float64 {
+	if n.isLeaf() {
+		return pessimisticErrors(n.errors, n.weight, cf)
+	}
+	subtree := 0.0
+	for _, c := range n.children {
+		subtree += prune(c, cf)
+	}
+	asLeaf := pessimisticErrors(n.errors, n.weight, cf)
+	if asLeaf <= subtree+1e-9 {
+		// Collapse to a leaf.
+		n.children = nil
+		n.catVals = nil
+		return asLeaf
+	}
+	return subtree
+}
+
+// pessimisticErrors returns C4.5's estimated error count for a leaf with e
+// weighted errors out of n weighted instances: n * U_cf(e, n), where U is
+// the upper confidence limit of the binomial error rate.
+func pessimisticErrors(e, n, cf float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return n * errUpperBound(e/n, n, cf)
+}
+
+// errUpperBound computes the one-sided upper confidence bound on a binomial
+// proportion using the Wilson score interval with the normal deviate that
+// corresponds to the confidence factor cf (C4.5 uses the same construction
+// with a table of deviates).
+func errUpperBound(p, n, cf float64) float64 {
+	z := normalDeviate(1 - cf)
+	if n <= 0 {
+		return 1
+	}
+	z2 := z * z
+	num := p + z2/(2*n) + z*math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	den := 1 + z2/n
+	ub := num / den
+	if ub > 1 {
+		ub = 1
+	}
+	if ub < p {
+		ub = p
+	}
+	return ub
+}
+
+// normalDeviate returns the quantile z such that P(Z <= z) = q for a
+// standard normal Z, via Acklam's rational approximation (|error| < 1.15e-9).
+func normalDeviate(q float64) float64 {
+	if q <= 0 {
+		return -8
+	}
+	if q >= 1 {
+		return 8
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	dd := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	pLow := 0.02425
+	switch {
+	case q < pLow:
+		r := math.Sqrt(-2 * math.Log(q))
+		return (((((c[0]*r+c[1])*r+c[2])*r+c[3])*r+c[4])*r + c[5]) /
+			((((dd[0]*r+dd[1])*r+dd[2])*r+dd[3])*r + 1)
+	case q <= 1-pLow:
+		r := q - 0.5
+		s := r * r
+		return (((((a[0]*s+a[1])*s+a[2])*s+a[3])*s+a[4])*s + a[5]) * r /
+			(((((b[0]*s+b[1])*s+b[2])*s+b[3])*s+b[4])*s + 1)
+	default:
+		r := math.Sqrt(-2 * math.Log(1-q))
+		return -(((((c[0]*r+c[1])*r+c[2])*r+c[3])*r+c[4])*r + c[5]) /
+			((((dd[0]*r+dd[1])*r+dd[2])*r+dd[3])*r + 1)
+	}
+}

@@ -1,0 +1,110 @@
+package c50
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a trained tree always predicts a valid class index, its rule
+// set matches it on the training instances, and JSON round-tripping
+// preserves predictions — for any random dataset shape.
+func TestQuickTreeInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, attrsRaw, classesRaw uint8) bool {
+		n := 4 + int(nRaw)%150
+		attrs := 1 + int(attrsRaw)%5
+		classes := 2 + int(classesRaw)%4
+		rng := rand.New(rand.NewSource(seed))
+
+		names := make([]string, attrs)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		cnames := make([]string, classes)
+		for i := range cnames {
+			cnames[i] = string(rune('A' + i))
+		}
+		d := NewDataset(names, cnames)
+		for i := 0; i < n; i++ {
+			x := make([]float64, attrs)
+			for j := range x {
+				x[j] = rng.NormFloat64()
+			}
+			// Semi-learnable labels with noise.
+			y := 0
+			if x[0] > 0 {
+				y = 1 % classes
+			}
+			if rng.Float64() < 0.2 {
+				y = rng.Intn(classes)
+			}
+			d.Add(x, y)
+		}
+		tree := Train(d, DefaultOptions())
+		rules := tree.Rules()
+		for i, x := range d.X {
+			p := tree.Predict(x)
+			if p < 0 || p >= classes {
+				t.Logf("instance %d: class %d out of range", i, p)
+				return false
+			}
+			if rules.Predict(x) != p {
+				t.Logf("instance %d: rules disagree with tree", i)
+				return false
+			}
+		}
+		if tree.Leaves() > n {
+			t.Logf("more leaves (%d) than instances (%d)", tree.Leaves(), n)
+			return false
+		}
+		blob, err := tree.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		var back Tree
+		if err := back.UnmarshalJSON(blob); err != nil {
+			return false
+		}
+		for _, x := range d.X[:min(10, len(d.X))] {
+			if back.Predict(x) != tree.Predict(x) {
+				t.Log("serialization changed a prediction")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Property: pruning never increases tree size, and the pruned tree still
+// predicts valid classes.
+func TestQuickPruningShrinks(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 20 + int(nRaw)%200
+		d := thresholdSet(n, seed, 0.25)
+		unpruned := Train(d, Options{MinLeaf: 2, CF: 0})
+		pruned := Train(d, Options{MinLeaf: 2, CF: 0.25})
+		if pruned.Size() > unpruned.Size() {
+			t.Logf("pruned %d > unpruned %d", pruned.Size(), unpruned.Size())
+			return false
+		}
+		for _, x := range d.X {
+			if p := pruned.Predict(x); p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

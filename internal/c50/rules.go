@@ -1,0 +1,144 @@
+package c50
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is a rule condition operator.
+type Op byte
+
+const (
+	OpLE Op = iota // attribute <= threshold
+	OpGT           // attribute > threshold
+	OpEQ           // attribute == value (categorical)
+)
+
+// Cond is one condition of an if-then rule.
+type Cond struct {
+	Attr  int
+	Op    Op
+	Value float64
+}
+
+// Holds reports whether the condition is satisfied by x.
+func (c Cond) Holds(x []float64) bool {
+	switch c.Op {
+	case OpLE:
+		return x[c.Attr] <= c.Value
+	case OpGT:
+		return x[c.Attr] > c.Value
+	default:
+		return x[c.Attr] == c.Value
+	}
+}
+
+// Rule is a single if-then statement extracted from a decision tree — the
+// artifact C5.0 reports after training ("the C5.0 can offer a rule-set,
+// which is a set of if-then statements").
+type Rule struct {
+	Conds      []Cond
+	Class      int
+	Confidence float64 // Laplace-corrected accuracy on the training data
+	Support    float64 // weighted training instances covered
+}
+
+// Matches reports whether every condition holds for x.
+func (r Rule) Matches(x []float64) bool {
+	for _, c := range r.Conds {
+		if !c.Holds(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// RuleSet is an ordered rule list with a default class. Prediction takes
+// the highest-confidence matching rule.
+type RuleSet struct {
+	Rules   []Rule
+	Default int
+	attrs   []Attribute
+	classes []string
+}
+
+// Rules extracts the tree's root-to-leaf paths as a rule set, ordered by
+// descending confidence; the default class is the tree root's majority.
+func (t *Tree) Rules() *RuleSet {
+	rs := &RuleSet{Default: t.root.class, attrs: t.attrs, classes: t.classes}
+	var walk func(n *node, conds []Cond)
+	walk = func(n *node, conds []Cond) {
+		if n.isLeaf() {
+			correct := n.weight - n.errors
+			conf := (correct + 1) / (n.weight + float64(len(t.classes))) // Laplace
+			rule := Rule{Conds: append([]Cond(nil), conds...), Class: n.class,
+				Confidence: conf, Support: n.weight}
+			rs.Rules = append(rs.Rules, rule)
+			return
+		}
+		if n.catVals == nil {
+			walk(n.children[0], append(conds, Cond{Attr: n.attr, Op: OpLE, Value: n.thresh}))
+			walk(n.children[1], append(conds, Cond{Attr: n.attr, Op: OpGT, Value: n.thresh}))
+			return
+		}
+		for vi, v := range n.catVals {
+			walk(n.children[vi], append(conds, Cond{Attr: n.attr, Op: OpEQ, Value: v}))
+		}
+	}
+	walk(t.root, nil)
+	sort.SliceStable(rs.Rules, func(i, j int) bool {
+		return rs.Rules[i].Confidence > rs.Rules[j].Confidence
+	})
+	return rs
+}
+
+// Predict returns the class of the highest-confidence matching rule, or the
+// default class if none matches.
+func (rs *RuleSet) Predict(x []float64) int {
+	for _, r := range rs.Rules {
+		if r.Matches(x) {
+			return r.Class
+		}
+	}
+	return rs.Default
+}
+
+// String renders the rule set as readable if-then statements.
+func (rs *RuleSet) String() string {
+	var b strings.Builder
+	for i, r := range rs.Rules {
+		fmt.Fprintf(&b, "Rule %d (conf %.3f, support %.1f): if ", i+1, r.Confidence, r.Support)
+		if len(r.Conds) == 0 {
+			b.WriteString("true")
+		}
+		for ci, c := range r.Conds {
+			if ci > 0 {
+				b.WriteString(" and ")
+			}
+			name := fmt.Sprintf("a%d", c.Attr)
+			if rs.attrs != nil {
+				name = rs.attrs[c.Attr].Name
+			}
+			switch c.Op {
+			case OpLE:
+				fmt.Fprintf(&b, "%s <= %g", name, c.Value)
+			case OpGT:
+				fmt.Fprintf(&b, "%s > %g", name, c.Value)
+			default:
+				fmt.Fprintf(&b, "%s = %g", name, c.Value)
+			}
+		}
+		class := fmt.Sprintf("class %d", r.Class)
+		if rs.classes != nil {
+			class = rs.classes[r.Class]
+		}
+		fmt.Fprintf(&b, " then %s\n", class)
+	}
+	def := fmt.Sprintf("class %d", rs.Default)
+	if rs.classes != nil {
+		def = rs.classes[rs.Default]
+	}
+	fmt.Fprintf(&b, "Default: %s\n", def)
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package c50
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonNode mirrors node for serialization.
+type jsonNode struct {
+	Attr     int         `json:"attr,omitempty"`
+	Thresh   float64     `json:"thresh,omitempty"`
+	CatVals  []float64   `json:"catVals,omitempty"`
+	Children []*jsonNode `json:"children,omitempty"`
+	Class    int         `json:"class"`
+	Dist     []float64   `json:"dist,omitempty"`
+	Weight   float64     `json:"weight,omitempty"`
+	Errors   float64     `json:"errors,omitempty"`
+}
+
+type jsonTree struct {
+	Attrs   []Attribute `json:"attrs"`
+	Classes []string    `json:"classes"`
+	Root    *jsonNode   `json:"root"`
+}
+
+func toJSONNode(n *node) *jsonNode {
+	j := &jsonNode{Attr: n.attr, Thresh: n.thresh, CatVals: n.catVals,
+		Class: n.class, Dist: n.dist, Weight: n.weight, Errors: n.errors}
+	for _, c := range n.children {
+		j.Children = append(j.Children, toJSONNode(c))
+	}
+	return j
+}
+
+func fromJSONNode(j *jsonNode) *node {
+	n := &node{attr: j.Attr, thresh: j.Thresh, catVals: j.CatVals,
+		class: j.Class, dist: j.Dist, weight: j.Weight, errors: j.Errors}
+	for _, c := range j.Children {
+		n.children = append(n.children, fromJSONNode(c))
+	}
+	return n
+}
+
+// MarshalJSON serializes the trained tree.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTree{Attrs: t.attrs, Classes: t.classes, Root: toJSONNode(t.root)})
+}
+
+// UnmarshalJSON restores a trained tree.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var j jsonTree
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Root == nil {
+		return fmt.Errorf("c50: tree JSON missing root")
+	}
+	t.attrs = j.Attrs
+	t.classes = j.Classes
+	t.root = fromJSONNode(j.Root)
+	return nil
+}
+
+// Classes returns the class names the tree was trained with.
+func (t *Tree) Classes() []string { return t.classes }

@@ -1,0 +1,427 @@
+package c50
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Options controls tree induction.
+type Options struct {
+	MinLeaf  int     // minimum instances per child; default 2
+	MaxDepth int     // 0 = unlimited
+	CF       float64 // pruning confidence factor; <= 0 disables pruning (C4.5 default 0.25)
+	// MDLPenalty enables C4.5's minimum-description-length correction on
+	// continuous splits (log2(candidates)/N subtracted from the gain). It
+	// exists to keep many-valued continuous attributes from outcompeting
+	// categorical ones, so it is off by default for the all-continuous
+	// attribute vectors this framework trains on.
+	MDLPenalty bool
+}
+
+// DefaultOptions mirror C4.5/C5.0 defaults.
+func DefaultOptions() Options {
+	return Options{MinLeaf: 2, CF: 0.25}
+}
+
+func (o Options) normalized() Options {
+	if o.MinLeaf < 1 {
+		o.MinLeaf = 2
+	}
+	return o
+}
+
+// node is one decision-tree node. Leaves have children == nil.
+type node struct {
+	// Split description (internal nodes).
+	attr     int
+	thresh   float64 // continuous: x[attr] <= thresh goes to children[0]
+	catVals  []float64
+	children []*node
+
+	// Leaf description (also kept on internal nodes for pruning and for
+	// routing unseen categorical values).
+	class  int
+	dist   []float64 // weighted class distribution of the training data here
+	weight float64   // total training weight
+	errors float64   // weighted misclassifications if treated as a leaf
+}
+
+func (n *node) isLeaf() bool { return len(n.children) == 0 }
+
+// Tree is a trained decision tree.
+type Tree struct {
+	root    *node
+	attrs   []Attribute
+	classes []string
+	opts    Options
+}
+
+// Train grows a decision tree on d with gain-ratio splitting and, unless
+// opts.CF <= 0, pessimistic pruning.
+func Train(d *Dataset, opts Options) *Tree {
+	opts = opts.normalized()
+	w := make([]float64, d.Len())
+	for i := range w {
+		w[i] = 1
+	}
+	return TrainWeighted(d, w, opts)
+}
+
+// TrainWeighted grows a tree with per-instance weights (used by boosting).
+func TrainWeighted(d *Dataset, weights []float64, opts Options) *Tree {
+	opts = opts.normalized()
+	if len(weights) != d.Len() {
+		panic("c50: weights length mismatch")
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{attrs: d.Attrs, classes: d.Classes, opts: opts}
+	g := &grower{d: d, w: weights, opts: opts, nClass: len(d.Classes)}
+	t.root = g.grow(idx, 0)
+	if t.root == nil {
+		// Empty training set: degenerate single-leaf tree predicting class 0.
+		t.root = &node{dist: make([]float64, len(d.Classes))}
+	}
+	if opts.CF > 0 {
+		prune(t.root, opts.CF)
+	}
+	return t
+}
+
+type grower struct {
+	d      *Dataset
+	w      []float64
+	opts   Options
+	nClass int
+}
+
+func (g *grower) classDist(idx []int) (dist []float64, total float64, majority int) {
+	dist = make([]float64, g.nClass)
+	for _, i := range idx {
+		dist[g.d.Y[i]] += g.w[i]
+	}
+	for c, v := range dist {
+		total += v
+		if v > dist[majority] {
+			majority = c
+		}
+	}
+	return dist, total, majority
+}
+
+func entropy(dist []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, v := range dist {
+		if v > 0 {
+			p := v / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+func makeLeafFields(n *node, dist []float64, total float64, majority int) {
+	n.class = majority
+	n.dist = dist
+	n.weight = total
+	n.errors = total - dist[majority]
+}
+
+// grow recursively builds the subtree over the instances idx.
+func (g *grower) grow(idx []int, depth int) *node {
+	if len(idx) == 0 {
+		return nil
+	}
+	dist, total, majority := g.classDist(idx)
+	n := &node{}
+	makeLeafFields(n, dist, total, majority)
+
+	// Stopping: purity, size, depth.
+	if n.errors == 0 || len(idx) < 2*g.opts.MinLeaf ||
+		(g.opts.MaxDepth > 0 && depth >= g.opts.MaxDepth) {
+		return n
+	}
+
+	best := g.bestSplit(idx, entropy(dist, total), total)
+	if best == nil {
+		return n
+	}
+
+	n.attr = best.attr
+	n.thresh = best.thresh
+	n.catVals = best.catVals
+	n.children = make([]*node, len(best.parts))
+	for ci, part := range best.parts {
+		child := g.grow(part, depth+1)
+		if child == nil {
+			// Empty partition (can happen for categorical values with zero
+			// weight): inherit the parent's majority.
+			child = &node{}
+			makeLeafFields(child, make([]float64, g.nClass), 0, majority)
+			child.class = majority
+		}
+		n.children[ci] = child
+	}
+	return n
+}
+
+// split is a candidate partition of idx.
+type split struct {
+	attr      int
+	thresh    float64
+	catVals   []float64
+	parts     [][]int
+	gainRatio float64
+}
+
+// bestSplit evaluates every attribute and returns the split with the best
+// gain ratio (nil if no split has positive gain).
+func (g *grower) bestSplit(idx []int, baseEntropy, total float64) *split {
+	var best *split
+	for attr := range g.d.Attrs {
+		var cand *split
+		if g.d.Attrs[attr].Categorical {
+			cand = g.categoricalSplit(idx, attr, baseEntropy, total)
+		} else {
+			cand = g.continuousSplit(idx, attr, baseEntropy, total)
+		}
+		if cand != nil && (best == nil || cand.gainRatio > best.gainRatio) {
+			best = cand
+		}
+	}
+	return best
+}
+
+func (g *grower) continuousSplit(idx []int, attr int, baseEntropy, total float64) *split {
+	sorted := make([]int, len(idx))
+	copy(sorted, idx)
+	sort.Slice(sorted, func(a, b int) bool {
+		return g.d.X[sorted[a]][attr] < g.d.X[sorted[b]][attr]
+	})
+
+	leftDist := make([]float64, g.nClass)
+	rightDist, _, _ := g.classDist(idx)
+	leftW, rightW := 0.0, total
+
+	distinct := 1
+	for k := 1; k < len(sorted); k++ {
+		if g.d.X[sorted[k]][attr] != g.d.X[sorted[k-1]][attr] {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		return nil
+	}
+	// C4.5's MDL correction: subtract log2(candidates)/N from the gain of
+	// continuous splits so they compete fairly with categorical ones. N is
+	// the instance count, not the total weight (boosting normalizes weights
+	// to sum 1, which must not inflate the penalty).
+	penalty := 0.0
+	if g.opts.MDLPenalty {
+		penalty = math.Log2(float64(distinct-1)) / float64(len(idx))
+	}
+
+	var bestGR, bestGain, bestThresh float64
+	bestAt := -1
+	for k := 0; k < len(sorted)-1; k++ {
+		i := sorted[k]
+		leftDist[g.d.Y[i]] += g.w[i]
+		rightDist[g.d.Y[i]] -= g.w[i]
+		leftW += g.w[i]
+		rightW -= g.w[i]
+		v, vNext := g.d.X[i][attr], g.d.X[sorted[k+1]][attr]
+		if v == vNext {
+			continue
+		}
+		if k+1 < g.opts.MinLeaf || len(sorted)-(k+1) < g.opts.MinLeaf {
+			continue
+		}
+		cond := (leftW*entropy(leftDist, leftW) + rightW*entropy(rightDist, rightW)) / total
+		gain := baseEntropy - cond - penalty
+		if gain <= 1e-12 {
+			continue
+		}
+		si := splitInfo2(leftW, rightW, total)
+		if si <= 1e-12 {
+			continue
+		}
+		gr := gain / si
+		if bestAt < 0 || gr > bestGR {
+			bestGR, bestGain, bestAt = gr, gain, k
+			bestThresh = v + (vNext-v)/2
+		}
+	}
+	if bestAt < 0 || bestGain <= 0 {
+		return nil
+	}
+	left := make([]int, 0, bestAt+1)
+	right := make([]int, 0, len(sorted)-bestAt-1)
+	for _, i := range idx {
+		if g.d.X[i][attr] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &split{attr: attr, thresh: bestThresh, parts: [][]int{left, right}, gainRatio: bestGR}
+}
+
+func splitInfo2(a, b, total float64) float64 {
+	si := 0.0
+	for _, w := range []float64{a, b} {
+		if w > 0 {
+			p := w / total
+			si -= p * math.Log2(p)
+		}
+	}
+	return si
+}
+
+func (g *grower) categoricalSplit(idx []int, attr int, baseEntropy, total float64) *split {
+	byVal := map[float64][]int{}
+	var vals []float64
+	for _, i := range idx {
+		v := g.d.X[i][attr]
+		if _, ok := byVal[v]; !ok {
+			vals = append(vals, v)
+		}
+		byVal[v] = append(byVal[v], i)
+	}
+	if len(vals) < 2 {
+		return nil
+	}
+	sort.Float64s(vals)
+	cond, si := 0.0, 0.0
+	parts := make([][]int, len(vals))
+	for vi, v := range vals {
+		part := byVal[v]
+		parts[vi] = part
+		dist := make([]float64, g.nClass)
+		w := 0.0
+		for _, i := range part {
+			dist[g.d.Y[i]] += g.w[i]
+			w += g.w[i]
+		}
+		cond += w / total * entropy(dist, w)
+		if w > 0 {
+			p := w / total
+			si -= p * math.Log2(p)
+		}
+		if len(part) < g.opts.MinLeaf {
+			return nil
+		}
+	}
+	gain := baseEntropy - cond
+	if gain <= 1e-12 || si <= 1e-12 {
+		return nil
+	}
+	return &split{attr: attr, catVals: vals, parts: parts, gainRatio: gain / si}
+}
+
+// Predict returns the majority class of the leaf x routes to.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for !n.isLeaf() {
+		next := n.route(x)
+		if next == nil {
+			break // unseen categorical value: fall back to this node's majority
+		}
+		n = next
+	}
+	return n.class
+}
+
+func (n *node) route(x []float64) *node {
+	if n.catVals == nil {
+		if x[n.attr] <= n.thresh {
+			return n.children[0]
+		}
+		return n.children[1]
+	}
+	for vi, v := range n.catVals {
+		if x[n.attr] == v {
+			return n.children[vi]
+		}
+	}
+	return nil
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return t.root.size() }
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int { return t.root.leaves() }
+
+// Depth returns the longest root-to-leaf path length (leaf-only tree = 0).
+func (t *Tree) Depth() int { return t.root.depth() }
+
+func (n *node) size() int {
+	s := 1
+	for _, c := range n.children {
+		s += c.size()
+	}
+	return s
+}
+
+func (n *node) leaves() int {
+	if n.isLeaf() {
+		return 1
+	}
+	s := 0
+	for _, c := range n.children {
+		s += c.leaves()
+	}
+	return s
+}
+
+func (n *node) depth() int {
+	if n.isLeaf() {
+		return 0
+	}
+	d := 0
+	for _, c := range n.children {
+		if cd := c.depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// String renders the tree in C4.5's indented text form.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.root.render(&b, t, 0, "")
+	return b.String()
+}
+
+func (n *node) render(b *strings.Builder, t *Tree, depth int, prefix string) {
+	indent := strings.Repeat("|   ", depth)
+	if n.isLeaf() {
+		fmt.Fprintf(b, "%s%s-> %s (%.1f/%.1f)\n", indent, prefix, t.classes[n.class], n.weight, n.errors)
+		return
+	}
+	if prefix != "" {
+		fmt.Fprintf(b, "%s%s\n", indent, prefix)
+		depth++
+		indent = strings.Repeat("|   ", depth)
+	}
+	name := t.attrs[n.attr].Name
+	if n.catVals == nil {
+		fmt.Fprintf(b, "%s%s <= %g:\n", indent, name, n.thresh)
+		n.children[0].render(b, t, depth+1, "")
+		fmt.Fprintf(b, "%s%s > %g:\n", indent, name, n.thresh)
+		n.children[1].render(b, t, depth+1, "")
+		return
+	}
+	for vi, v := range n.catVals {
+		fmt.Fprintf(b, "%s%s = %g:\n", indent, name, v)
+		n.children[vi].render(b, t, depth+1, "")
+	}
+}

@@ -1,0 +1,105 @@
+// Package core implements the paper's primary contribution: the
+// input-aware auto-tuning framework that selects a binning granularity U
+// and a per-bin SpMV kernel for any CSR matrix (Figure 3).
+//
+// Offline (the "train process", green arrows in Figure 3): for every corpus
+// matrix, an exhaustive search over candidate granularities and the
+// nine-kernel pool — timed on the simulated HSA device — labels the best U
+// and the best kernel per bin. Two C5.0-style decision trees are trained:
+// stage 1 maps Table I features to U, stage 2 maps (features, U, binID) to
+// a kernel.
+//
+// Online (the "predict process", black arrows): features are extracted from
+// the incoming matrix, stage 1 picks U, the matrix is binned, stage 2 picks
+// a kernel per non-empty bin, and the bins are executed.
+package core
+
+import (
+	"fmt"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/features"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/sparse"
+)
+
+// Config fixes the search space and the device model of the framework.
+type Config struct {
+	Device  hsa.Config
+	MaxBins int   // bin-count cap (paper: up to 100 bins)
+	Us      []int // candidate granularity units
+
+	// ExtendedFeatures trains and predicts on the Table I vector extended
+	// with the normalized row-length histogram — the richer parameter set
+	// the paper's Section IV-C proposes for future work.
+	ExtendedFeatures bool
+}
+
+// FeatureVector extracts the matrix features this configuration's models
+// consume (Table I, optionally extended with the row-length histogram).
+func (c Config) FeatureVector(a *sparse.CSR) []float64 {
+	if c.ExtendedFeatures {
+		return features.ExtractExtended(a)
+	}
+	return features.Extract(a).Vector()
+}
+
+// FeatureNames returns the attribute names matching FeatureVector.
+func (c Config) FeatureNames() []string {
+	if c.ExtendedFeatures {
+		return features.ExtendedNames()
+	}
+	return features.Names()
+}
+
+// DefaultConfig returns the paper's setup: the Kaveri-like device, 100
+// bins, and the 10..10^6 granularity series.
+func DefaultConfig() Config {
+	return Config{
+		Device:  hsa.DefaultConfig(),
+		MaxBins: binning.DefaultMaxBins,
+		Us:      binning.Granularities(),
+	}
+}
+
+// SimulateKernel runs one kernel over the given row groups on a fresh
+// device run (one kernel launch) and returns its stats. The u slice
+// receives the rows' results.
+func SimulateKernel(dev hsa.Config, a *sparse.CSR, v, u []float64, k kernels.Kernel, groups []binning.Group) hsa.Stats {
+	run := hsa.NewRun(dev)
+	in := kernels.NewInput(run, a, v, u)
+	k.Run(run, in, groups)
+	return run.Stats()
+}
+
+// SimulateBinned executes one kernel launch per non-empty bin using the
+// given per-bin kernel choices and returns the summed stats (sequential
+// launches, as in Figure 4 step 3).
+func SimulateBinned(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning, kernelByBin map[int]int) (hsa.Stats, error) {
+	var total hsa.Stats
+	for _, binID := range b.NonEmpty() {
+		kid, ok := kernelByBin[binID]
+		if !ok {
+			return total, fmt.Errorf("core: no kernel assigned to non-empty bin %d", binID)
+		}
+		info, ok := kernels.ByID(kid)
+		if !ok {
+			return total, fmt.Errorf("core: unknown kernel id %d for bin %d", kid, binID)
+		}
+		st := SimulateKernel(dev, a, v, u, info.Kernel, b.Bins[binID])
+		total.Add(st)
+	}
+	return total, nil
+}
+
+// SimulateSingleKernel runs one kernel over the whole matrix as a single
+// launch — the paper's "default SpMV using only one single kernel"
+// baseline (kernel-serial and kernel-vector in Figure 6).
+func SimulateSingleKernel(dev hsa.Config, a *sparse.CSR, v, u []float64, kernelID int) (hsa.Stats, error) {
+	info, ok := kernels.ByID(kernelID)
+	if !ok {
+		return hsa.Stats{}, fmt.Errorf("core: unknown kernel id %d", kernelID)
+	}
+	return SimulateKernel(dev, a, v, u, info.Kernel, binning.Single(a).Bins[0]), nil
+}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/matgen"
+)
+
+// TestDiagPerU prints per-U totals for one extreme mixed matrix.
+func TestDiagPerU(t *testing.T) {
+	if os.Getenv("SPMVTUNE_DIAG") == "" {
+		t.Skip("diagnostic; set SPMVTUNE_DIAG=1 to run")
+	}
+	cfg := DefaultConfig()
+	a := matgen.Mixed(4096, 4096, 64, []int{2, 400}, 99)
+	res := Search(cfg, a)
+	for _, ul := range res.PerU {
+		fmt.Printf("U=%-8d total=%.4fms bins=%d:", ul.U, ul.Seconds*1e3, len(ul.Bins))
+		for _, bl := range ul.Bins {
+			info, _ := kernels.ByID(bl.KernelID)
+			fmt.Printf(" [bin%d %drows %s %.4fms]", bl.BinID, bl.Rows, info.Name, bl.Seconds*1e3)
+		}
+		fmt.Println()
+	}
+	fmt.Println("best U:", res.BestU)
+}

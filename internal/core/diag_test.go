@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"spmvtune/internal/c50"
+	"spmvtune/internal/matgen"
+)
+
+// TestDiagLabelDistribution is a diagnostic (run with -run Diag -v); it
+// prints label distributions and confusion, guiding model improvements.
+func TestDiagLabelDistribution(t *testing.T) {
+	if os.Getenv("SPMVTUNE_DIAG") == "" {
+		t.Skip("diagnostic; set SPMVTUNE_DIAG=1 to run")
+	}
+	cfg := DefaultConfig()
+	corpus := matgen.Corpus(matgen.CorpusOptions{N: 60, MinRows: 512, MaxRows: 8192, Seed: 42})
+	td := NewTrainingData(cfg)
+	for _, cm := range corpus {
+		td.AddMatrix(cfg, cm.A)
+	}
+	td.Finalize()
+	s1 := td.Stage1.ClassCounts()
+	for i, c := range s1 {
+		if c > 0 {
+			fmt.Printf("stage1 label %s: %d\n", td.Stage1.Classes[i], c)
+		}
+	}
+	s2 := td.Stage2.ClassCounts()
+	for i, c := range s2 {
+		if c > 0 {
+			fmt.Printf("stage2 label %s: %d\n", td.Stage2.Classes[i], c)
+		}
+	}
+	tr1, te1 := td.Stage1.Split(0.75, 42)
+	tr2, te2 := td.Stage2.Split(0.75, 42)
+	m1 := c50.Train(tr1, c50.DefaultOptions())
+	m2 := c50.Train(tr2, c50.DefaultOptions())
+	e1, conf1 := c50.Evaluate(m1, te1)
+	e2, conf2 := c50.Evaluate(m2, te2)
+	fmt.Printf("stage1 err %.1f%%\n", e1*100)
+	for a, row := range conf1 {
+		for p, c := range row {
+			if c > 0 && a != p {
+				fmt.Printf("  s1 actual %s -> pred %s: %d\n", te1.Classes[a], te1.Classes[p], c)
+			}
+		}
+	}
+	fmt.Printf("stage2 err %.1f%%\n", e2*100)
+	for a, row := range conf2 {
+		for p, c := range row {
+			if c > 0 && a != p {
+				fmt.Printf("  s2 actual %s -> pred %s: %d\n", te2.Classes[a], te2.Classes[p], c)
+			}
+		}
+	}
+
+	// Variant experiments on the same labels.
+	boosted := c50.TrainBoosted(tr2, c50.DefaultOptions(), 10)
+	eb, _ := c50.Evaluate(boosted, te2)
+	fmt.Printf("stage2 boosted(10) err %.1f%%\n", eb*100)
+
+	noPrune := c50.Train(tr2, c50.Options{MinLeaf: 2, CF: 0})
+	enp, _ := c50.Evaluate(noPrune, te2)
+	fmt.Printf("stage2 unpruned err %.1f%%\n", enp*100)
+
+	minLeaf1 := c50.Train(tr2, c50.Options{MinLeaf: 1, CF: 0.25})
+	eml, _ := c50.Evaluate(minLeaf1, te2)
+	fmt.Printf("stage2 minleaf1 err %.1f%%\n", eml*100)
+
+	// Extended stage-2 attributes: + rows-in-bin (launch amortization
+	// signal the paper's attribute vector lacks).
+	ext := c50.NewDataset([]string{"M", "N", "NNZ", "Var", "Avg", "Min", "Max", "U", "binID", "binRows", "binAvgLen"}, td.Stage2.Classes)
+	kPop := make([]int, 9)
+	for _, r := range td.raw {
+		for _, ul := range r.res.PerU {
+			for _, bl := range ul.Bins {
+				for _, kid := range kernelCandidates(bl) {
+					kPop[kid]++
+				}
+			}
+		}
+	}
+	pick := func(c []int) int {
+		b := c[0]
+		for _, x := range c[1:] {
+			if kPop[x] > kPop[b] {
+				b = x
+			}
+		}
+		return b
+	}
+	for _, r := range td.raw {
+		for _, ul := range r.res.PerU {
+			for _, bl := range ul.Bins {
+				x := append(append([]float64{}, r.vec...), float64(ul.U), float64(bl.BinID), float64(bl.Rows), bl.AvgLen)
+				ext.Add(x, pick(kernelCandidates(bl)))
+			}
+		}
+	}
+	trE, teE := ext.Split(0.75, 42)
+	mE := c50.Train(trE, c50.DefaultOptions())
+	eE, _ := c50.Evaluate(mE, teE)
+	fmt.Printf("stage2 +binRows err %.1f%%\n", eE*100)
+}

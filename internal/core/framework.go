@@ -1,0 +1,142 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/c50"
+	"spmvtune/internal/cpu"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/sparse"
+)
+
+// Decision is the framework's chosen parallelization strategy for one
+// matrix: the binning granularity and the kernel for every non-empty bin.
+type Decision struct {
+	U           int
+	KernelByBin map[int]int
+}
+
+// String renders the decision compactly.
+func (d Decision) String() string {
+	bins := make([]int, 0, len(d.KernelByBin))
+	for b := range d.KernelByBin {
+		bins = append(bins, b)
+	}
+	sort.Ints(bins)
+	s := fmt.Sprintf("U=%d:", d.U)
+	for _, b := range bins {
+		info, _ := kernels.ByID(d.KernelByBin[b])
+		s += fmt.Sprintf(" bin%d->%s", b, info.Name)
+	}
+	return s
+}
+
+// Framework couples a trained model with a device configuration — the
+// runtime side of Figure 3.
+type Framework struct {
+	Cfg   Config
+	Model *Model
+}
+
+// NewFramework builds a runtime framework around a trained model.
+func NewFramework(cfg Config, m *Model) *Framework {
+	return &Framework{Cfg: cfg, Model: m}
+}
+
+// Decide runs the predict path: extract features, stage 1 chooses U, the
+// matrix is binned, and stage 2 chooses a kernel per non-empty bin.
+func (fw *Framework) Decide(a *sparse.CSR) (Decision, *binning.Binning) {
+	vec := fw.Cfg.FeatureVector(a)
+	u := fw.Model.PredictUVec(vec)
+	b := binning.Coarse(a, u, fw.Cfg.MaxBins)
+	d := Decision{U: u, KernelByBin: map[int]int{}}
+	for _, binID := range b.NonEmpty() {
+		d.KernelByBin[binID] = fw.Model.PredictKernelVec(vec, u, binID,
+			b.NumRows(binID), binAvgRowLen(a, b.Bins[binID]))
+	}
+	return d, b
+}
+
+// RunSim executes the auto-tuned SpMV on the simulated device: u = A*v
+// with the decision's per-bin kernels. Returns the decision and the summed
+// device stats.
+func (fw *Framework) RunSim(a *sparse.CSR, v, u []float64) (Decision, hsa.Stats, error) {
+	d, b := fw.Decide(a)
+	st, err := SimulateBinned(fw.Cfg.Device, a, v, u, b, d.KernelByBin)
+	return d, st, err
+}
+
+// RunCPU executes the auto-tuned SpMV natively on the host with the given
+// worker count, using the decision's binning for load balance.
+func (fw *Framework) RunCPU(a *sparse.CSR, v, u []float64, workers int) Decision {
+	d, b := fw.Decide(a)
+	cpu.MulVecBinned(a, v, u, b, workers)
+	return d
+}
+
+// PrepareCPU decides the strategy once and returns a reusable SpMV
+// closure over it — the right form for iterative solvers, which multiply
+// by the same matrix hundreds of times (amortizing the feature extraction
+// and binning is the framework's whole economic argument).
+func (fw *Framework) PrepareCPU(a *sparse.CSR, workers int) (Decision, func(v, u []float64)) {
+	d, b := fw.Decide(a)
+	return d, func(v, u []float64) {
+		cpu.MulVecBinned(a, v, u, b, workers)
+	}
+}
+
+// modelJSON is the serialized form of a trained model.
+type modelJSON struct {
+	Us       []int           `json:"us"`
+	MaxBins  int             `json:"maxBins"`
+	Extended bool            `json:"extended,omitempty"`
+	Stage1   json.RawMessage `json:"stage1"`
+	Stage2   json.RawMessage `json:"stage2"`
+}
+
+// SaveModel writes the trained model to path as JSON.
+func SaveModel(path string, m *Model) error {
+	s1, err := json.Marshal(m.Stage1)
+	if err != nil {
+		return fmt.Errorf("core: marshal stage1: %w", err)
+	}
+	s2, err := json.Marshal(m.Stage2)
+	if err != nil {
+		return fmt.Errorf("core: marshal stage2: %w", err)
+	}
+	blob, err := json.MarshalIndent(modelJSON{Us: m.Us, MaxBins: m.MaxBins, Extended: m.Extended, Stage1: s1, Stage2: s2}, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// LoadModel reads a model saved by SaveModel.
+func LoadModel(path string) (*Model, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var mj modelJSON
+	if err := json.Unmarshal(blob, &mj); err != nil {
+		return nil, fmt.Errorf("core: parse model: %w", err)
+	}
+	if len(mj.Us) == 0 {
+		return nil, fmt.Errorf("core: model has no candidate granularities")
+	}
+	m := &Model{Us: mj.Us, MaxBins: mj.MaxBins, Extended: mj.Extended}
+	m.Stage1 = new(c50.Tree)
+	m.Stage2 = new(c50.Tree)
+	if err := json.Unmarshal(mj.Stage1, m.Stage1); err != nil {
+		return nil, fmt.Errorf("core: parse stage1: %w", err)
+	}
+	if err := json.Unmarshal(mj.Stage2, m.Stage2); err != nil {
+		return nil, fmt.Errorf("core: parse stage2: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func TestQueuedMatchesSequentialResults(t *testing.T) {
+	a := matgen.Mixed(1200, 1200, 40, []int{2, 60, 200}, 3)
+	b := binning.Coarse(a, 10, binning.DefaultMaxBins)
+	kb := map[int]int{}
+	for _, id := range b.NonEmpty() {
+		kb[id] = 3 // subvector8 everywhere; correctness is kernel-agnostic
+	}
+	v := randVec(a.Cols, 5)
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+
+	uSeq := make([]float64, a.Rows)
+	seq, err := SimulateBinned(hsa.DefaultConfig(), a, v, uSeq, b, kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uQ := make([]float64, a.Rows)
+	queued, err := SimulateBinnedQueued(hsa.DefaultConfig(), a, v, uQ, b, kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := sparse.FirstVecDiff(want, uQ, 1e-9); i >= 0 {
+		t.Fatalf("queued result wrong at row %d", i)
+	}
+	// Same device work, cheaper dispatch.
+	if queued.Transactions != seq.Transactions || queued.ALUOps != seq.ALUOps {
+		t.Error("queued execution changed the device work")
+	}
+	nBins := len(b.NonEmpty())
+	if nBins < 2 {
+		t.Fatalf("test needs multiple bins, got %d", nBins)
+	}
+	dev := hsa.DefaultConfig()
+	savedCycles := seq.Cycles - queued.Cycles
+	wantSaved := float64(nBins-1) * (dev.KernelLaunchCycles - dev.QueueDispatchCycles)
+	if diff := savedCycles - wantSaved; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("queue saved %.0f cycles, want %.0f (bins=%d)", savedCycles, wantSaved, nBins)
+	}
+}
+
+func TestQueuedErrors(t *testing.T) {
+	a := matgen.Banded(100, 3, 1)
+	b := binning.Coarse(a, 10, 16)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	if _, err := SimulateBinnedQueued(hsa.DefaultConfig(), a, v, u, b, map[int]int{}); err == nil {
+		t.Error("missing assignment accepted")
+	}
+	bad := map[int]int{}
+	for _, id := range b.NonEmpty() {
+		bad[id] = -1
+	}
+	if _, err := SimulateBinnedQueued(hsa.DefaultConfig(), a, v, u, b, bad); err == nil {
+		t.Error("bad kernel id accepted")
+	}
+}
+
+func TestQueuedEmptyMatrix(t *testing.T) {
+	a := &sparse.CSR{Rows: 0, Cols: 0, RowPtr: []int64{0}}
+	b := binning.Single(a)
+	st, err := SimulateBinnedQueued(hsa.DefaultConfig(), a, nil, nil, b, map[int]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles != 0 {
+		t.Errorf("empty matrix cost %v cycles", st.Cycles)
+	}
+}

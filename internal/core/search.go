@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/sparse"
+)
+
+// BinLabel records the best kernel found for one bin during the offline
+// search, along with the full kernel timing profile of that bin.
+type BinLabel struct {
+	BinID  int
+	Rows   int
+	AvgLen float64 // true average row length in the bin (the overflow
+	// bin caps binID, so binID alone cannot distinguish 100-nnz rows from
+	// 10000-nnz rows)
+	KernelID    int
+	Seconds     float64   // best kernel's simulated time
+	KernelTimes []float64 // simulated seconds per kernel ID
+}
+
+// ULabel is the search outcome for one granularity on one matrix.
+type ULabel struct {
+	U       int
+	Seconds float64 // sum of best per-bin times
+	Bins    []BinLabel
+}
+
+// SearchResult is the exhaustive-search labeling of one matrix: the ground
+// truth the decision trees are trained on.
+type SearchResult struct {
+	BestU   int
+	Seconds float64 // total time under the best U
+	PerU    []ULabel
+}
+
+// BestBins returns the per-bin kernel labels for the winning U.
+func (r SearchResult) BestBins() []BinLabel {
+	for _, ul := range r.PerU {
+		if ul.U == r.BestU {
+			return ul.Bins
+		}
+	}
+	return nil
+}
+
+// KernelByBin returns the winning U's bin→kernel assignment as a map.
+func (r SearchResult) KernelByBin() map[int]int {
+	m := map[int]int{}
+	for _, bl := range r.BestBins() {
+		m[bl.BinID] = bl.KernelID
+	}
+	return m
+}
+
+// tieEpsilon is the relative slack used to canonicalize labels: among
+// choices within (1+tieEpsilon) of the optimum, the smallest U (and lowest
+// kernel ID) is chosen. Near-optimal ties are common — on a uniform matrix
+// most granularities produce the same bins — and without canonicalization
+// the argmin label is noise that inflates the learning error far beyond
+// the paper's 5%/15%.
+const tieEpsilon = 0.08
+
+// Search exhaustively evaluates every candidate U and, for each non-empty
+// bin, every kernel in the pool on the simulated device, returning the
+// labeled optimum. The probe vector v is deterministic (all ones) — kernel
+// cost depends only on structure, not values.
+func Search(cfg Config, a *sparse.CSR) SearchResult {
+	pool := kernels.Pool()
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = 1
+	}
+	u := make([]float64, a.Rows)
+
+	res := SearchResult{Seconds: math.Inf(1)}
+	for _, unit := range cfg.Us {
+		b := binning.Coarse(a, unit, cfg.MaxBins)
+		ul := ULabel{U: unit}
+		for _, binID := range b.NonEmpty() {
+			bl := BinLabel{BinID: binID, Rows: b.NumRows(binID), KernelID: -1,
+				AvgLen:      binAvgRowLen(a, b.Bins[binID]),
+				KernelTimes: make([]float64, len(pool)), Seconds: math.Inf(1)}
+			for _, info := range pool {
+				st := SimulateKernel(cfg.Device, a, v, u, info.Kernel, b.Bins[binID])
+				bl.KernelTimes[info.ID] = st.Seconds
+				if st.Seconds < bl.Seconds {
+					bl.Seconds = st.Seconds
+				}
+			}
+			// Canonical label: the lowest kernel ID within the tie slack.
+			for kid, s := range bl.KernelTimes {
+				if s <= bl.Seconds*(1+tieEpsilon) {
+					bl.KernelID = kid
+					bl.Seconds = bl.KernelTimes[kid]
+					break
+				}
+			}
+			ul.Seconds += bl.Seconds
+			ul.Bins = append(ul.Bins, bl)
+		}
+		res.PerU = append(res.PerU, ul)
+		if ul.Seconds < res.Seconds {
+			res.Seconds = ul.Seconds
+		}
+	}
+	// Canonical U label: the smallest granularity within the tie slack.
+	for _, ul := range res.PerU {
+		if ul.Seconds <= res.Seconds*(1+tieEpsilon) {
+			res.BestU = ul.U
+			res.Seconds = ul.Seconds
+			break
+		}
+	}
+	return res
+}
+
+// binAvgRowLen returns the mean stored row length across the groups.
+func binAvgRowLen(a *sparse.CSR, groups []binning.Group) float64 {
+	var nnz int64
+	var rows int64
+	for _, g := range groups {
+		nnz += a.RowPtr[int(g.Start)+int(g.Count)] - a.RowPtr[g.Start]
+		rows += int64(g.Count)
+	}
+	if rows == 0 {
+		return 0
+	}
+	return float64(nnz) / float64(rows)
+}

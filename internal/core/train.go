@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spmvtune/internal/c50"
+	"spmvtune/internal/features"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/sparse"
+)
+
+// TrainingData holds the two-stage attribute vectors of Section III-C:
+// Stage1 is {M, N, NNZ, Var_NNZ, Avg_NNZ, Min_NNZ, Max_NNZ} -> U;
+// Stage2 is {features..., U, binID} -> kernelID.
+//
+// AddMatrix collects raw search results; Finalize canonicalizes the labels
+// and fills the datasets. Canonicalization picks, from each sample's set of
+// near-optimal choices (within the search tie slack), the globally most
+// popular one — near-ties are endemic (adjacent subvector widths differ by
+// a few percent at most on many bins), and without this step the argmin
+// label is noise that no classifier can learn.
+type TrainingData struct {
+	Stage1 *c50.Dataset
+	Stage2 *c50.Dataset
+	Us     []int // class order of Stage1
+
+	raw       []rawLabel
+	extended  bool
+	finalized bool
+}
+
+// rawLabel is one matrix's exhaustive-search outcome plus its feature
+// vector (basic or extended, per the configuration).
+type rawLabel struct {
+	vec []float64
+	res SearchResult
+}
+
+// uClassNames renders the candidate granularities as class labels.
+func uClassNames(us []int) []string {
+	names := make([]string, len(us))
+	for i, u := range us {
+		names[i] = fmt.Sprintf("U=%d", u)
+	}
+	return names
+}
+
+func kernelClassNames() []string {
+	pool := kernels.Pool()
+	names := make([]string, len(pool))
+	for i, info := range pool {
+		names[i] = info.Name
+	}
+	return names
+}
+
+// NewTrainingData creates empty two-stage datasets over cfg's search space.
+func NewTrainingData(cfg Config) *TrainingData {
+	// The stage-2 attribute vector is the paper's {features..., U, binID}
+	// plus the bin's row count. The extension carries the launch-
+	// amortization signal binID alone cannot (a 10-row bin and a 100k-row
+	// bin at the same binID want different kernels) and cuts the held-out
+	// stage-2 error by a third; the paper's Section IV-C calls for exactly
+	// this kind of richer feature. With cfg.ExtendedFeatures the base
+	// vector additionally carries the row-length histogram.
+	names := cfg.FeatureNames()
+	s2Attrs := append(append([]string{}, names...), "U", "binID", "binRows", "binAvgLen")
+	return &TrainingData{
+		Stage1:   c50.NewDataset(names, uClassNames(cfg.Us)),
+		Stage2:   c50.NewDataset(s2Attrs, kernelClassNames()),
+		Us:       cfg.Us,
+		extended: cfg.ExtendedFeatures,
+	}
+}
+
+// AddMatrix labels one matrix by exhaustive search and records the raw
+// result; Finalize turns the accumulated records into training samples.
+func (td *TrainingData) AddMatrix(cfg Config, a *sparse.CSR) SearchResult {
+	if td.finalized {
+		panic("core: AddMatrix after Finalize")
+	}
+	res := Search(cfg, a)
+	td.raw = append(td.raw, rawLabel{vec: cfg.FeatureVector(a), res: res})
+	return res
+}
+
+// uCandidates returns the stage-1 candidate class indices (granularities
+// within the tie slack of the matrix's optimum).
+func (td *TrainingData) uCandidates(res SearchResult) []int {
+	best := math.Inf(1)
+	for _, ul := range res.PerU {
+		if ul.Seconds < best {
+			best = ul.Seconds
+		}
+	}
+	var cands []int
+	for _, ul := range res.PerU {
+		if ul.Seconds <= best*(1+tieEpsilon) {
+			for ci, u := range td.Us {
+				if u == ul.U {
+					cands = append(cands, ci)
+				}
+			}
+		}
+	}
+	return cands
+}
+
+func kernelCandidates(bl BinLabel) []int {
+	best := math.Inf(1)
+	for _, s := range bl.KernelTimes {
+		if s < best {
+			best = s
+		}
+	}
+	var cands []int
+	for kid, s := range bl.KernelTimes {
+		if s <= best*(1+tieEpsilon) {
+			cands = append(cands, kid)
+		}
+	}
+	return cands
+}
+
+// Finalize builds the two datasets from the collected search results:
+// one stage-1 sample per matrix (features -> canonical U) and one stage-2
+// sample per (matrix, U, non-empty bin) (features+U+binID -> canonical
+// kernel). Training stage 2 across all candidate U values — not just the
+// winner — lets the model answer for whatever U stage 1 predicts at run
+// time. It is idempotent.
+func (td *TrainingData) Finalize() {
+	if td.finalized {
+		return
+	}
+	td.finalized = true
+
+	// Pass 1: global popularity of each choice (candidate-set membership).
+	uPop := make([]int, len(td.Us))
+	kPop := make([]int, len(kernels.Pool()))
+	for _, r := range td.raw {
+		for _, ci := range td.uCandidates(r.res) {
+			uPop[ci]++
+		}
+		for _, ul := range r.res.PerU {
+			for _, bl := range ul.Bins {
+				for _, kid := range kernelCandidates(bl) {
+					kPop[kid]++
+				}
+			}
+		}
+	}
+	pickPopular := func(cands []int, pop []int) int {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if pop[c] > pop[best] {
+				best = c
+			}
+		}
+		return best
+	}
+
+	// Pass 2: emit samples with canonical labels.
+	for _, r := range td.raw {
+		if cands := td.uCandidates(r.res); len(cands) > 0 {
+			td.Stage1.Add(r.vec, pickPopular(cands, uPop))
+		}
+		for _, ul := range r.res.PerU {
+			for _, bl := range ul.Bins {
+				x := append(append([]float64{}, r.vec...), float64(ul.U), float64(bl.BinID), float64(bl.Rows), bl.AvgLen)
+				td.Stage2.Add(x, pickPopular(kernelCandidates(bl), kPop))
+			}
+		}
+	}
+}
+
+// Model is the trained two-stage predictor (the pair of rule-producing
+// classifiers the paper trains with C5.0).
+type Model struct {
+	Us       []int
+	MaxBins  int
+	Extended bool // trained on the extended (histogram) feature vector
+	Stage1   *c50.Tree
+	Stage2   *c50.Tree
+}
+
+// TrainModel finalizes the collected samples and fits the two decision
+// trees.
+func TrainModel(td *TrainingData, cfg Config, opts c50.Options) *Model {
+	td.Finalize()
+	return &Model{
+		Us:       td.Us,
+		MaxBins:  cfg.MaxBins,
+		Extended: cfg.ExtendedFeatures,
+		Stage1:   c50.Train(td.Stage1, opts),
+		Stage2:   c50.Train(td.Stage2, opts),
+	}
+}
+
+// PredictUVec returns the granularity unit stage 1 selects for a feature
+// vector produced by the training configuration's FeatureVector.
+func (m *Model) PredictUVec(vec []float64) int {
+	ci := m.Stage1.Predict(vec)
+	if ci < 0 || ci >= len(m.Us) {
+		return m.Us[0]
+	}
+	return m.Us[ci]
+}
+
+// PredictKernelVec returns the kernel ID stage 2 selects for a bin of
+// binRows rows of average row length binAvgLen, under granularity u, given
+// the matrix feature vector.
+func (m *Model) PredictKernelVec(vec []float64, u, binID, binRows int, binAvgLen float64) int {
+	x := append(append([]float64{}, vec...), float64(u), float64(binID), float64(binRows), binAvgLen)
+	kid := m.Stage2.Predict(x)
+	if _, ok := kernels.ByID(kid); !ok {
+		return 0
+	}
+	return kid
+}
+
+// PredictU is the Table I convenience form of PredictUVec; it panics on a
+// model trained with extended features (those need the full matrix — use
+// Framework.Decide or PredictUVec).
+func (m *Model) PredictU(f features.F) int {
+	if m.Extended {
+		panic("core: PredictU(F) on an extended-features model; use PredictUVec")
+	}
+	return m.PredictUVec(f.Vector())
+}
+
+// PredictKernel is the Table I convenience form of PredictKernelVec; it
+// panics on extended-features models.
+func (m *Model) PredictKernel(f features.F, u, binID, binRows int, binAvgLen float64) int {
+	if m.Extended {
+		panic("core: PredictKernel(F) on an extended-features model; use PredictKernelVec")
+	}
+	return m.PredictKernelVec(f.Vector(), u, binID, binRows, binAvgLen)
+}
+
+// Errors evaluates both stages on held-out data, returning the error rates
+// the paper reports (~5% stage 1, ~15% stage 2).
+func (m *Model) Errors(test *TrainingData) (stage1, stage2 float64) {
+	stage1, _ = c50.Evaluate(m.Stage1, test.Stage1)
+	stage2, _ = c50.Evaluate(m.Stage2, test.Stage2)
+	return stage1, stage2
+}

@@ -1,0 +1,59 @@
+package cpu
+
+import (
+	"sync"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+var benchAOnce struct {
+	sync.Once
+	a *sparse.CSR
+}
+
+func benchA() *sparse.CSR {
+	benchAOnce.Do(func() {
+		benchAOnce.a = matgen.Mixed(300000, 300000, 128, []int{2, 120}, 1)
+	})
+	return benchAOnce.a
+}
+
+func benchRun(b *testing.B, fn func(a *sparse.CSR, v, u []float64, w int), w int) {
+	b.Helper()
+	a := benchA()
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	b.SetBytes(int64(a.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(a, v, u, w)
+	}
+}
+
+func BenchmarkSeqReference(b *testing.B) {
+	benchRun(b, func(a *sparse.CSR, v, u []float64, _ int) { a.MulVec(v, u) }, 1)
+}
+
+// Worker-scaling curves for each strategy (on a single-core host the value
+// is the overhead measurement; on multi-core hosts the speedup curve).
+func BenchmarkRowsW1(b *testing.B)  { benchRun(b, MulVecRows, 1) }
+func BenchmarkRowsW4(b *testing.B)  { benchRun(b, MulVecRows, 4) }
+func BenchmarkNNZW1(b *testing.B)   { benchRun(b, MulVecNNZ, 1) }
+func BenchmarkNNZW4(b *testing.B)   { benchRun(b, MulVecNNZ, 4) }
+func BenchmarkMergeW1(b *testing.B) { benchRun(b, MulVecMerge, 1) }
+func BenchmarkMergeW4(b *testing.B) { benchRun(b, MulVecMerge, 4) }
+
+func BenchmarkBinnedU100(b *testing.B) {
+	a := benchA()
+	bin := binning.Coarse(a, 100, binning.DefaultMaxBins)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	b.SetBytes(int64(a.NNZ() * 12))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulVecBinned(a, v, u, bin, 4)
+	}
+}

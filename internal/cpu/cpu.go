@@ -1,0 +1,230 @@
+// Package cpu provides native multi-core CSR SpMV implementations — the
+// "multi-core processors" side of the paper's title. Where the hsa package
+// models the APU's GPU, these run directly on the host with goroutine
+// workers and are used for wall-clock benchmarks and as an execution
+// backend for the auto-tuned framework.
+//
+// Three parallelization strategies are provided, mirroring the design
+// space the paper explores on the GPU:
+//
+//   - MulVecRows: equal row ranges per worker (cheap, imbalanced on skewed
+//     matrices — the CPU analogue of Kernel-Serial);
+//   - MulVecNNZ: row ranges balanced by non-zero count (the CPU analogue
+//     of inter-bin load balancing);
+//   - MulVecMerge: exact non-zero partitioning with boundary fix-up, in
+//     the spirit of merge-based SpMV, so even a single enormous row is
+//     split across workers (the CPU analogue of Kernel-Vector).
+package cpu
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/sparse"
+)
+
+// Workers normalizes a worker count: w <= 0 selects GOMAXPROCS.
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// MulVecSeq computes u = A*v sequentially (Algorithm 1).
+func MulVecSeq(a *sparse.CSR, v, u []float64) { a.MulVec(v, u) }
+
+// MulVecRows computes u = A*v with workers goroutines, each owning an
+// equal contiguous range of rows.
+func MulVecRows(a *sparse.CSR, v, u []float64, workers int) {
+	w := Workers(workers)
+	if w > a.Rows {
+		w = a.Rows
+	}
+	if w <= 1 {
+		a.MulVec(v, u)
+		return
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		lo := a.Rows * p / w
+		hi := a.Rows * (p + 1) / w
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(a, v, u, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func mulRange(a *sparse.CSR, v, u []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s, e := a.RowPtr[i], a.RowPtr[i+1]
+		sum := 0.0
+		for k := s; k < e; k++ {
+			sum += v[a.ColIdx[k]] * a.Val[k]
+		}
+		u[i] = sum
+	}
+}
+
+// NNZBoundaries returns worker row boundaries such that each worker's rows
+// hold approximately equal numbers of non-zeros. The result has w+1 entries
+// with boundaries[0]=0 and boundaries[w]=Rows.
+func NNZBoundaries(a *sparse.CSR, w int) []int {
+	bounds := make([]int, w+1)
+	total := a.RowPtr[a.Rows]
+	for p := 1; p < w; p++ {
+		target := total * int64(p) / int64(w)
+		// First row whose end passes the target.
+		bounds[p] = sort.Search(a.Rows, func(i int) bool { return a.RowPtr[i+1] > target })
+	}
+	bounds[w] = a.Rows
+	// Enforce monotonicity (duplicate boundaries mean idle workers, fine).
+	for p := 1; p <= w; p++ {
+		if bounds[p] < bounds[p-1] {
+			bounds[p] = bounds[p-1]
+		}
+	}
+	return bounds
+}
+
+// MulVecNNZ computes u = A*v with row ranges balanced by non-zero count.
+func MulVecNNZ(a *sparse.CSR, v, u []float64, workers int) {
+	w := Workers(workers)
+	if w > a.Rows {
+		w = a.Rows
+	}
+	if w <= 1 {
+		a.MulVec(v, u)
+		return
+	}
+	bounds := NNZBoundaries(a, w)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		lo, hi := bounds[p], bounds[p+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulRange(a, v, u, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulVecMerge computes u = A*v by splitting the non-zero array into exactly
+// equal spans; a span may begin or end mid-row, in which case the boundary
+// rows' partial sums are recorded and combined in a sequential fix-up pass.
+// This bounds imbalance by one span regardless of row-length skew, so even
+// one enormous row is shared across workers.
+func MulVecMerge(a *sparse.CSR, v, u []float64, workers int) {
+	w := Workers(workers)
+	nnz := a.RowPtr[a.Rows]
+	if int64(w) > nnz {
+		w = int(nnz)
+	}
+	if w <= 1 || a.Rows == 0 {
+		a.MulVec(v, u)
+		return
+	}
+	type boundary struct {
+		row     int
+		partial float64
+	}
+	// Each span contributes at most two boundary rows (its cut first and
+	// cut last row, possibly the same).
+	parts := make([][2]boundary, w)
+	counts := make([]int, w)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		k0 := nnz * int64(p) / int64(w)
+		k1 := nnz * int64(p+1) / int64(w)
+		wg.Add(1)
+		go func(p int, k0, k1 int64) {
+			defer wg.Done()
+			// First row intersecting [k0,k1): last i with RowPtr[i+1] > k0.
+			row := sort.Search(a.Rows, func(i int) bool { return a.RowPtr[i+1] > k0 })
+			for i := row; i < a.Rows && a.RowPtr[i] < k1; i++ {
+				s, e := a.RowPtr[i], a.RowPtr[i+1]
+				cut := false
+				if s < k0 {
+					s = k0
+					cut = true
+				}
+				if e > k1 {
+					e = k1
+					cut = true
+				}
+				sum := 0.0
+				for k := s; k < e; k++ {
+					sum += v[a.ColIdx[k]] * a.Val[k]
+				}
+				if cut {
+					parts[p][counts[p]] = boundary{row: i, partial: sum}
+					counts[p]++
+				} else {
+					u[i] = sum
+				}
+			}
+		}(p, k0, k1)
+	}
+	wg.Wait()
+	// Empty rows sitting exactly on a span boundary are visited by no span;
+	// zero every empty row explicitly (idempotent for those inside spans).
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] == a.RowPtr[i+1] {
+			u[i] = 0
+		}
+	}
+	// Fix-up: cut rows were never written directly; zero them once, then
+	// accumulate every span's partial.
+	for p := 0; p < w; p++ {
+		for j := 0; j < counts[p]; j++ {
+			u[parts[p][j].row] = 0
+		}
+	}
+	for p := 0; p < w; p++ {
+		for j := 0; j < counts[p]; j++ {
+			u[parts[p][j].row] += parts[p][j].partial
+		}
+	}
+}
+
+// MulVecBinned executes the framework's binned SpMV on the CPU: each bin's
+// row groups are distributed over the worker pool, bins processed in
+// sequence (mirroring per-bin kernel launches on the device).
+func MulVecBinned(a *sparse.CSR, v, u []float64, b *binning.Binning, workers int) {
+	w := Workers(workers)
+	var wg sync.WaitGroup
+	for binID := range b.Bins {
+		groups := b.Bins[binID]
+		if len(groups) == 0 {
+			continue
+		}
+		if w <= 1 || len(groups) == 1 {
+			for _, g := range groups {
+				mulRange(a, v, u, int(g.Start), int(g.Start)+int(g.Count))
+			}
+			continue
+		}
+		// Distribute groups cyclically: groups in one bin have similar
+		// workloads by construction, so cyclic assignment balances well.
+		for p := 0; p < w; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for gi := p; gi < len(groups); gi += w {
+					g := groups[gi]
+					mulRange(a, v, u, int(g.Start), int(g.Start)+int(g.Count))
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+}

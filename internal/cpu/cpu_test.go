@@ -1,0 +1,178 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+type spmvFunc func(a *sparse.CSR, v, u []float64, workers int)
+
+var impls = map[string]spmvFunc{
+	"rows":  MulVecRows,
+	"nnz":   MulVecNNZ,
+	"merge": MulVecMerge,
+}
+
+func checkAgainstReference(t *testing.T, name string, fn spmvFunc, a *sparse.CSR, workers int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+	got := make([]float64, a.Rows)
+	for i := range got {
+		got[i] = -777 // sentinel: every row must be written
+	}
+	fn(a, v, got, workers)
+	if i := sparse.FirstVecDiff(want, got, 1e-9); i >= 0 {
+		t.Errorf("%s w=%d: row %d = %v, want %v", name, workers, i, got[i], want[i])
+	}
+}
+
+func TestAllImplsMatchReference(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"figure1":  sparse.Figure1(),
+		"banded":   matgen.Banded(1000, 9, 1),
+		"powerlaw": matgen.PowerLaw(800, 5, 1.8, 300, 2),
+		"road":     matgen.RoadNetwork(1200, 3),
+		"blockfem": matgen.BlockFEM(300, 150, 40, 4),
+		"mixed":    matgen.Mixed(700, 700, 30, []int{1, 50, 4}, 5),
+		"diag":     matgen.Diagonal(100, 6),
+	}
+	for mname, a := range mats {
+		for iname, fn := range impls {
+			for _, w := range []int{1, 2, 3, 4, 7, 16} {
+				checkAgainstReference(t, mname+"/"+iname, fn, a, w)
+			}
+		}
+	}
+}
+
+func TestEmptyRowsHandled(t *testing.T) {
+	// Alternate empty and non-empty rows; stress boundary conditions.
+	entries := make([][]sparse.Entry, 64)
+	for i := range entries {
+		if i%3 == 0 {
+			entries[i] = []sparse.Entry{{Col: i % 32, Val: float64(i)}}
+		}
+	}
+	a, _ := sparse.NewCSRFromRows(64, 32, entries)
+	for iname, fn := range impls {
+		for _, w := range []int{2, 5, 13} {
+			checkAgainstReference(t, "empty/"+iname, fn, a, w)
+		}
+	}
+}
+
+func TestMergeSplitsGiantRow(t *testing.T) {
+	// One row with 100k nnz plus some short rows: merge must stay correct
+	// with every worker count (the giant row is shared among workers).
+	entries := make([][]sparse.Entry, 10)
+	for j := 0; j < 100000; j++ {
+		entries[0] = append(entries[0], sparse.Entry{Col: j % 5000, Val: 1e-3})
+	}
+	for i := 1; i < 10; i++ {
+		entries[i] = []sparse.Entry{{Col: i, Val: float64(i)}}
+	}
+	coo := &sparse.COO{Rows: 10, Cols: 5000}
+	for i, row := range entries {
+		for _, e := range row {
+			coo.Add(i, e.Col, e.Val)
+		}
+	}
+	a, err := coo.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8, 32} {
+		checkAgainstReference(t, "giant/merge", MulVecMerge, a, w)
+	}
+}
+
+func TestNNZBoundaries(t *testing.T) {
+	a := matgen.Mixed(100, 100, 10, []int{1, 99}, 8)
+	for _, w := range []int{1, 2, 4, 8} {
+		b := NNZBoundaries(a, w)
+		if len(b) != w+1 || b[0] != 0 || b[w] != a.Rows {
+			t.Fatalf("w=%d: bad boundaries %v", w, b)
+		}
+		for p := 1; p <= w; p++ {
+			if b[p] < b[p-1] {
+				t.Fatalf("w=%d: boundaries not monotone %v", w, b)
+			}
+		}
+		// Balance: each span's nnz share within 2x of ideal (coarse check;
+		// single rows are atomic).
+		if w > 1 {
+			total := a.RowPtr[a.Rows]
+			ideal := float64(total) / float64(w)
+			for p := 0; p < w; p++ {
+				span := a.RowPtr[b[p+1]] - a.RowPtr[b[p]]
+				if float64(span) > 2.5*ideal+float64(sparse.ComputeRowStats(a).Max) {
+					t.Errorf("w=%d span %d has %d nnz, ideal %.0f", w, p, span, ideal)
+				}
+			}
+		}
+	}
+}
+
+func TestMulVecBinned(t *testing.T) {
+	a := matgen.Mixed(500, 500, 25, []int{2, 60}, 9)
+	for _, scheme := range []*binning.Binning{
+		binning.Coarse(a, 10, binning.DefaultMaxBins),
+		binning.Coarse(a, 100, binning.DefaultMaxBins),
+		binning.Fine(a, binning.DefaultMaxBins),
+		binning.Single(a),
+	} {
+		for _, w := range []int{1, 3, 8} {
+			rng := rand.New(rand.NewSource(31))
+			v := make([]float64, a.Cols)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			want := make([]float64, a.Rows)
+			a.MulVec(v, want)
+			got := make([]float64, a.Rows)
+			MulVecBinned(a, v, got, scheme, w)
+			if i := sparse.FirstVecDiff(want, got, 1e-9); i >= 0 {
+				t.Errorf("binned %s w=%d: row %d wrong", scheme.Scheme, w, i)
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("Workers must default to >=1")
+	}
+	if Workers(5) != 5 {
+		t.Error("explicit worker count not honored")
+	}
+}
+
+func TestWorkersExceedRows(t *testing.T) {
+	a := sparse.Figure1()
+	for iname, fn := range impls {
+		checkAgainstReference(t, "tiny/"+iname, fn, a, 64)
+	}
+}
+
+func TestRandomizedPropertyAllImpls(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		rows := 1 + rng.Intn(300)
+		cols := 1 + rng.Intn(300)
+		a := matgen.RandomUniform(rows, cols, 0, 10, rng.Int63())
+		w := 1 + rng.Intn(9)
+		for iname, fn := range impls {
+			checkAgainstReference(t, "prop/"+iname, fn, a, w)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+// Property: every parallel implementation equals the sequential reference
+// for any matrix shape, worker count, and input vector — the fundamental
+// SpMV invariant, searched randomly.
+func TestQuickParallelEqualsSequential(t *testing.T) {
+	f := func(seed int64, rowsRaw, colsRaw, workersRaw, implRaw uint8) bool {
+		rows := 1 + int(rowsRaw)%250
+		cols := 1 + int(colsRaw)%250
+		workers := 1 + int(workersRaw)%12
+		rng := rand.New(rand.NewSource(seed))
+		a := matgen.RandomUniform(rows, cols, 0, 9, rng.Int63())
+		v := make([]float64, cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		a.MulVec(v, want)
+		got := make([]float64, rows)
+		for i := range got {
+			got[i] = 42 // sentinel
+		}
+		switch implRaw % 3 {
+		case 0:
+			MulVecRows(a, v, got, workers)
+		case 1:
+			MulVecNNZ(a, v, got, workers)
+		default:
+			MulVecMerge(a, v, got, workers)
+		}
+		if i := sparse.FirstVecDiff(want, got, 1e-9); i >= 0 {
+			t.Logf("impl %d workers %d: diff at row %d", implRaw%3, workers, i)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

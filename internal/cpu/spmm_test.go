@@ -1,0 +1,101 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func TestMulMatMatchesRepeatedMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		rows := 1 + rng.Intn(200)
+		cols := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(6)
+		a := matgen.RandomUniform(rows, cols, 0, 8, rng.Int63())
+
+		x := make([]float64, cols*k)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		u := make([]float64, rows*k)
+		if err := MulMat(a, x, k, u, 1+rng.Intn(6)); err != nil {
+			t.Fatal(err)
+		}
+
+		// Reference: k single-vector products.
+		vj := make([]float64, cols)
+		uj := make([]float64, rows)
+		for j := 0; j < k; j++ {
+			for c := 0; c < cols; c++ {
+				vj[c] = x[c*k+j]
+			}
+			a.MulVec(vj, uj)
+			for r := 0; r < rows; r++ {
+				got := u[r*k+j]
+				if d := got - uj[r]; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("trial %d: U[%d,%d] = %v, want %v", trial, r, j, got, uj[r])
+				}
+			}
+		}
+	}
+}
+
+func TestMulMatErrors(t *testing.T) {
+	a := matgen.Banded(10, 3, 1)
+	if err := MulMat(a, make([]float64, 10), 0, make([]float64, 10), 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := MulMat(a, make([]float64, 5), 2, make([]float64, 20), 1); err == nil {
+		t.Error("short x accepted")
+	}
+	if err := MulMat(a, make([]float64, 20), 2, make([]float64, 5), 1); err == nil {
+		t.Error("short u accepted")
+	}
+}
+
+func TestMulMatK1EqualsMulVec(t *testing.T) {
+	a := matgen.PowerLaw(300, 4, 1.8, 100, 9)
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = float64(i % 13)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+	got := make([]float64, a.Rows)
+	if err := MulMat(a, v, 1, got, 4); err != nil {
+		t.Fatal(err)
+	}
+	if i := sparse.FirstVecDiff(want, got, 1e-12); i >= 0 {
+		t.Fatalf("k=1 differs at row %d", i)
+	}
+}
+
+// SpMM's reason to exist: amortizing matrix loads over k vectors must beat
+// k separate SpMV passes (checked as a benchmark-style smoke assertion).
+func BenchmarkSpMMvs8xSpMV(b *testing.B) {
+	a := matgen.Mixed(100000, 100000, 64, []int{3, 60}, 2)
+	const k = 8
+	x := make([]float64, a.Cols*k)
+	u := make([]float64, a.Rows*k)
+	b.Run("spmm", func(b *testing.B) {
+		b.SetBytes(int64(a.NNZ() * 12 * k))
+		for i := 0; i < b.N; i++ {
+			if err := MulMat(a, x, k, u, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	v := make([]float64, a.Cols)
+	w := make([]float64, a.Rows)
+	b.Run("8xspmv", func(b *testing.B) {
+		b.SetBytes(int64(a.NNZ() * 12 * k))
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				a.MulVec(v, w)
+			}
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package csradaptive
+
+import (
+	"testing"
+
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+)
+
+// Ablation: the row-block workload limit (original CSR-Adaptive hard-codes
+// 1024-2048; the paper criticizes exactly this kind of fixed parameter).
+func benchBlockNNZ(b *testing.B, blockNNZ int) {
+	b.Helper()
+	a := matgen.Mixed(100000, 100000, 64, []int{2, 40, 300}, 1)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := SimulateSpMV(hsa.DefaultConfig(), a, v, u, blockNNZ)
+		sim = st.Seconds * 1e3
+	}
+	b.ReportMetric(sim, "sim-ms/op")
+}
+
+func BenchmarkBlockNNZ256(b *testing.B)  { benchBlockNNZ(b, 256) }
+func BenchmarkBlockNNZ1024(b *testing.B) { benchBlockNNZ(b, 1024) }
+func BenchmarkBlockNNZ2048(b *testing.B) { benchBlockNNZ(b, 2048) }
+func BenchmarkBlockNNZ8192(b *testing.B) { benchBlockNNZ(b, 8192) }
+
+func BenchmarkBuildBlocks(b *testing.B) {
+	a := matgen.Mixed(100000, 100000, 64, []int{2, 40, 300}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildBlocks(a, 0)
+	}
+}

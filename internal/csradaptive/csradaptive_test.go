@@ -1,0 +1,143 @@
+package csradaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func TestBuildBlocksPartition(t *testing.T) {
+	mats := []*sparse.CSR{
+		sparse.Figure1(),
+		matgen.Banded(1000, 7, 1),
+		matgen.PowerLaw(500, 5, 1.8, 3000, 2),
+		matgen.BlockFEM(100, 3000, 200, 3), // rows exceeding the block limit
+		matgen.SingleNNZRows(777, 100, 4),
+	}
+	for mi, a := range mats {
+		b := BuildBlocks(a, 0)
+		if b.BlockNNZ != DefaultBlockNNZ {
+			t.Errorf("mat %d: blockNNZ default not applied", mi)
+		}
+		if b.RowStarts[0] != 0 || b.RowStarts[b.NumBlocks()] != int32(a.Rows) {
+			t.Fatalf("mat %d: blocks do not cover matrix: %v", mi, b.RowStarts[:2])
+		}
+		for i := 0; i < b.NumBlocks(); i++ {
+			r0, r1 := b.RowStarts[i], b.RowStarts[i+1]
+			if r1 <= r0 {
+				t.Fatalf("mat %d: empty block %d", mi, i)
+			}
+			nnz := a.RowPtr[r1] - a.RowPtr[r0]
+			if r1-r0 > 1 && nnz > int64(b.BlockNNZ)+int64(sparse.ComputeRowStats(a).Max) {
+				t.Errorf("mat %d block %d: %d rows with %d nnz exceeds limit %d",
+					mi, i, r1-r0, nnz, b.BlockNNZ)
+			}
+		}
+	}
+}
+
+func TestBuildBlocksLongRowIsolated(t *testing.T) {
+	// A 5000-nnz row with 100-nnz neighbors must sit in its own block.
+	entries := make([][]sparse.Entry, 21)
+	for i := range entries {
+		n := 100
+		if i == 10 {
+			n = 5000
+		}
+		for j := 0; j < n; j++ {
+			entries[i] = append(entries[i], sparse.Entry{Col: j, Val: 1})
+		}
+	}
+	a, _ := sparse.NewCSRFromRows(21, 5000, entries)
+	b := BuildBlocks(a, 2048)
+	for i := 0; i < b.NumBlocks(); i++ {
+		r0, r1 := b.RowStarts[i], b.RowStarts[i+1]
+		if r0 <= 10 && 10 < r1 {
+			if r1-r0 != 1 {
+				t.Errorf("long row shares block [%d,%d)", r0, r1)
+			}
+		}
+	}
+}
+
+func TestCSRAdaptiveCorrect(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"figure1":  sparse.Figure1(),
+		"banded":   matgen.Banded(800, 9, 1),
+		"powerlaw": matgen.PowerLaw(600, 5, 1.8, 4000, 2),
+		"road":     matgen.RoadNetwork(900, 3),
+		"blockfem": matgen.BlockFEM(64, 2500, 300, 4),
+		"empty":    {Rows: 0, Cols: 0, RowPtr: []int64{0}},
+	}
+	for name, a := range mats {
+		rng := rand.New(rand.NewSource(55))
+		v := make([]float64, a.Cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := make([]float64, a.Rows)
+		a.MulVec(v, want)
+		got := make([]float64, a.Rows)
+		SimulateSpMV(hsa.DefaultConfig(), a, v, got, 0)
+		if i := sparse.FirstVecDiff(want, got, 1e-9); i >= 0 {
+			t.Errorf("%s: row %d = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// CSR-Adaptive's selling point: on a skewed matrix it should be much
+// better than Kernel-Serial (whose wavefronts stall on the longest row).
+func TestCSRAdaptiveBeatsSerialOnSkew(t *testing.T) {
+	a := matgen.PowerLaw(4096, 6, 1.7, 4000, 9)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+
+	adaptive := SimulateSpMV(hsa.DefaultConfig(), a, v, u, 0)
+
+	serial, _ := kernels.ByName("serial")
+	run := hsa.NewRun(hsa.DefaultConfig())
+	in := kernels.NewInput(run, a, v, u)
+	serial.Kernel.Run(run, in, binning.Single(a).Bins[0])
+	serialStats := run.Stats()
+
+	if adaptive.Cycles >= serialStats.Cycles {
+		t.Errorf("CSR-Adaptive (%.0f) should beat serial (%.0f) on skewed rows",
+			adaptive.Cycles, serialStats.Cycles)
+	}
+}
+
+// And on a short-row matrix it should crush Kernel-Vector (which wastes a
+// whole work-group per 2-nnz row).
+func TestCSRAdaptiveBeatsVectorOnShortRows(t *testing.T) {
+	a := matgen.RoadNetwork(8192, 10)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+
+	adaptive := SimulateSpMV(hsa.DefaultConfig(), a, v, u, 0)
+
+	run := hsa.NewRun(hsa.DefaultConfig())
+	in := kernels.NewInput(run, a, v, u)
+	kernels.VectorKernel().Run(run, in, binning.Single(a).Bins[0])
+	vec := run.Stats()
+
+	if adaptive.Cycles >= vec.Cycles {
+		t.Errorf("CSR-Adaptive (%.0f) should beat vector (%.0f) on short rows",
+			adaptive.Cycles, vec.Cycles)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := matgen.Mixed(500, 500, 20, []int{2, 80}, 11)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	s1 := SimulateSpMV(hsa.DefaultConfig(), a, v, u, 0)
+	s2 := SimulateSpMV(hsa.DefaultConfig(), a, v, u, 0)
+	if s1 != s2 {
+		t.Error("CSR-Adaptive simulation not deterministic")
+	}
+}

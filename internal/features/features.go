@@ -1,0 +1,89 @@
+// Package features extracts the sparse-matrix feature parameters of the
+// paper's Table I: basic matrix information (M, N, NNZ) and non-zero
+// distribution information (variance, average, minimum and maximum of
+// non-zeros per row). These form the attribute vectors consumed by the
+// two-stage machine-learning model.
+package features
+
+import (
+	"fmt"
+
+	"spmvtune/internal/sparse"
+)
+
+// F is the Table I feature vector of one sparse matrix.
+type F struct {
+	M      int     // number of rows
+	N      int     // number of columns
+	NNZ    int     // overall number of non-zeros
+	VarNNZ float64 // variance of non-zeros per row
+	AvgNNZ float64 // average of non-zeros per row
+	MinNNZ int     // minimum non-zeros in any row
+	MaxNNZ int     // maximum non-zeros in any row
+}
+
+// Extract computes the feature vector in one scan over RowPtr.
+func Extract(a *sparse.CSR) F {
+	st := sparse.ComputeRowStats(a)
+	return F{
+		M:      a.Rows,
+		N:      a.Cols,
+		NNZ:    a.NNZ(),
+		VarNNZ: st.Variance,
+		AvgNNZ: st.Mean,
+		MinNNZ: st.Min,
+		MaxNNZ: st.Max,
+	}
+}
+
+// Names returns the attribute names in vector order, matching Table I.
+func Names() []string {
+	return []string{"M", "N", "NNZ", "Var_NNZ", "Avg_NNZ", "Min_NNZ", "Max_NNZ"}
+}
+
+// Vector returns the features as a float64 slice in Names() order, the form
+// consumed by the decision-tree learner.
+func (f F) Vector() []float64 {
+	return []float64{
+		float64(f.M), float64(f.N), float64(f.NNZ),
+		f.VarNNZ, f.AvgNNZ, float64(f.MinNNZ), float64(f.MaxNNZ),
+	}
+}
+
+// String renders the features as a single descriptive line.
+func (f F) String() string {
+	return fmt.Sprintf("M=%d N=%d NNZ=%d Var_NNZ=%.3f Avg_NNZ=%.3f Min_NNZ=%d Max_NNZ=%d",
+		f.M, f.N, f.NNZ, f.VarNNZ, f.AvgNNZ, f.MinNNZ, f.MaxNNZ)
+}
+
+// HistogramFeatures is the extension the paper's Section IV-C proposes for
+// future work: the row-length histogram as additional model inputs. Bounds
+// follow Figure 5's buckets.
+var HistogramBounds = []int{2, 4, 8, 16, 32, 64, 100, 256, 1024}
+
+// ExtractExtended returns the Table I vector followed by the normalized
+// row-length histogram (fraction of rows per Figure 5 bucket).
+func ExtractExtended(a *sparse.CSR) []float64 {
+	v := Extract(a).Vector()
+	h := sparse.RowLengthHistogram(a, HistogramBounds)
+	n := float64(a.Rows)
+	if n == 0 {
+		n = 1
+	}
+	for _, c := range h {
+		v = append(v, float64(c)/n)
+	}
+	return v
+}
+
+// ExtendedNames returns attribute names for ExtractExtended vectors.
+func ExtendedNames() []string {
+	names := Names()
+	prev := 0
+	for _, b := range HistogramBounds {
+		names = append(names, fmt.Sprintf("RowsLen_%d_%d", prev, b))
+		prev = b + 1
+	}
+	names = append(names, fmt.Sprintf("RowsLen_gt_%d", HistogramBounds[len(HistogramBounds)-1]))
+	return names
+}

@@ -1,0 +1,94 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func TestExtractFigure1(t *testing.T) {
+	f := Extract(sparse.Figure1())
+	if f.M != 4 || f.N != 4 || f.NNZ != 8 {
+		t.Errorf("basic info wrong: %+v", f)
+	}
+	if f.MinNNZ != 1 || f.MaxNNZ != 3 || f.AvgNNZ != 2 {
+		t.Errorf("distribution info wrong: %+v", f)
+	}
+	if math.Abs(f.VarNNZ-0.5) > 1e-12 {
+		t.Errorf("VarNNZ = %v, want 0.5", f.VarNNZ)
+	}
+}
+
+func TestVectorOrderMatchesNames(t *testing.T) {
+	f := F{M: 1, N: 2, NNZ: 3, VarNNZ: 4, AvgNNZ: 5, MinNNZ: 6, MaxNNZ: 7}
+	v := f.Vector()
+	names := Names()
+	if len(v) != len(names) || len(v) != 7 {
+		t.Fatalf("lengths: %d vs %d", len(v), len(names))
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5, 6, 7} {
+		if v[i] != want {
+			t.Errorf("Vector[%d] (%s) = %v, want %v", i, names[i], v[i], want)
+		}
+	}
+}
+
+func TestExtractDistinguishesShapes(t *testing.T) {
+	short := Extract(matgen.RoadNetwork(1000, 1))
+	long := Extract(matgen.BlockFEM(1000, 200, 10, 2))
+	if short.AvgNNZ >= long.AvgNNZ {
+		t.Errorf("road avg %v should be < blockfem avg %v", short.AvgNNZ, long.AvgNNZ)
+	}
+	irregular := Extract(matgen.PowerLaw(1000, 4, 1.8, 512, 3))
+	regular := Extract(matgen.Bipartite(1000, 500, 4, 4))
+	if irregular.VarNNZ <= regular.VarNNZ {
+		t.Errorf("power-law variance %v should exceed bipartite %v", irregular.VarNNZ, regular.VarNNZ)
+	}
+	if regular.VarNNZ != 0 {
+		t.Errorf("constant-row-length matrix should have zero variance, got %v", regular.VarNNZ)
+	}
+}
+
+func TestExtractExtended(t *testing.T) {
+	a := matgen.Banded(500, 5, 9)
+	v := ExtractExtended(a)
+	names := ExtendedNames()
+	if len(v) != len(names) {
+		t.Fatalf("extended vector len %d != names len %d", len(v), len(names))
+	}
+	// Histogram fractions sum to 1.
+	sum := 0.0
+	for _, x := range v[7:] {
+		if x < 0 || x > 1 {
+			t.Errorf("histogram fraction %v outside [0,1]", x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram fractions sum to %v, want 1", sum)
+	}
+	// Band-5 rows all fall in the <=8 bucket region.
+	if v[7]+v[8]+v[9] < 0.999 {
+		t.Errorf("short-row mass = %v, want ~1", v[7]+v[8]+v[9])
+	}
+}
+
+func TestStringContainsAllFields(t *testing.T) {
+	s := Extract(sparse.Figure1()).String()
+	for _, want := range []string{"M=4", "N=4", "NNZ=8", "Min_NNZ=1", "Max_NNZ=3"} {
+		if !containsStr(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package formats
+
+import (
+	"testing"
+
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func TestSimulateCOOMulVec(t *testing.T) {
+	for name, a := range testMatrices() {
+		c := sparse.FromCSR(a) // row-major by construction
+		v, want := refSpMV(a, 31)
+		u := make([]float64, a.Rows)
+		for i := range u {
+			u[i] = -99 // must be zeroed by the kernel
+		}
+		st := SimulateCOOMulVec(hsa.DefaultConfig(), c, v, u)
+		if i := sparse.FirstVecDiff(want, u, 1e-12); i >= 0 {
+			t.Errorf("%s: COO device result wrong at row %d", name, i)
+		}
+		if a.NNZ() > 0 && st.Transactions == 0 {
+			t.Errorf("%s: no transactions recorded", name)
+		}
+	}
+}
+
+func TestSimulateHYBMulVec(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"powerlaw": matgen.PowerLaw(1000, 4, 1.8, 300, 7),
+		"banded":   matgen.Banded(500, 7, 8),
+		"mixed":    matgen.Mixed(400, 400, 20, []int{1, 50}, 9),
+	}
+	for name, a := range mats {
+		h := HYBFromCSR(a, 0)
+		v, want := refSpMV(a, 33)
+		u := make([]float64, a.Rows)
+		st := h.SimulateMulVec(hsa.DefaultConfig(), v, u)
+		if i := sparse.FirstVecDiff(want, u, 1e-12); i >= 0 {
+			t.Errorf("%s: HYB device result wrong at row %d", name, i)
+		}
+		if st.Seconds <= 0 {
+			t.Errorf("%s: no time", name)
+		}
+	}
+}
+
+// On a skewed matrix, HYB on the device should beat pure ELL (when ELL is
+// even representable) by avoiding padding, and COO should be insensitive
+// to skew per non-zero.
+func TestHYBAvoidsELLPadding(t *testing.T) {
+	a := matgen.RandomUniform(8192, 8192, 1, 64, 11)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+
+	e, err := ELLFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ellStats := e.SimulateMulVec(hsa.DefaultConfig(), v, u)
+	h := HYBFromCSR(a, 0)
+	hybStats := h.SimulateMulVec(hsa.DefaultConfig(), v, u)
+	if hybStats.Cycles >= ellStats.Cycles {
+		t.Errorf("HYB (%.0f) should beat padded ELL (%.0f) on skewed rows",
+			hybStats.Cycles, ellStats.Cycles)
+	}
+}

@@ -1,0 +1,246 @@
+package formats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func refSpMV(a *sparse.CSR, seed int64) (v, want []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	v = make([]float64, a.Cols)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	want = make([]float64, a.Rows)
+	a.MulVec(v, want)
+	return v, want
+}
+
+var testMatrices = func() map[string]*sparse.CSR {
+	return map[string]*sparse.CSR{
+		"figure1": sparse.Figure1(),
+		"banded":  matgen.Banded(300, 7, 1),
+		"uniform": matgen.RandomUniform(200, 150, 1, 6, 2),
+		"road":    matgen.RoadNetwork(400, 3),
+		"diag":    matgen.Diagonal(64, 4),
+		"empty":   {Rows: 5, Cols: 5, RowPtr: []int64{0, 0, 0, 0, 0, 0}},
+	}
+}
+
+func TestELLRoundTripAndMulVec(t *testing.T) {
+	for name, a := range testMatrices() {
+		e, err := ELLFromCSR(a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back := e.ToCSR()
+		if !reflect.DeepEqual(back.RowPtr, a.RowPtr) || !reflect.DeepEqual(back.ColIdx, a.ColIdx) {
+			t.Errorf("%s: ELL round trip changed structure", name)
+		}
+		v, want := refSpMV(a, 7)
+		u := make([]float64, a.Rows)
+		e.MulVec(v, u)
+		if i := sparse.FirstVecDiff(want, u, 1e-12); i >= 0 {
+			t.Errorf("%s: ELL MulVec wrong at row %d", name, i)
+		}
+	}
+}
+
+func TestELLRejectsSkew(t *testing.T) {
+	// One 5000-nnz row among 4999 single-nnz rows: padding would blow up
+	// 5000x2 beyond the accepted expansion.
+	entries := make([][]sparse.Entry, 5000)
+	for j := 0; j < 5000; j++ {
+		entries[0] = append(entries[0], sparse.Entry{Col: j, Val: 1})
+	}
+	for i := 1; i < 5000; i++ {
+		entries[i] = []sparse.Entry{{Col: i, Val: 1}}
+	}
+	a, _ := sparse.NewCSRFromRows(5000, 5000, entries)
+	if _, err := ELLFromCSR(a); err == nil {
+		t.Error("ELL accepted a power-law matrix that blows up the padding")
+	}
+}
+
+func TestELLSimulatedKernel(t *testing.T) {
+	a := matgen.Banded(2000, 7, 9)
+	e, err := ELLFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, want := refSpMV(a, 11)
+	u := make([]float64, a.Rows)
+	st := e.SimulateMulVec(hsa.DefaultConfig(), v, u)
+	if i := sparse.FirstVecDiff(want, u, 1e-12); i >= 0 {
+		t.Fatalf("simulated ELL wrong at row %d", i)
+	}
+	if st.Transactions == 0 || st.Seconds <= 0 {
+		t.Errorf("no device activity recorded: %+v", st)
+	}
+}
+
+// ELL's coalesced slot streaming should beat CSR kernel-serial on a
+// uniform banded matrix, and waste cycles relative to row length on a
+// skewed one (the classic ELL trade-off from Bell & Garland).
+func TestELLTradeoffOnDevice(t *testing.T) {
+	uniform := matgen.Banded(8192, 7, 21)
+	e, err := ELLFromCSR(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, uniform.Cols)
+	u := make([]float64, uniform.Rows)
+	ellStats := e.SimulateMulVec(hsa.DefaultConfig(), v, u)
+
+	// Padding waste: a mildly skewed matrix (max 64, avg ~8) pays for 64
+	// slots on every row in ELL.
+	skewed := matgen.RandomUniform(8192, 8192, 1, 64, 22)
+	es, err := ELLFromCSR(skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := make([]float64, skewed.Cols)
+	u2 := make([]float64, skewed.Rows)
+	skewStats := es.SimulateMulVec(hsa.DefaultConfig(), v2, u2)
+
+	// Normalize by nnz: padded execution must cost measurably more per
+	// non-zero than the uniform case.
+	perNNZUniform := ellStats.Cycles / float64(uniform.NNZ())
+	perNNZSkewed := skewStats.Cycles / float64(skewed.NNZ())
+	if perNNZSkewed < 1.3*perNNZUniform {
+		t.Errorf("padding waste invisible: %.3f vs %.3f cycles/nnz", perNNZSkewed, perNNZUniform)
+	}
+}
+
+func TestDIARoundTripAndMulVec(t *testing.T) {
+	for _, name := range []string{"figure1", "banded", "diag", "empty"} {
+		a := testMatrices()[name]
+		d, err := DIAFromCSR(a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back := d.ToCSR()
+		v, want := refSpMV(a, 13)
+		u := make([]float64, a.Rows)
+		d.MulVec(v, u)
+		if i := sparse.FirstVecDiff(want, u, 1e-12); i >= 0 {
+			t.Errorf("%s: DIA MulVec wrong at row %d", name, i)
+		}
+		ub := make([]float64, a.Rows)
+		back.MulVec(v, ub)
+		if i := sparse.FirstVecDiff(want, ub, 1e-12); i >= 0 {
+			t.Errorf("%s: DIA->CSR wrong at row %d", name, i)
+		}
+	}
+}
+
+func TestDIAOffsetsSortedAndBounded(t *testing.T) {
+	a := matgen.Banded(100, 9, 5)
+	d, err := DIAFromCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(d.Offsets); i++ {
+		if d.Offsets[i-1] >= d.Offsets[i] {
+			t.Fatal("offsets not strictly increasing")
+		}
+	}
+	if len(d.Offsets) > 9 {
+		t.Errorf("banded-9 matrix stored %d diagonals", len(d.Offsets))
+	}
+	// Random matrix has ~2*rows diagonals: must be rejected.
+	r := matgen.RandomUniform(2000, 2000, 4, 8, 6)
+	if _, err := DIAFromCSR(r); err == nil {
+		t.Error("DIA accepted a random matrix with thousands of diagonals")
+	}
+}
+
+func TestHYB(t *testing.T) {
+	mats := testMatrices()
+	mats["powerlaw"] = matgen.PowerLaw(500, 4, 1.8, 200, 8)
+	for name, a := range mats {
+		for _, width := range []int{0, 1, 3} {
+			h := HYBFromCSR(a, width)
+			v, want := refSpMV(a, 17)
+			u := make([]float64, a.Rows)
+			h.MulVec(v, u)
+			if i := sparse.FirstVecDiff(want, u, 1e-12); i >= 0 {
+				t.Errorf("%s width=%d: HYB MulVec wrong at row %d", name, width, i)
+			}
+		}
+	}
+	// The overflow actually lands in COO for a skewed matrix.
+	h := HYBFromCSR(mats["powerlaw"], 2)
+	if h.Coo.NNZ() == 0 {
+		t.Error("power-law overflow missing from COO part")
+	}
+	if h.Ell.Width != 2 {
+		t.Errorf("requested width 2, got %d", h.Ell.Width)
+	}
+}
+
+func TestCOOMulVec(t *testing.T) {
+	a := matgen.RandomUniform(100, 80, 0, 5, 9)
+	c := sparse.FromCSR(a)
+	v, want := refSpMV(a, 19)
+	u := make([]float64, a.Rows)
+	for i := range u {
+		u[i] = 99 // must be zeroed by COOMulVec
+	}
+	COOMulVec(c, v, u)
+	if i := sparse.FirstVecDiff(want, u, 1e-12); i >= 0 {
+		t.Errorf("COO MulVec wrong at row %d", i)
+	}
+}
+
+func TestBytesFootprints(t *testing.T) {
+	banded := matgen.Banded(1000, 5, 10)
+	b := Bytes(banded)
+	for _, f := range []string{"csr", "coo", "ell", "dia", "hyb"} {
+		if b[f] <= 0 {
+			t.Errorf("missing footprint for %s: %v", f, b)
+		}
+	}
+	// DIA is the most compact for a pure banded matrix (no index storage).
+	if b["dia"] >= b["coo"] {
+		t.Errorf("DIA (%d) should beat COO (%d) on a banded matrix", b["dia"], b["coo"])
+	}
+	// Power-law: ELL must be absent (rejected), DIA absent.
+	p := Bytes(matgen.PowerLaw(3000, 3, 1.6, 2500, 11))
+	if _, ok := p["ell"]; ok {
+		t.Error("ELL footprint reported for a matrix it rejects")
+	}
+	if _, ok := p["dia"]; ok {
+		t.Error("DIA footprint reported for a matrix it rejects")
+	}
+}
+
+func TestFormatsRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		a := matgen.RandomUniform(1+rng.Intn(200), 1+rng.Intn(200), 0, 6, rng.Int63())
+		v, want := refSpMV(a, rng.Int63())
+		u := make([]float64, a.Rows)
+
+		if e, err := ELLFromCSR(a); err == nil {
+			e.MulVec(v, u)
+			if sparse.FirstVecDiff(want, u, 1e-12) >= 0 {
+				t.Fatalf("trial %d: ELL diverges", trial)
+			}
+		}
+		h := HYBFromCSR(a, 2)
+		h.MulVec(v, u)
+		if sparse.FirstVecDiff(want, u, 1e-12) >= 0 {
+			t.Fatalf("trial %d: HYB diverges", trial)
+		}
+		COOMulVec(sparse.FromCSR(a), v, u)
+		if sparse.FirstVecDiff(want, u, 1e-12) >= 0 {
+			t.Fatalf("trial %d: COO diverges", trial)
+		}
+	}
+}

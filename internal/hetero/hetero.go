@@ -1,0 +1,120 @@
+// Package hetero implements the paper's Section VI future-work extension:
+// scheduling the bins produced by the framework across the APU's two kinds
+// of processors — "the small sized but high volume bins onto the
+// throughput-oriented processors and the large sized but low volume bins
+// onto the latency-oriented processors". Bins holding many short rows run
+// on the simulated GPU; bins holding few long rows run natively on the
+// host CPU, concurrently.
+//
+// It also implements the Section IV-C overhead-hiding technique: segmented
+// (pipelined) binning, where the binning of segment k+1 overlaps the SpMV
+// of segment k.
+package hetero
+
+import (
+	"sync"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/core"
+	"spmvtune/internal/cpu"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/sparse"
+)
+
+// Plan assigns each non-empty bin to a processor.
+type Plan struct {
+	GPUBins []int
+	CPUBins []int
+}
+
+// DefaultRowThreshold splits "high volume" from "low volume" bins: a bin
+// with at least this many rows goes to the throughput device.
+const DefaultRowThreshold = 256
+
+// Partition builds a plan from the paper's rule: high-volume bins (many
+// rows, necessarily shorter ones given the workload cap) to the GPU,
+// low-volume bins (few, long rows) to the CPU. rowThreshold <= 0 uses
+// DefaultRowThreshold.
+func Partition(b *binning.Binning, rowThreshold int) Plan {
+	if rowThreshold <= 0 {
+		rowThreshold = DefaultRowThreshold
+	}
+	var p Plan
+	for _, binID := range b.NonEmpty() {
+		if b.NumRows(binID) >= rowThreshold {
+			p.GPUBins = append(p.GPUBins, binID)
+		} else {
+			p.CPUBins = append(p.CPUBins, binID)
+		}
+	}
+	return p
+}
+
+// Report summarizes a heterogeneous execution.
+type Report struct {
+	Plan       Plan
+	GPUStats   hsa.Stats // summed simulated launches
+	CPUSeconds float64   // measured host wall time for the CPU bins
+	// TotalSeconds is the modeled completion time assuming the two
+	// processors run concurrently (the HSA shared-memory model makes the
+	// handoff free).
+	TotalSeconds float64
+}
+
+// Run executes the binned SpMV across both processors: GPU bins on the
+// simulated device with the given per-bin kernels, CPU bins natively with
+// the worker pool, concurrently. u receives the complete result.
+func Run(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning,
+	kernelByBin map[int]int, rowThreshold, workers int) (Report, error) {
+
+	rep := Report{Plan: Partition(b, rowThreshold)}
+
+	var wg sync.WaitGroup
+	var gpuErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, binID := range rep.Plan.GPUBins {
+			kid := kernelByBin[binID]
+			info, ok := kernels.ByID(kid)
+			if !ok {
+				gpuErr = &UnknownKernelError{BinID: binID, KernelID: kid}
+				return
+			}
+			st := core.SimulateKernel(dev, a, v, u, info.Kernel, b.Bins[binID])
+			rep.GPUStats.Add(st)
+		}
+	}()
+
+	cpuSeconds := timeIt(func() {
+		for _, binID := range rep.Plan.CPUBins {
+			groups := b.Bins[binID]
+			sub := &binning.Binning{Scheme: b.Scheme, U: b.U, M: b.M, Bins: [][]binning.Group{groups}}
+			cpu.MulVecBinned(a, v, u, sub, workers)
+		}
+	})
+	wg.Wait()
+	if gpuErr != nil {
+		return rep, gpuErr
+	}
+	rep.CPUSeconds = cpuSeconds
+	rep.TotalSeconds = rep.GPUStats.Seconds
+	if cpuSeconds > rep.TotalSeconds {
+		rep.TotalSeconds = cpuSeconds
+	}
+	return rep, nil
+}
+
+// UnknownKernelError reports a bin whose kernel assignment is invalid.
+type UnknownKernelError struct {
+	BinID    int
+	KernelID int
+}
+
+func (e *UnknownKernelError) Error() string {
+	return "hetero: unknown kernel for bin"
+}
+
+// timeIt is split out so tests can exercise Run deterministically.
+var timeIt = defaultTimeIt

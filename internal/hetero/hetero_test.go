@@ -1,0 +1,167 @@
+package hetero
+
+import (
+	"math/rand"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func refVecs(a *sparse.CSR, seed int64) (v, want []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	v = make([]float64, a.Cols)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	want = make([]float64, a.Rows)
+	a.MulVec(v, want)
+	return
+}
+
+func TestPartitionRule(t *testing.T) {
+	// Mixed matrix: many short rows + a small population of long rows.
+	lens := []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 500}
+	a := matgen.Mixed(2000, 2000, 100, lens, 1)
+	b := binning.Coarse(a, 10, binning.DefaultMaxBins)
+	p := Partition(b, 256)
+	if len(p.GPUBins)+len(p.CPUBins) != len(b.NonEmpty()) {
+		t.Fatal("plan does not cover all non-empty bins")
+	}
+	for _, id := range p.GPUBins {
+		if b.NumRows(id) < 256 {
+			t.Errorf("low-volume bin %d (%d rows) scheduled on GPU", id, b.NumRows(id))
+		}
+	}
+	for _, id := range p.CPUBins {
+		if b.NumRows(id) >= 256 {
+			t.Errorf("high-volume bin %d (%d rows) scheduled on CPU", id, b.NumRows(id))
+		}
+	}
+	if len(p.GPUBins) == 0 || len(p.CPUBins) == 0 {
+		t.Errorf("expected a genuinely split plan, got GPU=%v CPU=%v", p.GPUBins, p.CPUBins)
+	}
+	// Threshold defaulting.
+	pd := Partition(b, 0)
+	if len(pd.GPUBins)+len(pd.CPUBins) != len(b.NonEmpty()) {
+		t.Error("default threshold plan incomplete")
+	}
+}
+
+func TestHeteroRunCorrect(t *testing.T) {
+	a := matgen.Mixed(3000, 3000, 150, []int{2, 400}, 2)
+	b := binning.Coarse(a, 10, binning.DefaultMaxBins)
+	kb := map[int]int{}
+	for _, id := range b.NonEmpty() {
+		// Short-row bins -> serial, long-row bins -> vector; choice does not
+		// affect correctness.
+		if b.NumRows(id) >= 256 {
+			kb[id] = 0
+		} else {
+			kb[id] = 8
+		}
+	}
+	v, want := refVecs(a, 3)
+	u := make([]float64, a.Rows)
+	rep, err := Run(hsa.DefaultConfig(), a, v, u, b, kb, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := sparse.FirstVecDiff(want, u, 1e-9); i >= 0 {
+		t.Fatalf("hetero result wrong at row %d", i)
+	}
+	if rep.GPUStats.WorkGroups == 0 {
+		t.Error("no GPU activity recorded")
+	}
+	if rep.CPUSeconds <= 0 {
+		t.Error("no CPU time recorded")
+	}
+	if rep.TotalSeconds < rep.GPUStats.Seconds || rep.TotalSeconds < rep.CPUSeconds {
+		t.Error("total below either processor's time")
+	}
+}
+
+func TestHeteroRunUnknownKernel(t *testing.T) {
+	a := matgen.Banded(1000, 5, 4)
+	b := binning.Coarse(a, 10, binning.DefaultMaxBins)
+	kb := map[int]int{}
+	for _, id := range b.NonEmpty() {
+		kb[id] = 99
+	}
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	if _, err := Run(hsa.DefaultConfig(), a, v, u, b, kb, 1, 2); err == nil {
+		t.Error("invalid kernel id accepted")
+	}
+}
+
+func TestSegmentedBinComposes(t *testing.T) {
+	a := matgen.Mixed(1000, 1000, 50, []int{1, 60}, 5)
+	full := binning.Coarse(a, 10, binning.DefaultMaxBins)
+
+	// Two half-matrix segments must cover the same rows with the same
+	// per-group workloads as the monolithic binning.
+	s1 := SegmentedBin(a, 0, 500, 10, binning.DefaultMaxBins)
+	s2 := SegmentedBin(a, 500, 1000, 10, binning.DefaultMaxBins)
+	seen := make([]bool, a.Rows)
+	count := 0
+	for _, b := range []*binning.Binning{s1, s2} {
+		for binID := range b.Bins {
+			for _, g := range b.Bins[binID] {
+				for r := g.Start; r < g.Start+g.Count; r++ {
+					if seen[r] {
+						t.Fatalf("row %d in two segments", r)
+					}
+					seen[r] = true
+					count++
+				}
+			}
+		}
+	}
+	if count != a.Rows {
+		t.Fatalf("segments cover %d rows of %d", count, a.Rows)
+	}
+	// Segment boundaries align with U here, so bins must match exactly.
+	for binID := range full.Bins {
+		want := len(full.Bins[binID])
+		got := len(s1.Bins[binID]) + len(s2.Bins[binID])
+		if want != got {
+			t.Errorf("bin %d: %d groups vs %d across segments", binID, got, want)
+		}
+	}
+}
+
+func TestPipelinedRunMatchesReference(t *testing.T) {
+	mats := []*sparse.CSR{
+		matgen.Mixed(2000, 2000, 100, []int{2, 100}, 6),
+		matgen.RoadNetwork(1500, 7),
+		matgen.Banded(997, 5, 8), // rows not divisible by the segment size
+	}
+	for mi, a := range mats {
+		v, want := refVecs(a, int64(mi))
+		for _, segRows := range []int{0, 100, 333, 5000} {
+			u := make([]float64, a.Rows)
+			segs := PipelinedRun(a, v, u, 10, binning.DefaultMaxBins, segRows, 3)
+			if i := sparse.FirstVecDiff(want, u, 1e-9); i >= 0 {
+				t.Fatalf("matrix %d segRows=%d: wrong at row %d", mi, segRows, i)
+			}
+			if len(segs) == 0 {
+				t.Fatalf("matrix %d: no segments", mi)
+			}
+			last := segs[len(segs)-1]
+			if last.EndRow != a.Rows {
+				t.Fatalf("matrix %d: segments end at %d of %d", mi, last.EndRow, a.Rows)
+			}
+		}
+	}
+}
+
+func TestPipelinedRunEmptyMatrix(t *testing.T) {
+	a := &sparse.CSR{Rows: 0, Cols: 0, RowPtr: []int64{0}}
+	segs := PipelinedRun(a, nil, nil, 10, 10, 100, 2)
+	if len(segs) != 0 {
+		t.Errorf("empty matrix produced %d segments", len(segs))
+	}
+}

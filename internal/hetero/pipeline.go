@@ -1,0 +1,84 @@
+package hetero
+
+import (
+	"time"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/cpu"
+	"spmvtune/internal/sparse"
+)
+
+func defaultTimeIt(fn func()) float64 {
+	start := time.Now()
+	fn()
+	return time.Since(start).Seconds()
+}
+
+// Segment is one horizontal slice of the matrix with its own binning —
+// the unit of the paper's "segmented analysis to hide the binning
+// overhead" (Section IV-C).
+type Segment struct {
+	StartRow int
+	EndRow   int
+	B        *binning.Binning
+}
+
+// SegmentedBin bins rows [start, end) only, producing groups with absolute
+// row indices so segments compose into a full-matrix execution.
+func SegmentedBin(a *sparse.CSR, start, end, u, maxBins int) *binning.Binning {
+	if u < 1 {
+		u = 1
+	}
+	if maxBins <= 0 {
+		maxBins = binning.DefaultMaxBins
+	}
+	b := &binning.Binning{Scheme: "coarse", U: u, Bins: make([][]binning.Group, maxBins), M: a.Rows}
+	for lo := start; lo < end; lo += u {
+		hi := lo + u
+		if hi > end {
+			hi = end
+		}
+		wl := a.RowPtr[hi] - a.RowPtr[lo]
+		binID := int(wl / int64(u))
+		if binID >= maxBins {
+			binID = maxBins - 1
+		}
+		b.Bins[binID] = append(b.Bins[binID], binning.Group{Start: int32(lo), Count: int32(hi - lo)})
+	}
+	return b
+}
+
+// PipelinedRun computes u = A*v on the host, splitting the rows into
+// segments of segRows rows and overlapping the binning of segment k+1 with
+// the SpMV of segment k — a two-stage software pipeline. The result is
+// identical to a monolithic binned execution; only the binning latency is
+// hidden.
+func PipelinedRun(a *sparse.CSR, v, u []float64, unit, maxBins, segRows, workers int) []Segment {
+	if segRows < 1 {
+		segRows = a.Rows
+	}
+	var segments []Segment
+	next := make(chan *Segment, 1)
+
+	// Producer: bins segments one ahead of the consumer.
+	go func() {
+		for start := 0; start < a.Rows; start += segRows {
+			end := start + segRows
+			if end > a.Rows {
+				end = a.Rows
+			}
+			next <- &Segment{StartRow: start, EndRow: end, B: SegmentedBin(a, start, end, unit, maxBins)}
+		}
+		close(next)
+	}()
+
+	for seg := range next {
+		cpu.MulVecBinned(a, v, u, seg.B, workers)
+		segments = append(segments, *seg)
+	}
+	if a.Rows == 0 {
+		// Still define u for the degenerate case: nothing to do.
+		return segments
+	}
+	return segments
+}

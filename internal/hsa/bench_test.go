@@ -1,0 +1,57 @@
+package hsa
+
+import "testing"
+
+// Microbenchmarks of the accounting primitives: the simulator itself must
+// stay cheap enough that exhaustive offline search over (U x kernel) is
+// practical.
+
+func BenchmarkSeqCoalesced(b *testing.B) {
+	r := NewRun(DefaultConfig())
+	reg := r.Alloc(8, 1<<22)
+	g := r.BeginWG()
+	wf := g.WF()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wf.Seq(reg, int64(i%(1<<16))*64, 64)
+	}
+}
+
+func BenchmarkGatherScattered(b *testing.B) {
+	r := NewRun(DefaultConfig())
+	reg := r.Alloc(8, 1<<22)
+	g := r.BeginWG()
+	wf := g.WF()
+	idx := make([]int64, 64)
+	for i := range idx {
+		idx[i] = int64(i * 512)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wf.Gather(reg, idx)
+	}
+}
+
+func BenchmarkGatherBroadcast(b *testing.B) {
+	r := NewRun(DefaultConfig())
+	reg := r.Alloc(8, 1<<22)
+	g := r.BeginWG()
+	wf := g.WF()
+	idx := make([]int64, 64) // all zero: one segment
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wf.Gather(reg, idx)
+	}
+}
+
+func BenchmarkWorkGroupLifecycle(b *testing.B) {
+	r := NewRun(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := r.BeginWG()
+		for w := 0; w < 4; w++ {
+			g.WF().ALU(4)
+		}
+		g.End()
+	}
+}

@@ -1,0 +1,43 @@
+package hsa
+
+import "testing"
+
+func TestCycleBreakdown(t *testing.T) {
+	r := NewRun(DefaultConfig())
+	reg := r.Alloc(8, 1024)
+	g := r.BeginWG()
+	wf := g.WF()
+	wf.ALU(10)
+	wf.LDS(5)
+	wf.Barrier()
+	wf.Seq(reg, 0, 64)
+	g.End()
+	s := r.Stats()
+	if s.CyclesALU != 10*r.cfg.ALUCycles {
+		t.Errorf("CyclesALU = %v", s.CyclesALU)
+	}
+	if s.CyclesLDS != 5*r.cfg.LDSCycles {
+		t.Errorf("CyclesLDS = %v", s.CyclesLDS)
+	}
+	if s.CyclesBarrier != r.cfg.BarrierCycles {
+		t.Errorf("CyclesBarrier = %v", s.CyclesBarrier)
+	}
+	// 64 f64 = 8 cold segments.
+	if s.CyclesMem != 8*r.cfg.TxMissCycles {
+		t.Errorf("CyclesMem = %v, want %v", s.CyclesMem, 8*r.cfg.TxMissCycles)
+	}
+	// Single wavefront: the categories sum to the pipe total, which plus
+	// overheads is the makespan.
+	sum := s.CyclesALU + s.CyclesLDS + s.CyclesMem + s.CyclesBarrier
+	want := sum + r.cfg.WGLaunchCycles + r.cfg.KernelLaunchCycles
+	if s.Cycles != want {
+		t.Errorf("Cycles = %v, want %v", s.Cycles, want)
+	}
+	// Breakdown accumulates through Add.
+	var agg Stats
+	agg.Add(s)
+	agg.Add(s)
+	if agg.CyclesMem != 2*s.CyclesMem || agg.CyclesBarrier != 2*s.CyclesBarrier {
+		t.Error("Add does not accumulate the breakdown")
+	}
+}

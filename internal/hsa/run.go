@@ -1,0 +1,280 @@
+package hsa
+
+import "fmt"
+
+// Region is a simulated global-memory allocation. Kernels reference data by
+// (region, element index); the simulator maps that to byte addresses for
+// coalescing analysis. Regions are spaced so that distinct regions never
+// share a segment.
+type Region struct {
+	base     int64
+	elemSize int64
+}
+
+// Stats aggregates the device activity of one kernel launch.
+type Stats struct {
+	Cycles       float64 // modeled makespan including launch overheads
+	ExecCycles   float64 // makespan excluding the host-side launch overhead
+	Seconds      float64 // Cycles / ClockHz
+	ALUOps       int64   // vector ALU instructions (per wavefront)
+	LDSOps       int64   // LDS instructions (per wavefront)
+	Barriers     int64
+	Transactions int64 // global memory transactions (segments touched)
+	CacheHits    int64
+	CacheMisses  int64
+	DRAMBytes    int64 // bytes fetched from DRAM (misses * segment)
+	WorkGroups   int64
+	Wavefronts   int64
+
+	// Issue-cycle breakdown: total wavefront-cycles charged per category
+	// (sums over all wavefronts, so they exceed the makespan; their ratios
+	// profile where a kernel spends its time).
+	CyclesALU     float64
+	CyclesLDS     float64
+	CyclesMem     float64
+	CyclesBarrier float64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%.0f (%.3g s) wg=%d wf=%d alu=%d lds=%d tx=%d (hit %d/miss %d) dram=%dB",
+		s.Cycles, s.Seconds, s.WorkGroups, s.Wavefronts, s.ALUOps, s.LDSOps,
+		s.Transactions, s.CacheHits, s.CacheMisses, s.DRAMBytes)
+}
+
+// Add accumulates another launch's stats (cycles and seconds add, modeling
+// sequential launches).
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.ExecCycles += o.ExecCycles
+	s.Seconds += o.Seconds
+	s.CyclesALU += o.CyclesALU
+	s.CyclesLDS += o.CyclesLDS
+	s.CyclesMem += o.CyclesMem
+	s.CyclesBarrier += o.CyclesBarrier
+	s.ALUOps += o.ALUOps
+	s.LDSOps += o.LDSOps
+	s.Barriers += o.Barriers
+	s.Transactions += o.Transactions
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.DRAMBytes += o.DRAMBytes
+	s.WorkGroups += o.WorkGroups
+	s.Wavefronts += o.Wavefronts
+}
+
+// Run accounts one kernel launch on a device. Create with NewRun, allocate
+// Regions for every buffer the kernel touches, execute work-groups via
+// BeginWG/WF/EndWG, then read Stats.
+type Run struct {
+	cfg      Config
+	nextBase int64
+
+	// Direct-mapped cache of segment tags; index = segment % len, value =
+	// segment id + 1 (0 = empty).
+	cache []int64
+
+	cuCycles []float64
+	nextCU   int
+
+	stats Stats
+
+	segScratch []int64
+}
+
+// NewRun creates a launch accountant for the given device. It panics on an
+// invalid config (programmer error, caught in tests).
+func NewRun(cfg Config) *Run {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.CacheBytes / cfg.SegmentBytes
+	if sets < 1 {
+		sets = 1
+	}
+	return &Run{
+		cfg:      cfg,
+		cache:    make([]int64, sets),
+		cuCycles: make([]float64, cfg.NumCUs),
+	}
+}
+
+// Config returns the device configuration of this run.
+func (r *Run) Config() Config { return r.cfg }
+
+// Alloc reserves a global-memory region of count elements of elemSize
+// bytes. Alignment is rounded up to a segment boundary.
+func (r *Run) Alloc(elemSize, count int64) Region {
+	if elemSize <= 0 || count < 0 {
+		panic(fmt.Sprintf("hsa: bad Alloc(%d, %d)", elemSize, count))
+	}
+	base := r.nextBase
+	size := elemSize * count
+	// Round region size up to segment granularity plus one guard segment so
+	// regions never share a coalescing segment.
+	seg := r.cfg.SegmentBytes
+	r.nextBase = base + ((size+seg-1)/seg+1)*seg
+	return Region{base: base, elemSize: elemSize}
+}
+
+// access charges one global transaction for the given segment id.
+func (r *Run) access(seg int64) float64 {
+	slot := seg % int64(len(r.cache))
+	if slot < 0 {
+		slot = -slot
+	}
+	r.stats.Transactions++
+	if r.cache[slot] == seg+1 {
+		r.stats.CacheHits++
+		return r.cfg.TxHitCycles
+	}
+	r.cache[slot] = seg + 1
+	r.stats.CacheMisses++
+	r.stats.DRAMBytes += r.cfg.SegmentBytes
+	return r.cfg.TxMissCycles
+}
+
+// WG is the accountant for one work-group. Wavefronts are assigned to SIMD
+// pipes round-robin; the work-group's cost is its dispatch overhead plus
+// the most loaded pipe.
+type WG struct {
+	run    *Run
+	pipes  []float64
+	nextWF int
+}
+
+// BeginWG starts accounting a work-group.
+func (r *Run) BeginWG() *WG {
+	r.stats.WorkGroups++
+	return &WG{run: r, pipes: make([]float64, r.cfg.SIMDPerCU)}
+}
+
+// WF returns the accountant for the next wavefront of this work-group.
+func (g *WG) WF() *WFAcc {
+	pipe := g.nextWF % len(g.pipes)
+	g.nextWF++
+	g.run.stats.Wavefronts++
+	return &WFAcc{run: g.run, wg: g, pipe: pipe}
+}
+
+// End finishes the work-group: its cost (dispatch + slowest SIMD pipe) is
+// assigned to the next compute unit round-robin.
+func (g *WG) End() {
+	max := 0.0
+	for _, p := range g.pipes {
+		if p > max {
+			max = p
+		}
+	}
+	r := g.run
+	r.cuCycles[r.nextCU] += r.cfg.WGLaunchCycles + max
+	r.nextCU = (r.nextCU + 1) % len(r.cuCycles)
+}
+
+// Stats finalizes and returns the launch statistics: the makespan is the
+// most loaded compute unit, bounded below by the DRAM bandwidth roofline,
+// plus the kernel launch overhead.
+func (r *Run) Stats() Stats {
+	s := r.stats
+	makespan := 0.0
+	for _, c := range r.cuCycles {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	bw := float64(s.DRAMBytes) / r.cfg.DRAMBytesPerCycle
+	if bw > makespan {
+		makespan = bw
+	}
+	s.ExecCycles = makespan
+	s.Cycles = makespan + r.cfg.KernelLaunchCycles
+	s.Seconds = s.Cycles / r.cfg.ClockHz
+	return s
+}
+
+// WFAcc accounts the instructions of one wavefront. All costs are charged
+// per wavefront instruction: divergent lanes do not reduce cost, which is
+// exactly the SIMD-underutilization effect the paper describes.
+type WFAcc struct {
+	run  *Run
+	wg   *WG
+	pipe int
+}
+
+func (a *WFAcc) add(c float64) { a.wg.pipes[a.pipe] += c }
+
+// ALU charges n vector ALU instructions.
+func (a *WFAcc) ALU(n int) {
+	a.run.stats.ALUOps += int64(n)
+	c := float64(n) * a.run.cfg.ALUCycles
+	a.run.stats.CyclesALU += c
+	a.add(c)
+}
+
+// LDS charges n local-data-share instructions.
+func (a *WFAcc) LDS(n int) {
+	a.run.stats.LDSOps += int64(n)
+	c := float64(n) * a.run.cfg.LDSCycles
+	a.run.stats.CyclesLDS += c
+	a.add(c)
+}
+
+// Barrier charges one work-group barrier.
+func (a *WFAcc) Barrier() {
+	a.run.stats.Barriers++
+	a.run.stats.CyclesBarrier += a.run.cfg.BarrierCycles
+	a.add(a.run.cfg.BarrierCycles)
+}
+
+// Gather charges one vector memory instruction whose lanes access the
+// element indices idx within reg. The cost is one transaction per distinct
+// segment touched — fully coalesced access to consecutive elements costs
+// few transactions, a scattered gather up to one per lane.
+func (a *WFAcc) Gather(reg Region, idx []int64) {
+	if len(idx) == 0 {
+		return
+	}
+	segs := a.run.segScratch[:0]
+	seg := a.run.cfg.SegmentBytes
+	for _, i := range idx {
+		s := (reg.base + i*reg.elemSize) / seg
+		dup := false
+		for _, e := range segs {
+			if e == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			segs = append(segs, s)
+		}
+	}
+	a.run.segScratch = segs[:0]
+	cost := 0.0
+	for _, s := range segs {
+		cost += a.run.access(s)
+	}
+	a.run.stats.CyclesMem += cost
+	a.add(cost)
+}
+
+// Seq charges one vector memory instruction accessing count consecutive
+// elements starting at start — the fully coalesced case.
+func (a *WFAcc) Seq(reg Region, start, count int64) {
+	if count <= 0 {
+		return
+	}
+	seg := a.run.cfg.SegmentBytes
+	first := (reg.base + start*reg.elemSize) / seg
+	last := (reg.base + (start+count-1)*reg.elemSize) / seg
+	cost := 0.0
+	for s := first; s <= last; s++ {
+		cost += a.run.access(s)
+	}
+	a.run.stats.CyclesMem += cost
+	a.add(cost)
+}
+
+// Scalar charges a single-lane access (e.g., one thread reading rowPtr).
+func (a *WFAcc) Scalar(reg Region, idx int64) {
+	a.Seq(reg, idx, 1)
+}

@@ -1,0 +1,160 @@
+// Package kernels implements the paper's pool of nine CSR SpMV kernels
+// (Section III-B, Algorithms 3-5) on the simulated HSA device:
+//
+//   - Kernel-Serial: one work-item per row;
+//   - Kernel-SubvectorX for X in {2,4,8,16,32,64,128}: X work-items
+//     cooperate on one row, staging products in LDS and reducing with a
+//     segmented parallel reduction;
+//   - Kernel-Vector: the whole 256-thread work-group processes one row.
+//
+// All kernels compute identical results (u = A·v restricted to their rows)
+// but differ in thread organization, so their costs diverge with row
+// length: serial wins on very short rows, vector on very long ones, and
+// the subvector family covers the middle — exactly the trade-off the
+// auto-tuner learns.
+package kernels
+
+import (
+	"fmt"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/sparse"
+)
+
+// Input bundles a device-resident CSR matrix and its vectors: the Go slices
+// hold the actual data (kernels execute functionally) and the Regions give
+// the simulated memory layout used for coalescing analysis.
+type Input struct {
+	A *sparse.CSR
+	V []float64 // input vector (length >= Cols)
+	U []float64 // output vector (length >= Rows)
+
+	RegRowPtr hsa.Region
+	RegColIdx hsa.Region
+	RegVal    hsa.Region
+	RegV      hsa.Region
+	RegU      hsa.Region
+	RegBin    hsa.Region
+}
+
+// NewInput allocates simulated regions for the matrix and vectors on run.
+func NewInput(run *hsa.Run, a *sparse.CSR, v, u []float64) *Input {
+	return &Input{
+		A: a, V: v, U: u,
+		RegRowPtr: run.Alloc(8, int64(len(a.RowPtr))),
+		RegColIdx: run.Alloc(4, int64(len(a.ColIdx))),
+		RegVal:    run.Alloc(8, int64(len(a.Val))),
+		RegV:      run.Alloc(8, int64(len(v))),
+		RegU:      run.Alloc(8, int64(len(u))),
+		RegBin:    run.Alloc(4, int64(a.Rows)+1),
+	}
+}
+
+// Kernel is one SpMV implementation from the candidate pool. Run processes
+// exactly the rows covered by groups, writing u[row] for each, and accounts
+// device activity on run.
+type Kernel interface {
+	Name() string
+	Run(run *hsa.Run, in *Input, groups []binning.Group)
+}
+
+// Info identifies a kernel in the pool; IDs are the class labels used by
+// the stage-2 decision tree.
+type Info struct {
+	ID     int
+	Name   string
+	Kernel Kernel
+}
+
+// Pool returns the paper's nine-kernel candidate pool in ID order.
+func Pool() []Info {
+	infos := []Info{{ID: 0, Name: "serial", Kernel: Serial{}}}
+	for _, x := range []int{2, 4, 8, 16, 32, 64, 128} {
+		infos = append(infos, Info{
+			ID:     len(infos),
+			Name:   fmt.Sprintf("subvector%d", x),
+			Kernel: Subvector{X: x},
+		})
+	}
+	infos = append(infos, Info{ID: len(infos), Name: "vector", Kernel: Subvector{X: 256, vector: true}})
+	return infos
+}
+
+// VectorKernel returns the Kernel-Vector instance (whole work-group per
+// row), used directly by the CSR-Adaptive baseline for its long-row blocks.
+func VectorKernel() Kernel {
+	return Subvector{X: 256, vector: true}
+}
+
+// ByName returns the pool entry with the given name, or false.
+func ByName(name string) (Info, bool) {
+	for _, k := range Pool() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Info{}, false
+}
+
+// ByID returns the pool entry with the given ID, or false.
+func ByID(id int) (Info, bool) {
+	p := Pool()
+	if id < 0 || id >= len(p) {
+		return Info{}, false
+	}
+	return p[id], true
+}
+
+// rowIter walks the rows of a group list in order.
+type rowIter struct {
+	groups []binning.Group
+	gi     int
+	off    int32
+}
+
+// next returns the next row index, or false when exhausted.
+func (it *rowIter) next() (int32, bool) {
+	for it.gi < len(it.groups) {
+		g := it.groups[it.gi]
+		if it.off < g.Count {
+			r := g.Start + it.off
+			it.off++
+			return r, true
+		}
+		it.gi++
+		it.off = 0
+	}
+	return 0, false
+}
+
+// take fills dst with up to cap(dst) consecutive rows; returns the filled
+// prefix.
+func (it *rowIter) take(dst []int32) []int32 {
+	dst = dst[:0]
+	for len(dst) < cap(dst) {
+		r, ok := it.next()
+		if !ok {
+			break
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+func countRows(groups []binning.Group) int {
+	n := 0
+	for _, g := range groups {
+		n += int(g.Count)
+	}
+	return n
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	s := 0
+	for v := 1; v < n; v <<= 1 {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+// Property: for any random matrix and any kernel, the simulated execution
+// computes exactly the reference SpMV and books a positive cost.
+func TestQuickKernelsMatchReference(t *testing.T) {
+	pool := Pool()
+	f := func(seed int64, rowsRaw, kernelRaw uint8) bool {
+		rows := 1 + int(rowsRaw)%300
+		info := pool[int(kernelRaw)%len(pool)]
+		rng := rand.New(rand.NewSource(seed))
+		a := matgen.RandomUniform(rows, 96, 0, 10, rng.Int63())
+		v := make([]float64, a.Cols)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := make([]float64, a.Rows)
+		a.MulVec(v, want)
+		u := make([]float64, a.Rows)
+		run := hsa.NewRun(hsa.DefaultConfig())
+		in := NewInput(run, a, v, u)
+		info.Kernel.Run(run, in, binning.Single(a).Bins[0])
+		if i := sparse.FirstVecDiff(want, u, 1e-9); i >= 0 {
+			t.Logf("%s: diff at row %d", info.Name, i)
+			return false
+		}
+		if a.NNZ() > 0 && run.Stats().Cycles <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cost monotonicity in matrix size — the same kernel on a strict
+// superset of rows never costs fewer cycles.
+func TestQuickKernelCostMonotone(t *testing.T) {
+	f := func(seed int64, kernelRaw uint8) bool {
+		pool := Pool()
+		info := pool[int(kernelRaw)%len(pool)]
+		rng := rand.New(rand.NewSource(seed))
+		a := matgen.RandomUniform(200, 64, 1, 8, rng.Int63())
+		v := make([]float64, a.Cols)
+		u := make([]float64, a.Rows)
+
+		cost := func(nRows int) float64 {
+			run := hsa.NewRun(hsa.DefaultConfig())
+			in := NewInput(run, a, v, u)
+			info.Kernel.Run(run, in, []binning.Group{{Start: 0, Count: int32(nRows)}})
+			return run.Stats().Cycles
+		}
+		half := cost(100)
+		full := cost(200)
+		if full < half {
+			t.Logf("%s: 200 rows (%f) cheaper than 100 rows (%f)", info.Name, full, half)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+)
+
+// Serial is Kernel-Serial (Algorithm 3): each work-item owns one row and
+// walks it sequentially. With 256-thread work-groups, a wavefront processes
+// 64 rows in lock-step, so the wavefront's trip count is its longest row
+// (divergence) and each iteration gathers from 64 different row positions
+// (poor coalescing on long rows, acceptable on uniformly short ones).
+//
+// The paper launches ceil(bin.size()/256) work-groups of 256 threads.
+type Serial struct{}
+
+// Name implements Kernel.
+func (Serial) Name() string { return "serial" }
+
+// Run implements Kernel.
+func (Serial) Run(run *hsa.Run, in *Input, groups []binning.Group) {
+	cfg := run.Config()
+	wfSize := cfg.WavefrontSize
+
+	it := rowIter{groups: groups}
+	wgRows := make([]int32, 0, cfg.MaxWorkGroupSize)
+	addrs := make([]int64, 0, wfSize)
+	vAddrs := make([]int64, 0, wfSize)
+	sums := make([]float64, wfSize)
+
+	a := in.A
+	for {
+		wgRows = it.take(wgRows[:0:cap(wgRows)])
+		if len(wgRows) == 0 {
+			break
+		}
+		g := run.BeginWG()
+		for lo := 0; lo < len(wgRows); lo += wfSize {
+			hi := lo + wfSize
+			if hi > len(wgRows) {
+				hi = len(wgRows)
+			}
+			rows := wgRows[lo:hi]
+			acc := g.WF()
+
+			// Each lane reads its bin entry and the two row pointers.
+			addrs = addrs[:0]
+			for _, r := range rows {
+				addrs = append(addrs, int64(r))
+			}
+			acc.Gather(in.RegBin, addrs)
+			acc.Gather(in.RegRowPtr, addrs)
+			for i := range addrs {
+				addrs[i]++
+			}
+			acc.Gather(in.RegRowPtr, addrs)
+			acc.ALU(2) // rowStart/rowEnd setup
+
+			// Lock-step walk: iteration t loads element rowStart+t of every
+			// still-active row; the wavefront runs until its longest row ends.
+			maxLen := 0
+			for i, r := range rows {
+				sums[i] = 0
+				if l := a.RowLen(int(r)); l > maxLen {
+					maxLen = l
+				}
+			}
+			for t := 0; t < maxLen; t++ {
+				addrs = addrs[:0]
+				vAddrs = vAddrs[:0]
+				for i, r := range rows {
+					lo := a.RowPtr[r]
+					if int64(t) >= a.RowPtr[r+1]-lo {
+						continue
+					}
+					k := lo + int64(t)
+					addrs = append(addrs, k)
+					c := a.ColIdx[k]
+					vAddrs = append(vAddrs, int64(c))
+					sums[i] += a.Val[k] * in.V[c]
+				}
+				acc.Gather(in.RegColIdx, addrs)
+				acc.Gather(in.RegVal, addrs)
+				acc.Gather(in.RegV, vAddrs)
+				acc.ALU(2) // multiply-accumulate + loop bookkeeping
+			}
+
+			// Scatter the results to u.
+			addrs = addrs[:0]
+			for i, r := range rows {
+				in.U[r] = sums[i]
+				addrs = append(addrs, int64(r))
+			}
+			acc.Gather(in.RegU, addrs)
+		}
+		g.End()
+	}
+}

@@ -1,0 +1,172 @@
+package kernels
+
+import (
+	"fmt"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/sparse"
+)
+
+// ldsFactor is the paper's local-memory buffering multiple ("we set the
+// size of local memory to be factor times of the workgroup size", factor=4
+// in Algorithms 4 and 5): each lane stages ldsFactor products per round.
+const ldsFactor = 4
+
+// Subvector is Kernel-SubvectorX (Algorithm 4) for X work-items per row,
+// and — with X equal to the full work-group size — Kernel-Vector
+// (Algorithm 5). Per round, the X lanes of a subvector load ldsFactor*X
+// consecutive row elements (coalesced), stage the products in LDS, and
+// combine them with a segmented parallel reduction before the first lane
+// accumulates into the row sum.
+type Subvector struct {
+	X      int
+	vector bool // true for the Kernel-Vector variant (X = work-group size)
+
+	// Factor overrides the LDS buffering multiple for ablation studies;
+	// 0 selects the paper's ldsFactor of 4.
+	Factor int
+}
+
+func (s Subvector) factor() int {
+	if s.Factor > 0 {
+		return s.Factor
+	}
+	return ldsFactor
+}
+
+// Name implements Kernel.
+func (s Subvector) Name() string {
+	if s.vector {
+		return "vector"
+	}
+	return fmt.Sprintf("subvector%d", s.X)
+}
+
+func dotRow(a *sparse.CSR, v []float64, r int32) float64 {
+	lo, hi := a.RowPtr[r], a.RowPtr[r+1]
+	sum := 0.0
+	for k := lo; k < hi; k++ {
+		sum += a.Val[k] * v[a.ColIdx[k]]
+	}
+	return sum
+}
+
+// Run implements Kernel.
+func (s Subvector) Run(run *hsa.Run, in *Input, groups []binning.Group) {
+	cfg := run.Config()
+	wgSize := cfg.MaxWorkGroupSize
+	wfSize := cfg.WavefrontSize
+	x := s.X
+	if x < 2 {
+		x = 2
+	}
+	if x > wgSize {
+		x = wgSize
+	}
+	rowsPerWG := wgSize / x
+	factor := s.factor()
+	chunk := factor * x // elements one subvector consumes per round
+
+	a := in.A
+	it := rowIter{groups: groups}
+	rows := make([]int32, 0, rowsPerWG)
+	addrs := make([]int64, 0, wfSize)
+	vAddrs := make([]int64, 0, wfSize)
+	redSteps := log2ceil(chunk)
+
+	for {
+		rows = it.take(rows[:0:cap(rows)])
+		if len(rows) == 0 {
+			break
+		}
+		// Functional result, independent of the accounting below.
+		for _, r := range rows {
+			in.U[r] = dotRow(a, in.V, r)
+		}
+
+		g := run.BeginWG()
+		for wf := 0; wf < wgSize/wfSize; wf++ {
+			gidLo := wf * wfSize
+			slotLo := gidLo / x
+			acc := g.WF()
+			if slotLo >= len(rows) {
+				// This wavefront's row slots are beyond the tail: its lanes
+				// exit after the bounds check.
+				acc.ALU(2)
+				continue
+			}
+			slotHi := (gidLo + wfSize - 1) / x
+			if slotHi >= len(rows) {
+				slotHi = len(rows) - 1
+			}
+
+			// Bin entry + row pointer loads for the covered slots.
+			addrs = addrs[:0]
+			for slot := slotLo; slot <= slotHi; slot++ {
+				addrs = append(addrs, int64(rows[slot]))
+			}
+			acc.Gather(in.RegBin, addrs)
+			acc.Gather(in.RegRowPtr, addrs)
+			for i := range addrs {
+				addrs[i]++
+			}
+			acc.Gather(in.RegRowPtr, addrs)
+			acc.ALU(2)
+
+			// The wavefront iterates until its longest covered row is done.
+			maxRounds := 0
+			for slot := slotLo; slot <= slotHi; slot++ {
+				l := a.RowLen(int(rows[slot]))
+				r := (l + chunk - 1) / chunk
+				if r > maxRounds {
+					maxRounds = r
+				}
+			}
+
+			for round := 0; round < maxRounds; round++ {
+				for t := 0; t < factor; t++ {
+					addrs = addrs[:0]
+					vAddrs = vAddrs[:0]
+					for gid := gidLo; gid < gidLo+wfSize; gid++ {
+						slot := gid / x
+						if slot >= len(rows) {
+							continue
+						}
+						lane := gid % x
+						r := rows[slot]
+						e := a.RowPtr[r] + int64(round*chunk+t*x+lane)
+						if e < a.RowPtr[r+1] {
+							addrs = append(addrs, e)
+							vAddrs = append(vAddrs, int64(a.ColIdx[e]))
+						}
+					}
+					if len(addrs) > 0 {
+						acc.Gather(in.RegColIdx, addrs)
+						acc.Gather(in.RegVal, addrs)
+						acc.Gather(in.RegV, vAddrs)
+						acc.ALU(1) // product
+					}
+					acc.LDS(1) // stage into localMem
+				}
+				acc.Barrier()
+				// Segmented parallel reduction over the staged products.
+				acc.LDS(2 * redSteps)
+				acc.ALU(redSteps)
+				acc.Barrier()
+				acc.ALU(1) // first lane accumulates into sum
+			}
+
+			// Lane 0 of each subvector writes the row result.
+			addrs = addrs[:0]
+			for slot := slotLo; slot <= slotHi; slot++ {
+				gid0 := slot * x
+				if gid0 >= gidLo && gid0 < gidLo+wfSize {
+					addrs = append(addrs, int64(rows[slot]))
+				}
+			}
+			acc.Gather(in.RegU, addrs)
+		}
+		g.End()
+	}
+}

@@ -1,0 +1,115 @@
+package matgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spmvtune/internal/sparse"
+)
+
+// CorpusOptions controls synthetic training-corpus generation. The corpus
+// plays the role of the paper's ~2000 UF-collection matrices: a seeded
+// population spanning the feature space the two-stage model trains on.
+type CorpusOptions struct {
+	N       int   // number of matrices
+	MinRows int   // smallest matrix height
+	MaxRows int   // largest matrix height
+	Seed    int64 // master seed
+}
+
+// DefaultCorpusOptions returns a corpus sized for offline training on one
+// machine: feature-space coverage matters more than raw count, so the
+// default is smaller than the paper's 2000 but spans the same families.
+func DefaultCorpusOptions() CorpusOptions {
+	return CorpusOptions{N: 240, MinRows: 512, MaxRows: 8192, Seed: 42}
+}
+
+// CorpusMatrix is one member of the synthetic training corpus.
+type CorpusMatrix struct {
+	Name   string
+	Family string
+	A      *sparse.CSR
+}
+
+// Corpus generates opts.N matrices cycling through the generator families
+// with randomized parameters. The mix is weighted toward short-row matrices
+// to match the UF-collection histogram (Figure 5: ~98.7% of rows have ≤100
+// non-zeros), while still covering medium and long-row regimes so that
+// every kernel in the pool is optimal somewhere.
+func Corpus(opts CorpusOptions) []CorpusMatrix {
+	if opts.N <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rows := func() int {
+		if opts.MaxRows <= opts.MinRows {
+			return opts.MinRows
+		}
+		return opts.MinRows + rng.Intn(opts.MaxRows-opts.MinRows)
+	}
+	out := make([]CorpusMatrix, 0, opts.N)
+	add := func(family string, a *sparse.CSR) {
+		out = append(out, CorpusMatrix{
+			Name:   fmt.Sprintf("%s-%04d", family, len(out)),
+			Family: family,
+			A:      a,
+		})
+	}
+	// Family weights: index into this slice selects the family; short-row
+	// families dominate, matching Figure 5.
+	for len(out) < opts.N {
+		seed := rng.Int63()
+		switch rng.Intn(10) {
+		case 0, 1:
+			add("banded", Banded(rows(), 3+rng.Intn(12), seed))
+		case 2:
+			add("road", RoadNetwork(rows(), seed))
+		case 3, 4:
+			m := rows()
+			n := m / (1 + rng.Intn(4))
+			if n < 32 {
+				n = 32
+			}
+			add("bipartite", Bipartite(m, n, 1+rng.Intn(6), seed))
+		case 5:
+			add("powerlaw", PowerLaw(rows(), 2+rng.Intn(8), 1.6+rng.Float64(), 512, seed))
+		case 6:
+			m := rows()
+			add("uniform", RandomUniform(m, m, 1+rng.Intn(8), 8+rng.Intn(40), seed))
+		case 7:
+			// Medium rows: 20-120 nnz per row.
+			m := rows() / 2
+			if m < 256 {
+				m = 256
+			}
+			w := 20 + rng.Intn(100)
+			add("blockfem", BlockFEM(m, w, w/4, seed))
+		case 8:
+			// Long rows: 150-600 nnz per row. Half the samples keep the
+			// full row count so the model sees long-row bins that are also
+			// large (the regime of crankseg_2/HV15R-class matrices).
+			m := rows() / 8
+			if rng.Intn(2) == 0 {
+				m = rows()
+			}
+			if m < 128 {
+				m = 128
+			}
+			w := 150 + rng.Intn(450)
+			add("blockfem-long", BlockFEM(m, w, w/5, seed))
+		case 9:
+			// Mixed regions. Half mild (short + medium rows), half extreme
+			// (short + very long rows) — the latter are the inputs where
+			// per-bin kernel selection pays off most, so they anchor the
+			// stage-1 labels at small granularities.
+			m := rows()
+			region := 16 << rng.Intn(5)
+			lens := []int{1 + rng.Intn(4), 10 + rng.Intn(40), 2 + rng.Intn(6)}
+			if rng.Intn(2) == 0 {
+				lens = []int{1 + rng.Intn(4), 150 + rng.Intn(500)}
+			}
+			add("mixed", Mixed(m, m, region, lens, seed))
+		}
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+// Package matgen generates synthetic sparse matrices that stand in for the
+// SuiteSparse/UF collection used by the paper: seeded, reproducible
+// generators spanning the same row-length-distribution space (banded FEM
+// stencils, power-law graphs, road networks, bipartite combinatorial
+// matrices, block-structured problems with very long rows, and mixtures).
+//
+// The auto-tuner only ever observes (feature vector, kernel timings), so
+// matching the distributional shape of the real collection is what matters
+// for reproducing the paper's results.
+package matgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"spmvtune/internal/sparse"
+)
+
+// build assembles a CSR matrix from a per-row generator. gen must append
+// the column indices of row i to dst and return it; duplicates are removed
+// and rows are sorted here. Values are drawn from N(0,1) deterministically.
+func build(rows, cols int, seed int64, gen func(i int, rng *rand.Rand, dst []int32) []int32) *sparse.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	a := &sparse.CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	var scratch []int32
+	for i := 0; i < rows; i++ {
+		scratch = gen(i, rng, scratch[:0])
+		sort.Slice(scratch, func(x, y int) bool { return scratch[x] < scratch[y] })
+		// Dedup in place.
+		w := 0
+		for k, c := range scratch {
+			if k > 0 && c == scratch[w-1] {
+				continue
+			}
+			scratch[w] = c
+			w++
+		}
+		for _, c := range scratch[:w] {
+			a.ColIdx = append(a.ColIdx, c)
+			a.Val = append(a.Val, rng.NormFloat64())
+		}
+		a.RowPtr[i+1] = int64(len(a.ColIdx))
+	}
+	return a
+}
+
+func clampCol(c, cols int) int32 {
+	if c < 0 {
+		c = 0
+	}
+	if c >= cols {
+		c = cols - 1
+	}
+	return int32(c)
+}
+
+// Banded generates a square banded matrix: each row has up to `band`
+// entries centered on the diagonal (a 1-D FEM/stencil pattern, as in
+// apache1 or cryg10000). Row lengths are nearly uniform.
+func Banded(rows, band int, seed int64) *sparse.CSR {
+	if band < 1 {
+		band = 1
+	}
+	half := band / 2
+	return build(rows, rows, seed, func(i int, _ *rand.Rand, dst []int32) []int32 {
+		for d := -half; d <= band-half-1; d++ {
+			dst = append(dst, clampCol(i+d, rows))
+		}
+		return dst
+	})
+}
+
+// Diagonal generates the identity pattern with random values.
+func Diagonal(rows int, seed int64) *sparse.CSR {
+	return build(rows, rows, seed, func(i int, _ *rand.Rand, dst []int32) []int32 {
+		return append(dst, int32(i))
+	})
+}
+
+// RandomUniform generates rows whose length is uniform in
+// [minLen, maxLen] with uniformly random column positions.
+func RandomUniform(rows, cols, minLen, maxLen int, seed int64) *sparse.CSR {
+	if minLen < 0 {
+		minLen = 0
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	return build(rows, cols, seed, func(_ int, rng *rand.Rand, dst []int32) []int32 {
+		l := minLen + rng.Intn(maxLen-minLen+1)
+		if l > cols {
+			l = cols
+		}
+		for k := 0; k < l; k++ {
+			dst = append(dst, int32(rng.Intn(cols)))
+		}
+		return dst
+	})
+}
+
+// PowerLaw generates a scale-free-like square matrix: row lengths follow a
+// discrete power law with exponent alpha, truncated to [1, maxLen]. A small
+// alpha (~1.8) yields a heavy tail of very long rows among a mass of short
+// ones — the shape of web/social graphs such as dictionary28.
+func PowerLaw(rows, avgTarget int, alpha float64, maxLen int, seed int64) *sparse.CSR {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	if maxLen > rows {
+		maxLen = rows
+	}
+	// Inverse-CDF sampling of P(l) ∝ l^-alpha on [1, maxLen].
+	sample := func(rng *rand.Rand) int {
+		u := rng.Float64()
+		oneMinus := 1 - alpha
+		lmax := math.Pow(float64(maxLen), oneMinus)
+		l := math.Pow(u*(lmax-1)+1, 1/oneMinus)
+		n := int(l)
+		if n < 1 {
+			n = 1
+		}
+		if n > maxLen {
+			n = maxLen
+		}
+		return n
+	}
+	// Scale so the expected length lands near avgTarget: estimate the raw
+	// mean from a pilot sample, then multiply.
+	pilot := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	sum := 0
+	const pilots = 2048
+	for k := 0; k < pilots; k++ {
+		sum += sample(pilot)
+	}
+	scale := 1.0
+	if sum > 0 && avgTarget > 0 {
+		scale = float64(avgTarget) * pilots / float64(sum)
+	}
+	return build(rows, rows, seed, func(_ int, rng *rand.Rand, dst []int32) []int32 {
+		l := int(float64(sample(rng)) * scale)
+		if l < 1 {
+			l = 1
+		}
+		if l > rows {
+			l = rows
+		}
+		for k := 0; k < l; k++ {
+			dst = append(dst, int32(rng.Intn(rows)))
+		}
+		return dst
+	})
+}
+
+// RoadNetwork generates a square matrix shaped like a planar road graph
+// (europe_osm, roadNet-CA): degree mostly 1–4, neighbors close to the
+// diagonal (strong locality after the natural node ordering).
+func RoadNetwork(rows int, seed int64) *sparse.CSR {
+	return build(rows, rows, seed, func(i int, rng *rand.Rand, dst []int32) []int32 {
+		deg := 1 + rng.Intn(4) // 1..4
+		for k := 0; k < deg; k++ {
+			// Mostly local links, occasional longer hop.
+			span := 8
+			if rng.Intn(16) == 0 {
+				span = rows / 64
+				if span < 8 {
+					span = 8
+				}
+			}
+			off := rng.Intn(2*span+1) - span
+			if off == 0 {
+				off = 1
+			}
+			dst = append(dst, clampCol(i+off, rows))
+		}
+		return dst
+	})
+}
+
+// Bipartite generates a rectangular combinatorial matrix (ch7-9-b3,
+// shar_te2-b2, D6-6): every row has exactly rowLen uniformly random columns
+// out of cols. Row lengths are constant and short.
+func Bipartite(rows, cols, rowLen int, seed int64) *sparse.CSR {
+	if rowLen > cols {
+		rowLen = cols
+	}
+	return build(rows, cols, seed, func(_ int, rng *rand.Rand, dst []int32) []int32 {
+		for len(dst) < rowLen {
+			c := int32(rng.Intn(cols))
+			dup := false
+			for _, e := range dst {
+				if e == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				dst = append(dst, c)
+			}
+		}
+		return dst
+	})
+}
+
+// BlockFEM generates a square matrix of overlapping dense diagonal blocks:
+// each row sees every column of its block neighborhood, producing long rows
+// of width ≈ blockWidth (crankseg_2, pkustk14, pcrystk02, Ga3As3H12).
+// jitter adds ±jitter random variation to the per-row width.
+func BlockFEM(rows, blockWidth, jitter int, seed int64) *sparse.CSR {
+	if blockWidth < 1 {
+		blockWidth = 1
+	}
+	return build(rows, rows, seed, func(i int, rng *rand.Rand, dst []int32) []int32 {
+		w := blockWidth
+		if jitter > 0 {
+			w += rng.Intn(2*jitter+1) - jitter
+		}
+		if w < 1 {
+			w = 1
+		}
+		start := i - w/2
+		for d := 0; d < w; d++ {
+			dst = append(dst, clampCol(start+d, rows))
+		}
+		return dst
+	})
+}
+
+// Mixed concatenates regions with different per-row lengths: lens[r] gives
+// the row length used for the r-th region of regionRows rows, cycling until
+// rows are exhausted. This produces exactly the "short rows followed by
+// medium rows" scenarios of Section III-B.
+func Mixed(rows, cols, regionRows int, lens []int, seed int64) *sparse.CSR {
+	if regionRows < 1 {
+		regionRows = 1
+	}
+	if len(lens) == 0 {
+		lens = []int{1}
+	}
+	return build(rows, cols, seed, func(i int, rng *rand.Rand, dst []int32) []int32 {
+		l := lens[(i/regionRows)%len(lens)]
+		if l > cols {
+			l = cols
+		}
+		for k := 0; k < l; k++ {
+			dst = append(dst, int32(rng.Intn(cols)))
+		}
+		return dst
+	})
+}
+
+// SingleNNZRows generates the Figure 8 overhead workload: rows rows, each
+// with exactly one non-zero (on the diagonal position modulo cols).
+func SingleNNZRows(rows, cols int, seed int64) *sparse.CSR {
+	return build(rows, cols, seed, func(i int, _ *rand.Rand, dst []int32) []int32 {
+		return append(dst, int32(i%cols))
+	})
+}
+
+// QuasiDense generates rows of length near cols*density with uniform
+// positions — the "denormal"-style counter-example matrices.
+func QuasiDense(rows, cols int, density float64, seed int64) *sparse.CSR {
+	l := int(float64(cols) * density)
+	if l < 1 {
+		l = 1
+	}
+	return RandomUniform(rows, cols, l-l/8, l+l/8, seed)
+}
+
+// RMAT generates a recursive-matrix (R-MAT/Kronecker) graph of 2^scale
+// vertices and avgDeg*2^scale edges with partition probabilities
+// (a, b, c, 1-a-b-c). R-MAT produces the skewed, community-structured
+// degree distributions of real web/social graphs — a harder case than
+// PowerLaw because hub rows cluster, stressing both binning and the
+// kernels' divergence handling.
+func RMAT(scale, avgDeg int, a, b, c float64, seed int64) *sparse.CSR {
+	n := 1 << scale
+	edges := n * avgDeg
+	rng := rand.New(rand.NewSource(seed))
+	coo := &sparse.COO{Rows: n, Cols: n}
+	for e := 0; e < edges; e++ {
+		row, col := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left quadrant
+			case r < a+b:
+				col |= 1 << bit
+			case r < a+b+c:
+				row |= 1 << bit
+			default:
+				row |= 1 << bit
+				col |= 1 << bit
+			}
+		}
+		coo.Add(row, col, rng.NormFloat64())
+	}
+	m, err := coo.ToCSR()
+	if err != nil {
+		panic(err) // indices are in range by construction
+	}
+	return m
+}

@@ -1,0 +1,296 @@
+package matgen
+
+import (
+	"testing"
+
+	"spmvtune/internal/sparse"
+)
+
+// checkValid validates structural invariants and sorted, duplicate-free rows.
+func checkValid(t *testing.T, name string, a *sparse.CSR) {
+	t.Helper()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !a.HasSortedRows() {
+		t.Fatalf("%s: rows not sorted/deduped", name)
+	}
+}
+
+func TestBanded(t *testing.T) {
+	a := Banded(100, 5, 1)
+	checkValid(t, "banded", a)
+	if a.Rows != 100 || a.Cols != 100 {
+		t.Fatalf("dims %dx%d", a.Rows, a.Cols)
+	}
+	st := sparse.ComputeRowStats(a)
+	if st.Max > 5 {
+		t.Errorf("max row len %d > band 5", st.Max)
+	}
+	// Interior rows must have exactly the band width.
+	if got := a.RowLen(50); got != 5 {
+		t.Errorf("interior row len = %d, want 5", got)
+	}
+	if bw := sparse.Bandwidth(a); bw > 3 {
+		t.Errorf("bandwidth %d too wide for band 5", bw)
+	}
+}
+
+func TestBandedDegenerate(t *testing.T) {
+	a := Banded(10, 0, 1) // clamps to band 1
+	checkValid(t, "banded0", a)
+	if a.NNZ() != 10 {
+		t.Errorf("band-1 NNZ = %d, want 10", a.NNZ())
+	}
+}
+
+func TestDiagonal(t *testing.T) {
+	a := Diagonal(50, 2)
+	checkValid(t, "diag", a)
+	for i := 0; i < 50; i++ {
+		if a.RowLen(i) != 1 || a.ColIdx[a.RowPtr[i]] != int32(i) {
+			t.Fatalf("row %d not diagonal", i)
+		}
+	}
+}
+
+func TestRandomUniform(t *testing.T) {
+	a := RandomUniform(200, 150, 2, 10, 3)
+	checkValid(t, "uniform", a)
+	st := sparse.ComputeRowStats(a)
+	if st.Max > 10 {
+		t.Errorf("max row len %d > 10", st.Max)
+	}
+	if a.Cols != 150 {
+		t.Errorf("cols = %d", a.Cols)
+	}
+}
+
+func TestRandomUniformClamps(t *testing.T) {
+	a := RandomUniform(10, 4, -5, 100, 3) // minLen clamps to 0, maxLen to cols
+	checkValid(t, "uniform-clamp", a)
+	st := sparse.ComputeRowStats(a)
+	if st.Max > 4 {
+		t.Errorf("row longer than column count: %d", st.Max)
+	}
+}
+
+func TestPowerLaw(t *testing.T) {
+	a := PowerLaw(2000, 4, 2.0, 256, 4)
+	checkValid(t, "powerlaw", a)
+	st := sparse.ComputeRowStats(a)
+	if st.Mean < 1 || st.Mean > 20 {
+		t.Errorf("power-law mean %v far from target 4", st.Mean)
+	}
+	// Heavy tail: max much larger than mean.
+	if float64(st.Max) < 4*st.Mean {
+		t.Errorf("no heavy tail: max=%d mean=%v", st.Max, st.Mean)
+	}
+}
+
+func TestRoadNetwork(t *testing.T) {
+	a := RoadNetwork(5000, 5)
+	checkValid(t, "road", a)
+	st := sparse.ComputeRowStats(a)
+	if st.Max > 4 {
+		t.Errorf("road degree %d > 4", st.Max)
+	}
+	if st.Mean < 1 || st.Mean > 4 {
+		t.Errorf("road mean degree %v out of [1,4]", st.Mean)
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	a := Bipartite(300, 40, 4, 6)
+	checkValid(t, "bipartite", a)
+	for i := 0; i < a.Rows; i++ {
+		if a.RowLen(i) != 4 {
+			t.Fatalf("row %d len %d, want exactly 4", i, a.RowLen(i))
+		}
+	}
+	if a.Cols != 40 {
+		t.Errorf("cols = %d", a.Cols)
+	}
+	// rowLen > cols clamps.
+	b := Bipartite(10, 3, 10, 6)
+	checkValid(t, "bipartite-clamp", b)
+	if b.RowLen(0) != 3 {
+		t.Errorf("clamped row len = %d, want 3", b.RowLen(0))
+	}
+}
+
+func TestBlockFEM(t *testing.T) {
+	a := BlockFEM(1000, 100, 20, 7)
+	checkValid(t, "blockfem", a)
+	st := sparse.ComputeRowStats(a)
+	if st.Mean < 60 || st.Mean > 140 {
+		t.Errorf("blockfem mean %v far from 100", st.Mean)
+	}
+	if st.Max > 121 {
+		t.Errorf("blockfem max %d > width+jitter", st.Max)
+	}
+}
+
+func TestMixedRegions(t *testing.T) {
+	a := Mixed(100, 100, 10, []int{1, 9}, 8)
+	checkValid(t, "mixed", a)
+	// First region rows are length 1; second region rows near 9 (dedup can
+	// shave a little).
+	if a.RowLen(0) != 1 || a.RowLen(9) != 1 {
+		t.Errorf("region 0 rows should have 1 nnz, got %d/%d", a.RowLen(0), a.RowLen(9))
+	}
+	if a.RowLen(10) < 7 {
+		t.Errorf("region 1 row len = %d, want ~9", a.RowLen(10))
+	}
+}
+
+func TestSingleNNZRows(t *testing.T) {
+	a := SingleNNZRows(1000, 100, 9)
+	checkValid(t, "single", a)
+	if a.NNZ() != 1000 {
+		t.Errorf("NNZ = %d, want 1000", a.NNZ())
+	}
+	for i := 0; i < a.Rows; i++ {
+		if a.RowLen(i) != 1 {
+			t.Fatalf("row %d len != 1", i)
+		}
+	}
+}
+
+func TestQuasiDense(t *testing.T) {
+	a := QuasiDense(100, 200, 0.5, 10)
+	checkValid(t, "quasidense", a)
+	st := sparse.ComputeRowStats(a)
+	if st.Mean < 60 || st.Mean > 120 {
+		t.Errorf("quasi-dense mean %v far from 100", st.Mean)
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	a := RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	checkValid(t, "rmat", a)
+	if a.Rows != 1024 || a.Cols != 1024 {
+		t.Fatalf("dims %dx%d, want 1024x1024", a.Rows, a.Cols)
+	}
+	st := sparse.ComputeRowStats(a)
+	// Duplicate edges merge, so the average is below 8 but should be
+	// non-trivial; the R-MAT skew must give a heavy-tailed maximum.
+	if st.Mean < 2 || st.Mean > 8 {
+		t.Errorf("mean degree %v out of range", st.Mean)
+	}
+	if float64(st.Max) < 3*st.Mean {
+		t.Errorf("no hub rows: max %d vs mean %v", st.Max, st.Mean)
+	}
+	// Determinism.
+	b := RMAT(10, 8, 0.57, 0.19, 0.19, 3)
+	if a.NNZ() != b.NNZ() {
+		t.Error("RMAT not deterministic")
+	}
+	// Uniform probabilities (a=b=c=0.25) behave like an Erdos-Renyi graph:
+	// much lighter tail.
+	u := RMAT(10, 8, 0.25, 0.25, 0.25, 4)
+	su := sparse.ComputeRowStats(u)
+	if su.Variance >= st.Variance {
+		t.Errorf("uniform RMAT variance %v should be below skewed %v", su.Variance, st.Variance)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := PowerLaw(500, 4, 2.0, 128, 77)
+	b := PowerLaw(500, 4, 2.0, 128, 77)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed produced different NNZ")
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] || a.Val[k] != b.Val[k] {
+			t.Fatal("same seed produced different matrix")
+		}
+	}
+	c := PowerLaw(500, 4, 2.0, 128, 78)
+	if c.NNZ() == a.NNZ() {
+		same := true
+		for k := range a.ColIdx {
+			if a.ColIdx[k] != c.ColIdx[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical matrix")
+		}
+	}
+}
+
+func TestRepresentativeRecipes(t *testing.T) {
+	reps := Representative()
+	if len(reps) != 16 {
+		t.Fatalf("got %d representative matrices, want 16", len(reps))
+	}
+	seen := map[string]bool{}
+	for _, r := range reps {
+		if seen[r.Name] {
+			t.Errorf("duplicate recipe %s", r.Name)
+		}
+		seen[r.Name] = true
+		a := r.Gen(256) // heavily scaled for the test
+		checkValid(t, r.Name, a)
+		if a.Rows < 64 {
+			t.Errorf("%s: too few rows (%d)", r.Name, a.Rows)
+		}
+	}
+	for _, n := range SingleBinSix() {
+		if !seen[n] {
+			t.Errorf("single-bin matrix %s not in representative set", n)
+		}
+	}
+}
+
+// Row-length regimes must differ across recipes the way Table II implies:
+// crankseg_2 has very long rows, D6-6 very short ones.
+func TestRepresentativeShapes(t *testing.T) {
+	byName := map[string]*sparse.CSR{}
+	for _, r := range Representative() {
+		byName[r.Name] = r.Gen(64)
+	}
+	long := sparse.ComputeRowStats(byName["crankseg_2"])
+	short := sparse.ComputeRowStats(byName["D6-6"])
+	if long.Mean < 100 {
+		t.Errorf("crankseg_2 mean row len %v, want >100", long.Mean)
+	}
+	if short.Mean > 2 {
+		t.Errorf("D6-6 mean row len %v, want <2", short.Mean)
+	}
+	rect := byName["ch7-9-b3"]
+	if rect.Cols >= rect.Rows {
+		t.Errorf("ch7-9-b3 should be tall rectangular, got %dx%d", rect.Rows, rect.Cols)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	opts := CorpusOptions{N: 30, MinRows: 128, MaxRows: 512, Seed: 1}
+	c := Corpus(opts)
+	if len(c) != 30 {
+		t.Fatalf("corpus size %d, want 30", len(c))
+	}
+	families := map[string]int{}
+	for _, m := range c {
+		checkValid(t, m.Name, m.A)
+		families[m.Family]++
+		if m.A.Rows < 16 {
+			t.Errorf("%s too small: %d rows", m.Name, m.A.Rows)
+		}
+	}
+	if len(families) < 4 {
+		t.Errorf("corpus spans only %d families, want >=4 for feature coverage", len(families))
+	}
+	// Determinism.
+	c2 := Corpus(opts)
+	for i := range c {
+		if c[i].A.NNZ() != c2[i].A.NNZ() {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+	if Corpus(CorpusOptions{N: 0}) != nil {
+		t.Error("empty corpus should be nil")
+	}
+}

@@ -1,0 +1,117 @@
+package matgen
+
+import "spmvtune/internal/sparse"
+
+// Named pairs a generated matrix recipe with the Table II matrix it stands
+// in for.
+type Named struct {
+	Name string // paper matrix name
+	Kind string // application domain from Table II
+	Gen  func(scale int) *sparse.CSR
+}
+
+// Representative returns recipes for the paper's 16 representative matrices
+// (Table II). Each recipe reproduces the matrix's kind, aspect ratio and
+// row-length distribution; `scale` divides the row count (scale=1 is the
+// full published size, the experiments default to scale>=16 so that the
+// simulator finishes quickly).
+func Representative() []Named {
+	div := func(n, scale int) int {
+		v := n / scale
+		if v < 64 {
+			v = 64
+		}
+		return v
+	}
+	return []Named{
+		{
+			Name: "apache1", Kind: "Structural problem",
+			// 81k x 81k, 542k nnz => ~6.7 per row, banded stencil.
+			Gen: func(s int) *sparse.CSR { return Banded(div(80800, s), 7, 101) },
+		},
+		{
+			Name: "bfly", Kind: "Undirected graph sequence",
+			// 49k x 49k, 197k => 4 per row regular graph with locality.
+			Gen: func(s int) *sparse.CSR { return Bipartite(div(49152, s), div(49152, s), 4, 102) },
+		},
+		{
+			Name: "ch7-9-b3", Kind: "Combinatorial problem",
+			// 106k x 18k, 423k => exactly 4 per row, rectangular.
+			Gen: func(s int) *sparse.CSR { return Bipartite(div(105840, s), div(17640, s), 4, 103) },
+		},
+		{
+			Name: "crankseg_2", Kind: "Structural problem",
+			// 64k x 64k, 14M => ~222 per row, FEM blocks with jitter.
+			Gen: func(s int) *sparse.CSR { return BlockFEM(div(63838, s), 222, 60, 104) },
+		},
+		{
+			Name: "cryg10000", Kind: "Materials problem",
+			// 10k x 10k, 50k => ~5 per row banded.
+			Gen: func(s int) *sparse.CSR { return Banded(div(10000, s), 5, 105) },
+		},
+		{
+			Name: "D6-6", Kind: "Combinatorial problem",
+			// 120k x 24k, 147k => ~1.2 per row: mostly 1, some 2.
+			Gen: func(s int) *sparse.CSR {
+				return Mixed(div(120576, s), div(23740, s), 8, []int{1, 1, 1, 2, 1, 1, 1, 1}, 106)
+			},
+		},
+		{
+			Name: "denormal", Kind: "Counter-example problem",
+			// 89k x 89k, 1m => ~13 per row banded.
+			Gen: func(s int) *sparse.CSR { return Banded(div(89400, s), 13, 107) },
+		},
+		{
+			Name: "dictionary28", Kind: "Undirected graph",
+			// 53k x 53k, 178k => ~3.4 avg, power law tail.
+			Gen: func(s int) *sparse.CSR { return PowerLaw(div(52652, s), 3, 2.2, 1024, 108) },
+		},
+		{
+			Name: "europe_osm", Kind: "Undirected graph",
+			// 51m x 51m, 108m => ~2.1 per row road network.
+			Gen: func(s int) *sparse.CSR { return RoadNetwork(div(50912018, s*8), 109) },
+		},
+		{
+			Name: "Ga3As3H12", Kind: "Theoretical/quantum chemistry problem",
+			// 61k x 61k, 6m => ~98 per row with wide jitter.
+			Gen: func(s int) *sparse.CSR { return BlockFEM(div(61349, s), 98, 70, 110) },
+		},
+		{
+			Name: "HV15R", Kind: "CFD problem",
+			// 2m x 2m, 283m => ~140 per row CFD blocks.
+			Gen: func(s int) *sparse.CSR { return BlockFEM(div(2017169, s*8), 140, 30, 111) },
+		},
+		{
+			Name: "pcrystk02", Kind: "Duplicate materials problem",
+			// 14k x 14k, 969k => ~70 per row block stencil.
+			Gen: func(s int) *sparse.CSR { return BlockFEM(div(13965, s), 69, 12, 112) },
+		},
+		{
+			Name: "pkustk14", Kind: "Structural problem",
+			// 152k x 152k, 15m => ~98 per row structural blocks.
+			Gen: func(s int) *sparse.CSR { return BlockFEM(div(151926, s), 98, 20, 113) },
+		},
+		{
+			Name: "roadNet-CA", Kind: "Undirected graph",
+			// 2m x 2m, 6m => ~2.8 per row road network.
+			Gen: func(s int) *sparse.CSR { return RoadNetwork(div(1971281, s*2), 114) },
+		},
+		{
+			Name: "shar_te2-b2", Kind: "Combinatorial problem",
+			// 200k x 17k, 601k => exactly 3 per row, rectangular.
+			Gen: func(s int) *sparse.CSR { return Bipartite(div(200200, s), div(17160, s), 3, 115) },
+		},
+		{
+			Name: "whitaker3_dual", Kind: "2D/3D problem",
+			// 19k x 19k, 57k => ~3 per row dual mesh.
+			Gen: func(s int) *sparse.CSR { return Banded(div(19190, s), 3, 116) },
+		},
+	}
+}
+
+// SingleBinSix returns the names of the six matrices the paper revisits in
+// Figure 9 (where the single-bin strategy with a manually chosen kernel can
+// beat CSR-Adaptive).
+func SingleBinSix() []string {
+	return []string{"crankseg_2", "D6-6", "dictionary28", "europe_osm", "Ga3As3H12", "roadNet-CA"}
+}

@@ -1,0 +1,83 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the parser with arbitrary input: it must never panic,
+// and anything it accepts must be a structurally valid matrix that
+// round-trips through Write.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1.5\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n1 1\n3 1\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 3\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix array integer symmetric\n2 2\n1\n2\n3\n",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"% garbage",
+		"%%MatrixMarket matrix coordinate real general\n1 1 2\n1 1 1\n1 1 2\n",
+		"%%MatrixMarket matrix coordinate real general\n99999 1 0\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		// A legal Matrix Market header may declare billions of rows with
+		// zero entries; CSR conversion is O(rows), so skip inputs whose
+		// size line promises enormous dimensions before parsing.
+		if declaresHugeDims(data) {
+			t.Skip()
+		}
+		a, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := a.Validate(); vErr != nil {
+			t.Fatalf("accepted invalid matrix: %v\ninput: %q", vErr, truncate(data))
+		}
+		var buf bytes.Buffer
+		if wErr := Write(&buf, a); wErr != nil {
+			t.Fatalf("cannot re-serialize accepted matrix: %v", wErr)
+		}
+		b, rErr := Read(&buf)
+		if rErr != nil {
+			t.Fatalf("cannot re-read own output: %v", rErr)
+		}
+		if b.Rows != a.Rows || b.Cols != a.Cols || b.NNZ() != a.NNZ() {
+			t.Fatalf("round trip changed shape: %dx%d/%d -> %dx%d/%d",
+				a.Rows, a.Cols, a.NNZ(), b.Rows, b.Cols, b.NNZ())
+		}
+	})
+}
+
+// declaresHugeDims peeks at the size line (first non-comment line after
+// the banner) and reports whether any dimension token exceeds 10^7.
+func declaresHugeDims(data []byte) bool {
+	for _, line := range strings.Split(string(data), "\n")[1:] {
+		l := strings.TrimSpace(line)
+		if l == "" || strings.HasPrefix(l, "%") {
+			continue
+		}
+		for _, tok := range strings.Fields(l) {
+			if len(tok) > 7 { // more than 7 digits, or junk the parser rejects anyway
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func truncate(b []byte) string {
+	s := string(b)
+	if len(s) > 200 {
+		s = s[:200] + "..."
+	}
+	return strings.ToValidUTF8(s, "?")
+}

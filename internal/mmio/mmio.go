@@ -1,0 +1,280 @@
+// Package mmio reads and writes Matrix Market exchange files, the
+// interchange format of the SuiteSparse/UF collection from which the paper
+// draws its training matrices.
+//
+// Supported: the "matrix" object in "coordinate" format with real, integer
+// or pattern fields and general, symmetric or skew-symmetric symmetry, plus
+// the dense "array" format with real/integer fields. This covers every file
+// the SpMV experiments consume.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"spmvtune/internal/sparse"
+)
+
+// Header describes the banner line of a Matrix Market file.
+type Header struct {
+	Object   string // "matrix"
+	Format   string // "coordinate" or "array"
+	Field    string // "real", "integer", "pattern"
+	Symmetry string // "general", "symmetric", "skew-symmetric"
+}
+
+func (h Header) validate() error {
+	if h.Object != "matrix" {
+		return fmt.Errorf("mmio: unsupported object %q", h.Object)
+	}
+	switch h.Format {
+	case "coordinate", "array":
+	default:
+		return fmt.Errorf("mmio: unsupported format %q", h.Format)
+	}
+	switch h.Field {
+	case "real", "integer", "pattern", "double":
+	default:
+		return fmt.Errorf("mmio: unsupported field %q", h.Field)
+	}
+	if h.Field == "pattern" && h.Format == "array" {
+		return fmt.Errorf("mmio: pattern field is invalid for array format")
+	}
+	switch h.Symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return fmt.Errorf("mmio: unsupported symmetry %q", h.Symmetry)
+	}
+	return nil
+}
+
+// Read parses a Matrix Market stream into a CSR matrix. Symmetric and
+// skew-symmetric storage is expanded to full (general) form.
+func Read(r io.Reader) (*sparse.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) != 5 || banner[0] != "%%matrixmarket" {
+		return nil, fmt.Errorf("mmio: bad banner %q", sc.Text())
+	}
+	h := Header{Object: banner[1], Format: banner[2], Field: banner[3], Symmetry: banner[4]}
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+
+	// Skip comments and blank lines to the size line.
+	var sizeLine string
+	for sc.Scan() {
+		l := strings.TrimSpace(sc.Text())
+		if l == "" || strings.HasPrefix(l, "%") {
+			continue
+		}
+		sizeLine = l
+		break
+	}
+	if sizeLine == "" {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("mmio: missing size line")
+	}
+
+	if h.Format == "array" {
+		return readArray(sc, h, sizeLine)
+	}
+	return readCoordinate(sc, h, sizeLine)
+}
+
+func readCoordinate(sc *bufio.Scanner, h Header, sizeLine string) (*sparse.CSR, error) {
+	f := strings.Fields(sizeLine)
+	if len(f) != 3 {
+		return nil, fmt.Errorf("mmio: bad coordinate size line %q", sizeLine)
+	}
+	rows, err1 := strconv.Atoi(f[0])
+	cols, err2 := strconv.Atoi(f[1])
+	nnz, err3 := strconv.Atoi(f[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: bad coordinate size line %q", sizeLine)
+	}
+	c := &sparse.COO{Rows: rows, Cols: cols}
+	seen := 0
+	for sc.Scan() {
+		l := strings.TrimSpace(sc.Text())
+		if l == "" || strings.HasPrefix(l, "%") {
+			continue
+		}
+		if seen >= nnz {
+			return nil, fmt.Errorf("mmio: more than %d entries", nnz)
+		}
+		ef := strings.Fields(l)
+		wantFields := 3
+		if h.Field == "pattern" {
+			wantFields = 2
+		}
+		if len(ef) < wantFields {
+			return nil, fmt.Errorf("mmio: bad entry line %q", l)
+		}
+		i, err := strconv.Atoi(ef[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad row index in %q: %v", l, err)
+		}
+		j, err := strconv.Atoi(ef[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad col index in %q: %v", l, err)
+		}
+		v := 1.0
+		if h.Field != "pattern" {
+			v, err = strconv.ParseFloat(ef[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad value in %q: %v", l, err)
+			}
+		}
+		// Matrix Market is 1-based.
+		i--
+		j--
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return nil, fmt.Errorf("mmio: index (%d,%d) out of range %dx%d", i+1, j+1, rows, cols)
+		}
+		c.Add(i, j, v)
+		switch h.Symmetry {
+		case "symmetric":
+			if i != j {
+				c.Add(j, i, v)
+			}
+		case "skew-symmetric":
+			if i != j {
+				c.Add(j, i, -v)
+			}
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen != nnz {
+		return nil, fmt.Errorf("mmio: got %d entries, header promised %d", seen, nnz)
+	}
+	return c.ToCSR()
+}
+
+func readArray(sc *bufio.Scanner, h Header, sizeLine string) (*sparse.CSR, error) {
+	f := strings.Fields(sizeLine)
+	if len(f) != 2 {
+		return nil, fmt.Errorf("mmio: bad array size line %q", sizeLine)
+	}
+	rows, err1 := strconv.Atoi(f[0])
+	cols, err2 := strconv.Atoi(f[1])
+	if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("mmio: bad array size line %q", sizeLine)
+	}
+	// Array format is column-major dense.
+	vals := make([]float64, 0, rows*cols)
+	for sc.Scan() {
+		l := strings.TrimSpace(sc.Text())
+		if l == "" || strings.HasPrefix(l, "%") {
+			continue
+		}
+		for _, tok := range strings.Fields(l) {
+			v, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad array value %q: %v", tok, err)
+			}
+			vals = append(vals, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	want := rows * cols
+	if h.Symmetry != "general" {
+		want = rows * (rows + 1) / 2
+		if rows != cols {
+			return nil, fmt.Errorf("mmio: symmetric array must be square, got %dx%d", rows, cols)
+		}
+	}
+	if len(vals) != want {
+		return nil, fmt.Errorf("mmio: array has %d values, want %d", len(vals), want)
+	}
+	c := &sparse.COO{Rows: rows, Cols: cols}
+	k := 0
+	for j := 0; j < cols; j++ {
+		iStart := 0
+		if h.Symmetry != "general" {
+			iStart = j
+		}
+		for i := iStart; i < rows; i++ {
+			v := vals[k]
+			k++
+			if v == 0 {
+				continue
+			}
+			c.Add(i, j, v)
+			if i != j {
+				switch h.Symmetry {
+				case "symmetric":
+					c.Add(j, i, v)
+				case "skew-symmetric":
+					c.Add(j, i, -v)
+				}
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+// Write emits the matrix in coordinate/real/general form with 1-based
+// indices, sorted row-major, preceded by the given comment lines.
+func Write(w io.Writer, a *sparse.CSR, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general"); err != nil {
+		return err
+	}
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "%% %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Rows, a.Cols, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for k := range cols {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, cols[k]+1, vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*sparse.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// WriteFile writes the matrix to disk in Matrix Market format.
+func WriteFile(path string, a *sparse.CSR, comments ...string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, a, comments...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,203 @@
+package mmio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"spmvtune/internal/sparse"
+)
+
+func TestReadCoordinateGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 4
+1 1 1.5
+2 3 -2
+3 4 7
+1 2 0.25
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows != 3 || a.Cols != 4 || a.NNZ() != 4 {
+		t.Fatalf("dims %dx%d nnz %d", a.Rows, a.Cols, a.NNZ())
+	}
+	if a.At(0, 0) != 1.5 || a.At(1, 2) != -2 || a.At(2, 3) != 7 || a.At(0, 1) != 0.25 {
+		t.Error("wrong entries")
+	}
+}
+
+func TestReadCoordinatePattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 1) != 1 {
+		t.Error("pattern entries should be 1.0")
+	}
+}
+
+func TestReadCoordinateSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2
+2 1 5
+3 3 1
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 4 {
+		t.Fatalf("expanded NNZ = %d, want 4", a.NNZ())
+	}
+	if a.At(0, 1) != 5 || a.At(1, 0) != 5 {
+		t.Error("symmetric entry not mirrored")
+	}
+}
+
+func TestReadCoordinateSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(1, 0) != 3 || a.At(0, 1) != -3 {
+		t.Errorf("skew mirror wrong: %v %v", a.At(1, 0), a.At(0, 1))
+	}
+}
+
+func TestReadArray(t *testing.T) {
+	// Column-major 2x2 dense: [1 3; 2 0]
+	in := `%%MatrixMarket matrix array real general
+2 2
+1
+2
+3
+0
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 || a.At(1, 0) != 2 || a.At(0, 1) != 3 {
+		t.Error("array entries wrong")
+	}
+	if a.NNZ() != 3 {
+		t.Errorf("explicit zero stored: NNZ=%d", a.NNZ())
+	}
+}
+
+func TestReadArraySymmetric(t *testing.T) {
+	// Lower triangle column-major of [[1,2],[2,4]]: 1,2,4
+	in := `%%MatrixMarket matrix array real symmetric
+2 2
+1
+2
+4
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != 2 || a.At(1, 0) != 2 || a.At(1, 1) != 4 {
+		t.Error("symmetric array expansion wrong")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad banner":      "hello\n1 1 0\n",
+		"bad object":      "%%MatrixMarket graph coordinate real general\n1 1 0\n",
+		"bad format":      "%%MatrixMarket matrix csr real general\n1 1 0\n",
+		"bad field":       "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry":    "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+		"pattern array":   "%%MatrixMarket matrix array pattern general\n1 1\n",
+		"missing size":    "%%MatrixMarket matrix coordinate real general\n",
+		"bad size":        "%%MatrixMarket matrix coordinate real general\n1 x 0\n",
+		"too few fields":  "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1\n",
+		"bad value":       "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 zzz\n",
+		"index range":     "%%MatrixMarket matrix coordinate real general\n1 1 1\n2 1 1.0\n",
+		"too many":        "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n1 1 2\n",
+		"too few":         "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n",
+		"array count":     "%%MatrixMarket matrix array real general\n2 2\n1\n2\n",
+		"array nonsquare": "%%MatrixMarket matrix array real symmetric\n2 3\n1\n1\n1\n1\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		entries := make([][]sparse.Entry, 6)
+		for i := range entries {
+			used := map[int]bool{}
+			for k := 0; k < rng.Intn(4); k++ {
+				c := rng.Intn(7)
+				if used[c] {
+					continue
+				}
+				used[c] = true
+				entries[i] = append(entries[i], sparse.Entry{Col: c, Val: rng.NormFloat64()})
+			}
+		}
+		a, err := sparse.NewCSRFromRows(6, 7, entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.SortRows()
+		var buf bytes.Buffer
+		if err := Write(&buf, a, "round trip test"); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.RowPtr, b.RowPtr) || !reflect.DeepEqual(a.ColIdx, b.ColIdx) {
+			t.Fatalf("trial %d: structure did not round-trip", trial)
+		}
+		for k := range a.Val {
+			if a.Val[k] != b.Val[k] {
+				t.Fatalf("trial %d: value %d changed: %v -> %v", trial, k, a.Val[k], b.Val[k])
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig1.mtx")
+	a := sparse.Figure1()
+	if err := WriteFile(path, a, "figure 1"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Val, b.Val) {
+		t.Error("file round trip changed values")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,129 @@
+package solvers
+
+import (
+	"fmt"
+	"math"
+)
+
+// GMRES solves A x = b for general square A with restarted GMRES(m):
+// Arnoldi builds an orthonormal Krylov basis of dimension up to restart,
+// Givens rotations triangularize the Hessenberg matrix incrementally, and
+// the least-squares update is applied at each restart. restart <= 0 picks
+// min(n, 30).
+func GMRES(mul SpMV, b, x []float64, tol float64, restart, maxIter int) (Result, error) {
+	n := len(b)
+	if restart <= 0 {
+		restart = 30
+	}
+	if restart > n {
+		restart = n
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	bNorm := norm2(b)
+	if bNorm == 0 {
+		bNorm = 1
+	}
+
+	r := make([]float64, n)
+	w := make([]float64, n)
+	// Krylov basis vectors.
+	v := make([][]float64, restart+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	// Hessenberg (column-major: h[j] holds column j, length j+2).
+	h := make([][]float64, restart)
+	cs := make([]float64, restart)
+	sn := make([]float64, restart)
+	g := make([]float64, restart+1)
+	y := make([]float64, restart)
+
+	res := Result{}
+	for res.Iterations < maxIter {
+		// r = b - A x
+		mul(x, r)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		beta := norm2(r)
+		res.Residual = beta / bNorm
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+		for i := range r {
+			v[0][i] = r[i] / beta
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		j := 0
+		for ; j < restart && res.Iterations < maxIter; j++ {
+			res.Iterations++
+			mul(v[j], w)
+			// Modified Gram-Schmidt.
+			col := make([]float64, j+2)
+			for i := 0; i <= j; i++ {
+				col[i] = dot(w, v[i])
+				for k := range w {
+					w[k] -= col[i] * v[i][k]
+				}
+			}
+			col[j+1] = norm2(w)
+			if col[j+1] > 1e-300 {
+				for k := range w {
+					v[j+1][k] = w[k] / col[j+1]
+				}
+			}
+			// Apply accumulated Givens rotations to the new column.
+			for i := 0; i < j; i++ {
+				col[i], col[i+1] = cs[i]*col[i]+sn[i]*col[i+1], -sn[i]*col[i]+cs[i]*col[i+1]
+			}
+			// New rotation annihilating col[j+1].
+			denom := math.Hypot(col[j], col[j+1])
+			if denom < 1e-300 {
+				h[j] = col
+				j++
+				break
+			}
+			cs[j] = col[j] / denom
+			sn[j] = col[j+1] / denom
+			col[j] = denom
+			col[j+1] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+			h[j] = col
+
+			res.Residual = math.Abs(g[j+1]) / bNorm
+			if res.Residual <= tol {
+				j++
+				break
+			}
+		}
+		// Back-substitute y from the triangularized system.
+		for i := j - 1; i >= 0; i-- {
+			sum := g[i]
+			for k := i + 1; k < j; k++ {
+				sum -= h[k][i] * y[k]
+			}
+			if math.Abs(h[i][i]) < 1e-300 {
+				return res, fmt.Errorf("%w: singular Hessenberg diagonal", ErrBreakdown)
+			}
+			y[i] = sum / h[i][i]
+		}
+		for i := 0; i < j; i++ {
+			for k := range x {
+				x[k] += y[i] * v[i][k]
+			}
+		}
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w after %d iterations (residual %g)", ErrNotConverged, res.Iterations, res.Residual)
+}

@@ -1,0 +1,247 @@
+// Package solvers provides the iterative linear solvers that SpMV lives
+// inside ("SpMV is an important computational kernel in sparse linear
+// system solvers" — the paper's opening sentence): conjugate gradient for
+// SPD systems, BiCGSTAB for general square systems, Jacobi iteration for
+// diagonally dominant ones, and power iteration for dominant eigenpairs.
+// Every solver takes the SpMV as an injected function so the auto-tuned
+// backends (simulated-device or native CPU) plug in directly.
+package solvers
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spmvtune/internal/sparse"
+)
+
+// SpMV is the matrix-vector product backend: it must compute u = A*v.
+type SpMV func(v, u []float64)
+
+// Default returns the sequential reference backend for a.
+func Default(a *sparse.CSR) SpMV {
+	return func(v, u []float64) { a.MulVec(v, u) }
+}
+
+// Result reports a solve's outcome.
+type Result struct {
+	Iterations int
+	Residual   float64 // final relative residual ||b-Ax|| / ||b||
+	Converged  bool
+}
+
+// ErrNotConverged is wrapped by solver errors when the iteration budget
+// runs out.
+var ErrNotConverged = errors.New("solvers: not converged")
+
+// ErrBreakdown is returned when a Krylov recurrence hits a (near-)zero
+// inner product and cannot continue.
+var ErrBreakdown = errors.New("solvers: breakdown")
+
+func dot(x, y []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+func norm2(x []float64) float64 { return math.Sqrt(dot(x, x)) }
+
+// CG solves A x = b for SPD A using conjugate gradients with the given
+// SpMV backend. x is used as the initial guess and receives the solution.
+func CG(mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
+	n := len(b)
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	r := make([]float64, n)
+	mul(x, r) // r = A x0
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	p := append([]float64(nil), r...)
+	ap := make([]float64, n)
+	rr := dot(r, r)
+	bNorm := norm2(b)
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	res := Result{}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if math.Sqrt(rr) <= tol*bNorm {
+			res.Converged = true
+			break
+		}
+		mul(p, ap)
+		pap := dot(p, ap)
+		if pap <= 0 {
+			return res, fmt.Errorf("%w: p^T A p = %g (matrix not SPD?)", ErrBreakdown, pap)
+		}
+		alpha := rr / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		rrNew := dot(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+	}
+	res.Residual = math.Sqrt(rr) / bNorm
+	if !res.Converged && res.Residual > tol {
+		return res, fmt.Errorf("%w after %d iterations (residual %g)", ErrNotConverged, res.Iterations, res.Residual)
+	}
+	res.Converged = true
+	return res, nil
+}
+
+// BiCGSTAB solves A x = b for general square A.
+func BiCGSTAB(mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
+	n := len(b)
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	r := make([]float64, n)
+	mul(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rHat := append([]float64(nil), r...)
+	v := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	bNorm := norm2(b)
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	res := Result{}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		res.Residual = norm2(r) / bNorm
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+		rhoNew := dot(rHat, r)
+		if math.Abs(rhoNew) < 1e-300 {
+			return res, fmt.Errorf("%w: rho vanished", ErrBreakdown)
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		mul(p, v)
+		den := dot(rHat, v)
+		if math.Abs(den) < 1e-300 {
+			return res, fmt.Errorf("%w: rHat^T v vanished", ErrBreakdown)
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if norm2(s)/bNorm <= tol {
+			for i := range x {
+				x[i] += alpha * p[i]
+			}
+			res.Iterations++
+			res.Residual = norm2(s) / bNorm
+			res.Converged = true
+			return res, nil
+		}
+		mul(s, t)
+		tt := dot(t, t)
+		if tt < 1e-300 {
+			return res, fmt.Errorf("%w: t vanished", ErrBreakdown)
+		}
+		omega = dot(t, s) / tt
+		if math.Abs(omega) < 1e-300 {
+			return res, fmt.Errorf("%w: omega vanished", ErrBreakdown)
+		}
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+			r[i] = s[i] - omega*t[i]
+		}
+	}
+	res.Residual = norm2(r) / bNorm
+	return res, fmt.Errorf("%w after %d iterations (residual %g)", ErrNotConverged, res.Iterations, res.Residual)
+}
+
+// Jacobi solves A x = b for strictly diagonally dominant A. It needs the
+// matrix itself (for the diagonal), plus the SpMV backend for the
+// off-diagonal products.
+func Jacobi(a *sparse.CSR, mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
+	n := len(b)
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	diag := make([]float64, n)
+	for i := 0; i < a.Rows && i < n; i++ {
+		d := a.At(i, i)
+		if d == 0 {
+			return Result{}, fmt.Errorf("%w: zero diagonal at row %d", ErrBreakdown, i)
+		}
+		diag[i] = d
+	}
+	ax := make([]float64, n)
+	bNorm := norm2(b)
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	res := Result{}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		mul(x, ax)
+		rn := 0.0
+		for i := range x {
+			r := b[i] - ax[i]
+			rn += r * r
+			x[i] += r / diag[i]
+		}
+		res.Residual = math.Sqrt(rn) / bNorm
+		if res.Residual <= tol {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w after %d iterations (residual %g)", ErrNotConverged, res.Iterations, res.Residual)
+}
+
+// PowerIteration finds the dominant eigenvalue/eigenvector of A. x is the
+// starting vector (must be nonzero) and receives the eigenvector.
+func PowerIteration(mul SpMV, x []float64, tol float64, maxIter int) (lambda float64, res Result, err error) {
+	n := len(x)
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	nx := norm2(x)
+	if nx == 0 {
+		return 0, res, fmt.Errorf("%w: zero start vector", ErrBreakdown)
+	}
+	for i := range x {
+		x[i] /= nx
+	}
+	y := make([]float64, n)
+	prev := 0.0
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		mul(x, y)
+		lambda = dot(x, y)
+		ny := norm2(y)
+		if ny == 0 {
+			return 0, res, fmt.Errorf("%w: A annihilated the iterate", ErrBreakdown)
+		}
+		for i := range x {
+			x[i] = y[i] / ny
+		}
+		res.Residual = math.Abs(lambda - prev)
+		if res.Iterations > 0 && res.Residual <= tol*math.Max(1, math.Abs(lambda)) {
+			res.Converged = true
+			return lambda, res, nil
+		}
+		prev = lambda
+	}
+	return lambda, res, fmt.Errorf("%w after %d iterations", ErrNotConverged, res.Iterations)
+}

@@ -1,0 +1,214 @@
+package solvers
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmvtune/internal/cpu"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+// spdSystem builds a strictly diagonally dominant symmetric matrix and a
+// right-hand side whose exact solution is all-ones.
+func spdSystem(n, band int, seed int64) (*sparse.CSR, []float64, []float64) {
+	coo := &sparse.COO{Rows: n, Cols: n}
+	half := band / 2
+	for i := 0; i < n; i++ {
+		for d := -half; d <= half; d++ {
+			j := i + d
+			if j < 0 || j >= n {
+				continue
+			}
+			if d == 0 {
+				coo.Add(i, j, float64(band)+1)
+			} else {
+				coo.Add(i, j, -1)
+			}
+		}
+	}
+	a, err := coo.ToCSR()
+	if err != nil {
+		panic(err)
+	}
+	xStar := make([]float64, n)
+	for i := range xStar {
+		xStar[i] = 1
+	}
+	b := make([]float64, n)
+	a.MulVec(xStar, b)
+	_ = seed
+	return a, b, xStar
+}
+
+func maxAbsDiff(x, y []float64) float64 {
+	m := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestCGSolvesSPD(t *testing.T) {
+	a, b, xStar := spdSystem(5000, 5, 1)
+	x := make([]float64, len(b))
+	res, err := CG(Default(a), b, x, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if d := maxAbsDiff(x, xStar); d > 1e-6 {
+		t.Errorf("max error %g", d)
+	}
+}
+
+func TestCGWithParallelBackend(t *testing.T) {
+	a, b, xStar := spdSystem(3000, 7, 2)
+	backend := func(v, u []float64) { cpu.MulVecNNZ(a, v, u, 4) }
+	x := make([]float64, len(b))
+	if _, err := CG(backend, b, x, 1e-10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(x, xStar); d > 1e-6 {
+		t.Errorf("max error %g with parallel backend", d)
+	}
+}
+
+func TestCGDetectsNonSPD(t *testing.T) {
+	// An antisymmetric-ish matrix has p^T A p ~ 0: CG must break down
+	// rather than loop.
+	coo := &sparse.COO{Rows: 4, Cols: 4}
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, -1)
+	coo.Add(2, 3, 1)
+	coo.Add(3, 2, -1)
+	a, _ := coo.ToCSR()
+	b := []float64{1, 1, 1, 1}
+	x := make([]float64, 4)
+	_, err := CG(Default(a), b, x, 1e-10, 100)
+	if err == nil {
+		t.Fatal("CG on non-SPD matrix should fail")
+	}
+	if !errors.Is(err, ErrBreakdown) && !errors.Is(err, ErrNotConverged) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestBiCGSTABSolvesNonsymmetric(t *testing.T) {
+	// Diagonally dominant but nonsymmetric: upper off-diagonal -1, lower
+	// off-diagonal -0.5.
+	n := 2000
+	coo := &sparse.COO{Rows: n, Cols: n}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4)
+		if i+1 < n {
+			coo.Add(i, i+1, -1)
+			coo.Add(i+1, i, -0.5)
+		}
+	}
+	a, _ := coo.ToCSR()
+	xStar := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range xStar {
+		xStar[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(xStar, b)
+	x := make([]float64, n)
+	res, err := BiCGSTAB(Default(a), b, x, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if d := maxAbsDiff(x, xStar); d > 1e-6 {
+		t.Errorf("max error %g", d)
+	}
+}
+
+func TestBiCGSTABIterationBudget(t *testing.T) {
+	a, b, _ := spdSystem(500, 5, 4)
+	x := make([]float64, len(b))
+	_, err := BiCGSTAB(Default(a), b, x, 1e-14, 2) // absurdly small budget
+	if !errors.Is(err, ErrNotConverged) {
+		t.Errorf("want ErrNotConverged, got %v", err)
+	}
+}
+
+func TestJacobi(t *testing.T) {
+	a, b, xStar := spdSystem(1000, 3, 5)
+	x := make([]float64, len(b))
+	res, err := Jacobi(a, Default(a), b, x, 1e-10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if d := maxAbsDiff(x, xStar); d > 1e-6 {
+		t.Errorf("max error %g", d)
+	}
+	// Zero diagonal is rejected.
+	zero := matgen.SingleNNZRows(4, 4, 6)
+	zero.ColIdx[0] = 1 // row 0 has no diagonal entry
+	if _, err := Jacobi(zero, Default(zero), []float64{1, 1, 1, 1}, make([]float64, 4), 1e-10, 10); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+}
+
+func TestPowerIteration(t *testing.T) {
+	// Diagonal matrix: dominant eigenvalue is the largest diagonal entry.
+	n := 200
+	coo := &sparse.COO{Rows: n, Cols: n}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, float64(i+1))
+	}
+	a, _ := coo.ToCSR()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	lambda, res, err := PowerIteration(Default(a), x, 1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda-float64(n)) > 1e-6 {
+		t.Errorf("dominant eigenvalue %g, want %d", lambda, n)
+	}
+	if !res.Converged {
+		t.Error("not marked converged")
+	}
+	// Eigenvector concentrates on the last coordinate.
+	if math.Abs(math.Abs(x[n-1])-1) > 1e-3 {
+		t.Errorf("eigenvector tail %g, want ~1", x[n-1])
+	}
+	// Zero start vector rejected.
+	if _, _, err := PowerIteration(Default(a), make([]float64, n), 1e-10, 10); err == nil {
+		t.Error("zero start accepted")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a, _, _ := spdSystem(100, 3, 7)
+	b := make([]float64, 100)
+	x := make([]float64, 100)
+	res, err := CG(Default(a), b, x, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("zero system should converge immediately")
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("solution of A x = 0 from x0 = 0 must stay 0")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCOOToCSRBasic(t *testing.T) {
+	c := &COO{Rows: 3, Cols: 3}
+	c.Add(2, 1, 5)
+	c.Add(0, 0, 1)
+	c.Add(0, 2, 3)
+	c.Add(1, 1, 2)
+	a, err := c.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.HasSortedRows() {
+		t.Error("ToCSR rows not sorted")
+	}
+	if a.At(0, 0) != 1 || a.At(0, 2) != 3 || a.At(1, 1) != 2 || a.At(2, 1) != 5 {
+		t.Errorf("wrong entries: %+v", a)
+	}
+}
+
+func TestCOOToCSRSumsDuplicates(t *testing.T) {
+	c := &COO{Rows: 2, Cols: 2}
+	c.Add(0, 1, 1)
+	c.Add(0, 1, 2)
+	c.Add(0, 1, 4)
+	c.Add(1, 0, -1)
+	c.Add(1, 0, 1)
+	a, err := c.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.At(0, 1); got != 7 {
+		t.Errorf("duplicate sum = %v, want 7", got)
+	}
+	if got := a.At(1, 0); got != 0 {
+		t.Errorf("cancelled duplicate = %v, want 0 (stored)", got)
+	}
+	if a.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2 after merging", a.NNZ())
+	}
+}
+
+func TestCOOValidate(t *testing.T) {
+	c := &COO{Rows: 2, Cols: 2}
+	c.Add(0, 0, 1)
+	c.RowIdx[0] = 5
+	if err := c.Validate(); err == nil {
+		t.Error("accepted out-of-range row")
+	}
+	c.RowIdx[0] = 0
+	c.ColIdx[0] = -1
+	if err := c.Validate(); err == nil {
+		t.Error("accepted negative col")
+	}
+	c.ColIdx = c.ColIdx[:0]
+	if err := c.Validate(); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestCOORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		a := randomCSR(rng, 1+rng.Intn(30), 1+rng.Intn(30), 5)
+		c := FromCSR(a)
+		b, err := c.ToCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.RowPtr, b.RowPtr) || !reflect.DeepEqual(a.ColIdx, b.ColIdx) || !reflect.DeepEqual(a.Val, b.Val) {
+			t.Fatalf("trial %d: CSR->COO->CSR did not round-trip", trial)
+		}
+	}
+}
+
+func TestCOOSortRowMajor(t *testing.T) {
+	c := &COO{Rows: 3, Cols: 3}
+	c.Add(2, 2, 1)
+	c.Add(0, 1, 2)
+	c.Add(2, 0, 3)
+	c.Add(0, 0, 4)
+	c.SortRowMajor()
+	wantRows := []int32{0, 0, 2, 2}
+	wantCols := []int32{0, 1, 0, 2}
+	if !reflect.DeepEqual(c.RowIdx, wantRows) || !reflect.DeepEqual(c.ColIdx, wantCols) {
+		t.Errorf("sorted order rows=%v cols=%v", c.RowIdx, c.ColIdx)
+	}
+}

@@ -1,0 +1,308 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSRFigure1(t *testing.T) {
+	a := Figure1()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantPtr := []int64{0, 2, 4, 5, 8}
+	wantCol := []int32{0, 1, 0, 2, 1, 1, 2, 3}
+	wantVal := []float64{1, 6, 3, 2, 4, 5, 8, 1}
+	if !reflect.DeepEqual(a.RowPtr, wantPtr) {
+		t.Errorf("RowPtr = %v, want %v", a.RowPtr, wantPtr)
+	}
+	if !reflect.DeepEqual(a.ColIdx, wantCol) {
+		t.Errorf("ColIdx = %v, want %v", a.ColIdx, wantCol)
+	}
+	if !reflect.DeepEqual(a.Val, wantVal) {
+		t.Errorf("Val = %v, want %v", a.Val, wantVal)
+	}
+}
+
+func TestCSRMulVecFigure1(t *testing.T) {
+	a := Figure1()
+	v := []float64{1, 2, 3, 4}
+	u := make([]float64, 4)
+	a.MulVec(v, u)
+	// Row dots: [1*1+6*2, 3*1+2*3, 4*2, 5*2+8*3+1*4] = [13, 9, 8, 38]
+	want := []float64{13, 9, 8, 38}
+	if !reflect.DeepEqual(u, want) {
+		t.Errorf("MulVec = %v, want %v", u, want)
+	}
+}
+
+func TestCSRAt(t *testing.T) {
+	a := Figure1()
+	cases := []struct {
+		i, j int
+		want float64
+	}{
+		{0, 0, 1}, {0, 1, 6}, {0, 2, 0}, {1, 0, 3}, {1, 2, 2},
+		{2, 1, 4}, {2, 3, 0}, {3, 1, 5}, {3, 2, 8}, {3, 3, 1},
+	}
+	for _, c := range cases {
+		if got := a.At(c.i, c.j); got != c.want {
+			t.Errorf("At(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestCSRValidateErrors(t *testing.T) {
+	good := Figure1()
+	tests := []struct {
+		name   string
+		mutate func(*CSR)
+	}{
+		{"short rowptr", func(a *CSR) { a.RowPtr = a.RowPtr[:3] }},
+		{"nonzero first", func(a *CSR) { a.RowPtr[0] = 1 }},
+		{"decreasing", func(a *CSR) { a.RowPtr[2] = 1 }},
+		{"nnz mismatch", func(a *CSR) { a.Val = a.Val[:5] }},
+		{"col out of range", func(a *CSR) { a.ColIdx[0] = 99 }},
+		{"negative col", func(a *CSR) { a.ColIdx[3] = -1 }},
+		{"negative dims", func(a *CSR) { a.Rows = -1 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a := good.Clone()
+			tc.mutate(a)
+			if err := a.Validate(); err == nil {
+				t.Error("Validate accepted corrupt matrix")
+			}
+		})
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	a := Figure1()
+	at := a.Transpose()
+	if err := at.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if at.Rows != a.Cols || at.Cols != a.Rows {
+		t.Fatalf("transpose dims %dx%d, want %dx%d", at.Rows, at.Cols, a.Cols, a.Rows)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Errorf("A[%d,%d]=%v but At[%d,%d]=%v", i, j, a.At(i, j), j, i, at.At(j, i))
+			}
+		}
+	}
+	// Double transpose must round-trip exactly.
+	att := at.Transpose()
+	if !reflect.DeepEqual(att.RowPtr, a.RowPtr) || !reflect.DeepEqual(att.ColIdx, a.ColIdx) || !reflect.DeepEqual(att.Val, a.Val) {
+		t.Error("transpose twice did not round-trip")
+	}
+}
+
+func TestCSRSortRows(t *testing.T) {
+	a, err := NewCSRFromRows(2, 5, [][]Entry{
+		{{4, 4}, {0, 0.5}, {2, 2}},
+		{{3, 3}, {1, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasSortedRows() {
+		t.Fatal("rows unexpectedly sorted before SortRows")
+	}
+	a.SortRows()
+	if !a.HasSortedRows() {
+		t.Fatal("rows not sorted after SortRows")
+	}
+	if a.At(0, 4) != 4 || a.At(0, 0) != 0.5 || a.At(1, 3) != 3 {
+		t.Error("SortRows broke (col,val) pairing")
+	}
+}
+
+func TestNewCSRFromRowsErrors(t *testing.T) {
+	if _, err := NewCSRFromRows(-1, 2, nil); err == nil {
+		t.Error("accepted negative rows")
+	}
+	if _, err := NewCSRFromRows(2, 2, [][]Entry{{}}); err == nil {
+		t.Error("accepted wrong number of row slices")
+	}
+	if _, err := NewCSRFromRows(1, 2, [][]Entry{{{5, 1}}}); err == nil {
+		t.Error("accepted out-of-range column")
+	}
+}
+
+func TestVecApproxEqual(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3 + 1e-12}
+	if !VecApproxEqual(a, b, 1e-9) {
+		t.Error("nearly equal vectors reported different")
+	}
+	c := []float64{1, 2, 4}
+	if VecApproxEqual(a, c, 1e-9) {
+		t.Error("different vectors reported equal")
+	}
+	if got := FirstVecDiff(a, c, 1e-9); got != 2 {
+		t.Errorf("FirstVecDiff = %d, want 2", got)
+	}
+	if got := FirstVecDiff(a, a[:2], 1e-9); got != 2 {
+		t.Errorf("FirstVecDiff length mismatch = %d, want 2", got)
+	}
+	// Relative tolerance: large magnitudes with small relative error.
+	d := []float64{1e12}
+	e := []float64{1e12 + 1}
+	if !VecApproxEqual(d, e, 1e-9) {
+		t.Error("relative tolerance not applied")
+	}
+}
+
+func randomCSR(rng *rand.Rand, rows, cols, maxRowLen int) *CSR {
+	entries := make([][]Entry, rows)
+	for i := range entries {
+		l := rng.Intn(maxRowLen + 1)
+		seen := map[int]bool{}
+		for k := 0; k < l; k++ {
+			c := rng.Intn(cols)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			entries[i] = append(entries[i], Entry{Col: c, Val: rng.NormFloat64()})
+		}
+	}
+	a, err := NewCSRFromRows(rows, cols, entries)
+	if err != nil {
+		panic(err)
+	}
+	a.SortRows()
+	return a
+}
+
+func TestCSRTransposePropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		rows := 1 + rng.Intn(40)
+		cols := 1 + rng.Intn(40)
+		a := randomCSR(rng, rows, cols, 8)
+		at := a.Transpose()
+		if err := at.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// (A^T)^T == A entry-wise.
+		att := at.Transpose()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if a.At(i, j) != att.At(i, j) {
+					t.Fatalf("trial %d: (A^T)^T differs at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Property: for any vectors x,y and matrix A, y^T (A x) == x^T (A^T y).
+// This couples MulVec and Transpose through a nontrivial identity.
+func TestTransposeAdjointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(30)
+		cols := 1 + r.Intn(30)
+		a := randomCSR(r, rows, cols, 6)
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		ax := make([]float64, rows)
+		a.MulVec(x, ax)
+		aty := make([]float64, cols)
+		a.Transpose().MulVec(y, aty)
+		lhs, rhs := 0.0, 0.0
+		for i := range y {
+			lhs += y[i] * ax[i]
+		}
+		for i := range x {
+			rhs += x[i] * aty[i]
+		}
+		diff := lhs - rhs
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if l := lhs; l < 0 {
+			l = -l
+			if l > scale {
+				scale = l
+			}
+		} else if l > scale {
+			scale = l
+		}
+		return diff <= 1e-9*scale
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 15; trial++ {
+		a := randomCSR(rng, 1+rng.Intn(40), 1+rng.Intn(40), 6)
+		v := make([]float64, a.Rows)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := make([]float64, a.Cols)
+		a.Transpose().MulVec(v, want)
+		got := make([]float64, a.Cols)
+		a.MulVecTranspose(v, got)
+		if i := FirstVecDiff(want, got, 1e-12); i >= 0 {
+			t.Fatalf("trial %d: transpose SpMV wrong at %d", trial, i)
+		}
+	}
+	// Bounds panics.
+	a := Figure1()
+	mustPanicT := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanicT("short v", func() { a.MulVecTranspose(make([]float64, 3), make([]float64, 4)) })
+	mustPanicT("short u", func() { a.MulVecTranspose(make([]float64, 4), make([]float64, 3)) })
+}
+
+func TestMulVecPanics(t *testing.T) {
+	a := Figure1()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short v", func() { a.MulVec(make([]float64, 3), make([]float64, 4)) })
+	mustPanic("short u", func() { a.MulVec(make([]float64, 4), make([]float64, 3)) })
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	a := &CSR{Rows: 0, Cols: 0, RowPtr: []int64{0}}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a.MulVec(nil, nil) // must not panic
+	st := ComputeRowStats(a)
+	if st.Max != 0 || st.Mean != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}

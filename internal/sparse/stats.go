@@ -1,0 +1,85 @@
+package sparse
+
+// RowStats summarizes the per-row non-zero distribution of a matrix. These
+// are the raw ingredients of the paper's Table I feature parameters.
+type RowStats struct {
+	Min, Max int     // shortest / longest row (stored entries)
+	Mean     float64 // average non-zeros per row
+	Variance float64 // population variance of non-zeros per row
+}
+
+// ComputeRowStats scans RowPtr once and returns the row-length statistics.
+// For an empty matrix all fields are zero.
+func ComputeRowStats(a *CSR) RowStats {
+	var s RowStats
+	if a.Rows == 0 {
+		return s
+	}
+	s.Min = int(a.RowPtr[1] - a.RowPtr[0])
+	sum := 0.0
+	sumSq := 0.0
+	for i := 0; i < a.Rows; i++ {
+		l := int(a.RowPtr[i+1] - a.RowPtr[i])
+		if l < s.Min {
+			s.Min = l
+		}
+		if l > s.Max {
+			s.Max = l
+		}
+		fl := float64(l)
+		sum += fl
+		sumSq += fl * fl
+	}
+	n := float64(a.Rows)
+	s.Mean = sum / n
+	s.Variance = sumSq/n - s.Mean*s.Mean
+	if s.Variance < 0 { // guard tiny negative from cancellation
+		s.Variance = 0
+	}
+	return s
+}
+
+// RowLengthHistogram buckets row lengths into the given boundaries and
+// returns counts: counts[i] is the number of rows l with
+// bounds[i-1] < l <= bounds[i] (bounds[-1] treated as -1); the final extra
+// bucket counts rows longer than the last boundary.
+//
+// The paper's Figure 5 uses this to show ~98.7% of UF-collection rows have
+// at most 100 non-zeros.
+func RowLengthHistogram(a *CSR, bounds []int) []int64 {
+	counts := make([]int64, len(bounds)+1)
+	for i := 0; i < a.Rows; i++ {
+		l := int(a.RowPtr[i+1] - a.RowPtr[i])
+		placed := false
+		for b, ub := range bounds {
+			if l <= ub {
+				counts[b]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[len(bounds)]++
+		}
+	}
+	return counts
+}
+
+// Bandwidth returns the matrix bandwidth: max over stored entries of
+// |i - j|. Empty matrices report 0.
+func Bandwidth(a *CSR) int {
+	bw := 0
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for _, c := range cols {
+			d := i - int(c)
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}

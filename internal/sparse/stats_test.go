@@ -1,0 +1,93 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestComputeRowStatsFigure1(t *testing.T) {
+	// Row lengths: 2, 2, 1, 3.
+	s := ComputeRowStats(Figure1())
+	if s.Min != 1 || s.Max != 3 {
+		t.Errorf("min/max = %d/%d, want 1/3", s.Min, s.Max)
+	}
+	if s.Mean != 2 {
+		t.Errorf("mean = %v, want 2", s.Mean)
+	}
+	// Population variance of {2,2,1,3} = ((0)+(0)+(1)+(1))/4 = 0.5
+	if math.Abs(s.Variance-0.5) > 1e-12 {
+		t.Errorf("variance = %v, want 0.5", s.Variance)
+	}
+}
+
+func TestComputeRowStatsUniform(t *testing.T) {
+	// All rows length 4 => variance exactly 0.
+	entries := make([][]Entry, 10)
+	for i := range entries {
+		for j := 0; j < 4; j++ {
+			entries[i] = append(entries[i], Entry{Col: j, Val: 1})
+		}
+	}
+	a, _ := NewCSRFromRows(10, 8, entries)
+	s := ComputeRowStats(a)
+	if s.Variance != 0 || s.Min != 4 || s.Max != 4 || s.Mean != 4 {
+		t.Errorf("uniform stats = %+v", s)
+	}
+}
+
+func TestComputeRowStatsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		a := randomCSR(rng, 1+rng.Intn(50), 20, 10)
+		s := ComputeRowStats(a)
+		// Naive two-pass computation.
+		mean := 0.0
+		for i := 0; i < a.Rows; i++ {
+			mean += float64(a.RowLen(i))
+		}
+		mean /= float64(a.Rows)
+		v := 0.0
+		for i := 0; i < a.Rows; i++ {
+			d := float64(a.RowLen(i)) - mean
+			v += d * d
+		}
+		v /= float64(a.Rows)
+		if math.Abs(s.Mean-mean) > 1e-9 || math.Abs(s.Variance-v) > 1e-6*(1+v) {
+			t.Fatalf("trial %d: got mean=%v var=%v, want %v/%v", trial, s.Mean, s.Variance, mean, v)
+		}
+	}
+}
+
+func TestRowLengthHistogram(t *testing.T) {
+	// Rows of length 2,2,1,3 with bounds {1,2} -> [1, 2, 1].
+	got := RowLengthHistogram(Figure1(), []int{1, 2})
+	want := []int64{1, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("histogram = %v, want %v", got, want)
+	}
+	// Total always equals row count.
+	sum := int64(0)
+	for _, c := range got {
+		sum += c
+	}
+	if sum != 4 {
+		t.Errorf("histogram total = %d, want 4", sum)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	if bw := Bandwidth(Figure1()); bw != 2 {
+		t.Errorf("Figure1 bandwidth = %d, want 2", bw)
+	}
+	// Diagonal matrix has bandwidth 0.
+	entries := make([][]Entry, 5)
+	for i := range entries {
+		entries[i] = []Entry{{Col: i, Val: 1}}
+	}
+	d, _ := NewCSRFromRows(5, 5, entries)
+	if bw := Bandwidth(d); bw != 0 {
+		t.Errorf("diagonal bandwidth = %d, want 0", bw)
+	}
+}

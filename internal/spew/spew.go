@@ -1,0 +1,264 @@
+// Package spew implements sparse element-wise matrix operations
+// ("SpElementWise" — the second kernel family the paper's conclusion says
+// the auto-tuning approach generalizes to). C = A op B is computed row by
+// row; the per-row workload is len(A.row)+len(B.row) and, as in the SpMV
+// framework, rows with different workloads prefer different row-combiner
+// implementations:
+//
+//   - Merge: two-pointer merge of the sorted rows — best for short rows;
+//   - Hash: map-based union — tolerant of unsorted rows, best for medium
+//     scattered rows;
+//   - Dense: scatter into a dense scratch row — amortizes on long rows.
+package spew
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"spmvtune/internal/sparse"
+)
+
+// Op is the element-wise combiner.
+type Op int
+
+const (
+	// Add computes A+B (union of patterns).
+	Add Op = iota
+	// Sub computes A-B (union of patterns).
+	Sub
+	// Hadamard computes the element-wise product (intersection of patterns).
+	Hadamard
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case Add:
+		return "add"
+	case Sub:
+		return "sub"
+	case Hadamard:
+		return "hadamard"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+func (o Op) combine(a, b float64) float64 {
+	switch o {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	default:
+		return a * b
+	}
+}
+
+// Strategy selects a row-combiner implementation.
+type Strategy int
+
+const (
+	// AutoStrategy picks per row by workload.
+	AutoStrategy Strategy = iota
+	// Merge uses the sorted two-pointer combiner.
+	Merge
+	// Hash uses a map union.
+	Hash
+	// Dense scatters into a dense scratch row.
+	Dense
+)
+
+const (
+	mergeMax = 64
+	hashMax  = 2048
+)
+
+func strategyFor(workload int) Strategy {
+	switch {
+	case workload <= mergeMax:
+		return Merge
+	case workload <= hashMax:
+		return Hash
+	default:
+		return Dense
+	}
+}
+
+// Apply computes C = A op B in parallel. Both operands must have identical
+// dimensions and sorted rows (as produced by COO.ToCSR or the generators).
+func Apply(op Op, a, b *sparse.CSR, workers int) (*sparse.CSR, error) {
+	return ApplyStrategy(op, a, b, AutoStrategy, workers)
+}
+
+// ApplyStrategy forces one combiner implementation (AutoStrategy restores
+// per-row selection); exposed for the ablation benchmarks.
+func ApplyStrategy(op Op, a, b *sparse.CSR, st Strategy, workers int) (*sparse.CSR, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("spew: dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	rows := make([][]sparse.Entry, a.Rows)
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > a.Rows {
+		w = a.Rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		lo := a.Rows * p / w
+		hi := a.Rows * (p + 1) / w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sc := newScratch(a.Cols)
+			for i := lo; i < hi; i++ {
+				s := st
+				if s == AutoStrategy {
+					s = strategyFor(a.RowLen(i) + b.RowLen(i))
+				}
+				rows[i] = sc.combineRow(op, a, b, i, s)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	c := &sparse.CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: make([]int64, a.Rows+1)}
+	nnz := 0
+	for _, r := range rows {
+		nnz += len(r)
+	}
+	c.ColIdx = make([]int32, 0, nnz)
+	c.Val = make([]float64, 0, nnz)
+	for i, r := range rows {
+		for _, e := range r {
+			c.ColIdx = append(c.ColIdx, int32(e.Col))
+			c.Val = append(c.Val, e.Val)
+		}
+		c.RowPtr[i+1] = int64(len(c.ColIdx))
+	}
+	return c, nil
+}
+
+type scratch struct {
+	aDense  []float64
+	bDense  []float64
+	inA     []bool
+	inB     []bool
+	touched []int32
+}
+
+func newScratch(cols int) *scratch {
+	return &scratch{
+		aDense: make([]float64, cols),
+		bDense: make([]float64, cols),
+		inA:    make([]bool, cols),
+		inB:    make([]bool, cols),
+	}
+}
+
+// emit applies the op given presence flags; union ops emit when either
+// side is present, Hadamard only when both are.
+func emit(op Op, va, vb float64, inA, inB bool) (float64, bool) {
+	switch op {
+	case Hadamard:
+		if inA && inB {
+			return va * vb, true
+		}
+		return 0, false
+	default:
+		if !inA && !inB {
+			return 0, false
+		}
+		return op.combine(va, vb), true
+	}
+}
+
+func (sc *scratch) combineRow(op Op, a, b *sparse.CSR, i int, st Strategy) []sparse.Entry {
+	aCols, aVals := a.Row(i)
+	bCols, bVals := b.Row(i)
+	switch st {
+	case Merge:
+		out := make([]sparse.Entry, 0, len(aCols)+len(bCols))
+		x, y := 0, 0
+		for x < len(aCols) || y < len(bCols) {
+			switch {
+			case y >= len(bCols) || (x < len(aCols) && aCols[x] < bCols[y]):
+				if v, ok := emit(op, aVals[x], 0, true, false); ok {
+					out = append(out, sparse.Entry{Col: int(aCols[x]), Val: v})
+				}
+				x++
+			case x >= len(aCols) || bCols[y] < aCols[x]:
+				if v, ok := emit(op, 0, bVals[y], false, true); ok {
+					out = append(out, sparse.Entry{Col: int(bCols[y]), Val: v})
+				}
+				y++
+			default:
+				if v, ok := emit(op, aVals[x], bVals[y], true, true); ok {
+					out = append(out, sparse.Entry{Col: int(aCols[x]), Val: v})
+				}
+				x++
+				y++
+			}
+		}
+		return out
+
+	case Hash:
+		type pv struct {
+			va, vb   float64
+			inA, inB bool
+		}
+		m := make(map[int32]pv, len(aCols)+len(bCols))
+		for k, c := range aCols {
+			e := m[c]
+			e.va, e.inA = aVals[k], true
+			m[c] = e
+		}
+		for k, c := range bCols {
+			e := m[c]
+			e.vb, e.inB = bVals[k], true
+			m[c] = e
+		}
+		out := make([]sparse.Entry, 0, len(m))
+		for c, e := range m {
+			if v, ok := emit(op, e.va, e.vb, e.inA, e.inB); ok {
+				out = append(out, sparse.Entry{Col: int(c), Val: v})
+			}
+		}
+		sort.Slice(out, func(p, q int) bool { return out[p].Col < out[q].Col })
+		return out
+
+	default: // Dense
+		sc.touched = sc.touched[:0]
+		for k, c := range aCols {
+			sc.aDense[c] = aVals[k]
+			sc.inA[c] = true
+			sc.touched = append(sc.touched, c)
+		}
+		for k, c := range bCols {
+			sc.bDense[c] = bVals[k]
+			if !sc.inB[c] && !sc.inA[c] {
+				sc.touched = append(sc.touched, c)
+			}
+			sc.inB[c] = true
+		}
+		sort.Slice(sc.touched, func(p, q int) bool { return sc.touched[p] < sc.touched[q] })
+		out := make([]sparse.Entry, 0, len(sc.touched))
+		for _, c := range sc.touched {
+			if v, ok := emit(op, sc.aDense[c], sc.bDense[c], sc.inA[c], sc.inB[c]); ok {
+				out = append(out, sparse.Entry{Col: int(c), Val: v})
+			}
+			sc.aDense[c], sc.bDense[c] = 0, 0
+			sc.inA[c], sc.inB[c] = false, false
+		}
+		return out
+	}
+}

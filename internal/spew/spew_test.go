@@ -1,0 +1,198 @@
+package spew
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func denseApply(op Op, a, b *sparse.CSR) [][]float64 {
+	out := make([][]float64, a.Rows)
+	da := make([][]float64, a.Rows)
+	db := make([][]float64, a.Rows)
+	pa := make([][]bool, a.Rows)
+	pb := make([][]bool, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		da[i] = make([]float64, a.Cols)
+		db[i] = make([]float64, a.Cols)
+		pa[i] = make([]bool, a.Cols)
+		pb[i] = make([]bool, a.Cols)
+		cols, vals := a.Row(i)
+		for k := range cols {
+			da[i][cols[k]] = vals[k]
+			pa[i][cols[k]] = true
+		}
+		cols, vals = b.Row(i)
+		for k := range cols {
+			db[i][cols[k]] = vals[k]
+			pb[i][cols[k]] = true
+		}
+		out[i] = make([]float64, a.Cols)
+		for j := 0; j < a.Cols; j++ {
+			if v, ok := emit(op, da[i][j], db[i][j], pa[i][j], pb[i][j]); ok {
+				out[i][j] = v
+			}
+		}
+	}
+	return out
+}
+
+func checkDense(t *testing.T, name string, c *sparse.CSR, want [][]float64, op Op, a, b *sparse.CSR) {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !c.HasSortedRows() {
+		t.Fatalf("%s: rows unsorted", name)
+	}
+	for i := range want {
+		for j := range want[i] {
+			got := c.At(i, j)
+			if math.Abs(got-want[i][j]) > 1e-12 {
+				t.Fatalf("%s: C[%d,%d] = %v, want %v", name, i, j, got, want[i][j])
+			}
+		}
+	}
+	// Pattern check: Hadamard result must be within the intersection.
+	if op == Hadamard {
+		for i := 0; i < c.Rows; i++ {
+			cols, _ := c.Row(i)
+			for _, cc := range cols {
+				if a.At(i, int(cc)) == 0 && b.At(i, int(cc)) == 0 {
+					t.Fatalf("%s: Hadamard emitted outside both patterns", name)
+				}
+			}
+		}
+	}
+}
+
+func TestAllOpsAndStrategiesMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 6; trial++ {
+		rows := 1 + rng.Intn(60)
+		cols := 1 + rng.Intn(60)
+		a := matgen.RandomUniform(rows, cols, 0, 6, rng.Int63())
+		b := matgen.RandomUniform(rows, cols, 0, 6, rng.Int63())
+		for _, op := range []Op{Add, Sub, Hadamard} {
+			want := denseApply(op, a, b)
+			for _, st := range []Strategy{AutoStrategy, Merge, Hash, Dense} {
+				for _, w := range []int{1, 4} {
+					c, err := ApplyStrategy(op, a, b, st, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkDense(t, op.String(), c, want, op, a, b)
+				}
+			}
+		}
+	}
+}
+
+// Linearity property: (A+B)v == Av + Bv couples spew with SpMV.
+func TestAddLinearity(t *testing.T) {
+	a := matgen.PowerLaw(400, 4, 1.9, 100, 2)
+	b := matgen.Banded(400, 5, 3)
+	c, err := Apply(Add, a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	av := make([]float64, a.Rows)
+	bv := make([]float64, a.Rows)
+	cv := make([]float64, a.Rows)
+	a.MulVec(v, av)
+	b.MulVec(v, bv)
+	c.MulVec(v, cv)
+	for i := range av {
+		av[i] += bv[i]
+	}
+	if i := sparse.FirstVecDiff(av, cv, 1e-9); i >= 0 {
+		t.Fatalf("(A+B)v != Av+Bv at row %d", i)
+	}
+}
+
+func TestSubSelfIsZero(t *testing.T) {
+	a := matgen.RoadNetwork(300, 5)
+	c, err := Apply(Sub, a, a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range c.Val {
+		if v != 0 {
+			t.Fatalf("A-A has nonzero value %v at %d", v, k)
+		}
+	}
+	// Pattern is the union (= A's own), values all zero.
+	if c.NNZ() != a.NNZ() {
+		t.Errorf("A-A pattern %d, want %d", c.NNZ(), a.NNZ())
+	}
+}
+
+func TestHadamardDiagonalMask(t *testing.T) {
+	a := matgen.Banded(100, 5, 6)
+	d := matgen.Diagonal(100, 7)
+	c, err := Apply(Hadamard, a, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection with the diagonal keeps only diagonal entries.
+	for i := 0; i < c.Rows; i++ {
+		cols, _ := c.Row(i)
+		for _, cc := range cols {
+			if int(cc) != i {
+				t.Fatalf("Hadamard with diagonal kept off-diagonal (%d,%d)", i, cc)
+			}
+		}
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	a := matgen.Banded(10, 3, 1)
+	b := matgen.Banded(11, 3, 2)
+	if _, err := Apply(Add, a, b, 1); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+}
+
+func TestStrategyThresholdsAndNames(t *testing.T) {
+	if strategyFor(1) != Merge || strategyFor(mergeMax) != Merge {
+		t.Error("short rows should merge")
+	}
+	if strategyFor(mergeMax+1) != Hash || strategyFor(hashMax) != Hash {
+		t.Error("medium rows should hash")
+	}
+	if strategyFor(hashMax+1) != Dense {
+		t.Error("long rows should go dense")
+	}
+	for _, o := range []Op{Add, Sub, Hadamard, Op(9)} {
+		if o.String() == "" {
+			t.Error("empty op name")
+		}
+	}
+}
+
+func TestEmptyMatrices(t *testing.T) {
+	e := &sparse.CSR{Rows: 4, Cols: 4, RowPtr: []int64{0, 0, 0, 0, 0}}
+	a := matgen.Diagonal(4, 1)
+	c, err := Apply(Add, a, e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 4 {
+		t.Errorf("A+0 lost entries: %d", c.NNZ())
+	}
+	h, err := Apply(Hadamard, a, e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NNZ() != 0 {
+		t.Errorf("A∘0 should be empty, got %d", h.NNZ())
+	}
+}

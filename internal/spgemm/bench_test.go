@@ -1,0 +1,49 @@
+package spgemm
+
+import (
+	"testing"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+// Strategy ablation on light (graph^2) and heavy (FEM^2) workloads: the
+// thresholds in strategyFor are justified by these curves.
+
+func lightPair() (*sparse.CSR, *sparse.CSR) {
+	a := matgen.RoadNetwork(20000, 1)
+	return a, a
+}
+
+func heavyPair() (*sparse.CSR, *sparse.CSR) {
+	a := matgen.BlockFEM(600, 120, 20, 2)
+	return a, a
+}
+
+func benchStrategy(b *testing.B, s Strategy, pair func() (*sparse.CSR, *sparse.CSR)) {
+	b.Helper()
+	x, y := pair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MulStrategy(x, y, s, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpGeMMLightSort(b *testing.B)  { benchStrategy(b, Sort, lightPair) }
+func BenchmarkSpGeMMLightHash(b *testing.B)  { benchStrategy(b, Hash, lightPair) }
+func BenchmarkSpGeMMLightDense(b *testing.B) { benchStrategy(b, Dense, lightPair) }
+func BenchmarkSpGeMMLightAuto(b *testing.B)  { benchStrategy(b, Auto, lightPair) }
+func BenchmarkSpGeMMHeavySort(b *testing.B)  { benchStrategy(b, Sort, heavyPair) }
+func BenchmarkSpGeMMHeavyHash(b *testing.B)  { benchStrategy(b, Hash, heavyPair) }
+func BenchmarkSpGeMMHeavyDense(b *testing.B) { benchStrategy(b, Dense, heavyPair) }
+func BenchmarkSpGeMMHeavyAuto(b *testing.B)  { benchStrategy(b, Auto, heavyPair) }
+
+func BenchmarkSpGeMMFlops(b *testing.B) {
+	x, y := lightPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Flops(x, y)
+	}
+}

@@ -1,0 +1,330 @@
+// Package spgemm applies the paper's binning-plus-kernel-selection idea to
+// sparse matrix-matrix multiplication, the first of the "other sparse
+// matrix applications (e.g., SpGeMM, SpElementWise)" the conclusion says
+// the approach generalizes to — and the subject of the hybrid-binning work
+// (Liu et al.) the paper cites.
+//
+// C = A*B is computed row-wise (Gustavson): row i of C accumulates
+// val(i,k) * B[k,:] over the non-zeros of A's row i. The per-row workload
+// is its FLOP count, rows are binned by workload exactly like the SpMV
+// framework, and each bin picks the accumulator implementation that suits
+// its rows:
+//
+//   - Sort: gather all partial products and sort-merge — lowest constant,
+//     wins on very light rows;
+//   - Hash: map accumulator — wins on medium rows with scattered columns;
+//   - Dense: a sparse accumulator (SPA) over a dense scratch row — wins on
+//     heavy rows, where O(cols) reset amortizes.
+package spgemm
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/sparse"
+)
+
+// Strategy selects a per-row accumulator implementation.
+type Strategy int
+
+const (
+	// Auto picks a strategy per workload bin (the framework behaviour).
+	Auto Strategy = iota
+	// Sort gathers and sort-merges partial products.
+	Sort
+	// Hash accumulates in a map.
+	Hash
+	// Dense uses a dense sparse-accumulator scratch row.
+	Dense
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Sort:
+		return "sort"
+	case Hash:
+		return "hash"
+	case Dense:
+		return "dense"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Flops returns the per-row FLOP workload of C = A*B: flops[i] is the sum
+// of B-row lengths over A's row i — the SpGeMM analogue of "number of
+// non-zeros per row" in Algorithm 2's step 1.
+func Flops(a, b *sparse.CSR) []int64 {
+	out := make([]int64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		var f int64
+		for _, k := range cols {
+			f += b.RowPtr[k+1] - b.RowPtr[k]
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// thresholds between strategies, in FLOPs per row (heuristics validated by
+// BenchmarkSpGeMMStrategies).
+const (
+	sortMax = 32
+	hashMax = 1024
+)
+
+func strategyFor(flops int64) Strategy {
+	switch {
+	case flops <= sortMax:
+		return Sort
+	case flops <= hashMax:
+		return Hash
+	default:
+		return Dense
+	}
+}
+
+// Mul computes C = A*B with the auto-binned strategy on `workers`
+// goroutines (workers <= 0 selects GOMAXPROCS). It returns an error on a
+// dimension mismatch.
+func Mul(a, b *sparse.CSR, workers int) (*sparse.CSR, error) {
+	return MulStrategy(a, b, Auto, workers)
+}
+
+// MulStrategy computes C = A*B forcing one accumulator strategy everywhere
+// (Auto restores per-bin selection). Exposed for the ablation benchmarks.
+func MulStrategy(a, b *sparse.CSR, s Strategy, workers int) (*sparse.CSR, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("spgemm: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	flops := Flops(a, b)
+	rows := make([][]sparse.Entry, a.Rows)
+
+	w := workersOf(workers, a.Rows)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		lo := a.Rows * p / w
+		hi := a.Rows * (p + 1) / w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			acc := newAccumulators(b.Cols)
+			for i := lo; i < hi; i++ {
+				st := s
+				if st == Auto {
+					st = strategyFor(flops[i])
+				}
+				rows[i] = acc.multiplyRow(a, b, i, st)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	c := &sparse.CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
+	nnz := 0
+	for _, r := range rows {
+		nnz += len(r)
+	}
+	c.ColIdx = make([]int32, 0, nnz)
+	c.Val = make([]float64, 0, nnz)
+	for i, r := range rows {
+		for _, e := range r {
+			c.ColIdx = append(c.ColIdx, int32(e.Col))
+			c.Val = append(c.Val, e.Val)
+		}
+		c.RowPtr[i+1] = int64(len(c.ColIdx))
+	}
+	return c, nil
+}
+
+func workersOf(w, rows int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// accumulators carries the per-goroutine scratch for all three strategies.
+type accumulators struct {
+	dense   []float64
+	seen    []bool // occupancy markers (values may cancel to exactly 0)
+	touched []int32
+	pairs   []sparse.Entry
+}
+
+func newAccumulators(cols int) *accumulators {
+	return &accumulators{dense: make([]float64, cols), seen: make([]bool, cols)}
+}
+
+// multiplyRow computes one C row with the chosen strategy, returning
+// entries sorted by column.
+func (ac *accumulators) multiplyRow(a, b *sparse.CSR, i int, st Strategy) []sparse.Entry {
+	aCols, aVals := a.Row(i)
+	if len(aCols) == 0 {
+		return nil
+	}
+	switch st {
+	case Sort:
+		ac.pairs = ac.pairs[:0]
+		for t, k := range aCols {
+			bCols, bVals := b.Row(int(k))
+			for j := range bCols {
+				ac.pairs = append(ac.pairs, sparse.Entry{Col: int(bCols[j]), Val: aVals[t] * bVals[j]})
+			}
+		}
+		sort.Slice(ac.pairs, func(x, y int) bool { return ac.pairs[x].Col < ac.pairs[y].Col })
+		out := make([]sparse.Entry, 0, len(ac.pairs))
+		for _, e := range ac.pairs {
+			if n := len(out); n > 0 && out[n-1].Col == e.Col {
+				out[n-1].Val += e.Val
+				continue
+			}
+			out = append(out, e)
+		}
+		return out
+
+	case Hash:
+		m := make(map[int32]float64, 2*len(aCols))
+		for t, k := range aCols {
+			bCols, bVals := b.Row(int(k))
+			for j := range bCols {
+				m[bCols[j]] += aVals[t] * bVals[j]
+			}
+		}
+		out := make([]sparse.Entry, 0, len(m))
+		for c, v := range m {
+			out = append(out, sparse.Entry{Col: int(c), Val: v})
+		}
+		sort.Slice(out, func(x, y int) bool { return out[x].Col < out[y].Col })
+		return out
+
+	default: // Dense SPA
+		ac.touched = ac.touched[:0]
+		for t, k := range aCols {
+			bCols, bVals := b.Row(int(k))
+			for j, c := range bCols {
+				if !ac.seen[c] {
+					ac.seen[c] = true
+					ac.touched = append(ac.touched, c)
+				}
+				ac.dense[c] += aVals[t] * bVals[j]
+			}
+		}
+		sort.Slice(ac.touched, func(x, y int) bool { return ac.touched[x] < ac.touched[y] })
+		out := make([]sparse.Entry, 0, len(ac.touched))
+		for _, c := range ac.touched {
+			out = append(out, sparse.Entry{Col: int(c), Val: ac.dense[c]})
+			ac.dense[c] = 0
+			ac.seen[c] = false
+		}
+		return out
+	}
+}
+
+// MulBinned computes C = A*B with the paper's full pattern: rows are
+// FLOP-binned at granularity u (Algorithm 2 transplanted), every bin picks
+// one accumulator strategy from its per-row average workload, and bins
+// execute over the worker pool. Per-bin selection amortizes the strategy
+// dispatch and mirrors how the SpMV framework assigns one kernel per bin;
+// Mul's per-row Auto remains the finer-grained alternative.
+func MulBinned(a, b *sparse.CSR, u, maxBins, workers int) (*sparse.CSR, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("spgemm: dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	bn := BinRows(a, b, u, maxBins)
+	flops := Flops(a, b)
+	rows := make([][]sparse.Entry, a.Rows)
+
+	w := workersOf(workers, a.Rows)
+	type task struct {
+		g  binning.Group
+		st Strategy
+	}
+	var tasks []task
+	for binID := range bn.Bins {
+		for _, g := range bn.Bins[binID] {
+			var wl int64
+			for i := g.Start; i < g.Start+g.Count; i++ {
+				wl += flops[i]
+			}
+			avg := wl / int64(g.Count)
+			tasks = append(tasks, task{g: g, st: strategyFor(avg)})
+		}
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			acc := newAccumulators(b.Cols)
+			for ti := p; ti < len(tasks); ti += w {
+				t := tasks[ti]
+				for i := t.g.Start; i < t.g.Start+t.g.Count; i++ {
+					rows[i] = acc.multiplyRow(a, b, int(i), t.st)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	c := &sparse.CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int64, a.Rows+1)}
+	nnz := 0
+	for _, r := range rows {
+		nnz += len(r)
+	}
+	c.ColIdx = make([]int32, 0, nnz)
+	c.Val = make([]float64, 0, nnz)
+	for i, r := range rows {
+		for _, e := range r {
+			c.ColIdx = append(c.ColIdx, int32(e.Col))
+			c.Val = append(c.Val, e.Val)
+		}
+		c.RowPtr[i+1] = int64(len(c.ColIdx))
+	}
+	return c, nil
+}
+
+// BinRows groups matrix rows by FLOP workload using the SpMV framework's
+// coarse binning machinery (virtual rows of u adjacent rows, bin =
+// workload/u) — the exact transplant of Algorithm 2 onto SpGeMM.
+func BinRows(a, b *sparse.CSR, u, maxBins int) *binning.Binning {
+	if u < 1 {
+		u = 1
+	}
+	if maxBins <= 0 {
+		maxBins = binning.DefaultMaxBins
+	}
+	flops := Flops(a, b)
+	bn := &binning.Binning{Scheme: "coarse", U: u, Bins: make([][]binning.Group, maxBins), M: a.Rows}
+	for lo := 0; lo < a.Rows; lo += u {
+		hi := lo + u
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		var wl int64
+		for i := lo; i < hi; i++ {
+			wl += flops[i]
+		}
+		binID := int(wl / int64(u))
+		if binID >= maxBins {
+			binID = maxBins - 1
+		}
+		bn.Bins[binID] = append(bn.Bins[binID], binning.Group{Start: int32(lo), Count: int32(hi - lo)})
+	}
+	return bn
+}

@@ -1,0 +1,264 @@
+package spgemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+// denseMul is the brute-force reference.
+func denseMul(a, b *sparse.CSR) [][]float64 {
+	c := make([][]float64, a.Rows)
+	for i := range c {
+		c[i] = make([]float64, b.Cols)
+		aCols, aVals := a.Row(i)
+		for t, k := range aCols {
+			bCols, bVals := b.Row(int(k))
+			for j := range bCols {
+				c[i][bCols[j]] += aVals[t] * bVals[j]
+			}
+		}
+	}
+	return c
+}
+
+func checkAgainstDense(t *testing.T, name string, c *sparse.CSR, want [][]float64) {
+	t.Helper()
+	if !c.HasSortedRows() {
+		t.Fatalf("%s: result rows not sorted", name)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			got := c.At(i, j)
+			if math.Abs(got-want[i][j]) > 1e-9*(1+math.Abs(want[i][j])) {
+				t.Fatalf("%s: C[%d,%d] = %v, want %v", name, i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestAllStrategiesMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		m := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(40)
+		a := matgen.RandomUniform(m, k, 0, 5, rng.Int63())
+		b := matgen.RandomUniform(k, n, 0, 5, rng.Int63())
+		want := denseMul(a, b)
+		for _, s := range []Strategy{Auto, Sort, Hash, Dense} {
+			for _, w := range []int{1, 3} {
+				c, err := MulStrategy(a, b, s, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAgainstDense(t, s.String(), c, want)
+			}
+		}
+	}
+}
+
+func TestIdentityAndAssociativityWithSpMV(t *testing.T) {
+	a := matgen.PowerLaw(200, 4, 1.8, 80, 2)
+	id := matgen.Diagonal(a.Cols, 3)
+	// Force identity values to 1.
+	for i := range id.Val {
+		id.Val[i] = 1
+	}
+	c, err := Mul(a, id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A*I == A entry-wise.
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		for ti := range cols {
+			if got := c.At(i, int(cols[ti])); got != vals[ti] {
+				t.Fatalf("A*I differs at (%d,%d)", i, cols[ti])
+			}
+		}
+	}
+	if c.NNZ() != a.NNZ() {
+		t.Fatalf("A*I has %d nnz, want %d", c.NNZ(), a.NNZ())
+	}
+
+	// Property: (A*B)x == A*(Bx) for random x.
+	b := matgen.RandomUniform(a.Cols, 150, 0, 4, 5)
+	ab, err := Mul(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, b.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	bx := make([]float64, b.Rows)
+	b.MulVec(x, bx)
+	want := make([]float64, a.Rows)
+	a.MulVec(bx, want)
+	got := make([]float64, ab.Rows)
+	ab.MulVec(x, got)
+	if i := sparse.FirstVecDiff(want, got, 1e-9); i >= 0 {
+		t.Fatalf("(AB)x != A(Bx) at row %d", i)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	a := matgen.Banded(10, 3, 1)
+	b := matgen.Banded(11, 3, 2)
+	if _, err := Mul(a, b, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestCancellationInDenseSPA(t *testing.T) {
+	// Row of A multiplies B rows that cancel exactly at one column and then
+	// re-add: the SPA must not emit duplicate columns.
+	a, _ := sparse.NewCSRFromRows(1, 3, [][]sparse.Entry{
+		{{Col: 0, Val: 1}, {Col: 1, Val: 1}, {Col: 2, Val: 1}},
+	})
+	b, _ := sparse.NewCSRFromRows(3, 2, [][]sparse.Entry{
+		{{Col: 0, Val: 1}},  // +1 at col 0
+		{{Col: 0, Val: -1}}, // cancels col 0 to exactly 0
+		{{Col: 0, Val: 2}},  // re-adds col 0
+	})
+	c, err := MulStrategy(a, b, Dense, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != 1 || c.At(0, 0) != 2 {
+		t.Fatalf("cancellation handled wrongly: nnz=%d val=%v", c.NNZ(), c.At(0, 0))
+	}
+	// All strategies must agree on this adversarial case.
+	for _, s := range []Strategy{Sort, Hash, Auto} {
+		cs, err := MulStrategy(a, b, s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.At(0, 0) != 2 {
+			t.Errorf("%s: C[0,0] = %v, want 2", s, cs.At(0, 0))
+		}
+	}
+}
+
+func TestFlops(t *testing.T) {
+	// A row with links to B rows of lengths 2 and 3 has 5 flops.
+	a, _ := sparse.NewCSRFromRows(2, 2, [][]sparse.Entry{
+		{{Col: 0, Val: 1}, {Col: 1, Val: 1}},
+		{},
+	})
+	b, _ := sparse.NewCSRFromRows(2, 4, [][]sparse.Entry{
+		{{Col: 0, Val: 1}, {Col: 1, Val: 1}},
+		{{Col: 0, Val: 1}, {Col: 2, Val: 1}, {Col: 3, Val: 1}},
+	})
+	f := Flops(a, b)
+	if f[0] != 5 || f[1] != 0 {
+		t.Errorf("Flops = %v, want [5 0]", f)
+	}
+}
+
+func TestStrategyForThresholds(t *testing.T) {
+	if strategyFor(1) != Sort || strategyFor(sortMax) != Sort {
+		t.Error("light rows should sort")
+	}
+	if strategyFor(sortMax+1) != Hash || strategyFor(hashMax) != Hash {
+		t.Error("medium rows should hash")
+	}
+	if strategyFor(hashMax+1) != Dense {
+		t.Error("heavy rows should use the dense SPA")
+	}
+	if Auto.String() != "auto" || Strategy(99).String() == "" {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestBinRowsPartition(t *testing.T) {
+	a := matgen.Mixed(500, 500, 50, []int{2, 40}, 9)
+	b := matgen.RandomUniform(500, 500, 2, 6, 10)
+	bn := BinRows(a, b, 10, 0)
+	if err := bn.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(bn.NonEmpty()) < 2 {
+		t.Errorf("mixed flops should span >=2 bins, got %v", bn.NonEmpty())
+	}
+}
+
+func TestEmptyOperands(t *testing.T) {
+	empty := &sparse.CSR{Rows: 0, Cols: 5, RowPtr: []int64{0}}
+	b := matgen.Banded(5, 3, 1)
+	c, err := Mul(empty, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows != 0 || c.NNZ() != 0 {
+		t.Error("empty A should give empty C")
+	}
+	// A with empty rows only.
+	zeros := &sparse.CSR{Rows: 3, Cols: 5, RowPtr: []int64{0, 0, 0, 0}}
+	c2, err := Mul(zeros, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.NNZ() != 0 || c2.Rows != 3 {
+		t.Error("zero A should give structurally empty C")
+	}
+}
+
+func TestMulBinnedMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		m := 20 + rng.Intn(200)
+		a := matgen.Mixed(m, m, 16, []int{2, 30}, rng.Int63())
+		b := matgen.RandomUniform(m, m, 1, 5, rng.Int63())
+		want, err := Mul(a, b, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			got, err := MulBinned(a, b, 10, 0, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.NNZ() != want.NNZ() {
+				t.Fatalf("trial %d w=%d: nnz %d vs %d", trial, w, got.NNZ(), want.NNZ())
+			}
+			for k := range want.Val {
+				if got.ColIdx[k] != want.ColIdx[k] || math.Abs(got.Val[k]-want.Val[k]) > 1e-9 {
+					t.Fatalf("trial %d w=%d: entry %d differs", trial, w, k)
+				}
+			}
+		}
+	}
+	if _, err := MulBinned(matgen.Banded(5, 3, 1), matgen.Banded(6, 3, 2), 10, 0, 1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	a := matgen.PowerLaw(300, 5, 1.8, 100, 11)
+	b := matgen.RandomUniform(300, 300, 1, 6, 12)
+	c1, err := Mul(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := Mul(a, b, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.NNZ() != c8.NNZ() {
+		t.Fatalf("worker count changed structure: %d vs %d", c1.NNZ(), c8.NNZ())
+	}
+	for k := range c1.Val {
+		if c1.ColIdx[k] != c8.ColIdx[k] || c1.Val[k] != c8.Val[k] {
+			t.Fatal("worker count changed result")
+		}
+	}
+}
