@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build test race fuzz fmt vet
+
+## check: the full verification gate (fmt, vet, build, race tests, fuzz smoke)
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadMTX -fuzztime=10s ./internal/mmio
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

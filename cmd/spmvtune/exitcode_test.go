@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"spmvtune/internal/core"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		code int
+	}{
+		{nil, 1}, // main never calls exitCode with nil, but it must not map to success
+		{errors.New("plain failure"), 1},
+		{fmt.Errorf("wrap: %w", core.ErrInvalidMatrix), 3},
+		{fmt.Errorf("wrap: %w", core.ErrKernelFault), 4},
+		{fmt.Errorf("wrap: %w", core.ErrBudgetExceeded), 5},
+		{fmt.Errorf("wrap: %w", core.ErrCanceled), 6},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.code {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.code)
+		}
+	}
+	// A budget fault matches both ErrBudgetExceeded and ErrKernelFault; the
+	// more specific code must win.
+	both := fmt.Errorf("wrap: %w", errors.Join(core.ErrBudgetExceeded, core.ErrKernelFault))
+	if got := exitCode(both); got != 5 {
+		t.Errorf("budget+kernel fault mapped to %d, want 5", got)
+	}
+}
+
+func TestWithTimeout(t *testing.T) {
+	ctx, cancel := withTimeout(0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero timeout installed a deadline")
+	}
+	ctx2, cancel2 := withTimeout(time.Hour)
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); !ok {
+		t.Error("timeout did not install a deadline")
+	}
+	ctx3, cancel3 := withTimeout(time.Nanosecond)
+	defer cancel3()
+	<-ctx3.Done()
+	if !errors.Is(ctx3.Err(), context.DeadlineExceeded) {
+		t.Errorf("expired timeout: %v", ctx3.Err())
+	}
+}
+
+func TestCmdRunMalformedInputTyped(t *testing.T) {
+	dir := t.TempDir()
+	mtx := filepath.Join(dir, "bad.mtx")
+	if err := os.WriteFile(mtx, []byte("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdRun([]string{"-in", mtx, "-model", filepath.Join(dir, "absent.json")})
+	if err == nil {
+		t.Fatal("truncated matrix accepted")
+	}
+	if !errors.Is(err, core.ErrInvalidMatrix) {
+		t.Errorf("error %v is untyped", err)
+	}
+	if exitCode(err) != 3 {
+		t.Errorf("exit code %d, want 3", exitCode(err))
+	}
+}

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"spmvtune/internal/binning"
 	"spmvtune/internal/c50"
@@ -56,8 +59,35 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spmvtune:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// Exit codes distinguish the failure classes so scripts can react without
+// parsing stderr: 1 generic, 2 usage, 3 invalid matrix input, 4 kernel
+// fault, 5 cycle-budget exhaustion, 6 canceled or timed out. Budget is
+// checked before the general kernel-fault class because budget faults
+// match both sentinels.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInvalidMatrix):
+		return 3
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return 5
+	case errors.Is(err, core.ErrKernelFault):
+		return 4
+	case errors.Is(err, core.ErrCanceled):
+		return 6
+	}
+	return 1
+}
+
+// withTimeout builds the command context: a zero timeout means no limit.
+func withTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
 }
 
 func usage() {
@@ -176,6 +206,8 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	in := fs.String("in", "", "input Matrix Market file")
 	model := fs.String("model", "model.json", "trained model file")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	guarded := fs.Bool("guarded", true, "run through the guarded executor (fallback chain + verification)")
 	fs.Parse(args)
 	a, err := loadMatrix(*in)
 	if err != nil {
@@ -188,7 +220,22 @@ func cmdRun(args []string) error {
 	fw := core.NewFramework(core.DefaultConfig(), m)
 	v := onesVec(a.Cols)
 	u := make([]float64, a.Rows)
-	d, st, err := fw.RunSim(a, v, u)
+	ctx, cancel := withTimeout(*timeout)
+	defer cancel()
+
+	if *guarded {
+		d, rep, err := fw.RunGuarded(ctx, a, v, u)
+		if err != nil {
+			return err
+		}
+		fmt.Println("decision:", d)
+		fmt.Printf("simulated: %s\n", rep.Stats)
+		fmt.Println(rep)
+		fmt.Println("result verified against the sequential reference")
+		return nil
+	}
+
+	d, st, err := fw.RunSimCtx(ctx, a, v, u)
 	if err != nil {
 		return err
 	}
@@ -207,6 +254,7 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	in := fs.String("in", "", "input Matrix Market file")
 	model := fs.String("model", "model.json", "trained model file")
+	timeout := fs.Duration("timeout", 0, "abort the comparison after this duration (0 = no limit)")
 	fs.Parse(args)
 	a, err := loadMatrix(*in)
 	if err != nil {
@@ -220,8 +268,10 @@ func cmdCompare(args []string) error {
 	fw := core.NewFramework(cfg, m)
 	v := onesVec(a.Cols)
 	u := make([]float64, a.Rows)
+	ctx, cancel := withTimeout(*timeout)
+	defer cancel()
 
-	d, auto, err := fw.RunSim(a, v, u)
+	d, auto, err := fw.RunSimCtx(ctx, a, v, u)
 	if err != nil {
 		return err
 	}

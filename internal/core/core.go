@@ -15,9 +15,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
 	"spmvtune/internal/features"
 	"spmvtune/internal/hsa"
 	"spmvtune/internal/kernels"
@@ -67,18 +70,51 @@ func DefaultConfig() Config {
 // device run (one kernel launch) and returns its stats. The u slice
 // receives the rows' results.
 func SimulateKernel(dev hsa.Config, a *sparse.CSR, v, u []float64, k kernels.Kernel, groups []binning.Group) hsa.Stats {
+	st, _ := SimulateKernelCtx(context.Background(), dev, a, v, u, k, groups)
+	return st
+}
+
+// SimulateKernelCtx is SimulateKernel under a context: the launch polls
+// cancellation between work-group dispatches and aborts with an error
+// matching errdefs.ErrCanceled (u is then partially written). Other kernel
+// panics propagate; use Framework.RunGuarded for full containment.
+func SimulateKernelCtx(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []float64, k kernels.Kernel, groups []binning.Group) (st hsa.Stats, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if e, ok := rec.(error); ok && errors.Is(e, errdefs.ErrCanceled) {
+				err = e
+				return
+			}
+			panic(rec)
+		}
+	}()
 	run := hsa.NewRun(dev)
+	if ctx != nil {
+		run.SetContext(ctx)
+	}
 	in := kernels.NewInput(run, a, v, u)
 	k.Run(run, in, groups)
-	return run.Stats()
+	return run.Stats(), nil
 }
 
 // SimulateBinned executes one kernel launch per non-empty bin using the
 // given per-bin kernel choices and returns the summed stats (sequential
 // launches, as in Figure 4 step 3).
 func SimulateBinned(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning, kernelByBin map[int]int) (hsa.Stats, error) {
+	return SimulateBinnedCtx(context.Background(), dev, a, v, u, b, kernelByBin)
+}
+
+// SimulateBinnedCtx is SimulateBinned under a context: cancellation is
+// honored between bin launches and inside each launch.
+func SimulateBinnedCtx(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning, kernelByBin map[int]int) (hsa.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var total hsa.Stats
 	for _, binID := range b.NonEmpty() {
+		if err := ctx.Err(); err != nil {
+			return total, errdefs.Canceled(err)
+		}
 		kid, ok := kernelByBin[binID]
 		if !ok {
 			return total, fmt.Errorf("core: no kernel assigned to non-empty bin %d", binID)
@@ -87,7 +123,10 @@ func SimulateBinned(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Bi
 		if !ok {
 			return total, fmt.Errorf("core: unknown kernel id %d for bin %d", kid, binID)
 		}
-		st := SimulateKernel(dev, a, v, u, info.Kernel, b.Bins[binID])
+		st, err := SimulateKernelCtx(ctx, dev, a, v, u, info.Kernel, b.Bins[binID])
+		if err != nil {
+			return total, err
+		}
 		total.Add(st)
 	}
 	return total, nil

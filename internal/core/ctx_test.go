@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+// The context variants of every dispatcher must refuse a canceled context
+// with the typed cancellation error — and the mid-launch poll must abort a
+// kernel that is already running.
+func TestDispatchersHonorCancellation(t *testing.T) {
+	fw := guardFramework(t)
+	a, v, _ := guardMatrix()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	check := func(name string, err error) {
+		t.Helper()
+		if !errors.Is(err, errdefs.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v does not match cancellation sentinels", name, err)
+		}
+	}
+
+	u := make([]float64, a.Rows)
+	_, _, err := fw.RunSimCtx(ctx, a, v, u)
+	check("RunSimCtx", err)
+	_, _, err = fw.RunSimQueuedCtx(ctx, a, v, u)
+	check("RunSimQueuedCtx", err)
+	_, err = fw.RunCPUCtx(ctx, a, v, u, 2)
+	check("RunCPUCtx", err)
+}
+
+// delayedCancelCtx reports healthy for its first n Err() polls, then
+// canceled — deterministic mid-launch cancellation without timing races.
+type delayedCancelCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *delayedCancelCtx) Err() error {
+	if c.polls > 0 {
+		c.polls--
+		return nil
+	}
+	return context.Canceled
+}
+
+// A cancellation that lands mid-launch must abort through the simulator's
+// work-group poll (recovered by SimulateKernelCtx), not run the kernel to
+// completion first.
+func TestSimulateKernelCtxMidLaunchCancel(t *testing.T) {
+	fw := guardFramework(t)
+	// Enough rows for well over cancelCheckStride work-group dispatches
+	// with the serial kernel; the single healthy poll is consumed by the
+	// dispatcher's pre-launch check, so the abort must come from inside
+	// the running launch.
+	a := matgen.RoadNetwork(30000, 3)
+	v := randVec(a.Cols, 21)
+	ctx := &delayedCancelCtx{Context: context.Background(), polls: 1}
+	u := make([]float64, a.Rows)
+	_, err := SimulateBinnedCtx(ctx, fw.Cfg.Device, a, v, u, binning.Single(a), map[int]int{0: 0})
+	if !errors.Is(err, errdefs.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-launch cancel: %v", err)
+	}
+}
+
+func TestCtxVariantsNilContext(t *testing.T) {
+	fw := guardFramework(t)
+	a, v, want := guardMatrix()
+	u := make([]float64, a.Rows)
+	if _, _, err := fw.RunSimCtx(nil, a, v, u); err != nil {
+		t.Fatalf("RunSimCtx(nil): %v", err)
+	}
+	if i := sparse.FirstVecDiff(want, u, 1e-9); i >= 0 {
+		t.Errorf("RunSimCtx(nil) wrong at row %d", i)
+	}
+	uq := make([]float64, a.Rows)
+	if _, _, err := fw.RunSimQueuedCtx(nil, a, v, uq); err != nil {
+		t.Fatalf("RunSimQueuedCtx(nil): %v", err)
+	}
+	uc := make([]float64, a.Rows)
+	if _, err := fw.RunCPUCtx(nil, a, v, uc, 2); err != nil {
+		t.Fatalf("RunCPUCtx(nil): %v", err)
+	}
+	if i := sparse.FirstVecDiff(want, uc, 1e-9); i >= 0 {
+		t.Errorf("RunCPUCtx(nil) wrong at row %d", i)
+	}
+}

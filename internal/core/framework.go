@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -66,17 +67,30 @@ func (fw *Framework) Decide(a *sparse.CSR) (Decision, *binning.Binning) {
 // with the decision's per-bin kernels. Returns the decision and the summed
 // device stats.
 func (fw *Framework) RunSim(a *sparse.CSR, v, u []float64) (Decision, hsa.Stats, error) {
+	return fw.RunSimCtx(context.Background(), a, v, u)
+}
+
+// RunSimCtx is RunSim under a context: cancellation and deadlines are
+// honored between bin launches and between work-group dispatches inside
+// each launch; the returned error then matches errdefs.ErrCanceled.
+func (fw *Framework) RunSimCtx(ctx context.Context, a *sparse.CSR, v, u []float64) (Decision, hsa.Stats, error) {
 	d, b := fw.Decide(a)
-	st, err := SimulateBinned(fw.Cfg.Device, a, v, u, b, d.KernelByBin)
+	st, err := SimulateBinnedCtx(ctx, fw.Cfg.Device, a, v, u, b, d.KernelByBin)
 	return d, st, err
 }
 
 // RunCPU executes the auto-tuned SpMV natively on the host with the given
 // worker count, using the decision's binning for load balance.
 func (fw *Framework) RunCPU(a *sparse.CSR, v, u []float64, workers int) Decision {
-	d, b := fw.Decide(a)
-	cpu.MulVecBinned(a, v, u, b, workers)
+	d, _ := fw.RunCPUCtx(context.Background(), a, v, u, workers)
 	return d
+}
+
+// RunCPUCtx is RunCPU under a context; on cancellation the returned error
+// matches errdefs.ErrCanceled and u is partially written.
+func (fw *Framework) RunCPUCtx(ctx context.Context, a *sparse.CSR, v, u []float64, workers int) (Decision, error) {
+	d, b := fw.Decide(a)
+	return d, cpu.MulVecBinnedCtx(ctx, a, v, u, b, workers)
 }
 
 // PrepareCPU decides the strategy once and returns a reusable SpMV

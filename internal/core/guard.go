@@ -1,0 +1,403 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/sparse"
+)
+
+// Typed failure sentinels of the guarded execution path, re-exported from
+// the shared taxonomy. Match with errors.Is.
+var (
+	ErrInvalidMatrix  = errdefs.ErrInvalidMatrix
+	ErrKernelFault    = errdefs.ErrKernelFault
+	ErrBudgetExceeded = errdefs.ErrBudgetExceeded
+	ErrCanceled       = errdefs.ErrCanceled
+)
+
+// Stage identifies a link of the guarded fallback chain, in degradation
+// order: the model's predicted kernel, then Kernel-Serial (the kernel with
+// no LDS traffic, no barriers and no divergence hazards beyond row length),
+// then the native CPU reference, which cannot fault.
+type Stage int
+
+const (
+	StagePredicted Stage = iota
+	StageSerialFallback
+	StageCPUReference
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StagePredicted:
+		return "predicted"
+	case StageSerialFallback:
+		return "serial-fallback"
+	case StageCPUReference:
+		return "cpu-reference"
+	}
+	return fmt.Sprintf("stage(%d)", int(s))
+}
+
+// GuardOptions tunes RunGuardedOpts. The zero value selects defaults.
+type GuardOptions struct {
+	// MaxAttempts is the number of launches tried per kernel in the chain
+	// before falling back to the next link; retries absorb transient
+	// faults. <= 0 selects 2.
+	MaxAttempts int
+	// Backoff is the delay before the first retry of a kernel, doubling
+	// per further retry. Negative disables; 0 selects 200µs. The wait
+	// aborts immediately if the context is canceled.
+	Backoff time.Duration
+	// Tolerance is the output-verification tolerance against the reference
+	// SpMV (combined absolute/relative). <= 0 selects 1e-9.
+	Tolerance float64
+	// Faults is the deterministic fault-injection plan applied to device
+	// launches; nil injects nothing. Production callers leave it nil —
+	// it exists so degradation paths are testable.
+	Faults *hsa.FaultPlan
+}
+
+// DefaultGuardOptions returns the production defaults.
+func DefaultGuardOptions() GuardOptions {
+	return GuardOptions{MaxAttempts: 2, Backoff: 200 * time.Microsecond, Tolerance: 1e-9}
+}
+
+func (o GuardOptions) withDefaults() GuardOptions {
+	d := DefaultGuardOptions()
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = d.MaxAttempts
+	}
+	if o.Backoff == 0 {
+		o.Backoff = d.Backoff
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = d.Tolerance
+	}
+	return o
+}
+
+// Attempt records one execution attempt of a bin.
+type Attempt struct {
+	Stage  Stage
+	Kernel string // kernel name, or "reference" for the CPU stage
+	Retry  int    // zero-based retry index within the stage
+	Err    string // failure description; empty on the accepted attempt
+}
+
+// BinReport records how one bin was finally served.
+type BinReport struct {
+	Bin      int
+	Rows     int
+	Attempts []Attempt // every attempt in order; the last one succeeded
+	Final    Stage     // chain link that produced the accepted result
+}
+
+// Degraded reports whether the bin needed anything beyond the first launch
+// of its predicted kernel.
+func (b *BinReport) Degraded() bool {
+	return b.Final != StagePredicted || len(b.Attempts) > 1
+}
+
+// ExecReport records every fallback and retry decision of one guarded run,
+// so callers (and observability layers) can see what degraded and why.
+type ExecReport struct {
+	Decision Decision
+	// DecisionFallback is set when the predict path itself failed and the
+	// run fell back to the single-bin Kernel-Serial strategy.
+	DecisionFallback bool
+	Bins             []BinReport
+	// Stats sums the device stats of the accepted simulated launches only;
+	// aborted launches never reach stats finalization.
+	Stats hsa.Stats
+	// Retries counts re-launches of a kernel already attempted on its bin;
+	// Fallbacks counts bins not served by their predicted kernel; CPUServed
+	// counts bins that degraded all the way to the native reference.
+	Retries   int
+	Fallbacks int
+	CPUServed int
+}
+
+// Degraded reports whether any part of the run deviated from the clean
+// predicted path.
+func (r *ExecReport) Degraded() bool {
+	if r.DecisionFallback || r.Retries > 0 || r.Fallbacks > 0 || r.CPUServed > 0 {
+		return true
+	}
+	for i := range r.Bins {
+		if r.Bins[i].Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a one-line summary plus one line per degraded bin.
+func (r *ExecReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "guarded run: %d bins, %d retries, %d fallbacks, %d cpu-served",
+		len(r.Bins), r.Retries, r.Fallbacks, r.CPUServed)
+	if r.DecisionFallback {
+		sb.WriteString(", decision fell back to serial")
+	}
+	if !r.Degraded() {
+		sb.WriteString(" (clean)")
+	}
+	for i := range r.Bins {
+		b := &r.Bins[i]
+		if !b.Degraded() {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n  bin %d (%d rows): served by %s after", b.Bin, b.Rows, b.Final)
+		for _, at := range b.Attempts {
+			if at.Err == "" {
+				continue
+			}
+			fmt.Fprintf(&sb, " [%s/%s retry %d: %s]", at.Stage, at.Kernel, at.Retry, at.Err)
+		}
+	}
+	return sb.String()
+}
+
+// RunGuarded executes the auto-tuned SpMV u = A·v on the simulated device
+// with full failure protection under the default GuardOptions: input
+// validation, per-bin panic recovery, the predicted → Kernel-Serial →
+// CPU-reference fallback chain, bounded retry with backoff, output
+// verification against the reference SpMV, and context cancellation.
+//
+// On success u holds a verified result (possibly via fallbacks — consult
+// the report) and the error is nil. The error is non-nil only for invalid
+// input (ErrInvalidMatrix) or an expired context (ErrCanceled); it is
+// never a panic.
+func (fw *Framework) RunGuarded(ctx context.Context, a *sparse.CSR, v, u []float64) (Decision, *ExecReport, error) {
+	return fw.RunGuardedOpts(ctx, a, v, u, DefaultGuardOptions())
+}
+
+// RunGuardedOpts is RunGuarded with explicit options.
+func (fw *Framework) RunGuardedOpts(ctx context.Context, a *sparse.CSR, v, u []float64, opt GuardOptions) (Decision, *ExecReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt = opt.withDefaults()
+	rep := &ExecReport{}
+
+	// Launch validation: the matrix and vector shapes are untrusted.
+	if err := a.Validate(); err != nil {
+		return Decision{}, rep, err
+	}
+	if len(v) < a.Cols {
+		return Decision{}, rep, errdefs.Invalidf("core: launch validation: len(v)=%d < Cols=%d", len(v), a.Cols)
+	}
+	if len(u) < a.Rows {
+		return Decision{}, rep, errdefs.Invalidf("core: launch validation: len(u)=%d < Rows=%d", len(u), a.Rows)
+	}
+	if err := ctx.Err(); err != nil {
+		return Decision{}, rep, errdefs.Canceled(err)
+	}
+
+	// The predict path consults a deserialized model over input-derived
+	// features; a malformed model must degrade the decision, not the run.
+	d, b, err := fw.decideGuarded(a)
+	if err != nil {
+		rep.DecisionFallback = true
+		b = binning.Single(a)
+		d = Decision{U: 0, KernelByBin: map[int]int{0: 0}}
+	}
+	rep.Decision = d
+
+	// The verification oracle (and the terminal CPU-reference fallback):
+	// the sequential reference result for the whole matrix.
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+
+	for _, binID := range b.NonEmpty() {
+		if err := fw.runBinGuarded(ctx, a, v, u, want, b, binID, d.KernelByBin[binID], opt, rep); err != nil {
+			return d, rep, err
+		}
+	}
+	return d, rep, nil
+}
+
+// decideGuarded runs the predict path with panic recovery.
+func (fw *Framework) decideGuarded(a *sparse.CSR) (d Decision, b *binning.Binning, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: predict path panicked: %v", rec)
+		}
+	}()
+	d, b = fw.Decide(a)
+	for _, binID := range b.NonEmpty() {
+		if _, ok := d.KernelByBin[binID]; !ok {
+			return d, b, fmt.Errorf("core: no kernel assigned to non-empty bin %d", binID)
+		}
+	}
+	return d, b, nil
+}
+
+// runBinGuarded serves one bin through the fallback chain. It returns a
+// non-nil error only on cancellation; every device failure degrades to the
+// next chain link, and the CPU reference cannot fail.
+func (fw *Framework) runBinGuarded(ctx context.Context, a *sparse.CSR, v, u, want []float64,
+	b *binning.Binning, binID, predictedKID int, opt GuardOptions, rep *ExecReport) error {
+
+	groups := b.Bins[binID]
+	br := BinReport{Bin: binID, Rows: b.NumRows(binID)}
+
+	// The simulated chain: the predicted kernel, then Kernel-Serial unless
+	// serial was the prediction.
+	type link struct {
+		stage Stage
+		kid   int
+	}
+	chain := []link{{StagePredicted, predictedKID}}
+	if predictedKID != 0 {
+		chain = append(chain, link{StageSerialFallback, 0})
+	}
+
+	for _, ln := range chain {
+		info, ok := kernels.ByID(ln.kid)
+		if !ok {
+			br.Attempts = append(br.Attempts, Attempt{
+				Stage: ln.stage, Kernel: fmt.Sprintf("kernel#%d", ln.kid),
+				Err: "unknown kernel id (stale model?)",
+			})
+			continue
+		}
+		for retry := 0; retry < opt.MaxAttempts; retry++ {
+			if retry > 0 {
+				rep.Retries++
+				if err := sleepBackoff(ctx, opt.Backoff<<(retry-1)); err != nil {
+					rep.Bins = append(rep.Bins, br)
+					return err
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				rep.Bins = append(rep.Bins, br)
+				return errdefs.Canceled(err)
+			}
+			fs := opt.Faults.Arm(binID, ln.kid, retry)
+			st, err := simulateBinAttempt(ctx, fw.Cfg.Device, a, v, u, info.Kernel, groups, fs)
+			if err == nil {
+				if row, ok := verifyBin(u, want, groups, opt.Tolerance); !ok {
+					err = fmt.Errorf("core: output verification failed at row %d: %w", row, errdefs.ErrKernelFault)
+				}
+			}
+			if err == nil {
+				br.Attempts = append(br.Attempts, Attempt{Stage: ln.stage, Kernel: info.Name, Retry: retry})
+				br.Final = ln.stage
+				if ln.stage != StagePredicted {
+					rep.Fallbacks++
+				}
+				rep.Stats.Add(st)
+				rep.Bins = append(rep.Bins, br)
+				return nil
+			}
+			br.Attempts = append(br.Attempts, Attempt{Stage: ln.stage, Kernel: info.Name, Retry: retry, Err: err.Error()})
+			if errors.Is(err, errdefs.ErrCanceled) {
+				rep.Bins = append(rep.Bins, br)
+				return err
+			}
+		}
+	}
+
+	// Terminal fallback: the reference result is already in want; serving
+	// the bin from it is exact, so no verification step is needed.
+	for _, g := range groups {
+		copy(u[g.Start:int(g.Start)+int(g.Count)], want[g.Start:int(g.Start)+int(g.Count)])
+	}
+	br.Attempts = append(br.Attempts, Attempt{Stage: StageCPUReference, Kernel: "reference"})
+	br.Final = StageCPUReference
+	rep.Fallbacks++
+	rep.CPUServed++
+	rep.Bins = append(rep.Bins, br)
+	return nil
+}
+
+// simulateBinAttempt runs one kernel launch with panic recovery: injected
+// device faults and cancellation surface as their typed errors, and any
+// other panic — a misbehaving kernel indexing out of range, say — is
+// contained as a generic kernel fault instead of taking down the process.
+func simulateBinAttempt(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []float64,
+	k kernels.Kernel, groups []binning.Group, fs *hsa.FaultState) (st hsa.Stats, err error) {
+
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if e, ok := rec.(error); ok && (errors.Is(e, errdefs.ErrKernelFault) || errors.Is(e, errdefs.ErrCanceled)) {
+			err = e
+			return
+		}
+		err = fmt.Errorf("core: recovered kernel panic: %v: %w", rec, errdefs.ErrKernelFault)
+	}()
+
+	run := hsa.NewRun(dev)
+	run.SetContext(ctx)
+	run.InjectFaults(fs)
+	in := kernels.NewInput(run, a, v, u)
+	k.Run(run, in, groups)
+	if fs.PoisonOutput() {
+		// Silent data corruption: the launch "succeeded" but its output
+		// rows are NaN. Only the verification oracle can catch this.
+		for _, g := range groups {
+			for r := g.Start; r < g.Start+g.Count; r++ {
+				u[r] = math.NaN()
+			}
+		}
+	}
+	return run.Stats(), nil
+}
+
+// verifyBin compares the bin's output rows against the reference within
+// tol, treating any NaN/Inf disagreement as a mismatch (a plain tolerance
+// compare is blind to NaN because every NaN comparison is false). Returns
+// the first failing row, or ok.
+func verifyBin(u, want []float64, groups []binning.Group, tol float64) (int, bool) {
+	for _, g := range groups {
+		for r := g.Start; r < g.Start+g.Count; r++ {
+			a, b := u[r], want[r]
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				if math.IsNaN(a) && math.IsNaN(b) {
+					continue
+				}
+				if a == b { // same infinity
+					continue
+				}
+				return int(r), false
+			}
+			d := math.Abs(a - b)
+			scale := math.Max(math.Abs(a), math.Abs(b))
+			if d > tol && d > tol*scale {
+				return int(r), false
+			}
+		}
+	}
+	return 0, true
+}
+
+// sleepBackoff waits d, aborting early with a typed cancellation error if
+// the context expires first.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return errdefs.Canceled(ctx.Err())
+	case <-t.C:
+		return nil
+	}
+}

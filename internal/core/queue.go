@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
 	"spmvtune/internal/hsa"
 	"spmvtune/internal/kernels"
 	"spmvtune/internal/sparse"
@@ -17,9 +19,22 @@ import (
 // the per-bin dispatch penalty that sequential launches pay on matrices
 // with several populated bins.
 func SimulateBinnedQueued(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning, kernelByBin map[int]int) (hsa.Stats, error) {
+	return SimulateBinnedQueuedCtx(context.Background(), dev, a, v, u, b, kernelByBin)
+}
+
+// SimulateBinnedQueuedCtx is SimulateBinnedQueued under a context: a
+// canceled context drains the queue — packets not yet dispatched are
+// abandoned and the in-flight launch aborts between work-group dispatches.
+func SimulateBinnedQueuedCtx(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning, kernelByBin map[int]int) (hsa.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var total hsa.Stats
 	launches := 0
 	for _, binID := range b.NonEmpty() {
+		if err := ctx.Err(); err != nil {
+			return total, errdefs.Canceled(err)
+		}
 		kid, ok := kernelByBin[binID]
 		if !ok {
 			return total, fmt.Errorf("core: no kernel assigned to non-empty bin %d", binID)
@@ -28,7 +43,10 @@ func SimulateBinnedQueued(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binn
 		if !ok {
 			return total, fmt.Errorf("core: unknown kernel id %d for bin %d", kid, binID)
 		}
-		st := SimulateKernel(dev, a, v, u, info.Kernel, b.Bins[binID])
+		st, err := SimulateKernelCtx(ctx, dev, a, v, u, info.Kernel, b.Bins[binID])
+		if err != nil {
+			return total, err
+		}
 		// Strip the per-launch overhead; queue costs are added below.
 		st.Cycles = st.ExecCycles
 		st.Seconds = st.Cycles / dev.ClockHz
@@ -45,7 +63,12 @@ func SimulateBinnedQueued(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binn
 
 // RunSimQueued is Framework.RunSim with queued dispatch.
 func (fw *Framework) RunSimQueued(a *sparse.CSR, v, u []float64) (Decision, hsa.Stats, error) {
+	return fw.RunSimQueuedCtx(context.Background(), a, v, u)
+}
+
+// RunSimQueuedCtx is RunSimQueued under a context.
+func (fw *Framework) RunSimQueuedCtx(ctx context.Context, a *sparse.CSR, v, u []float64) (Decision, hsa.Stats, error) {
 	d, b := fw.Decide(a)
-	st, err := SimulateBinnedQueued(fw.Cfg.Device, a, v, u, b, d.KernelByBin)
+	st, err := SimulateBinnedQueuedCtx(ctx, fw.Cfg.Device, a, v, u, b, d.KernelByBin)
 	return d, st, err
 }

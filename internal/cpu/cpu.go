@@ -17,11 +17,13 @@
 package cpu
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
 
 	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
 	"spmvtune/internal/sparse"
 )
 
@@ -200,15 +202,34 @@ func MulVecMerge(a *sparse.CSR, v, u []float64, workers int) {
 // row groups are distributed over the worker pool, bins processed in
 // sequence (mirroring per-bin kernel launches on the device).
 func MulVecBinned(a *sparse.CSR, v, u []float64, b *binning.Binning, workers int) {
+	// Cancellation cannot occur under the background context.
+	_ = MulVecBinnedCtx(context.Background(), a, v, u, b, workers)
+}
+
+// MulVecBinnedCtx is MulVecBinned under a context: cancellation is polled
+// between bins and by every worker between row groups, so an abandoned
+// multiplication stops within one group's work. Returns an error matching
+// errdefs.ErrCanceled (and the context sentinel) if the context expired
+// before completion, in which case u is partially written.
+func MulVecBinnedCtx(ctx context.Context, a *sparse.CSR, v, u []float64, b *binning.Binning, workers int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	w := Workers(workers)
 	var wg sync.WaitGroup
 	for binID := range b.Bins {
+		if err := ctx.Err(); err != nil {
+			return errdefs.Canceled(err)
+		}
 		groups := b.Bins[binID]
 		if len(groups) == 0 {
 			continue
 		}
 		if w <= 1 || len(groups) == 1 {
 			for _, g := range groups {
+				if err := ctx.Err(); err != nil {
+					return errdefs.Canceled(err)
+				}
 				mulRange(a, v, u, int(g.Start), int(g.Start)+int(g.Count))
 			}
 			continue
@@ -220,6 +241,9 @@ func MulVecBinned(a *sparse.CSR, v, u []float64, b *binning.Binning, workers int
 			go func(p int) {
 				defer wg.Done()
 				for gi := p; gi < len(groups); gi += w {
+					if ctx.Err() != nil {
+						return
+					}
 					g := groups[gi]
 					mulRange(a, v, u, int(g.Start), int(g.Start)+int(g.Count))
 				}
@@ -227,4 +251,8 @@ func MulVecBinned(a *sparse.CSR, v, u []float64, b *binning.Binning, workers int
 		}
 		wg.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		return errdefs.Canceled(err)
+	}
+	return nil
 }

@@ -1,0 +1,53 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/matgen"
+)
+
+func TestMulVecBinnedCtxCanceled(t *testing.T) {
+	a := matgen.Mixed(2000, 2000, 50, []int{2, 40}, 3)
+	b := binning.Coarse(a, 50, 32)
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Both execution shapes must honor the canceled context: the
+	// sequential path (workers <= 1) and the worker pool.
+	for _, workers := range []int{1, 4} {
+		u := make([]float64, a.Rows)
+		err := MulVecBinnedCtx(ctx, a, v, u, b, workers)
+		if !errors.Is(err, errdefs.ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: error %v does not match cancellation sentinels", workers, err)
+		}
+	}
+}
+
+func TestMulVecBinnedCtxNilAndLive(t *testing.T) {
+	a := matgen.Mixed(800, 800, 40, []int{2, 30}, 5)
+	b := binning.Coarse(a, 50, 32)
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = 1
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+	for _, workers := range []int{1, 4} {
+		u := make([]float64, a.Rows)
+		if err := MulVecBinnedCtx(nil, a, v, u, b, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if u[i] != want[i] {
+				t.Fatalf("workers=%d: row %d wrong", workers, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package errdefs defines the error taxonomy of the execution pipeline.
+// The sentinels live in one leaf package so that every layer — sparse
+// construction, Matrix Market parsing, the device simulator, the framework
+// and the solvers — can classify failures consistently and callers can
+// branch with errors.Is without importing internal layers they do not
+// otherwise use.
+//
+// Taxonomy:
+//
+//   - ErrInvalidMatrix: untrusted input is structurally unusable (malformed
+//     .mtx file, broken CSR invariants, out-of-range indices, vector/matrix
+//     shape mismatch at launch). Retrying cannot help; fix the input.
+//   - ErrKernelFault: a kernel execution failed on the device (simulated
+//     hardware fault, output verification mismatch, or a recovered panic).
+//     Retrying or falling back to another kernel may help.
+//   - ErrBudgetExceeded: an execution exceeded its cycle budget. A subclass
+//     of kernel fault severe enough to deserve its own identity, since
+//     callers typically respond by rebinning or choosing a cheaper kernel
+//     rather than retrying the same launch.
+//   - ErrCanceled: the caller's context was canceled or its deadline
+//     expired. Errors built with Canceled also match context.Canceled /
+//     context.DeadlineExceeded, whichever actually fired.
+package errdefs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors; match with errors.Is.
+var (
+	ErrInvalidMatrix  = errors.New("invalid matrix input")
+	ErrKernelFault    = errors.New("kernel fault")
+	ErrBudgetExceeded = errors.New("cycle budget exceeded")
+	ErrCanceled       = errors.New("execution canceled")
+)
+
+// Canceled wraps a context error (context.Canceled or
+// context.DeadlineExceeded) so the result matches both ErrCanceled and the
+// original context sentinel. A nil cause is treated as context.Canceled.
+func Canceled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &canceledError{cause: cause}
+}
+
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string { return "execution canceled: " + e.cause.Error() }
+
+func (e *canceledError) Unwrap() error { return e.cause }
+
+// Is lets the wrapper match ErrCanceled in addition to the unwrapped
+// context sentinel.
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+
+// Invalidf builds an ErrInvalidMatrix-classified error with a formatted
+// description.
+func Invalidf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrInvalidMatrix)...)
+}

@@ -1,0 +1,57 @@
+package hetero
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+)
+
+func TestRunCtxCanceled(t *testing.T) {
+	a := matgen.Mixed(3000, 3000, 100, []int{2, 50}, 11)
+	b := binning.Coarse(a, 100, 32)
+	kbb := map[int]int{}
+	for _, id := range b.NonEmpty() {
+		kbb[id] = 0
+	}
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, hsa.DefaultConfig(), a, v, u, b, kbb, 0, 2)
+	if err == nil {
+		t.Fatal("canceled context completed the heterogeneous run")
+	}
+	if !errors.Is(err, errdefs.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not match cancellation sentinels", err)
+	}
+}
+
+func TestRunCtxNilBehavesLikeRun(t *testing.T) {
+	a := matgen.Mixed(1000, 1000, 50, []int{2, 40}, 13)
+	b := binning.Coarse(a, 100, 32)
+	kbb := map[int]int{}
+	for _, id := range b.NonEmpty() {
+		kbb[id] = 0
+	}
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = 1
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+	u := make([]float64, a.Rows)
+	if _, err := RunCtx(nil, hsa.DefaultConfig(), a, v, u, b, kbb, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("row %d wrong", i)
+		}
+	}
+}

@@ -12,11 +12,13 @@
 package hetero
 
 import (
+	"context"
 	"sync"
 
 	"spmvtune/internal/binning"
 	"spmvtune/internal/core"
 	"spmvtune/internal/cpu"
+	"spmvtune/internal/errdefs"
 	"spmvtune/internal/hsa"
 	"spmvtune/internal/kernels"
 	"spmvtune/internal/sparse"
@@ -67,7 +69,20 @@ type Report struct {
 // the worker pool, concurrently. u receives the complete result.
 func Run(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning,
 	kernelByBin map[int]int, rowThreshold, workers int) (Report, error) {
+	return RunCtx(context.Background(), dev, a, v, u, b, kernelByBin, rowThreshold, workers)
+}
 
+// RunCtx is Run under a context: both processors poll cancellation — the
+// GPU side between bin launches and work-group dispatches, the CPU side
+// between bins and row groups — so an abandoned heterogeneous execution
+// stops on both sides. The returned error then matches
+// errdefs.ErrCanceled and u is partially written.
+func RunCtx(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning,
+	kernelByBin map[int]int, rowThreshold, workers int) (Report, error) {
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rep := Report{Plan: Partition(b, rowThreshold)}
 
 	var wg sync.WaitGroup
@@ -76,27 +91,42 @@ func Run(dev hsa.Config, a *sparse.CSR, v, u []float64, b *binning.Binning,
 	go func() {
 		defer wg.Done()
 		for _, binID := range rep.Plan.GPUBins {
+			if err := ctx.Err(); err != nil {
+				gpuErr = errdefs.Canceled(err)
+				return
+			}
 			kid := kernelByBin[binID]
 			info, ok := kernels.ByID(kid)
 			if !ok {
 				gpuErr = &UnknownKernelError{BinID: binID, KernelID: kid}
 				return
 			}
-			st := core.SimulateKernel(dev, a, v, u, info.Kernel, b.Bins[binID])
+			st, err := core.SimulateKernelCtx(ctx, dev, a, v, u, info.Kernel, b.Bins[binID])
+			if err != nil {
+				gpuErr = err
+				return
+			}
 			rep.GPUStats.Add(st)
 		}
 	}()
 
+	var cpuErr error
 	cpuSeconds := timeIt(func() {
 		for _, binID := range rep.Plan.CPUBins {
 			groups := b.Bins[binID]
 			sub := &binning.Binning{Scheme: b.Scheme, U: b.U, M: b.M, Bins: [][]binning.Group{groups}}
-			cpu.MulVecBinned(a, v, u, sub, workers)
+			if err := cpu.MulVecBinnedCtx(ctx, a, v, u, sub, workers); err != nil {
+				cpuErr = err
+				return
+			}
 		}
 	})
 	wg.Wait()
 	if gpuErr != nil {
 		return rep, gpuErr
+	}
+	if cpuErr != nil {
+		return rep, cpuErr
 	}
 	rep.CPUSeconds = cpuSeconds
 	rep.TotalSeconds = rep.GPUStats.Seconds

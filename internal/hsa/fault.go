@@ -1,0 +1,193 @@
+package hsa
+
+import (
+	"fmt"
+
+	"spmvtune/internal/errdefs"
+)
+
+// Typed execution-failure sentinels, re-exported from the shared taxonomy
+// so device-layer callers can classify with errors.Is without importing
+// errdefs directly.
+var (
+	// ErrKernelFault matches every device-side execution failure: injected
+	// hardware faults and recovered kernel panics.
+	ErrKernelFault = errdefs.ErrKernelFault
+	// ErrBudgetExceeded matches launches aborted for exhausting their cycle
+	// budget (a KernelFault of class FaultCycleBudget also matches this).
+	ErrBudgetExceeded = errdefs.ErrBudgetExceeded
+)
+
+// FaultClass enumerates the injectable device failure modes. Each models a
+// real GCN-hardware failure the production pipeline must degrade through:
+// LDS over-allocation aborts the launch at dispatch, divergent barriers
+// hang (and are killed by) the command processor, a watchdog bounds launch
+// cycles, and silent data corruption is only catchable by output
+// verification.
+type FaultClass int
+
+const (
+	// FaultLDSOverflow aborts the launch at its first LDS instruction, as a
+	// kernel whose local-memory footprint exceeds LDSBytesPerWG would.
+	FaultLDSOverflow FaultClass = iota + 1
+	// FaultBarrierDivergence aborts the launch at its first barrier, as a
+	// work-group whose wavefronts diverge around a barrier deadlocks.
+	FaultBarrierDivergence
+	// FaultCycleBudget aborts the launch once any compute unit exceeds the
+	// injected cycle budget — the watchdog-timer failure mode for stuck or
+	// mispredicted (far-too-slow) kernels.
+	FaultCycleBudget
+	// FaultNaNPoison silently corrupts the launch's output rows with NaN.
+	// The launch itself "succeeds"; only the verification oracle catches it.
+	FaultNaNPoison
+)
+
+// String names the fault class.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultLDSOverflow:
+		return "lds-overflow"
+	case FaultBarrierDivergence:
+		return "barrier-divergence"
+	case FaultCycleBudget:
+		return "cycle-budget"
+	case FaultNaNPoison:
+		return "nan-poison"
+	}
+	return fmt.Sprintf("fault(%d)", int(c))
+}
+
+// Fault is one injected failure.
+type Fault struct {
+	Class FaultClass
+	// Transient is the number of launch attempts (per bin×kernel site) the
+	// fault fires on before clearing: 1 models a glitch that a single retry
+	// survives. 0 means persistent — the fault fires on every attempt.
+	Transient int
+	// Budget is the injected per-launch cycle budget for FaultCycleBudget;
+	// 0 selects a budget small enough that any launch trips it.
+	Budget float64
+}
+
+// FaultPlan is a deterministic fault-injection plan: it maps execution
+// sites (bins, kernels, or every launch) to faults so that degradation
+// paths are reproducibly testable. A nil plan injects nothing.
+type FaultPlan struct {
+	ByBin    map[int][]Fault // faults for every launch over a given bin
+	ByKernel map[int][]Fault // faults for every launch of a given kernel ID
+	All      []Fault         // faults applied to every launch
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{ByBin: map[int][]Fault{}, ByKernel: map[int][]Fault{}}
+}
+
+// AddBinFault injects f into every launch over bin binID.
+func (p *FaultPlan) AddBinFault(binID int, f Fault) *FaultPlan {
+	p.ByBin[binID] = append(p.ByBin[binID], f)
+	return p
+}
+
+// AddKernelFault injects f into every launch of kernel kernelID.
+func (p *FaultPlan) AddKernelFault(kernelID int, f Fault) *FaultPlan {
+	p.ByKernel[kernelID] = append(p.ByKernel[kernelID], f)
+	return p
+}
+
+// AddFault injects f into every launch.
+func (p *FaultPlan) AddFault(f Fault) *FaultPlan {
+	p.All = append(p.All, f)
+	return p
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *FaultPlan) Empty() bool {
+	return p == nil || (len(p.All) == 0 && len(p.ByBin) == 0 && len(p.ByKernel) == 0)
+}
+
+// Arm resolves the plan for one launch attempt (zero-based) of kernelID
+// over binID, returning the armed fault state for Run.InjectFaults, or nil
+// when no fault fires. Transient faults stop firing once attempt reaches
+// their Transient count, which is what makes bounded retry effective.
+func (p *FaultPlan) Arm(binID, kernelID, attempt int) *FaultState {
+	if p == nil {
+		return nil
+	}
+	var st *FaultState
+	arm := func(faults []Fault) {
+		for _, f := range faults {
+			if f.Transient > 0 && attempt >= f.Transient {
+				continue
+			}
+			if st == nil {
+				st = &FaultState{BinID: binID, KernelID: kernelID}
+			}
+			st.arm(f)
+		}
+	}
+	arm(p.All)
+	arm(p.ByBin[binID])
+	arm(p.ByKernel[kernelID])
+	return st
+}
+
+// FaultState is the armed fault set of a single launch, consumed by
+// Run.InjectFaults.
+type FaultState struct {
+	BinID    int
+	KernelID int
+
+	ldsOverflow    bool
+	barrierDiverge bool
+	poison         bool
+	cycleBudget    float64
+}
+
+func (s *FaultState) arm(f Fault) {
+	switch f.Class {
+	case FaultLDSOverflow:
+		s.ldsOverflow = true
+	case FaultBarrierDivergence:
+		s.barrierDiverge = true
+	case FaultNaNPoison:
+		s.poison = true
+	case FaultCycleBudget:
+		b := f.Budget
+		if b <= 0 {
+			b = 1 // any work-group dispatch exceeds one cycle
+		}
+		if s.cycleBudget == 0 || b < s.cycleBudget {
+			s.cycleBudget = b
+		}
+	}
+}
+
+// PoisonOutput reports whether the launch's functional output must be
+// NaN-poisoned. The simulator cannot reach the output vector (kernels own
+// it), so the executor applies the corruption after the launch returns.
+func (s *FaultState) PoisonOutput() bool { return s != nil && s.poison }
+
+// KernelFault is the typed error raised when a launch hits an injected (or
+// modeled) device failure. It matches ErrKernelFault via errors.Is, and a
+// FaultCycleBudget instance additionally matches ErrBudgetExceeded.
+type KernelFault struct {
+	Class    FaultClass
+	BinID    int
+	KernelID int
+	Detail   string
+}
+
+// Error implements error.
+func (e *KernelFault) Error() string {
+	return fmt.Sprintf("hsa: kernel fault (%s) on bin %d kernel %d: %s",
+		e.Class, e.BinID, e.KernelID, e.Detail)
+}
+
+// Is makes the fault match the taxonomy sentinels.
+func (e *KernelFault) Is(target error) bool {
+	if target == errdefs.ErrKernelFault {
+		return true
+	}
+	return e.Class == FaultCycleBudget && target == errdefs.ErrBudgetExceeded
+}

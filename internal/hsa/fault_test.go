@@ -1,0 +1,219 @@
+package hsa
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"spmvtune/internal/errdefs"
+)
+
+func TestFaultPlanArmSites(t *testing.T) {
+	p := NewFaultPlan().
+		AddBinFault(3, Fault{Class: FaultLDSOverflow}).
+		AddKernelFault(8, Fault{Class: FaultBarrierDivergence}).
+		AddFault(Fault{Class: FaultNaNPoison})
+
+	if p.Empty() {
+		t.Fatal("populated plan reports Empty")
+	}
+	if NewFaultPlan().Empty() == false {
+		t.Error("fresh plan not Empty")
+	}
+	var nilPlan *FaultPlan
+	if st := nilPlan.Arm(0, 0, 0); st != nil {
+		t.Error("nil plan armed a fault")
+	}
+	if !nilPlan.Empty() {
+		t.Error("nil plan not Empty")
+	}
+
+	// Bin 3, kernel 8: all three sites fire.
+	st := p.Arm(3, 8, 0)
+	if st == nil || !st.ldsOverflow || !st.barrierDiverge || !st.poison {
+		t.Errorf("bin3/kernel8 armed %+v, want all three faults", st)
+	}
+	if st.BinID != 3 || st.KernelID != 8 {
+		t.Errorf("site = (%d,%d), want (3,8)", st.BinID, st.KernelID)
+	}
+
+	// Other bin, other kernel: only the global fault fires.
+	st = p.Arm(0, 0, 0)
+	if st == nil || st.ldsOverflow || st.barrierDiverge || !st.poison {
+		t.Errorf("bin0/kernel0 armed %+v, want only poison", st)
+	}
+	if !st.PoisonOutput() {
+		t.Error("PoisonOutput false with poison armed")
+	}
+	var nilState *FaultState
+	if nilState.PoisonOutput() {
+		t.Error("nil state poisons")
+	}
+}
+
+func TestFaultPlanTransient(t *testing.T) {
+	p := NewFaultPlan().AddBinFault(1, Fault{Class: FaultLDSOverflow, Transient: 2})
+	for attempt, want := range []bool{true, true, false, false} {
+		st := p.Arm(1, 0, attempt)
+		if got := st != nil && st.ldsOverflow; got != want {
+			t.Errorf("attempt %d: fires=%v, want %v", attempt, got, want)
+		}
+	}
+	// Persistent faults (Transient 0) fire on every attempt.
+	pp := NewFaultPlan().AddFault(Fault{Class: FaultBarrierDivergence})
+	if st := pp.Arm(0, 0, 99); st == nil || !st.barrierDiverge {
+		t.Error("persistent fault cleared")
+	}
+}
+
+func TestFaultStateBudget(t *testing.T) {
+	var st FaultState
+	st.arm(Fault{Class: FaultCycleBudget, Budget: 500})
+	st.arm(Fault{Class: FaultCycleBudget, Budget: 100})
+	st.arm(Fault{Class: FaultCycleBudget, Budget: 900})
+	if st.cycleBudget != 100 {
+		t.Errorf("budget = %v, want the minimum 100", st.cycleBudget)
+	}
+	var def FaultState
+	def.arm(Fault{Class: FaultCycleBudget})
+	if def.cycleBudget != 1 {
+		t.Errorf("zero budget defaulted to %v, want 1", def.cycleBudget)
+	}
+}
+
+func TestKernelFaultIs(t *testing.T) {
+	var err error = &KernelFault{Class: FaultLDSOverflow, BinID: 2, KernelID: 5, Detail: "x"}
+	if !errors.Is(err, ErrKernelFault) {
+		t.Error("LDS fault does not match ErrKernelFault")
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		t.Error("LDS fault matches ErrBudgetExceeded")
+	}
+	budget := error(&KernelFault{Class: FaultCycleBudget})
+	if !errors.Is(budget, ErrKernelFault) || !errors.Is(budget, ErrBudgetExceeded) {
+		t.Error("budget fault must match both sentinels")
+	}
+	var kf *KernelFault
+	if !errors.As(err, &kf) || kf.BinID != 2 || kf.KernelID != 5 {
+		t.Errorf("errors.As lost the site: %+v", kf)
+	}
+	if err.Error() == "" || kf.Class.String() != "lds-overflow" {
+		t.Errorf("unhelpful rendering: %q / %q", err.Error(), kf.Class)
+	}
+}
+
+func TestFaultClassString(t *testing.T) {
+	want := map[FaultClass]string{
+		FaultLDSOverflow:       "lds-overflow",
+		FaultBarrierDivergence: "barrier-divergence",
+		FaultCycleBudget:       "cycle-budget",
+		FaultNaNPoison:         "nan-poison",
+		FaultClass(42):         "fault(42)",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+}
+
+// recoverFault runs fn and returns the *KernelFault it panics with.
+func recoverFault(t *testing.T, fn func()) (kf *KernelFault) {
+	t.Helper()
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("launch completed, expected a fault abort")
+		}
+		var ok bool
+		kf, ok = rec.(*KernelFault)
+		if !ok {
+			t.Fatalf("panicked with %T (%v), want *KernelFault", rec, rec)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestLDSOverflowAbortsLaunch(t *testing.T) {
+	r := NewRun(DefaultConfig())
+	r.InjectFaults(&FaultState{BinID: 7, KernelID: 3, ldsOverflow: true})
+	kf := recoverFault(t, func() {
+		g := r.BeginWG()
+		g.WF().LDS(1)
+		g.End()
+	})
+	if kf.Class != FaultLDSOverflow || kf.BinID != 7 || kf.KernelID != 3 {
+		t.Errorf("fault = %+v", kf)
+	}
+}
+
+func TestBarrierDivergenceAbortsLaunch(t *testing.T) {
+	r := NewRun(DefaultConfig())
+	r.InjectFaults(&FaultState{barrierDiverge: true})
+	kf := recoverFault(t, func() {
+		g := r.BeginWG()
+		g.WF().Barrier()
+		g.End()
+	})
+	if kf.Class != FaultBarrierDivergence {
+		t.Errorf("class = %v", kf.Class)
+	}
+}
+
+func TestCycleBudgetAbortsLaunch(t *testing.T) {
+	r := NewRun(DefaultConfig())
+	r.InjectFaults(&FaultState{cycleBudget: 1})
+	kf := recoverFault(t, func() {
+		g := r.BeginWG()
+		g.WF().ALU(10)
+		g.End()
+	})
+	if kf.Class != FaultCycleBudget {
+		t.Errorf("class = %v", kf.Class)
+	}
+	if !errors.Is(error(kf), ErrBudgetExceeded) {
+		t.Error("budget abort does not match ErrBudgetExceeded")
+	}
+}
+
+func TestNoFaultNoAbort(t *testing.T) {
+	r := NewRun(DefaultConfig())
+	r.InjectFaults(nil)
+	g := r.BeginWG()
+	wf := g.WF()
+	wf.LDS(3)
+	wf.Barrier()
+	wf.ALU(5)
+	g.End()
+	if s := r.Stats(); s.LDSOps != 3 || s.Barriers != 1 {
+		t.Errorf("clean launch miscounted: %+v", s)
+	}
+}
+
+func TestCanceledContextAbortsLaunch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRun(DefaultConfig())
+	r.SetContext(ctx)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("launch ran to completion under a canceled context")
+		}
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, errdefs.ErrCanceled) {
+			t.Fatalf("panicked with %v, want an ErrCanceled error", rec)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Error("cancellation error lost the context sentinel")
+		}
+	}()
+	// The poll fires every cancelCheckStride dispatches.
+	for i := 0; i < 2*cancelCheckStride; i++ {
+		g := r.BeginWG()
+		g.WF().ALU(1)
+		g.End()
+	}
+	t.Fatal("unreachable: stride dispatches exceeded without a poll")
+}

@@ -1,6 +1,11 @@
 package hsa
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"spmvtune/internal/errdefs"
+)
 
 // Region is a simulated global-memory allocation. Kernels reference data by
 // (region, element index); the simulator maps that to byte addresses for
@@ -79,6 +84,37 @@ type Run struct {
 	stats Stats
 
 	segScratch []int64
+
+	// Armed fault-injection state for this launch (nil = fault-free) and
+	// the caller's context, polled between work-groups so a canceled or
+	// expired launch aborts instead of running to completion.
+	fault *FaultState
+	ctx   context.Context
+}
+
+// InjectFaults arms the given fault state on this launch. A fault firing
+// aborts the launch by panicking with a *KernelFault; guarded executors
+// recover it into a typed error. Nil clears the state.
+func (r *Run) InjectFaults(st *FaultState) { r.fault = st }
+
+// SetContext attaches a context to the launch. Cancellation is polled
+// every cancelCheckStride work-groups; an expired context aborts the
+// launch by panicking with an error matching errdefs.ErrCanceled (and the
+// underlying context sentinel), again recovered by guarded executors.
+func (r *Run) SetContext(ctx context.Context) { r.ctx = ctx }
+
+// cancelCheckStride balances poll cost against abort latency: work-groups
+// cost hundreds of modeled cycles, so checking every 64 dispatches keeps
+// the overhead invisible while bounding overrun after cancellation.
+const cancelCheckStride = 64
+
+// faultAbort raises a typed kernel fault, terminating the launch.
+func (r *Run) faultAbort(class FaultClass, detail string) {
+	f := &KernelFault{Class: class, Detail: detail}
+	if r.fault != nil {
+		f.BinID, f.KernelID = r.fault.BinID, r.fault.KernelID
+	}
+	panic(f)
 }
 
 // NewRun creates a launch accountant for the given device. It panics on an
@@ -167,7 +203,16 @@ func (g *WG) End() {
 	}
 	r := g.run
 	r.cuCycles[r.nextCU] += r.cfg.WGLaunchCycles + max
+	if f := r.fault; f != nil && f.cycleBudget > 0 && r.cuCycles[r.nextCU] > f.cycleBudget {
+		r.faultAbort(FaultCycleBudget,
+			fmt.Sprintf("compute unit exceeded %.0f cycle budget", f.cycleBudget))
+	}
 	r.nextCU = (r.nextCU + 1) % len(r.cuCycles)
+	if r.ctx != nil && r.stats.WorkGroups%cancelCheckStride == 0 {
+		if err := r.ctx.Err(); err != nil {
+			panic(errdefs.Canceled(err))
+		}
+	}
 }
 
 // Stats finalizes and returns the launch statistics: the makespan is the
@@ -212,6 +257,10 @@ func (a *WFAcc) ALU(n int) {
 
 // LDS charges n local-data-share instructions.
 func (a *WFAcc) LDS(n int) {
+	if f := a.run.fault; f != nil && f.ldsOverflow {
+		a.run.faultAbort(FaultLDSOverflow,
+			fmt.Sprintf("LDS allocation exceeds %d bytes per work-group", a.run.cfg.LDSBytesPerWG))
+	}
 	a.run.stats.LDSOps += int64(n)
 	c := float64(n) * a.run.cfg.LDSCycles
 	a.run.stats.CyclesLDS += c
@@ -220,6 +269,10 @@ func (a *WFAcc) LDS(n int) {
 
 // Barrier charges one work-group barrier.
 func (a *WFAcc) Barrier() {
+	if f := a.run.fault; f != nil && f.barrierDiverge {
+		a.run.faultAbort(FaultBarrierDivergence,
+			"work-group deadlocked on a barrier reached by diverged wavefronts")
+	}
 	a.run.stats.Barriers++
 	a.run.stats.CyclesBarrier += a.run.cfg.BarrierCycles
 	a.add(a.run.cfg.BarrierCycles)

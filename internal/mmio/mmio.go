@@ -16,8 +16,46 @@ import (
 	"strconv"
 	"strings"
 
+	"spmvtune/internal/errdefs"
 	"spmvtune/internal/sparse"
 )
+
+// badf builds a malformed-input error; every parse failure in this package
+// matches errdefs.ErrInvalidMatrix (= sparse.ErrInvalidMatrix) via
+// errors.Is, so callers can distinguish "the file is bad" from I/O errors.
+func badf(format string, args ...any) error {
+	return errdefs.Invalidf("mmio: "+format, args...)
+}
+
+// Limits bounds the resources a Matrix Market file may claim before any
+// large allocation happens. A header is untrusted input: a five-line file
+// can declare billions of rows, and CSR conversion allocates O(rows) — the
+// limits reject such files up front instead of aborting on OOM.
+type Limits struct {
+	MaxRows int // maximum declared rows
+	MaxCols int // maximum declared columns
+	MaxNNZ  int // maximum declared entries (for array format: rows*cols)
+}
+
+// DefaultLimits is generous enough for every SuiteSparse-scale matrix the
+// experiments consume while keeping a malicious header from exhausting
+// memory: 2^27 rows/cols (~134M) and 2^30 entries.
+func DefaultLimits() Limits {
+	return Limits{MaxRows: 1 << 27, MaxCols: 1 << 27, MaxNNZ: 1 << 30}
+}
+
+func (l Limits) check(rows, cols, nnz int) error {
+	if l.MaxRows > 0 && rows > l.MaxRows {
+		return badf("declared rows %d exceed limit %d", rows, l.MaxRows)
+	}
+	if l.MaxCols > 0 && cols > l.MaxCols {
+		return badf("declared cols %d exceed limit %d", cols, l.MaxCols)
+	}
+	if l.MaxNNZ > 0 && nnz > l.MaxNNZ {
+		return badf("declared entries %d exceed limit %d", nnz, l.MaxNNZ)
+	}
+	return nil
+}
 
 // Header describes the banner line of a Matrix Market file.
 type Header struct {
@@ -29,41 +67,52 @@ type Header struct {
 
 func (h Header) validate() error {
 	if h.Object != "matrix" {
-		return fmt.Errorf("mmio: unsupported object %q", h.Object)
+		return badf("unsupported object %q", h.Object)
 	}
 	switch h.Format {
 	case "coordinate", "array":
 	default:
-		return fmt.Errorf("mmio: unsupported format %q", h.Format)
+		return badf("unsupported format %q", h.Format)
 	}
 	switch h.Field {
 	case "real", "integer", "pattern", "double":
 	default:
-		return fmt.Errorf("mmio: unsupported field %q", h.Field)
+		return badf("unsupported field %q", h.Field)
 	}
 	if h.Field == "pattern" && h.Format == "array" {
-		return fmt.Errorf("mmio: pattern field is invalid for array format")
+		return badf("pattern field is invalid for array format")
 	}
 	switch h.Symmetry {
 	case "general", "symmetric", "skew-symmetric":
 	default:
-		return fmt.Errorf("mmio: unsupported symmetry %q", h.Symmetry)
+		return badf("unsupported symmetry %q", h.Symmetry)
 	}
 	return nil
 }
 
-// Read parses a Matrix Market stream into a CSR matrix. Symmetric and
-// skew-symmetric storage is expanded to full (general) form.
+// Read parses a Matrix Market stream into a CSR matrix under
+// DefaultLimits. Symmetric and skew-symmetric storage is expanded to full
+// (general) form.
 func Read(r io.Reader) (*sparse.CSR, error) {
+	return ReadWithLimits(r, DefaultLimits())
+}
+
+// ReadWithLimits parses a Matrix Market stream, rejecting files whose
+// declared dimensions or entry counts exceed lim before allocating for
+// them. Malformed input errors match errdefs.ErrInvalidMatrix.
+func ReadWithLimits(r io.Reader, lim Limits) (*sparse.CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 
 	if !sc.Scan() {
-		return nil, fmt.Errorf("mmio: empty input")
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, badf("empty input")
 	}
 	banner := strings.Fields(strings.ToLower(sc.Text()))
 	if len(banner) != 5 || banner[0] != "%%matrixmarket" {
-		return nil, fmt.Errorf("mmio: bad banner %q", sc.Text())
+		return nil, badf("bad banner %q", sc.Text())
 	}
 	h := Header{Object: banner[1], Format: banner[2], Field: banner[3], Symmetry: banner[4]}
 	if err := h.validate(); err != nil {
@@ -82,27 +131,39 @@ func Read(r io.Reader) (*sparse.CSR, error) {
 	}
 	if sizeLine == "" {
 		if err := sc.Err(); err != nil {
-			return nil, err
+			return nil, scanErr(err)
 		}
-		return nil, fmt.Errorf("mmio: missing size line")
+		return nil, badf("missing size line")
 	}
 
 	if h.Format == "array" {
-		return readArray(sc, h, sizeLine)
+		return readArray(sc, h, sizeLine, lim)
 	}
-	return readCoordinate(sc, h, sizeLine)
+	return readCoordinate(sc, h, sizeLine, lim)
 }
 
-func readCoordinate(sc *bufio.Scanner, h Header, sizeLine string) (*sparse.CSR, error) {
+// scanErr classifies scanner failures: an over-long line is malformed
+// input, anything else is a real I/O error.
+func scanErr(err error) error {
+	if err == bufio.ErrTooLong {
+		return badf("line exceeds maximum length")
+	}
+	return err
+}
+
+func readCoordinate(sc *bufio.Scanner, h Header, sizeLine string, lim Limits) (*sparse.CSR, error) {
 	f := strings.Fields(sizeLine)
 	if len(f) != 3 {
-		return nil, fmt.Errorf("mmio: bad coordinate size line %q", sizeLine)
+		return nil, badf("bad coordinate size line %q", sizeLine)
 	}
 	rows, err1 := strconv.Atoi(f[0])
 	cols, err2 := strconv.Atoi(f[1])
 	nnz, err3 := strconv.Atoi(f[2])
 	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
-		return nil, fmt.Errorf("mmio: bad coordinate size line %q", sizeLine)
+		return nil, badf("bad coordinate size line %q", sizeLine)
+	}
+	if err := lim.check(rows, cols, nnz); err != nil {
+		return nil, err
 	}
 	c := &sparse.COO{Rows: rows, Cols: cols}
 	seen := 0
@@ -112,7 +173,7 @@ func readCoordinate(sc *bufio.Scanner, h Header, sizeLine string) (*sparse.CSR, 
 			continue
 		}
 		if seen >= nnz {
-			return nil, fmt.Errorf("mmio: more than %d entries", nnz)
+			return nil, badf("more than %d entries", nnz)
 		}
 		ef := strings.Fields(l)
 		wantFields := 3
@@ -120,28 +181,28 @@ func readCoordinate(sc *bufio.Scanner, h Header, sizeLine string) (*sparse.CSR, 
 			wantFields = 2
 		}
 		if len(ef) < wantFields {
-			return nil, fmt.Errorf("mmio: bad entry line %q", l)
+			return nil, badf("bad entry line %q", l)
 		}
 		i, err := strconv.Atoi(ef[0])
 		if err != nil {
-			return nil, fmt.Errorf("mmio: bad row index in %q: %v", l, err)
+			return nil, badf("bad row index in %q: %v", l, err)
 		}
 		j, err := strconv.Atoi(ef[1])
 		if err != nil {
-			return nil, fmt.Errorf("mmio: bad col index in %q: %v", l, err)
+			return nil, badf("bad col index in %q: %v", l, err)
 		}
 		v := 1.0
 		if h.Field != "pattern" {
 			v, err = strconv.ParseFloat(ef[2], 64)
 			if err != nil {
-				return nil, fmt.Errorf("mmio: bad value in %q: %v", l, err)
+				return nil, badf("bad value in %q: %v", l, err)
 			}
 		}
 		// Matrix Market is 1-based.
 		i--
 		j--
 		if i < 0 || i >= rows || j < 0 || j >= cols {
-			return nil, fmt.Errorf("mmio: index (%d,%d) out of range %dx%d", i+1, j+1, rows, cols)
+			return nil, badf("index (%d,%d) out of range %dx%d", i+1, j+1, rows, cols)
 		}
 		c.Add(i, j, v)
 		switch h.Symmetry {
@@ -157,23 +218,32 @@ func readCoordinate(sc *bufio.Scanner, h Header, sizeLine string) (*sparse.CSR, 
 		seen++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanErr(err)
 	}
 	if seen != nnz {
-		return nil, fmt.Errorf("mmio: got %d entries, header promised %d", seen, nnz)
+		return nil, badf("truncated input: got %d entries, header promised %d", seen, nnz)
 	}
 	return c.ToCSR()
 }
 
-func readArray(sc *bufio.Scanner, h Header, sizeLine string) (*sparse.CSR, error) {
+func readArray(sc *bufio.Scanner, h Header, sizeLine string, lim Limits) (*sparse.CSR, error) {
 	f := strings.Fields(sizeLine)
 	if len(f) != 2 {
-		return nil, fmt.Errorf("mmio: bad array size line %q", sizeLine)
+		return nil, badf("bad array size line %q", sizeLine)
 	}
 	rows, err1 := strconv.Atoi(f[0])
 	cols, err2 := strconv.Atoi(f[1])
 	if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
-		return nil, fmt.Errorf("mmio: bad array size line %q", sizeLine)
+		return nil, badf("bad array size line %q", sizeLine)
+	}
+	// The dense element count is what the reader must materialize; check it
+	// (not just the separate dimensions) before allocating, and guard the
+	// rows*cols product against overflow.
+	if cols != 0 && rows > (1<<62)/cols {
+		return nil, badf("array dimensions %dx%d overflow", rows, cols)
+	}
+	if err := lim.check(rows, cols, rows*cols); err != nil {
+		return nil, err
 	}
 	// Array format is column-major dense.
 	vals := make([]float64, 0, rows*cols)
@@ -185,23 +255,23 @@ func readArray(sc *bufio.Scanner, h Header, sizeLine string) (*sparse.CSR, error
 		for _, tok := range strings.Fields(l) {
 			v, err := strconv.ParseFloat(tok, 64)
 			if err != nil {
-				return nil, fmt.Errorf("mmio: bad array value %q: %v", tok, err)
+				return nil, badf("bad array value %q: %v", tok, err)
 			}
 			vals = append(vals, v)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, scanErr(err)
 	}
 	want := rows * cols
 	if h.Symmetry != "general" {
 		want = rows * (rows + 1) / 2
 		if rows != cols {
-			return nil, fmt.Errorf("mmio: symmetric array must be square, got %dx%d", rows, cols)
+			return nil, badf("symmetric array must be square, got %dx%d", rows, cols)
 		}
 	}
 	if len(vals) != want {
-		return nil, fmt.Errorf("mmio: array has %d values, want %d", len(vals), want)
+		return nil, badf("array has %d values, want %d (truncated or padded input)", len(vals), want)
 	}
 	c := &sparse.COO{Rows: rows, Cols: cols}
 	k := 0

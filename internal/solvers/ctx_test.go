@@ -1,0 +1,84 @@
+package solvers
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"spmvtune/internal/errdefs"
+)
+
+// cancelAfter returns a context plus an SpMV wrapper that cancels it after
+// n products — cancellation mid-solve, the hard case.
+func cancelAfter(mul SpMV, n int) (context.Context, SpMV) {
+	ctx, cancel := context.WithCancel(context.Background())
+	count := 0
+	return ctx, func(v, u []float64) {
+		mul(v, u)
+		count++
+		if count >= n {
+			cancel()
+		}
+	}
+}
+
+func TestSolversHonorCancellation(t *testing.T) {
+	// Strictly diagonally dominant SPD system: every solver converges on it,
+	// so a cancellation error cannot be confused with a breakdown. One
+	// boosted diagonal entry separates the dominant eigenvalue so power
+	// iteration converges quickly too (still symmetric and dominant).
+	a, b, _ := spdSystem(200, 5, 1)
+	_, vals := a.Row(0)
+	vals[0] = 100
+
+	type solve func(ctx context.Context, mul SpMV) error
+	cases := []struct {
+		name string
+		run  solve
+	}{
+		{"CG", func(ctx context.Context, mul SpMV) error {
+			_, err := CGCtx(ctx, mul, b, make([]float64, a.Rows), 1e-8, 1000)
+			return err
+		}},
+		{"BiCGSTAB", func(ctx context.Context, mul SpMV) error {
+			_, err := BiCGSTABCtx(ctx, mul, b, make([]float64, a.Rows), 1e-8, 1000)
+			return err
+		}},
+		{"GMRES", func(ctx context.Context, mul SpMV) error {
+			_, err := GMRESCtx(ctx, mul, b, make([]float64, a.Rows), 1e-8, 10, 1000)
+			return err
+		}},
+		{"Jacobi", func(ctx context.Context, mul SpMV) error {
+			_, err := JacobiCtx(ctx, a, mul, b, make([]float64, a.Rows), 1e-8, 1000)
+			return err
+		}},
+		{"PowerIteration", func(ctx context.Context, mul SpMV) error {
+			x := make([]float64, a.Rows)
+			x[0] = 1
+			_, _, err := PowerIterationCtx(ctx, mul, x, 1e-9, 2000)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/pre-canceled", func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			err := tc.run(ctx, Default(a))
+			if !errors.Is(err, errdefs.ErrCanceled) || !errors.Is(err, context.Canceled) {
+				t.Errorf("error %v does not match cancellation sentinels", err)
+			}
+		})
+		t.Run(tc.name+"/mid-solve", func(t *testing.T) {
+			ctx, mul := cancelAfter(Default(a), 2)
+			err := tc.run(ctx, mul)
+			if !errors.Is(err, errdefs.ErrCanceled) {
+				t.Errorf("error %v, want cancellation (solver ignored mid-solve cancel?)", err)
+			}
+		})
+		t.Run(tc.name+"/nil-ctx-converges", func(t *testing.T) {
+			if err := tc.run(nil, Default(a)); err != nil {
+				t.Errorf("nil context broke the solve: %v", err)
+			}
+		})
+	}
+}

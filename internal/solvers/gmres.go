@@ -1,6 +1,7 @@
 package solvers
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -11,6 +12,13 @@ import (
 // the least-squares update is applied at each restart. restart <= 0 picks
 // min(n, 30).
 func GMRES(mul SpMV, b, x []float64, tol float64, restart, maxIter int) (Result, error) {
+	return GMRESCtx(context.Background(), mul, b, x, tol, restart, maxIter)
+}
+
+// GMRESCtx is GMRES under a context: cancellation is checked once per
+// Arnoldi step (one SpMV each) and the solve returns early with an error
+// matching errdefs.ErrCanceled; x keeps the last restart's update.
+func GMRESCtx(ctx context.Context, mul SpMV, b, x []float64, tol float64, restart, maxIter int) (Result, error) {
 	n := len(b)
 	if restart <= 0 {
 		restart = 30
@@ -63,6 +71,9 @@ func GMRES(mul SpMV, b, x []float64, tol float64, restart, maxIter int) (Result,
 
 		j := 0
 		for ; j < restart && res.Iterations < maxIter; j++ {
+			if err := checkCtx(ctx); err != nil {
+				return res, err
+			}
 			res.Iterations++
 			mul(v[j], w)
 			// Modified Gram-Schmidt.

@@ -8,10 +8,12 @@
 package solvers
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"spmvtune/internal/errdefs"
 	"spmvtune/internal/sparse"
 )
 
@@ -38,6 +40,20 @@ var ErrNotConverged = errors.New("solvers: not converged")
 // inner product and cannot continue.
 var ErrBreakdown = errors.New("solvers: breakdown")
 
+// checkCtx converts a done context into a typed cancellation error; every
+// *Ctx solver calls it once per iteration, so a deadline or cancel stops
+// the solve within one SpMV. The returned error matches
+// errdefs.ErrCanceled as well as the underlying context sentinel.
+func checkCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return errdefs.Canceled(err)
+	}
+	return nil
+}
+
 func dot(x, y []float64) float64 {
 	s := 0.0
 	for i := range x {
@@ -51,6 +67,13 @@ func norm2(x []float64) float64 { return math.Sqrt(dot(x, x)) }
 // CG solves A x = b for SPD A using conjugate gradients with the given
 // SpMV backend. x is used as the initial guess and receives the solution.
 func CG(mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
+	return CGCtx(context.Background(), mul, b, x, tol, maxIter)
+}
+
+// CGCtx is CG under a context: cancellation is checked once per iteration
+// and the solve returns early with an error matching errdefs.ErrCanceled
+// (x then holds the best iterate so far).
+func CGCtx(ctx context.Context, mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
 	n := len(b)
 	if maxIter <= 0 {
 		maxIter = 10 * n
@@ -72,6 +95,10 @@ func CG(mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
 		if math.Sqrt(rr) <= tol*bNorm {
 			res.Converged = true
 			break
+		}
+		if err := checkCtx(ctx); err != nil {
+			res.Residual = math.Sqrt(rr) / bNorm
+			return res, err
 		}
 		mul(p, ap)
 		pap := dot(p, ap)
@@ -100,6 +127,12 @@ func CG(mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
 
 // BiCGSTAB solves A x = b for general square A.
 func BiCGSTAB(mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
+	return BiCGSTABCtx(context.Background(), mul, b, x, tol, maxIter)
+}
+
+// BiCGSTABCtx is BiCGSTAB under a context; see CGCtx for the cancellation
+// contract.
+func BiCGSTABCtx(ctx context.Context, mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
 	n := len(b)
 	if maxIter <= 0 {
 		maxIter = 10 * n
@@ -125,6 +158,9 @@ func BiCGSTAB(mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error
 		if res.Residual <= tol {
 			res.Converged = true
 			return res, nil
+		}
+		if err := checkCtx(ctx); err != nil {
+			return res, err
 		}
 		rhoNew := dot(rHat, r)
 		if math.Abs(rhoNew) < 1e-300 {
@@ -175,6 +211,12 @@ func BiCGSTAB(mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error
 // matrix itself (for the diagonal), plus the SpMV backend for the
 // off-diagonal products.
 func Jacobi(a *sparse.CSR, mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
+	return JacobiCtx(context.Background(), a, mul, b, x, tol, maxIter)
+}
+
+// JacobiCtx is Jacobi under a context; see CGCtx for the cancellation
+// contract.
+func JacobiCtx(ctx context.Context, a *sparse.CSR, mul SpMV, b, x []float64, tol float64, maxIter int) (Result, error) {
 	n := len(b)
 	if maxIter <= 0 {
 		maxIter = 10 * n
@@ -194,6 +236,9 @@ func Jacobi(a *sparse.CSR, mul SpMV, b, x []float64, tol float64, maxIter int) (
 	}
 	res := Result{}
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if err := checkCtx(ctx); err != nil {
+			return res, err
+		}
 		mul(x, ax)
 		rn := 0.0
 		for i := range x {
@@ -213,6 +258,12 @@ func Jacobi(a *sparse.CSR, mul SpMV, b, x []float64, tol float64, maxIter int) (
 // PowerIteration finds the dominant eigenvalue/eigenvector of A. x is the
 // starting vector (must be nonzero) and receives the eigenvector.
 func PowerIteration(mul SpMV, x []float64, tol float64, maxIter int) (lambda float64, res Result, err error) {
+	return PowerIterationCtx(context.Background(), mul, x, tol, maxIter)
+}
+
+// PowerIterationCtx is PowerIteration under a context; see CGCtx for the
+// cancellation contract.
+func PowerIterationCtx(ctx context.Context, mul SpMV, x []float64, tol float64, maxIter int) (lambda float64, res Result, err error) {
 	n := len(x)
 	if maxIter <= 0 {
 		maxIter = 1000
@@ -227,6 +278,9 @@ func PowerIteration(mul SpMV, x []float64, tol float64, maxIter int) (lambda flo
 	y := make([]float64, n)
 	prev := 0.0
 	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if cerr := checkCtx(ctx); cerr != nil {
+			return lambda, res, cerr
+		}
 		mul(x, y)
 		lambda = dot(x, y)
 		ny := norm2(y)

@@ -1,7 +1,6 @@
 package sparse
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -29,14 +28,14 @@ func (c *COO) Add(i, j int, v float64) {
 // Validate checks lengths and index bounds.
 func (c *COO) Validate() error {
 	if len(c.RowIdx) != len(c.ColIdx) || len(c.RowIdx) != len(c.Val) {
-		return fmt.Errorf("sparse: COO slice lengths differ: %d/%d/%d", len(c.RowIdx), len(c.ColIdx), len(c.Val))
+		return invalidf("COO slice lengths differ: %d/%d/%d", len(c.RowIdx), len(c.ColIdx), len(c.Val))
 	}
 	for k := range c.RowIdx {
 		if c.RowIdx[k] < 0 || int(c.RowIdx[k]) >= c.Rows {
-			return fmt.Errorf("sparse: COO row index %d out of range at %d", c.RowIdx[k], k)
+			return invalidf("COO row index %d out of range at %d", c.RowIdx[k], k)
 		}
 		if c.ColIdx[k] < 0 || int(c.ColIdx[k]) >= c.Cols {
-			return fmt.Errorf("sparse: COO col index %d out of range at %d", c.ColIdx[k], k)
+			return invalidf("COO col index %d out of range at %d", c.ColIdx[k], k)
 		}
 	}
 	return nil

@@ -12,7 +12,20 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"spmvtune/internal/errdefs"
 )
+
+// ErrInvalidMatrix classifies every structural-validation failure in this
+// package: errors returned by Validate, the constructors and COO conversion
+// all match it via errors.Is. Re-exported from errdefs so callers holding
+// only sparse types can classify without another import.
+var ErrInvalidMatrix = errdefs.ErrInvalidMatrix
+
+// invalidf builds an ErrInvalidMatrix-classified validation error.
+func invalidf(format string, args ...any) error {
+	return errdefs.Invalidf("sparse: "+format, args...)
+}
 
 // CSR is a sparse matrix in compressed sparse row format.
 //
@@ -45,26 +58,26 @@ func (a *CSR) Row(i int) ([]int32, []float64) {
 // error for the first violation found.
 func (a *CSR) Validate() error {
 	if a.Rows < 0 || a.Cols < 0 {
-		return fmt.Errorf("sparse: negative dimension %dx%d", a.Rows, a.Cols)
+		return invalidf("negative dimension %dx%d", a.Rows, a.Cols)
 	}
 	if len(a.RowPtr) != a.Rows+1 {
-		return fmt.Errorf("sparse: len(RowPtr)=%d, want Rows+1=%d", len(a.RowPtr), a.Rows+1)
+		return invalidf("len(RowPtr)=%d, want Rows+1=%d", len(a.RowPtr), a.Rows+1)
 	}
 	if a.RowPtr[0] != 0 {
-		return fmt.Errorf("sparse: RowPtr[0]=%d, want 0", a.RowPtr[0])
+		return invalidf("RowPtr[0]=%d, want 0", a.RowPtr[0])
 	}
 	for i := 0; i < a.Rows; i++ {
 		if a.RowPtr[i+1] < a.RowPtr[i] {
-			return fmt.Errorf("sparse: RowPtr decreases at row %d (%d -> %d)", i, a.RowPtr[i], a.RowPtr[i+1])
+			return invalidf("RowPtr decreases at row %d (%d -> %d)", i, a.RowPtr[i], a.RowPtr[i+1])
 		}
 	}
 	nnz := a.RowPtr[a.Rows]
 	if int64(len(a.ColIdx)) != nnz || int64(len(a.Val)) != nnz {
-		return fmt.Errorf("sparse: RowPtr[Rows]=%d but len(ColIdx)=%d len(Val)=%d", nnz, len(a.ColIdx), len(a.Val))
+		return invalidf("RowPtr[Rows]=%d but len(ColIdx)=%d len(Val)=%d", nnz, len(a.ColIdx), len(a.Val))
 	}
 	for k, c := range a.ColIdx {
 		if c < 0 || int(c) >= a.Cols {
-			return fmt.Errorf("sparse: ColIdx[%d]=%d out of range [0,%d)", k, c, a.Cols)
+			return invalidf("ColIdx[%d]=%d out of range [0,%d)", k, c, a.Cols)
 		}
 	}
 	return nil
@@ -244,10 +257,10 @@ var ErrEmptyMatrix = errors.New("sparse: empty matrix")
 // Rows are used as given (not sorted, not deduplicated).
 func NewCSRFromRows(rows, cols int, entries [][]Entry) (*CSR, error) {
 	if rows < 0 || cols < 0 {
-		return nil, fmt.Errorf("sparse: negative dimension %dx%d", rows, cols)
+		return nil, invalidf("negative dimension %dx%d", rows, cols)
 	}
 	if len(entries) != rows {
-		return nil, fmt.Errorf("sparse: got %d row slices, want %d", len(entries), rows)
+		return nil, invalidf("got %d row slices, want %d", len(entries), rows)
 	}
 	a := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
 	nnz := 0
@@ -259,7 +272,7 @@ func NewCSRFromRows(rows, cols int, entries [][]Entry) (*CSR, error) {
 	for i, r := range entries {
 		for _, e := range r {
 			if e.Col < 0 || e.Col >= cols {
-				return nil, fmt.Errorf("sparse: row %d: column %d out of range [0,%d)", i, e.Col, cols)
+				return nil, invalidf("row %d: column %d out of range [0,%d)", i, e.Col, cols)
 			}
 			a.ColIdx = append(a.ColIdx, int32(e.Col))
 			a.Val = append(a.Val, e.Val)

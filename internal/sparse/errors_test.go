@@ -1,0 +1,42 @@
+package sparse
+
+import (
+	"errors"
+	"testing"
+)
+
+// Every untrusted-input rejection in this package must be typed: callers
+// classify with errors.Is(err, ErrInvalidMatrix) across package borders.
+func TestInvalidInputErrorsAreTyped(t *testing.T) {
+	bad := &CSR{Rows: 2, Cols: 2, RowPtr: []int64{0, 1}, ColIdx: []int32{0}, Val: []float64{1}}
+	if err := bad.Validate(); !errors.Is(err, ErrInvalidMatrix) {
+		t.Errorf("CSR.Validate: %v is untyped", err)
+	}
+
+	if _, err := NewCSRFromRows(-1, 2, nil); !errors.Is(err, ErrInvalidMatrix) {
+		t.Errorf("NewCSRFromRows negative rows: %v is untyped", err)
+	}
+	if _, err := NewCSRFromRows(1, 2, [][]Entry{{{Col: 5, Val: 1}}}); !errors.Is(err, ErrInvalidMatrix) {
+		t.Errorf("NewCSRFromRows out-of-range col: %v is untyped", err)
+	}
+
+	coo := &COO{Rows: 1, Cols: 1}
+	coo.Add(0, 0, 1)
+	coo.RowIdx[0] = 7 // out of range
+	if err := coo.Validate(); !errors.Is(err, ErrInvalidMatrix) {
+		t.Errorf("COO.Validate: %v is untyped", err)
+	}
+	if _, err := coo.ToCSR(); !errors.Is(err, ErrInvalidMatrix) {
+		t.Errorf("COO.ToCSR: %v is untyped", err)
+	}
+
+	good := &COO{Rows: 2, Cols: 2}
+	good.Add(0, 1, 3)
+	a, err := good.ToCSR()
+	if err != nil || a.NNZ() != 1 {
+		t.Fatalf("well-formed COO rejected: %v", err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("valid CSR rejected: %v", err)
+	}
+}

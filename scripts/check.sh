@@ -1,0 +1,29 @@
+#!/bin/sh
+# Full verification gate: formatting, vet, build, race-enabled tests, and a
+# short fuzz smoke on the Matrix Market parser. Run via `make check` or
+# directly. Fails on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== fuzz smoke (FuzzReadMTX, 10s)"
+go test -run='^$' -fuzz=FuzzReadMTX -fuzztime=10s ./internal/mmio
+
+echo "== check OK"

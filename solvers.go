@@ -1,6 +1,8 @@
 package spmvtune
 
 import (
+	"context"
+
 	"spmvtune/internal/cpu"
 	"spmvtune/internal/reorder"
 	"spmvtune/internal/solvers"
@@ -46,6 +48,35 @@ func SolveJacobi(a *Matrix, mul SpMV, b, x []float64, tol float64, maxIter int) 
 // starting vector and receives the eigenvector.
 func DominantEigen(mul SpMV, x []float64, tol float64, maxIter int) (float64, SolveResult, error) {
 	return solvers.PowerIteration(mul, x, tol, maxIter)
+}
+
+// Context-aware solver variants: each checks cancellation once per
+// iteration and returns early with an error matching ErrCanceled, leaving
+// the best iterate so far in x.
+
+// SolveCGCtx is SolveCG under a context.
+func SolveCGCtx(ctx context.Context, mul SpMV, b, x []float64, tol float64, maxIter int) (SolveResult, error) {
+	return solvers.CGCtx(ctx, mul, b, x, tol, maxIter)
+}
+
+// SolveBiCGSTABCtx is SolveBiCGSTAB under a context.
+func SolveBiCGSTABCtx(ctx context.Context, mul SpMV, b, x []float64, tol float64, maxIter int) (SolveResult, error) {
+	return solvers.BiCGSTABCtx(ctx, mul, b, x, tol, maxIter)
+}
+
+// SolveGMRESCtx is SolveGMRES under a context.
+func SolveGMRESCtx(ctx context.Context, mul SpMV, b, x []float64, tol float64, restart, maxIter int) (SolveResult, error) {
+	return solvers.GMRESCtx(ctx, mul, b, x, tol, restart, maxIter)
+}
+
+// SolveJacobiCtx is SolveJacobi under a context.
+func SolveJacobiCtx(ctx context.Context, a *Matrix, mul SpMV, b, x []float64, tol float64, maxIter int) (SolveResult, error) {
+	return solvers.JacobiCtx(ctx, a, mul, b, x, tol, maxIter)
+}
+
+// DominantEigenCtx is DominantEigen under a context.
+func DominantEigenCtx(ctx context.Context, mul SpMV, x []float64, tol float64, maxIter int) (float64, SolveResult, error) {
+	return solvers.PowerIterationCtx(ctx, mul, x, tol, maxIter)
 }
 
 // SpMM computes the sparse-times-dense-block product U = A*X for k dense

@@ -24,6 +24,7 @@ import (
 	"spmvtune/internal/c50"
 	"spmvtune/internal/core"
 	"spmvtune/internal/csradaptive"
+	"spmvtune/internal/errdefs"
 	"spmvtune/internal/features"
 	"spmvtune/internal/hsa"
 	"spmvtune/internal/kernels"
@@ -63,6 +64,57 @@ type (
 	// TreeOptions controls decision-tree induction.
 	TreeOptions = c50.Options
 )
+
+// Failure semantics ------------------------------------------------------
+
+// Typed error sentinels for the resilient execution layer; test with
+// errors.Is. Every error from the guarded paths matches exactly one class
+// (budget faults additionally match ErrKernelFault).
+var (
+	// ErrInvalidMatrix marks malformed matrix input (bad file, bad shape).
+	ErrInvalidMatrix = errdefs.ErrInvalidMatrix
+	// ErrKernelFault marks a simulated-device kernel abort.
+	ErrKernelFault = errdefs.ErrKernelFault
+	// ErrBudgetExceeded marks a kernel that exhausted its cycle budget.
+	ErrBudgetExceeded = errdefs.ErrBudgetExceeded
+	// ErrCanceled marks an execution stopped by context cancellation or
+	// deadline; it also matches the underlying context sentinel.
+	ErrCanceled = errdefs.ErrCanceled
+)
+
+// Guarded-execution types (see Framework.RunGuarded / RunGuardedOpts).
+type (
+	// GuardOptions tunes retries, backoff, verification tolerance and
+	// fault injection for a guarded run.
+	GuardOptions = core.GuardOptions
+	// ExecReport records every fallback and retry decision of one
+	// guarded run.
+	ExecReport = core.ExecReport
+	// BinReport records how one bin was finally served.
+	BinReport = core.BinReport
+	// FaultPlan is a deterministic fault-injection plan for the
+	// simulated device.
+	FaultPlan = hsa.FaultPlan
+	// Fault describes one injected fault (class, transience, budget).
+	Fault = hsa.Fault
+	// FaultClass enumerates the injectable fault classes.
+	FaultClass = hsa.FaultClass
+)
+
+// Injectable fault classes.
+const (
+	FaultLDSOverflow       = hsa.FaultLDSOverflow
+	FaultBarrierDivergence = hsa.FaultBarrierDivergence
+	FaultCycleBudget       = hsa.FaultCycleBudget
+	FaultNaNPoison         = hsa.FaultNaNPoison
+)
+
+// DefaultGuardOptions returns the guarded executor's defaults (two
+// attempts per chain link, doubling backoff, 1e-9 verification tolerance).
+func DefaultGuardOptions() GuardOptions { return core.DefaultGuardOptions() }
+
+// NewFaultPlan returns an empty fault-injection plan.
+func NewFaultPlan() *FaultPlan { return hsa.NewFaultPlan() }
 
 // DefaultConfig returns the paper's setup: a Kaveri-like 8-CU device, up
 // to 100 bins, and granularities 10, 20, 50, ..., 10^6.
