@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race fuzz fmt vet
+.PHONY: check build test race bench fuzz fmt vet
 
 ## check: the full verification gate (fmt, vet, build, race tests, fuzz smoke)
 check:
@@ -15,8 +15,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMTX -fuzztime=10s ./internal/mmio
+	$(GO) test -run='^$$' -fuzz=FuzzHTTPSpMV -fuzztime=10s ./internal/server
 
 fmt:
 	gofmt -l -w .

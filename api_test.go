@@ -1,6 +1,8 @@
 package spmvtune_test
 
 import (
+	"context"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
 
@@ -154,6 +156,93 @@ func TestPublicAPIGenerators(t *testing.T) {
 		if a.NNZ() == 0 {
 			t.Errorf("%s: empty", name)
 		}
+	}
+}
+
+// TestPublicAPIServing locks the serving surface: plans, the plan cache,
+// and the HTTP server are all reachable without importing internal packages.
+func TestPublicAPIServing(t *testing.T) {
+	cfg := spmvtune.DefaultConfig()
+	model, _, err := spmvtune.TrainPipeline(cfg, apiTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := spmvtune.NewFramework(cfg, model)
+	if v := spmvtune.ModelVersion(model); v == "" {
+		t.Error("empty model version")
+	}
+
+	a := spmvtune.GenRoadNetwork(800, 11)
+	fp := spmvtune.PlanFingerprint(a)
+	if len(fp) != 32 {
+		t.Fatalf("fingerprint %q not 32 hex chars", fp)
+	}
+
+	// Plan / ExecutePlan round trip through JSON, verified against Reference.
+	p, err := fw.Plan(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint != fp {
+		t.Error("plan fingerprint disagrees with PlanFingerprint")
+	}
+	blob, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back *spmvtune.TuningPlan
+	back, err = spmvtune.DecodePlan(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = float64(i%7) - 3
+	}
+	u := make([]float64, a.Rows)
+	rep, err := fw.ExecutePlan(context.Background(), back, a, v, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DecisionFallback {
+		t.Error("fresh plan should not need the decision fallback")
+	}
+	want := make([]float64, a.Rows)
+	spmvtune.Reference(a, v, want)
+	if !spmvtune.VecApproxEqual(want, u, 1e-9) {
+		t.Error("plan execution differs from reference")
+	}
+
+	// Plan cache: second fetch is a hit.
+	pc := spmvtune.NewPlanCache(spmvtune.PlanCacheOptions{Capacity: 4})
+	for i := 0; i < 2; i++ {
+		_, hit, err := pc.GetOrCompute(context.Background(), fp, func(ctx context.Context) (*spmvtune.TuningPlan, error) {
+			return fw.Plan(ctx, a)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hit != (i == 1) {
+			t.Errorf("fetch %d: hit = %v", i, hit)
+		}
+	}
+	var st spmvtune.PlanCacheStats = pc.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats: %+v", st)
+	}
+
+	// The HTTP server mounts as a plain handler.
+	srv, err := spmvtune.NewServer(spmvtune.ServerConfig{Framework: fw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("healthz = %d", rec.Code)
+	}
+	if _, err := spmvtune.NewServer(spmvtune.ServerConfig{}); err == nil {
+		t.Error("server without framework accepted")
 	}
 }
 

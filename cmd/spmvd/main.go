@@ -1,0 +1,134 @@
+// Command spmvd is the concurrent SpMV serving daemon: it loads (or
+// bootstrap-trains) a tuning model, then serves auto-tuned sparse
+// matrix-vector multiplication over HTTP with a shared tuning-plan cache.
+//
+//	spmvd -model model.json                 # serve with a trained model
+//	spmvd -corpus 40                        # no model file: train at startup
+//	spmvd -addr :8080 -cache-dir /var/cache/spmvd -cache-ttl 1h
+//
+// API (see DESIGN.md §7):
+//
+//	POST /v1/matrices    upload a Matrix Market body → {"id": ...}
+//	POST /v1/spmv        {"matrix": id, "vector": [...]} or {"vectors": [[...]]}
+//	GET  /v1/plans/{id}  the tuning plan the model chose for a matrix
+//	GET  /healthz        liveness
+//	GET  /metrics        cache and request counters, text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spmvtune/internal/c50"
+	"spmvtune/internal/core"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/plancache"
+	"spmvtune/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "trained model file (empty: bootstrap-train at startup)")
+	corpus := flag.Int("corpus", 24, "bootstrap training corpus size when no -model is given")
+	workers := flag.Int("workers", 0, "concurrent SpMV executions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "queued SpMV requests beyond the executing ones before 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request execution deadline")
+	maxBatch := flag.Int("max-batch", 64, "maximum vectors per SpMV request")
+	maxBody := flag.Int64("max-body", 64<<20, "maximum request body bytes")
+	cacheCap := flag.Int("cache-capacity", 256, "resident tuning plans")
+	cacheTTL := flag.Duration("cache-ttl", 0, "plan expiry (0 = never)")
+	cacheDir := flag.String("cache-dir", "", "persist plans to this directory (empty = memory only)")
+	flag.Parse()
+	log.SetPrefix("spmvd: ")
+	log.SetFlags(log.LstdFlags)
+
+	model, err := obtainModel(*modelPath, *corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	fw := core.NewFramework(cfg, model)
+	log.Printf("model version %s", core.ModelVersion(model))
+
+	srv, err := server.New(server.Config{
+		Framework:      fw,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+		MaxBodyBytes:   *maxBody,
+		Cache: plancache.Options{
+			Capacity: *cacheCap,
+			TTL:      *cacheTTL,
+			Dir:      *cacheDir,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	st := srv.CacheStats()
+	log.Printf("plan cache at exit: %d entries, %d hits, %d misses", st.Entries, st.Hits, st.Misses)
+}
+
+// obtainModel loads the model file, or bootstrap-trains a small one so the
+// daemon is usable out of the box (a real deployment trains offline with
+// `spmvtune train` and passes -model).
+func obtainModel(path string, corpus int) (*core.Model, error) {
+	if path != "" {
+		m, err := core.LoadModel(path)
+		if err != nil {
+			return nil, fmt.Errorf("load model: %w", err)
+		}
+		log.Printf("loaded model from %s", path)
+		return m, nil
+	}
+	if corpus < 2 {
+		corpus = 2
+	}
+	log.Printf("no -model given: bootstrap-training on a %d-matrix synthetic corpus", corpus)
+	cfg := core.DefaultConfig()
+	mats := matgen.Corpus(matgen.CorpusOptions{N: corpus, MinRows: 256, MaxRows: 2048, Seed: 42})
+	td := core.NewTrainingData(cfg)
+	for i, cm := range mats {
+		td.AddMatrix(cfg, cm.A)
+		if (i+1)%10 == 0 || i+1 == len(mats) {
+			log.Printf("labeled %d/%d", i+1, len(mats))
+		}
+	}
+	return core.TrainModel(td, cfg, c50.DefaultOptions()), nil
+}

@@ -4,7 +4,7 @@
 //	spmvtune features -in m.mtx            # Table I feature extraction
 //	spmvtune bin -in m.mtx -u 100          # show the binning layout
 //	spmvtune train -out model.json         # offline training pipeline
-//	spmvtune predict -in m.mtx -model model.json
+//	spmvtune predict -in m.mtx -model model.json [-plan]
 //	spmvtune run -in m.mtx -model model.json
 //	spmvtune compare -in m.mtx -model model.json
 //	spmvtune gen -kind road -rows 100000 -out m.mtx
@@ -185,6 +185,7 @@ func cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	in := fs.String("in", "", "input Matrix Market file")
 	model := fs.String("model", "model.json", "trained model file")
+	asPlan := fs.Bool("plan", false, "print the full TuningPlan as JSON (features, U, per-bin kernels) without executing")
 	fs.Parse(args)
 	a, err := loadMatrix(*in)
 	if err != nil {
@@ -195,6 +196,18 @@ func cmdPredict(args []string) error {
 		return err
 	}
 	fw := core.NewFramework(core.DefaultConfig(), m)
+	if *asPlan {
+		p, err := fw.Plan(context.Background(), a)
+		if err != nil {
+			return err
+		}
+		blob, err := p.Encode()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
 	d, b := fw.Decide(a)
 	fmt.Println(features.Extract(a))
 	fmt.Println("decision:", d)

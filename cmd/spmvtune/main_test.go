@@ -1,9 +1,12 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"spmvtune/internal/plan"
 )
 
 // The subcommand functions are exercised end-to-end through temp files;
@@ -67,6 +70,19 @@ func TestCmdTrainPredictRunCompare(t *testing.T) {
 	if err := cmdPredict([]string{"-in", mtx, "-model", model}); err != nil {
 		t.Fatal(err)
 	}
+	// -plan prints the TuningPlan as decodable JSON without executing.
+	out := captureStdout(t, func() {
+		if err := cmdPredict([]string{"-in", mtx, "-model", model, "-plan"}); err != nil {
+			t.Error(err)
+		}
+	})
+	p, err := plan.Decode([]byte(out))
+	if err != nil {
+		t.Fatalf("predict -plan output does not decode: %v\n%s", err, out)
+	}
+	if p.Rows != 400 || len(p.Bins) == 0 || p.Fingerprint == "" {
+		t.Errorf("implausible plan: %s", p)
+	}
 	if err := cmdRun([]string{"-in", mtx, "-model", model}); err != nil {
 		t.Fatal(err)
 	}
@@ -77,4 +93,24 @@ func TestCmdTrainPredictRunCompare(t *testing.T) {
 	if err := cmdRun([]string{"-in", mtx, "-model", filepath.Join(dir, "nope.json")}); err == nil {
 		t.Error("missing model accepted")
 	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything written.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
 }

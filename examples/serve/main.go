@@ -1,0 +1,156 @@
+// Serve: run the SpMV daemon in-process and exercise it like a remote
+// client — upload a generated R-MAT (web-graph-like) matrix over HTTP,
+// fire concurrent SpMV requests that all share one cached tuning plan,
+// and verify every result against the sequential reference.
+//
+//	go run ./examples/serve [-corpus 24] [-clients 8] [-scale 12]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"spmvtune"
+)
+
+func main() {
+	log.SetFlags(0)
+	corpus := 24
+	clients := 8
+	scale := 12
+	for i := 1; i < len(os.Args)-1; i++ {
+		switch os.Args[i] {
+		case "-corpus":
+			fmt.Sscan(os.Args[i+1], &corpus)
+		case "-clients":
+			fmt.Sscan(os.Args[i+1], &clients)
+		case "-scale":
+			fmt.Sscan(os.Args[i+1], &scale)
+		}
+	}
+
+	// 1. Train a small model and mount the serving handler on a loopback
+	//    listener — exactly what cmd/spmvd does, minus the flags.
+	cfg := spmvtune.DefaultConfig()
+	opts := spmvtune.DefaultTrainOptions()
+	opts.CorpusSize = corpus
+	opts.MinRows, opts.MaxRows = 256, 2048
+	model, report, err := spmvtune.TrainPipeline(cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model trained on %d matrices (stage1 %.1f%%, stage2 %.1f%% held-out error)\n",
+		report.Corpus, 100*report.Stage1Error, 100*report.Stage2Error)
+
+	srv, err := spmvtune.NewServer(spmvtune.ServerConfig{
+		Framework: spmvtune.NewFramework(cfg, model),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv) //nolint:errcheck // torn down with the process
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("spmvd serving on %s\n", base)
+
+	// 2. Upload an R-MAT graph matrix as a Matrix Market body.
+	a := spmvtune.GenRMAT(scale, 8, 0.57, 0.19, 0.19, 99)
+	mtx := filepath.Join(os.TempDir(), "serve-example.mtx")
+	if err := spmvtune.WriteMatrixMarket(mtx, a, "R-MAT example"); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(mtx)
+	body, err := os.ReadFile(mtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/matrices", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var up struct {
+		ID   string `json:"id"`
+		Rows int    `json:"rows"`
+		NNZ  int    `json:"nnz"`
+	}
+	mustDecode(resp, &up)
+	fmt.Printf("uploaded %dx%d R-MAT (%d nnz) as matrix %s\n", up.Rows, up.Rows, up.NNZ, up.ID)
+
+	// 3. Concurrent clients multiply different vectors by the same matrix.
+	//    The first request tunes; everyone else rides the cached plan.
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			v := make([]float64, a.Cols)
+			for i := range v {
+				v[i] = float64((i+c)%9) - 4
+			}
+			req, _ := json.Marshal(map[string]any{"matrix": up.ID, "vector": v})
+			resp, err := http.Post(base+"/v1/spmv", "application/json", bytes.NewReader(req))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var out struct {
+				U        int       `json:"u"`
+				CacheHit bool      `json:"cacheHit"`
+				Result   []float64 `json:"result"`
+			}
+			mustDecode(resp, &out)
+			want := make([]float64, a.Rows)
+			spmvtune.Reference(a, v, want)
+			if !spmvtune.VecApproxEqual(want, out.Result, 1e-9) {
+				errs <- fmt.Errorf("client %d: result differs from reference", c)
+				return
+			}
+			fmt.Printf("client %d: verified %d rows (U=%d, cacheHit=%v)\n",
+				c, len(out.Result), out.U, out.CacheHit)
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		log.Fatal(err)
+	}
+
+	// 4. The metrics endpoint shows the shared plan: one miss, the rest hits.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	blob, _ := io.ReadAll(mresp.Body)
+	fmt.Println("\n/metrics (cache lines):")
+	for _, line := range strings.Split(string(blob), "\n") {
+		if strings.HasPrefix(line, "spmvd_plan_cache") {
+			fmt.Println(" ", line)
+		}
+	}
+	fmt.Printf("\nall %d concurrent clients verified against the sequential reference\n", clients)
+}
+
+func mustDecode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		blob, _ := io.ReadAll(resp.Body)
+		log.Fatalf("HTTP %d: %s", resp.StatusCode, blob)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -63,3 +63,41 @@ func (t *Tree) UnmarshalJSON(data []byte) error {
 
 // Classes returns the class names the tree was trained with.
 func (t *Tree) Classes() []string { return t.classes }
+
+// jsonEnsemble mirrors Ensemble for serialization.
+type jsonEnsemble struct {
+	Trees  []*Tree   `json:"trees"`
+	Alphas []float64 `json:"alphas"`
+}
+
+// MarshalJSON serializes the boosted committee: every member tree plus its
+// vote weight, in boosting-round order (the order matters for tie-breaking
+// reproducibility, so it is preserved exactly).
+func (e *Ensemble) MarshalJSON() ([]byte, error) {
+	if len(e.Trees) != len(e.Alphas) {
+		return nil, fmt.Errorf("c50: ensemble has %d trees but %d alphas", len(e.Trees), len(e.Alphas))
+	}
+	return json.Marshal(jsonEnsemble{Trees: e.Trees, Alphas: e.Alphas})
+}
+
+// UnmarshalJSON restores a boosted committee saved by MarshalJSON.
+func (e *Ensemble) UnmarshalJSON(data []byte) error {
+	var j jsonEnsemble
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if len(j.Trees) == 0 {
+		return fmt.Errorf("c50: ensemble JSON has no trees")
+	}
+	if len(j.Trees) != len(j.Alphas) {
+		return fmt.Errorf("c50: ensemble JSON has %d trees but %d alphas", len(j.Trees), len(j.Alphas))
+	}
+	for i, t := range j.Trees {
+		if t == nil || t.root == nil {
+			return fmt.Errorf("c50: ensemble JSON tree %d is empty", i)
+		}
+	}
+	e.Trees = j.Trees
+	e.Alphas = j.Alphas
+	return nil
+}

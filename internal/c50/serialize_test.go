@@ -1,0 +1,136 @@
+package c50
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// multiClassSet builds a 4-class dataset whose class indices are NOT in the
+// order a sorted-by-name serializer would produce — round-tripping must
+// preserve the training-time ordering, or every prediction shifts.
+func multiClassSet(n int, seed int64) *Dataset {
+	d := NewDataset([]string{"x0", "x1"}, []string{"zebra", "apple", "mango", "kiwi"})
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		x0 := rng.Float64() * 10
+		x1 := rng.Float64() * 10
+		y := 0
+		switch {
+		case x0 > 5 && x1 > 5:
+			y = 1
+		case x0 > 5:
+			y = 2
+		case x1 > 5:
+			y = 3
+		}
+		d.Add([]float64{x0, x1}, y)
+	}
+	return d
+}
+
+func TestEnsembleSerializationRoundTrip(t *testing.T) {
+	d := xorSet(600, 21)
+	opts := Options{MinLeaf: 2, MaxDepth: 2, CF: 0}
+	ens := TrainBoosted(d, opts, 10)
+	if len(ens.Trees) < 2 {
+		t.Fatalf("want a genuinely boosted committee, got %d trees", len(ens.Trees))
+	}
+
+	blob, err := json.Marshal(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Ensemble
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Trees) != len(ens.Trees) || len(back.Alphas) != len(ens.Alphas) {
+		t.Fatalf("shape changed: %d/%d trees, %d/%d alphas",
+			len(back.Trees), len(ens.Trees), len(back.Alphas), len(ens.Alphas))
+	}
+	for i, a := range ens.Alphas {
+		if back.Alphas[i] != a {
+			t.Fatalf("alpha %d changed: %v != %v", i, back.Alphas[i], a)
+		}
+	}
+	for i, x := range d.X {
+		if ens.Predict(x) != back.Predict(x) {
+			t.Fatalf("round-tripped ensemble predicts differently on instance %d", i)
+		}
+	}
+}
+
+func TestSerializationPreservesClassOrdering(t *testing.T) {
+	d := multiClassSet(800, 22)
+	tree := Train(d, DefaultOptions())
+	blob, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Class names must come back in training order, not sorted.
+	want := []string{"zebra", "apple", "mango", "kiwi"}
+	got := back.Classes()
+	if len(got) != len(want) {
+		t.Fatalf("classes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("class order changed: %v", got)
+		}
+	}
+	// And predictions — class indices — must be identical everywhere.
+	for i, x := range d.X {
+		if tree.Predict(x) != back.Predict(x) {
+			t.Fatalf("prediction differs on instance %d", i)
+		}
+	}
+
+	// Same invariant through a boosted committee of the multi-class problem.
+	ens := TrainBoosted(d, Options{MinLeaf: 2, MaxDepth: 2, CF: 0}, 8)
+	eb, err := json.Marshal(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ensBack Ensemble
+	if err := json.Unmarshal(eb, &ensBack); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X {
+		if ens.Predict(x) != ensBack.Predict(x) {
+			t.Fatalf("boosted prediction differs on instance %d", i)
+		}
+	}
+	for _, tr := range ensBack.Trees {
+		cs := tr.Classes()
+		for i := range want {
+			if cs[i] != want[i] {
+				t.Fatalf("member tree class order changed: %v", cs)
+			}
+		}
+	}
+}
+
+func TestEnsembleSerializationRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no trees":        `{"trees":[],"alphas":[]}`,
+		"length mismatch": `{"trees":[{"attrs":[],"classes":["a"],"root":{"class":0}}],"alphas":[1,2]}`,
+		"empty tree":      `{"trees":[{"attrs":[],"classes":[]}],"alphas":[1]}`,
+		"not json":        `{`,
+	}
+	for name, raw := range cases {
+		var e Ensemble
+		if err := json.Unmarshal([]byte(raw), &e); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Marshal side: inconsistent shape is refused, not silently emitted.
+	bad := &Ensemble{Trees: []*Tree{nil}, Alphas: []float64{1, 2}}
+	if _, err := json.Marshal(bad); err == nil {
+		t.Error("marshal of mismatched ensemble should error")
+	}
+}

@@ -220,12 +220,22 @@ func (fw *Framework) RunGuardedOpts(ctx context.Context, a *sparse.CSR, v, u []f
 	want := make([]float64, a.Rows)
 	a.MulVec(v, want)
 
-	for _, binID := range b.NonEmpty() {
-		if err := fw.runBinGuarded(ctx, a, v, u, want, b, binID, d.KernelByBin[binID], opt, rep); err != nil {
-			return d, rep, err
-		}
+	if err := fw.runBinsGuarded(ctx, a, v, u, want, b, d.KernelByBin, opt, rep); err != nil {
+		return d, rep, err
 	}
 	return d, rep, nil
+}
+
+// runBinsGuarded serves every non-empty bin through the fallback chain —
+// the shared execution engine of RunGuardedOpts and ExecutePlanOpts.
+func (fw *Framework) runBinsGuarded(ctx context.Context, a *sparse.CSR, v, u, want []float64,
+	b *binning.Binning, kernelByBin map[int]int, opt GuardOptions, rep *ExecReport) error {
+	for _, binID := range b.NonEmpty() {
+		if err := fw.runBinGuarded(ctx, a, v, u, want, b, binID, kernelByBin[binID], opt, rep); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // decideGuarded runs the predict path with panic recovery.

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/c50"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/plan"
+	"spmvtune/internal/sparse"
+)
+
+// ModelVersion returns a deterministic hex digest of a trained model —
+// candidate granularities, bin cap, feature mode and both serialized
+// stages. Plans record it so a model rollout distinguishes its plans from
+// a predecessor's. A nil model hashes to the empty string.
+func ModelVersion(m *Model) string {
+	if m == nil {
+		return ""
+	}
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	for _, u := range m.Us {
+		put(int64(u))
+	}
+	put(int64(m.MaxBins))
+	if m.Extended {
+		put(1)
+	}
+	for _, t := range []*c50.Tree{m.Stage1, m.Stage2} {
+		if t == nil {
+			continue
+		}
+		if blob, err := t.MarshalJSON(); err == nil {
+			h.Write(blob)
+		}
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Plan runs the predict path only and reifies its outcome as a
+// serializable TuningPlan: feature extraction, stage-1 U, binning layout,
+// stage-2 kernel per non-empty bin, plus the matrix fingerprint and model
+// version for cache keying and auditing. No kernel executes.
+//
+// A panicking predict path (malformed model) degrades to the single-bin
+// Kernel-Serial plan with Fallback set, mirroring RunGuarded's decision
+// fallback. The error is non-nil only for invalid input or an expired
+// context.
+func (fw *Framework) Plan(ctx context.Context, a *sparse.CSR) (*plan.TuningPlan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, errdefs.Canceled(err)
+	}
+
+	p := &plan.TuningPlan{
+		Fingerprint:  plan.Fingerprint(a),
+		ModelVersion: ModelVersion(fw.Model),
+		Rows:         a.Rows,
+		Cols:         a.Cols,
+		NNZ:          a.NNZ(),
+		FeatureNames: fw.Cfg.FeatureNames(),
+	}
+
+	d, b, err := fw.decideGuarded(a)
+	if err != nil {
+		p.Fallback = true
+		b = binning.Single(a)
+		d = Decision{U: 0, KernelByBin: map[int]int{0: 0}}
+	}
+	p.Features = fw.Cfg.FeatureVector(a)
+	p.U = d.U
+	p.MaxBins = fw.Cfg.MaxBins
+	p.Scheme = b.Scheme
+	for _, binID := range b.NonEmpty() {
+		kid := d.KernelByBin[binID]
+		name := ""
+		if info, ok := kernels.ByID(kid); ok {
+			name = info.Name
+		}
+		p.Bins = append(p.Bins, plan.BinAssignment{
+			Bin:        binID,
+			Rows:       b.NumRows(binID),
+			Groups:     len(b.Bins[binID]),
+			Kernel:     kid,
+			KernelName: name,
+		})
+	}
+	return p, nil
+}
+
+// ExecutePlan applies a previously computed TuningPlan to the matrix with
+// the default GuardOptions: the predict path is skipped entirely (that is
+// the plan's purpose), the binning is reconstructed deterministically from
+// the plan parameters, and the bins execute through the same guarded
+// fallback chain as RunGuarded — kernel faults degrade, they do not fail
+// the request. On success u holds a verified u = A·v.
+//
+// The plan must have been derived from a matrix with this structure; cheap
+// shape checks reject obvious mismatches (full fingerprint equality is the
+// caller's cache-key contract). A plan that no longer covers the matrix's
+// non-empty bins degrades to the single-bin serial strategy and is
+// reported via ExecReport.DecisionFallback.
+func (fw *Framework) ExecutePlan(ctx context.Context, p *plan.TuningPlan, a *sparse.CSR, v, u []float64) (*ExecReport, error) {
+	return fw.ExecutePlanOpts(ctx, p, a, v, u, DefaultGuardOptions())
+}
+
+// ExecutePlanOpts is ExecutePlan with explicit options.
+func (fw *Framework) ExecutePlanOpts(ctx context.Context, p *plan.TuningPlan, a *sparse.CSR, v, u []float64, opt GuardOptions) (*ExecReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt = opt.withDefaults()
+	rep := &ExecReport{}
+
+	if p == nil {
+		return rep, errdefs.Invalidf("core: nil tuning plan")
+	}
+	if err := p.Validate(); err != nil {
+		return rep, err
+	}
+	if err := a.Validate(); err != nil {
+		return rep, err
+	}
+	if err := p.CheckMatrix(a); err != nil {
+		return rep, err
+	}
+	if len(v) < a.Cols {
+		return rep, errdefs.Invalidf("core: launch validation: len(v)=%d < Cols=%d", len(v), a.Cols)
+	}
+	if len(u) < a.Rows {
+		return rep, errdefs.Invalidf("core: launch validation: len(u)=%d < Rows=%d", len(u), a.Rows)
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, errdefs.Canceled(err)
+	}
+
+	b, err := p.Rebin(a)
+	kernelByBin := p.KernelByBin()
+	if err != nil {
+		// A stale plan degrades exactly like a failed predict path.
+		rep.DecisionFallback = true
+		b = binning.Single(a)
+		kernelByBin = map[int]int{0: 0}
+	}
+	rep.Decision = Decision{U: p.U, KernelByBin: kernelByBin}
+
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+
+	if err := fw.runBinsGuarded(ctx, a, v, u, want, b, kernelByBin, opt, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,209 @@
+// Package plan reifies the framework's tuning decision as a first-class,
+// serializable artifact. The paper's economic argument is that the predict
+// path (feature extraction → stage-1 U → binning → stage-2 kernels) is paid
+// once and amortized over many SpMV executions; a TuningPlan is the unit of
+// that amortization — it can be cached, persisted, shipped between
+// processes, and re-applied to any matrix with the same structure.
+//
+// The package is a leaf (it depends only on sparse, binning and kernels) so
+// that internal/core can attach Plan/ExecutePlan methods to Framework and
+// the serving layers can share the type without import cycles.
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/sparse"
+)
+
+// fingerprintSalt versions the fingerprint scheme itself: bump it if the
+// hashed fields ever change, so stale persisted plans can never collide
+// with fresh ones.
+const fingerprintSalt = "spmvtune-plan-fp1"
+
+// Fingerprint returns a deterministic hex digest of the matrix *structure*
+// (dimensions, row pointers, column indices — not the values). Tuning
+// depends only on the sparsity pattern: every Table I feature and the
+// binning layout are functions of structure, so two matrices with the same
+// pattern and different values share one optimal plan. 128 bits of SHA-256
+// keeps the key short enough for URLs and filenames.
+func Fingerprint(a *sparse.CSR) string {
+	h := sha256.New()
+	h.Write([]byte(fingerprintSalt))
+	var buf [8]byte
+	put := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	put(int64(a.Rows))
+	put(int64(a.Cols))
+	put(int64(len(a.ColIdx)))
+	for _, p := range a.RowPtr {
+		put(p)
+	}
+	// Column indices are hashed 32-bit to halve the work; they are int32
+	// in CSR storage already.
+	var b4 [4]byte
+	for _, c := range a.ColIdx {
+		binary.LittleEndian.PutUint32(b4[:], uint32(c))
+		h.Write(b4[:])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}
+
+// BinAssignment is one bin's slice of the plan: which kernel serves the
+// rows that landed in this workload bin.
+type BinAssignment struct {
+	Bin        int    `json:"bin"`
+	Rows       int    `json:"rows"`
+	Groups     int    `json:"groups"`
+	Kernel     int    `json:"kernel"`
+	KernelName string `json:"kernelName,omitempty"`
+}
+
+// TuningPlan is the full output of the predict path for one matrix
+// structure: enough to re-execute the tuned SpMV without consulting the
+// model again, and enough provenance (features, model version) to audit
+// why the decision was made.
+type TuningPlan struct {
+	// Fingerprint identifies the matrix structure this plan was derived
+	// from (see Fingerprint). Plans are cached and persisted under it.
+	Fingerprint string `json:"fingerprint"`
+	// ModelVersion identifies the trained model that produced the plan, so
+	// a model rollout can invalidate stale plans.
+	ModelVersion string `json:"modelVersion,omitempty"`
+
+	// Matrix shape at planning time; ExecutePlan re-checks these cheaply.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	NNZ  int `json:"nnz"`
+
+	// The feature vector the model consumed, with attribute names, for
+	// offline debugging of model decisions.
+	FeatureNames []string  `json:"featureNames,omitempty"`
+	Features     []float64 `json:"features,omitempty"`
+
+	// The decision: binning granularity, bin-count cap, binning scheme
+	// ("coarse" or "single") and the per-bin kernel assignments.
+	U       int             `json:"u"`
+	MaxBins int             `json:"maxBins"`
+	Scheme  string          `json:"scheme"`
+	Bins    []BinAssignment `json:"bins"`
+
+	// Fallback records that the predict path failed (malformed model) and
+	// the plan degraded to single-bin Kernel-Serial.
+	Fallback bool `json:"fallback,omitempty"`
+}
+
+// KernelByBin returns the per-bin kernel map in the form the execution
+// layers consume.
+func (p *TuningPlan) KernelByBin() map[int]int {
+	m := make(map[int]int, len(p.Bins))
+	for _, b := range p.Bins {
+		m[b.Bin] = b.Kernel
+	}
+	return m
+}
+
+// Validate checks the internal consistency of a plan — decoded plans are
+// untrusted input (they may come from disk or the network). Failures match
+// errdefs.ErrInvalidMatrix.
+func (p *TuningPlan) Validate() error {
+	if p.Rows < 0 || p.Cols < 0 || p.NNZ < 0 {
+		return errdefs.Invalidf("plan: negative shape %dx%d/%d", p.Rows, p.Cols, p.NNZ)
+	}
+	switch p.Scheme {
+	case "coarse", "single":
+	default:
+		return errdefs.Invalidf("plan: unsupported scheme %q", p.Scheme)
+	}
+	if p.Scheme == "coarse" && (p.U < 1 || p.MaxBins < 1) {
+		return errdefs.Invalidf("plan: coarse scheme needs U>=1 and MaxBins>=1, got U=%d MaxBins=%d", p.U, p.MaxBins)
+	}
+	seen := make(map[int]bool, len(p.Bins))
+	for _, b := range p.Bins {
+		if b.Bin < 0 {
+			return errdefs.Invalidf("plan: negative bin id %d", b.Bin)
+		}
+		if p.Scheme == "coarse" && b.Bin >= p.MaxBins {
+			return errdefs.Invalidf("plan: bin %d outside cap %d", b.Bin, p.MaxBins)
+		}
+		if seen[b.Bin] {
+			return errdefs.Invalidf("plan: bin %d assigned twice", b.Bin)
+		}
+		seen[b.Bin] = true
+		if _, ok := kernels.ByID(b.Kernel); !ok {
+			return errdefs.Invalidf("plan: bin %d uses unknown kernel id %d", b.Bin, b.Kernel)
+		}
+	}
+	return nil
+}
+
+// CheckMatrix verifies the cheap structural invariants between a plan and
+// the matrix it is about to execute on: dimensions and non-zero count. The
+// full fingerprint equality is the cache-key contract of the caller (the
+// plan was stored under Fingerprint(a)); recomputing the hash on every
+// execution would cost O(nnz) and defeat the amortization.
+func (p *TuningPlan) CheckMatrix(a *sparse.CSR) error {
+	if p.Rows != a.Rows || p.Cols != a.Cols || p.NNZ != a.NNZ() {
+		return errdefs.Invalidf("plan: matrix shape %dx%d/%d does not match plan %dx%d/%d",
+			a.Rows, a.Cols, a.NNZ(), p.Rows, p.Cols, p.NNZ)
+	}
+	return nil
+}
+
+// Rebin reconstructs the binning layout on the target matrix. Binning is a
+// deterministic function of (structure, scheme, U, MaxBins), so the plan
+// stores only the parameters; the reconstruction is verified against the
+// recorded per-bin row counts and kernel coverage so a stale or corrupted
+// plan surfaces as a typed error instead of a wrong result.
+func (p *TuningPlan) Rebin(a *sparse.CSR) (*binning.Binning, error) {
+	var b *binning.Binning
+	switch p.Scheme {
+	case "single":
+		b = binning.Single(a)
+	case "coarse":
+		b = binning.Coarse(a, p.U, p.MaxBins)
+	default:
+		return nil, errdefs.Invalidf("plan: unsupported scheme %q", p.Scheme)
+	}
+	kbb := p.KernelByBin()
+	for _, binID := range b.NonEmpty() {
+		if _, ok := kbb[binID]; !ok {
+			return nil, errdefs.Invalidf("plan: non-empty bin %d has no kernel assignment (stale plan?)", binID)
+		}
+	}
+	return b, nil
+}
+
+// Encode renders the plan as indented JSON.
+func (p *TuningPlan) Encode() ([]byte, error) {
+	return json.MarshalIndent(p, "", " ")
+}
+
+// Decode parses and validates a plan produced by Encode (or any JSON of
+// the same shape). Malformed input matches errdefs.ErrInvalidMatrix.
+func Decode(data []byte) (*TuningPlan, error) {
+	var p TuningPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, errdefs.Invalidf("plan: parse: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// String renders a compact one-line summary.
+func (p *TuningPlan) String() string {
+	return fmt.Sprintf("plan %s: %dx%d/%d U=%d %s %d bins (model %s)",
+		p.Fingerprint, p.Rows, p.Cols, p.NNZ, p.U, p.Scheme, len(p.Bins), p.ModelVersion)
+}

@@ -1,0 +1,343 @@
+// Package plancache caches TuningPlans keyed by matrix fingerprint. The
+// tuning decision is the expensive part of serving SpMV (feature
+// extraction is O(nnz), prediction walks two trees, binning scans the
+// matrix); the whole point of the paper's offline/online split is that it
+// is paid once per matrix structure. The cache makes that amortization
+// concrete for a concurrent server:
+//
+//   - sharded in-memory LRU: lookups take a per-shard lock, so concurrent
+//     requests for different matrices do not serialize;
+//   - singleflight: concurrent requests for the same uncached matrix tune
+//     once — the first caller computes, the rest wait and share;
+//   - TTL: entries expire so a model rollout or memory pressure policy can
+//     bound staleness;
+//   - optional disk persistence: plans survive restarts (plans are tiny —
+//     a few hundred bytes — while computing one can cost milliseconds).
+package plancache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/plan"
+)
+
+// Options configures a Cache. The zero value selects the defaults.
+type Options struct {
+	// Capacity bounds the total number of cached plans across all shards;
+	// <= 0 selects 256. Eviction is LRU per shard.
+	Capacity int
+	// Shards is the number of independent lock domains; <= 0 selects 8.
+	Shards int
+	// TTL expires entries this long after insertion; <= 0 disables expiry.
+	TTL time.Duration
+	// Dir, when non-empty, persists plans as JSON files under this
+	// directory and consults it on memory misses. The directory is created
+	// on first use. Persistence is best-effort: I/O failures degrade to
+	// compute, never to a request error.
+	Dir string
+	// Clock overrides the time source for TTL tests; nil uses time.Now.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity <= 0 {
+		o.Capacity = 256
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.Shards > o.Capacity {
+		o.Shards = o.Capacity
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits        int64 // served from memory (including singleflight joins)
+	Misses      int64 // required a compute
+	DiskHits    int64 // subset of misses served by the persistence dir
+	Evictions   int64 // LRU capacity evictions
+	Expirations int64 // TTL expirations observed at lookup
+	Entries     int64 // current resident plans
+}
+
+type entry struct {
+	key     string
+	p       *plan.TuningPlan
+	expires time.Time // zero when TTL is disabled
+}
+
+type shard struct {
+	mu  sync.Mutex
+	ll  *list.List // front = most recently used; values are *entry
+	byK map[string]*list.Element
+	cap int
+}
+
+// call is one in-flight singleflight computation.
+type call struct {
+	done chan struct{}
+	p    *plan.TuningPlan
+	err  error
+}
+
+// Cache is a sharded, singleflight-deduplicated LRU of TuningPlans.
+type Cache struct {
+	opts   Options
+	shards []*shard
+
+	fmu    sync.Mutex
+	flight map[string]*call
+
+	hits, misses, diskHits, evictions, expirations, entries atomic.Int64
+}
+
+// New builds a cache with the given options.
+func New(opts Options) *Cache {
+	opts = opts.withDefaults()
+	c := &Cache{opts: opts, flight: make(map[string]*call)}
+	per := opts.Capacity / opts.Shards
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < opts.Shards; i++ {
+		c.shards = append(c.shards, &shard{ll: list.New(), byK: make(map[string]*list.Element), cap: per})
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	// FNV-1a over the key; fingerprints are uniformly distributed already,
+	// the hash just protects arbitrary caller keys.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return c.shards[h%uint64(len(c.shards))]
+}
+
+// Get returns the cached plan for key, if resident and unexpired.
+func (c *Cache) Get(key string) (*plan.TuningPlan, bool) {
+	p, ok := c.lookup(key)
+	if ok {
+		c.hits.Add(1)
+	}
+	return p, ok
+}
+
+// lookup is Get without counter side effects on the hit path (callers
+// decide whether a hit counts — GetOrCompute counts singleflight joins as
+// hits too). Expired entries are removed and counted here.
+func (c *Cache) lookup(key string) (*plan.TuningPlan, bool) {
+	s := c.shardFor(key)
+	now := c.opts.Clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byK[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if !e.expires.IsZero() && now.After(e.expires) {
+		s.ll.Remove(el)
+		delete(s.byK, key)
+		c.expirations.Add(1)
+		c.entries.Add(-1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return e.p, true
+}
+
+// Put inserts (or refreshes) a plan under key, evicting the shard's LRU
+// tail if over capacity.
+func (c *Cache) Put(key string, p *plan.TuningPlan) {
+	s := c.shardFor(key)
+	var expires time.Time
+	if c.opts.TTL > 0 {
+		expires = c.opts.Clock().Add(c.opts.TTL)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byK[key]; ok {
+		e := el.Value.(*entry)
+		e.p, e.expires = p, expires
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.byK[key] = s.ll.PushFront(&entry{key: key, p: p, expires: expires})
+	c.entries.Add(1)
+	for s.ll.Len() > s.cap {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.byK, tail.Value.(*entry).key)
+		c.evictions.Add(1)
+		c.entries.Add(-1)
+	}
+}
+
+// GetOrCompute returns the plan for key, computing it at most once across
+// concurrent callers: the first caller for an uncached key runs compute
+// (after consulting the persistence dir), everyone else waits and shares
+// the result. The boolean reports whether the caller was served from the
+// cache or a concurrent computation (true) rather than its own compute
+// (false). Waiting callers honor ctx and return a canceled error if it
+// expires first; the leader's compute keeps running for the others.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(context.Context) (*plan.TuningPlan, error)) (*plan.TuningPlan, bool, error) {
+	if p, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		return p, true, nil
+	}
+
+	c.fmu.Lock()
+	if cl, ok := c.flight[key]; ok {
+		// Follower: join the in-flight computation.
+		c.fmu.Unlock()
+		select {
+		case <-cl.done:
+			if cl.err != nil {
+				return nil, false, cl.err
+			}
+			c.hits.Add(1)
+			return cl.p, true, nil
+		case <-ctx.Done():
+			return nil, false, errdefs.Canceled(ctx.Err())
+		}
+	}
+	cl := &call{done: make(chan struct{})}
+	c.flight[key] = cl
+	c.fmu.Unlock()
+
+	// Leader: re-check residency (a previous leader may have filled the
+	// cache between our lookup and registration), then disk, then compute.
+	p, ok := c.lookup(key)
+	var err error
+	hit := ok
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+		if p = c.loadDisk(key); p != nil {
+			c.diskHits.Add(1)
+			c.Put(key, p)
+		} else {
+			p, err = compute(ctx)
+			if err == nil {
+				c.Put(key, p)
+				c.saveDisk(key, p)
+			}
+		}
+	}
+	cl.p, cl.err = p, err
+
+	c.fmu.Lock()
+	delete(c.flight, key)
+	c.fmu.Unlock()
+	close(cl.done)
+	return p, hit, err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Evictions:   c.evictions.Load(),
+		Expirations: c.expirations.Load(),
+		Entries:     c.entries.Load(),
+	}
+}
+
+// Len returns the number of resident plans.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// Purge drops every resident entry (counters are preserved; the
+// persistence dir is untouched).
+func (c *Cache) Purge() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n := s.ll.Len()
+		s.ll.Init()
+		s.byK = make(map[string]*list.Element)
+		c.entries.Add(int64(-n))
+		s.mu.Unlock()
+	}
+}
+
+// diskPath maps a cache key to a file name. Fingerprints are already
+// filesystem-safe hex; arbitrary keys are hashed so no key can escape the
+// directory or collide with another's encoding.
+func (c *Cache) diskPath(key string) string {
+	safe := true
+	for i := 0; i < len(key); i++ {
+		ch := key[i]
+		if !(ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch >= '0' && ch <= '9' || ch == '-' || ch == '_') {
+			safe = false
+			break
+		}
+	}
+	if !safe || key == "" || len(key) > 128 {
+		sum := sha256.Sum256([]byte(key))
+		key = hex.EncodeToString(sum[:16])
+	}
+	return filepath.Join(c.opts.Dir, key+".plan.json")
+}
+
+// loadDisk consults the persistence dir; a missing, corrupt or expired
+// file is a plain miss.
+func (c *Cache) loadDisk(key string) *plan.TuningPlan {
+	if c.opts.Dir == "" {
+		return nil
+	}
+	path := c.diskPath(key)
+	if c.opts.TTL > 0 {
+		fi, err := os.Stat(path)
+		if err != nil || c.opts.Clock().Sub(fi.ModTime()) > c.opts.TTL {
+			return nil
+		}
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	p, err := plan.Decode(blob)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// saveDisk persists a plan, best-effort.
+func (c *Cache) saveDisk(key string, p *plan.TuningPlan) {
+	if c.opts.Dir == "" || p == nil {
+		return
+	}
+	blob, err := p.Encode()
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(c.opts.Dir, 0o755); err != nil {
+		return
+	}
+	path := c.diskPath(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}

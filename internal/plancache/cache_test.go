@@ -1,0 +1,205 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/plan"
+)
+
+func testPlan(fp string) *plan.TuningPlan {
+	return &plan.TuningPlan{Fingerprint: fp, Rows: 10, Cols: 10, NNZ: 20,
+		U: 10, MaxBins: 100, Scheme: "coarse",
+		Bins: []plan.BinAssignment{{Bin: 0, Rows: 10, Groups: 1, Kernel: 0, KernelName: "serial"}}}
+}
+
+func TestPutGetAndLRUEviction(t *testing.T) {
+	c := New(Options{Capacity: 4, Shards: 1})
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), testPlan(fmt.Sprintf("k%d", i)))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len %d, want 4", c.Len())
+	}
+	// Touch k0 so k1 is the LRU victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 missing")
+	}
+	c.Put("k4", testPlan("k4"))
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 should have been evicted")
+	}
+	if _, ok := c.Get("k0"); !ok {
+		t.Error("recently used k0 evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 4 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c := New(Options{Capacity: 8, TTL: time.Minute, Clock: clock})
+	c.Put("k", testPlan("k"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if _, ok := c.Get("k"); ok {
+		t.Error("expired entry served")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 || st.Entries != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSingleflightComputesOnce(t *testing.T) {
+	c := New(Options{Capacity: 8})
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	compute := func(ctx context.Context) (*plan.TuningPlan, error) {
+		computes.Add(1)
+		<-gate // hold every concurrent caller in flight
+		return testPlan("fp"), nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, hit, err := c.GetOrCompute(context.Background(), "fp", compute)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if p.Fingerprint != "fp" {
+				errs <- errors.New("wrong plan")
+				return
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	// Let the goroutines pile up on the flight, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Errorf("stats %+v, want 1 miss and %d hits", st, n-1)
+	}
+	if hits.Load() != n-1 {
+		t.Errorf("%d callers reported hit, want %d", hits.Load(), n-1)
+	}
+}
+
+func TestSingleflightFollowerHonorsContext(t *testing.T) {
+	c := New(Options{Capacity: 8})
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		c.GetOrCompute(context.Background(), "fp", func(ctx context.Context) (*plan.TuningPlan, error) {
+			close(leaderIn)
+			<-gate
+			return testPlan("fp"), nil
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrCompute(ctx, "fp", func(ctx context.Context) (*plan.TuningPlan, error) {
+		t.Error("follower must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, errdefs.ErrCanceled) {
+		t.Errorf("follower error %v, want canceled", err)
+	}
+	close(gate)
+}
+
+func TestComputeErrorNotCached(t *testing.T) {
+	c := New(Options{Capacity: 8})
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (*plan.TuningPlan, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	var computes int
+	p, hit, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (*plan.TuningPlan, error) {
+		computes++
+		return testPlan("k"), nil
+	})
+	if err != nil || hit || computes != 1 || p == nil {
+		t.Errorf("retry after error: p=%v hit=%v err=%v computes=%d", p, hit, err, computes)
+	}
+}
+
+func TestDiskPersistenceAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1 := New(Options{Capacity: 8, Dir: dir})
+	if _, hit, err := c1.GetOrCompute(context.Background(), "abc123", func(context.Context) (*plan.TuningPlan, error) {
+		return testPlan("abc123"), nil
+	}); err != nil || hit {
+		t.Fatalf("first compute: hit=%v err=%v", hit, err)
+	}
+
+	// A fresh instance over the same dir serves the plan without compute.
+	c2 := New(Options{Capacity: 8, Dir: dir})
+	p, _, err := c2.GetOrCompute(context.Background(), "abc123", func(context.Context) (*plan.TuningPlan, error) {
+		t.Error("disk-resident plan recomputed")
+		return nil, nil
+	})
+	if err != nil || p == nil || p.Fingerprint != "abc123" {
+		t.Fatalf("disk load: p=%v err=%v", p, err)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+
+	// Unsafe keys are hashed into safe names, not written verbatim.
+	c2.Put("../escape", testPlan("x"))
+	c2.saveDisk("../escape", testPlan("x"))
+	if p := c2.loadDisk("../escape"); p == nil {
+		t.Error("hashed key did not round-trip through disk")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(Options{Capacity: 8})
+	c.Put("a", testPlan("a"))
+	c.Put("b", testPlan("b"))
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("len after purge: %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("purged entry served")
+	}
+}

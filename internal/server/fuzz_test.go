@@ -1,0 +1,56 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHTTPSpMV fuzzes the SpMV request decoder — the server's JSON trust
+// boundary. The invariant: arbitrary bytes either produce a typed error or
+// a request that satisfies every documented constraint; never a panic.
+func FuzzHTTPSpMV(f *testing.F) {
+	f.Add([]byte(`{"matrix":"abc","vector":[1,2,3]}`))
+	f.Add([]byte(`{"matrix":"abc","vectors":[[1],[2]],"timeoutMs":50}`))
+	f.Add([]byte(`{"matrix":"","vector":[]}`))
+	f.Add([]byte(`{"matrix":"x","vector":[1e308,-1e308]}`))
+	f.Add([]byte(`{"matrix":"x","vectors":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"matrix":"x","vector":[1],"timeoutMs":-1}`))
+	f.Add([]byte(`{"matrix":"x","vector":[null]}`))
+
+	const maxBatch = 8
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeSpMVRequest(data, maxBatch)
+		if err != nil {
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return
+		}
+		if req.Matrix == "" {
+			t.Fatal("accepted request without matrix id")
+		}
+		if req.TimeoutMs < 0 {
+			t.Fatal("accepted negative timeout")
+		}
+		if len(req.Vector) > 0 && len(req.Vectors) > 0 {
+			t.Fatal("accepted both vector forms")
+		}
+		batch := req.Batch()
+		if len(batch) == 0 || len(batch) > maxBatch {
+			t.Fatalf("batch size %d out of bounds", len(batch))
+		}
+		for _, vec := range batch {
+			if len(vec) == 0 {
+				t.Fatal("accepted empty vector")
+			}
+			for _, x := range vec {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatal("accepted non-finite value")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Endpoint indices for the per-endpoint counters.
+const (
+	epMatrices = iota
+	epSpMV
+	epPlans
+	epHealthz
+	epMetrics
+	nEndpoints
+)
+
+var endpointNames = [nEndpoints]string{"matrices", "spmv", "plans", "healthz", "metrics"}
+
+// metrics holds the server-side counters. Everything is atomic so the
+// handlers never serialize on observability.
+type metrics struct {
+	requests  [nEndpoints]atomic.Int64
+	errors    [nEndpoints]atomic.Int64
+	latencyNs [nEndpoints]atomic.Int64
+
+	rejected atomic.Int64 // 429s from queue overflow
+	canceled atomic.Int64 // requests ended by deadline/cancellation
+	inflight atomic.Int64
+	vectors  atomic.Int64 // SpMV right-hand sides served
+	degraded atomic.Int64 // guarded runs that needed the fallback chain
+}
+
+// writeTo renders the text exposition: one "name value" line per counter,
+// with the per-endpoint families labeled Prometheus-style. The format is
+// stable — tests and scrapers key on the names.
+func (m *metrics) writeTo(w io.Writer) {
+	for ep := 0; ep < nEndpoints; ep++ {
+		fmt.Fprintf(w, "spmvd_requests_total{endpoint=%q} %d\n", endpointNames[ep], m.requests[ep].Load())
+	}
+	for ep := 0; ep < nEndpoints; ep++ {
+		fmt.Fprintf(w, "spmvd_request_errors_total{endpoint=%q} %d\n", endpointNames[ep], m.errors[ep].Load())
+	}
+	for ep := 0; ep < nEndpoints; ep++ {
+		fmt.Fprintf(w, "spmvd_request_seconds_sum{endpoint=%q} %.6f\n", endpointNames[ep], float64(m.latencyNs[ep].Load())/1e9)
+	}
+	fmt.Fprintf(w, "spmvd_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "spmvd_canceled_total %d\n", m.canceled.Load())
+	fmt.Fprintf(w, "spmvd_inflight %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "spmvd_spmv_vectors_total %d\n", m.vectors.Load())
+	fmt.Fprintf(w, "spmvd_degraded_runs_total %d\n", m.degraded.Load())
+}

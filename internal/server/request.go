@@ -1,0 +1,71 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+
+	"spmvtune/internal/errdefs"
+)
+
+// SpMVRequest is the body of POST /v1/spmv: one vector or a batch against
+// a previously uploaded matrix, with an optional per-request deadline.
+type SpMVRequest struct {
+	// Matrix is the ID returned by POST /v1/matrices.
+	Matrix string `json:"matrix"`
+	// Vector is a single right-hand side (length = matrix Cols).
+	Vector []float64 `json:"vector,omitempty"`
+	// Vectors is a batch of right-hand sides; mutually exclusive with
+	// Vector.
+	Vectors [][]float64 `json:"vectors,omitempty"`
+	// TimeoutMs caps this request's execution time; 0 uses the server
+	// default. The server clamps it to its configured maximum.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// Batch normalizes the request into a list of vectors.
+func (r *SpMVRequest) Batch() [][]float64 {
+	if len(r.Vectors) > 0 {
+		return r.Vectors
+	}
+	return [][]float64{r.Vector}
+}
+
+// decodeSpMVRequest parses and validates an SpMV request body. The body is
+// untrusted network input: every rejection is a typed invalid-input error
+// (HTTP 400), never a panic — this function is the server's fuzz surface.
+// Dimension checks against the target matrix happen later, in the handler,
+// once the matrix is resolved.
+func decodeSpMVRequest(data []byte, maxBatch int) (*SpMVRequest, error) {
+	var req SpMVRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, errdefs.Invalidf("server: bad request body: %v", err)
+	}
+	if req.Matrix == "" {
+		return nil, errdefs.Invalidf("server: missing matrix id")
+	}
+	if req.TimeoutMs < 0 {
+		return nil, errdefs.Invalidf("server: negative timeoutMs %d", req.TimeoutMs)
+	}
+	if len(req.Vector) > 0 && len(req.Vectors) > 0 {
+		return nil, errdefs.Invalidf("server: vector and vectors are mutually exclusive")
+	}
+	if len(req.Vector) == 0 && len(req.Vectors) == 0 {
+		return nil, errdefs.Invalidf("server: no input vector")
+	}
+	if maxBatch > 0 && len(req.Vectors) > maxBatch {
+		return nil, errdefs.Invalidf("server: batch of %d exceeds limit %d", len(req.Vectors), maxBatch)
+	}
+	for i, vec := range req.Batch() {
+		if len(vec) == 0 {
+			return nil, errdefs.Invalidf("server: vector %d is empty", i)
+		}
+		for j, x := range vec {
+			// JSON cannot encode NaN/Inf, but the decoder is the trust
+			// boundary; keep the invariant explicit.
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, errdefs.Invalidf("server: vector %d has non-finite value at %d", i, j)
+			}
+		}
+	}
+	return &req, nil
+}

@@ -1,0 +1,444 @@
+// Package server is the HTTP serving layer of the auto-tuning framework:
+// a concurrent SpMV daemon in front of a shared tuning-plan cache.
+//
+// The paper's tuning pipeline (feature extraction → stage-1 U → binning →
+// stage-2 kernels) is paid once per matrix structure and amortized over
+// every subsequent multiplication. The server makes that split explicit:
+//
+//	POST /v1/matrices   upload a Matrix Market body → matrix ID
+//	POST /v1/spmv       one vector or a batch against an uploaded matrix
+//	GET  /v1/plans/{id} the cached/computed TuningPlan for a matrix
+//	GET  /healthz       liveness
+//	GET  /metrics       text exposition of cache and request counters
+//
+// Concurrent requests for the same matrix tune once (the plan cache's
+// singleflight), execution happens through the guarded fallback chain so a
+// kernel fault degrades instead of failing the request, a bounded worker
+// pool applies queue backpressure (429 on overflow), and every request
+// carries a deadline.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"spmvtune/internal/core"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/mmio"
+	"spmvtune/internal/plan"
+	"spmvtune/internal/plancache"
+	"spmvtune/internal/sparse"
+)
+
+// matrixIDLen is the fingerprint prefix used as the public matrix ID:
+// 64 bits of the structural hash, short enough for URLs, long enough that
+// a collision in one server's working set is vanishingly unlikely.
+const matrixIDLen = 16
+
+// Config configures a Server. The zero values of every field except
+// Framework select production defaults.
+type Config struct {
+	// Framework executes the tuned SpMV; required.
+	Framework *core.Framework
+	// Guard tunes the guarded executor (retries, backoff, tolerance).
+	Guard core.GuardOptions
+	// Limits bounds uploaded Matrix Market headers (see mmio.Limits);
+	// the zero value selects mmio.DefaultLimits.
+	Limits mmio.Limits
+	// MaxBodyBytes bounds any request body; <= 0 selects 64 MiB.
+	MaxBodyBytes int64
+	// Workers bounds concurrently executing SpMV requests; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth is how many SpMV requests may wait for a worker beyond
+	// the executing ones; the next request is rejected with 429.
+	// <= 0 selects 64.
+	QueueDepth int
+	// DefaultTimeout is the per-request execution deadline when the
+	// request does not carry its own; <= 0 selects 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied deadlines; <= 0 selects 5m.
+	MaxTimeout time.Duration
+	// MaxBatch bounds the vectors of one SpMV request; <= 0 selects 64.
+	MaxBatch int
+	// MaxMatrices bounds resident uploaded matrices; the oldest upload is
+	// dropped beyond it. <= 0 selects 1024.
+	MaxMatrices int
+	// Cache configures the shared tuning-plan cache.
+	Cache plancache.Options
+}
+
+func (c Config) withDefaults() Config {
+	zero := mmio.Limits{}
+	if c.Limits == zero {
+		c.Limits = mmio.DefaultLimits()
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxMatrices <= 0 {
+		c.MaxMatrices = 1024
+	}
+	return c
+}
+
+// matrixEntry is one uploaded matrix with its precomputed cache key.
+type matrixEntry struct {
+	ID          string
+	Fingerprint string
+	A           *sparse.CSR
+}
+
+// Server implements http.Handler for the spmvd API.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	mux   *http.ServeMux
+
+	mu       sync.RWMutex
+	matrices map[string]*matrixEntry
+	order    []string // upload order, for capacity eviction
+
+	queue chan struct{} // waiting + executing SpMV requests
+	sem   chan struct{} // executing SpMV requests
+
+	m metrics
+}
+
+// New builds a Server around a framework. The framework's model may be nil
+// — the predict path then degrades to the serial fallback plan, which is
+// the guarded layer's contract — but the framework itself is required.
+func New(cfg Config) (*Server, error) {
+	if cfg.Framework == nil {
+		return nil, fmt.Errorf("server: Config.Framework is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    plancache.New(cfg.Cache),
+		matrices: make(map[string]*matrixEntry),
+		queue:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		sem:      make(chan struct{}, cfg.Workers),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/matrices", s.instrument(epMatrices, s.handleUpload))
+	mux.HandleFunc("POST /v1/spmv", s.instrument(epSpMV, s.handleSpMV))
+	mux.HandleFunc("GET /v1/plans/{id}", s.instrument(epPlans, s.handlePlan))
+	mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// CacheStats exposes the plan-cache counters (also on /metrics).
+func (s *Server) CacheStats() plancache.Stats { return s.cache.Stats() }
+
+// MatrixCount returns the number of resident uploaded matrices.
+func (s *Server) MatrixCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.matrices)
+}
+
+// statusRecorder captures the response status for error accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request/latency/error accounting.
+func (s *Server) instrument(ep int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.m.requests[ep].Add(1)
+		s.m.inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.m.inflight.Add(-1)
+		s.m.latencyNs[ep].Add(time.Since(start).Nanoseconds())
+		if rec.status >= 400 {
+			s.m.errors[ep].Add(1)
+		}
+	}
+}
+
+// errorClass maps an error to its wire class and HTTP status. The classes
+// mirror the errdefs taxonomy so clients can branch without parsing
+// detail strings.
+func errorClass(err error) (string, int) {
+	switch {
+	case errors.Is(err, errdefs.ErrInvalidMatrix):
+		return "invalid", http.StatusBadRequest
+	case errors.Is(err, errdefs.ErrCanceled):
+		return "canceled", http.StatusGatewayTimeout
+	case errors.Is(err, errdefs.ErrBudgetExceeded):
+		return "budget_exceeded", http.StatusInternalServerError
+	case errors.Is(err, errdefs.ErrKernelFault):
+		return "kernel_fault", http.StatusInternalServerError
+	}
+	return "internal", http.StatusInternalServerError
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	class, status := errorClass(err)
+	if class == "canceled" {
+		s.m.canceled.Add(1)
+	}
+	writeJSON(w, status, map[string]string{"error": class, "detail": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// acquire claims a worker-pool slot. ok=false with a nil error means the
+// queue is full (HTTP 429); a non-nil error means the context expired
+// while waiting for a worker.
+func (s *Server) acquire(ctx context.Context) (release func(), ok bool, err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, false, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem; <-s.queue }, true, nil
+	case <-ctx.Done():
+		<-s.queue
+		return nil, false, errdefs.Canceled(ctx.Err())
+	}
+}
+
+// requestCtx derives the execution context: the client disconnect channel
+// plus the request or default deadline, clamped to the configured maximum.
+func (s *Server) requestCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// planFor fetches the matrix's tuning plan through the shared cache:
+// singleflight guarantees one tuning pass per structure regardless of
+// concurrency.
+func (s *Server) planFor(ctx context.Context, e *matrixEntry) (*plan.TuningPlan, bool, error) {
+	return s.cache.GetOrCompute(ctx, e.Fingerprint, func(ctx context.Context) (*plan.TuningPlan, error) {
+		return s.cfg.Framework.Plan(ctx, e.A)
+	})
+}
+
+// handleUpload ingests a Matrix Market body. The parser is the hardened
+// limit-checked reader — a hostile header cannot OOM the daemon — and the
+// matrix ID is derived from the structural fingerprint, so re-uploading
+// the same structure is idempotent.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	a, err := mmio.ReadWithLimits(body, s.cfg.Limits)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+				"error": "invalid", "detail": fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		s.writeError(w, err)
+		return
+	}
+	fp := plan.Fingerprint(a)
+	id := fp[:matrixIDLen]
+
+	s.mu.Lock()
+	if _, exists := s.matrices[id]; !exists {
+		s.matrices[id] = &matrixEntry{ID: id, Fingerprint: fp, A: a}
+		s.order = append(s.order, id)
+		for len(s.order) > s.cfg.MaxMatrices {
+			oldest := s.order[0]
+			s.order = s.order[1:]
+			delete(s.matrices, oldest)
+		}
+	}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":          id,
+		"fingerprint": fp,
+		"rows":        a.Rows,
+		"cols":        a.Cols,
+		"nnz":         a.NNZ(),
+	})
+}
+
+func (s *Server) matrix(id string) (*matrixEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.matrices[id]
+	return e, ok
+}
+
+// spmvResponse is the body of a successful POST /v1/spmv.
+type spmvResponse struct {
+	Matrix    string      `json:"matrix"`
+	Plan      string      `json:"plan"` // plan fingerprint
+	U         int         `json:"u"`
+	CacheHit  bool        `json:"cacheHit"`
+	Degraded  bool        `json:"degraded"`
+	Fallbacks int         `json:"fallbacks"`
+	Result    []float64   `json:"result,omitempty"`
+	Results   [][]float64 `json:"results,omitempty"`
+	ElapsedMs float64     `json:"elapsedMs"`
+}
+
+// handleSpMV executes one or a batch of tuned multiplications. The hot
+// path is: resolve matrix → claim a worker (or 429) → plan via the shared
+// cache (singleflight) → guarded execution per vector.
+func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, errdefs.Invalidf("server: read body: %v", err))
+		return
+	}
+	req, err := decodeSpMVRequest(body, s.cfg.MaxBatch)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	e, ok := s.matrix(req.Matrix)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "not_found", "detail": "unknown matrix id " + req.Matrix})
+		return
+	}
+	vecs := req.Batch()
+	for i, vec := range vecs {
+		if len(vec) != e.A.Cols {
+			s.writeError(w, errdefs.Invalidf("server: vector %d has length %d, matrix has %d columns", i, len(vec), e.A.Cols))
+			return
+		}
+	}
+
+	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	release, ok, err := s.acquire(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if !ok {
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": "overloaded", "detail": "worker queue full"})
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	p, cacheHit, err := s.planFor(ctx, e)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	resp := spmvResponse{Matrix: e.ID, Plan: p.Fingerprint, U: p.U, CacheHit: cacheHit}
+	for _, vec := range vecs {
+		u := make([]float64, e.A.Rows)
+		rep, err := s.cfg.Framework.ExecutePlanOpts(ctx, p, e.A, vec, u, s.cfg.Guard)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if rep.Degraded() {
+			resp.Degraded = true
+			s.m.degraded.Add(1)
+		}
+		resp.Fallbacks += rep.Fallbacks
+		resp.Results = append(resp.Results, u)
+		s.m.vectors.Add(1)
+	}
+	if len(req.Vector) > 0 {
+		resp.Result = resp.Results[0]
+		resp.Results = nil
+	}
+	resp.ElapsedMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePlan returns the tuning plan for an uploaded matrix, computing and
+// caching it if no request has needed it yet.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.matrix(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "not_found", "detail": "unknown matrix id " + id})
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	p, _, err := s.planFor(ctx, e)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics renders the cache and request counters as a plain-text
+// exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	st := s.cache.Stats()
+	fmt.Fprintf(w, "spmvd_plan_cache_hits %d\n", st.Hits)
+	fmt.Fprintf(w, "spmvd_plan_cache_misses %d\n", st.Misses)
+	fmt.Fprintf(w, "spmvd_plan_cache_disk_hits %d\n", st.DiskHits)
+	fmt.Fprintf(w, "spmvd_plan_cache_evictions %d\n", st.Evictions)
+	fmt.Fprintf(w, "spmvd_plan_cache_expirations %d\n", st.Expirations)
+	fmt.Fprintf(w, "spmvd_plan_cache_entries %d\n", st.Entries)
+	fmt.Fprintf(w, "spmvd_matrices_stored %d\n", s.MatrixCount())
+	s.m.writeTo(w)
+}

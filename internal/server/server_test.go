@@ -1,0 +1,412 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spmvtune/internal/c50"
+	"spmvtune/internal/core"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/mmio"
+	"spmvtune/internal/sparse"
+)
+
+// testFramework trains one tiny model for the whole package (training
+// labels matrices by exhaustive simulated search, so share it).
+var (
+	fwOnce sync.Once
+	fwTest *core.Framework
+)
+
+func testFramework(t *testing.T) *core.Framework {
+	t.Helper()
+	fwOnce.Do(func() {
+		cfg := core.Config{Device: hsa.DefaultConfig(), MaxBins: 32, Us: []int{10, 50, 200, 1000}}
+		td := core.NewTrainingData(cfg)
+		td.AddMatrix(cfg, matgen.RoadNetwork(600, 1))
+		td.AddMatrix(cfg, matgen.BlockFEM(80, 150, 30, 2))
+		fwTest = core.NewFramework(cfg, core.TrainModel(td, cfg, c50.DefaultOptions()))
+	})
+	return fwTest
+}
+
+func newTestServer(t *testing.T, mut func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{Framework: testFramework(t)}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// uploadMatrix posts a as Matrix Market and returns the assigned ID.
+func uploadMatrix(t *testing.T, ts *httptest.Server, a *sparse.CSR) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mmio.Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/matrices", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		ID   string `json:"id"`
+		Rows int    `json:"rows"`
+		NNZ  int    `json:"nnz"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != a.Rows || out.NNZ != a.NNZ() {
+		t.Fatalf("upload echo wrong: %+v", out)
+	}
+	return out.ID
+}
+
+func postSpMV(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/spmv", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, blob
+}
+
+func scrapeMetric(t *testing.T, ts *httptest.Server, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(blob), "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 && strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, blob)
+	return 0
+}
+
+// TestConcurrentSpMVSingleTuningPass is the PR's acceptance criterion: N
+// concurrent requests for the same uploaded matrix tune exactly once, the
+// cache hit counter reflects N-1 hits, and every result matches the
+// reference within tolerance.
+func TestConcurrentSpMVSingleTuningPass(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	a := matgen.Mixed(500, 500, 25, []int{2, 60}, 7)
+	id := uploadMatrix(t, ts, a)
+
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = 1.0 / float64(i+1)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+	vecJSON, _ := json.Marshal(v)
+	reqBody := fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, vecJSON)
+
+	const n = 8
+	var wg sync.WaitGroup
+	fail := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/spmv", "application/json", strings.NewReader(reqBody))
+			if err != nil {
+				fail <- err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			blob, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				fail <- fmt.Sprintf("status %d: %s", resp.StatusCode, blob)
+				return
+			}
+			var out spmvResponse
+			if err := json.Unmarshal(blob, &out); err != nil {
+				fail <- err.Error()
+				return
+			}
+			if len(out.Result) != a.Rows {
+				fail <- fmt.Sprintf("result length %d", len(out.Result))
+				return
+			}
+			if i := sparse.FirstVecDiff(want, out.Result, 1e-9); i >= 0 {
+				fail <- fmt.Sprintf("row %d differs from reference", i)
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+
+	if got := scrapeMetric(t, ts, "spmvd_plan_cache_misses"); got != 1 {
+		t.Errorf("cache misses %d, want exactly 1 tuning pass", got)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_plan_cache_hits"); got != n-1 {
+		t.Errorf("cache hits %d, want %d", got, n-1)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_spmv_vectors_total"); got != n {
+		t.Errorf("vectors served %d, want %d", got, n)
+	}
+}
+
+// TestExpiredDeadlineReturnsCanceled is the second acceptance clause: a
+// request whose deadline has already expired gets the canceled error
+// class, deterministically, instead of hanging. The request context is
+// pre-canceled and the handler invoked directly so no wall-clock race is
+// involved.
+func TestExpiredDeadlineReturnsCanceled(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	a := matgen.Mixed(500, 500, 25, []int{2, 60}, 7)
+	id := uploadMatrix(t, ts, a)
+
+	// Warm the plan cache so the canceled request exercises execution, not
+	// planning.
+	v := make([]float64, a.Cols)
+	vecJSON, _ := json.Marshal(v)
+	body := fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, vecJSON)
+	if resp, blob := postSpMV(t, ts, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status %d: %s", resp.StatusCode, blob)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/spmv", strings.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		s.ServeHTTP(rec, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("request with expired deadline hung")
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("body %q: %v", rec.Body.String(), err)
+	}
+	if out.Error != "canceled" {
+		t.Errorf("error class %q (status %d), want canceled", out.Error, rec.Code)
+	}
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504", rec.Code)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_canceled_total"); got < 1 {
+		t.Error("canceled counter did not move")
+	}
+}
+
+func TestBatchSpMVAndPlanEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	a := matgen.Banded(300, 5, 11)
+	id := uploadMatrix(t, ts, a)
+
+	vecs := make([][]float64, 3)
+	for k := range vecs {
+		vecs[k] = make([]float64, a.Cols)
+		for i := range vecs[k] {
+			vecs[k][i] = float64((i + k) % 7)
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"matrix": id, "vectors": vecs})
+	resp, blob := postSpMV(t, ts, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, blob)
+	}
+	var out spmvResponse
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	for k := range vecs {
+		want := make([]float64, a.Rows)
+		a.MulVec(vecs[k], want)
+		if i := sparse.FirstVecDiff(want, out.Results[k], 1e-9); i >= 0 {
+			t.Errorf("batch %d row %d wrong", k, i)
+		}
+	}
+
+	// The plan endpoint serves the cached plan.
+	presp, err := http.Get(ts.URL + "/v1/plans/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	pblob, _ := io.ReadAll(presp.Body)
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("plan status %d: %s", presp.StatusCode, pblob)
+	}
+	var p struct {
+		Fingerprint string `json:"fingerprint"`
+		U           int    `json:"u"`
+		Bins        []any  `json:"bins"`
+	}
+	if err := json.Unmarshal(pblob, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint == "" || len(p.Bins) == 0 {
+		t.Errorf("plan: %s", pblob)
+	}
+	if out.Plan != p.Fingerprint {
+		t.Error("spmv response and plan endpoint disagree on fingerprint")
+	}
+}
+
+func TestRequestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.MaxBatch = 2 })
+	a := matgen.Banded(100, 3, 1)
+	id := uploadMatrix(t, ts, a)
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", `{`, 400},
+		{"no matrix", `{"vector":[1]}`, 400},
+		{"no vector", fmt.Sprintf(`{"matrix":%q}`, id), 400},
+		{"both forms", fmt.Sprintf(`{"matrix":%q,"vector":[1],"vectors":[[1]]}`, id), 400},
+		{"unknown matrix", `{"matrix":"ffffffffffffffff","vector":[1]}`, 404},
+		{"wrong length", fmt.Sprintf(`{"matrix":%q,"vector":[1,2,3]}`, id), 400},
+		{"batch too big", fmt.Sprintf(`{"matrix":%q,"vectors":[[1],[1],[1]]}`, id), 400},
+		{"negative timeout", fmt.Sprintf(`{"matrix":%q,"vector":[1],"timeoutMs":-5}`, id), 400},
+	}
+	for _, tc := range cases {
+		resp, blob := postSpMV(t, ts, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.status, blob)
+		}
+	}
+
+	// Upload rejections: malformed body and a header past the limits.
+	resp, err := http.Post(ts.URL+"/v1/matrices", "text/plain", strings.NewReader("not a matrix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage upload status %d", resp.StatusCode)
+	}
+	huge := "%%MatrixMarket matrix coordinate real general\n99999999999 99999999999 1\n1 1 1.0\n"
+	resp, err = http.Post(ts.URL+"/v1/matrices", "text/plain", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized header status %d", resp.StatusCode)
+	}
+}
+
+// TestQueueBackpressure saturates a 1-worker, 1-deep queue and checks that
+// overflow requests get 429 with the overloaded class.
+func TestQueueBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+	})
+	a := matgen.Banded(100, 3, 1)
+	id := uploadMatrix(t, ts, a)
+
+	// Occupy the single worker slot and the single queue slot directly —
+	// deterministic, no timing on real requests.
+	s.sem <- struct{}{}
+	s.queue <- struct{}{}
+	s.queue <- struct{}{} // queue cap is Workers+QueueDepth = 2
+	defer func() { <-s.sem; <-s.queue; <-s.queue }()
+
+	vec, _ := json.Marshal(make([]float64, a.Cols))
+	resp, blob := postSpMV(t, ts, fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, vec))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, blob)
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(blob, &out); err != nil || out.Error != "overloaded" {
+		t.Errorf("body %s", blob)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_rejected_total"); got != 1 {
+		t.Errorf("rejected counter %d", got)
+	}
+}
+
+func TestHealthzAndUploadIdempotent(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(blob), "ok") {
+		t.Errorf("healthz: %d %s", resp.StatusCode, blob)
+	}
+
+	a := matgen.RoadNetwork(400, 9)
+	id1 := uploadMatrix(t, ts, a)
+	id2 := uploadMatrix(t, ts, a)
+	if id1 != id2 {
+		t.Errorf("same structure produced different ids: %s %s", id1, id2)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_matrices_stored"); got != 1 {
+		t.Errorf("stored %d matrices, want deduped 1", got)
+	}
+}
+
+func TestMatrixCapacityEviction(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.MaxMatrices = 2 })
+	ids := make([]string, 3)
+	for i := range ids {
+		ids[i] = uploadMatrix(t, ts, matgen.Banded(100+10*i, 3, int64(i)))
+	}
+	vec0, _ := json.Marshal(make([]float64, 100))
+	resp, _ := postSpMV(t, ts, fmt.Sprintf(`{"matrix":%q,"vector":%s}`, ids[0], vec0))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest matrix should have been evicted, got %d", resp.StatusCode)
+	}
+	vec2, _ := json.Marshal(make([]float64, 120))
+	resp, blob := postSpMV(t, ts, fmt.Sprintf(`{"matrix":%q,"vector":%s}`, ids[2], vec2))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("newest matrix gone: %d %s", resp.StatusCode, blob)
+	}
+}

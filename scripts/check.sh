@@ -1,7 +1,8 @@
 #!/bin/sh
-# Full verification gate: formatting, vet, build, race-enabled tests, and a
-# short fuzz smoke on the Matrix Market parser. Run via `make check` or
-# directly. Fails on the first broken step.
+# Full verification gate: formatting, vet, build, race-enabled tests, a
+# 1-iteration benchmark smoke, and short fuzz smokes on the Matrix Market
+# parser and the spmvd request decoder. Run via `make check` or directly.
+# Fails on the first broken step.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,7 +24,13 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench smoke (1 iteration)"
+go test -run='^$' -bench=. -benchtime=1x ./...
+
 echo "== fuzz smoke (FuzzReadMTX, 10s)"
 go test -run='^$' -fuzz=FuzzReadMTX -fuzztime=10s ./internal/mmio
+
+echo "== fuzz smoke (FuzzHTTPSpMV, 10s)"
+go test -run='^$' -fuzz=FuzzHTTPSpMV -fuzztime=10s ./internal/server
 
 echo "== check OK"
