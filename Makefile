@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: check build test race bench fuzz fmt vet
+.PHONY: check build test race bench fuzz fmt vet lint vulncheck spmvbench
 
-## check: the full verification gate (fmt, vet, build, race tests, fuzz smoke)
+## check: the full verification gate (fmt, vet, build, race tests, fuzz
+## smoke, staticcheck + govulncheck when installed)
 check:
 	./scripts/check.sh
 
@@ -27,3 +28,16 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+## lint / vulncheck: standalone runs; check.sh skips them gracefully when
+## the binaries are missing, but these targets require them.
+lint:
+	staticcheck ./...
+
+vulncheck:
+	govulncheck ./...
+
+## spmvbench: measure against the committed baseline (cycles-based gate,
+## fails above +25%). Refresh with: go run ./cmd/spmvbench -out BENCH_PR3.json
+spmvbench:
+	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench.json -baseline BENCH_PR3.json

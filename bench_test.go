@@ -8,6 +8,7 @@
 package spmvtune_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"spmvtune/internal/kernels"
 	"spmvtune/internal/matgen"
 	"spmvtune/internal/sparse"
+	"spmvtune/internal/trace"
 )
 
 // benchScale shrinks the representative matrices so the full bench suite
@@ -286,3 +288,39 @@ func BenchmarkCPUMerge(b *testing.B) { benchCPU(b, cpu.MulVecMerge, 0) }
 type discardWriter struct{}
 
 func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// --- Observability overhead (guarded framework run, counters off vs on) ---
+
+// benchFramework measures one full guarded framework run per iteration.
+// The plain variant is the zero-overhead contract's bench smoke: enabling
+// the observability layer in the build must not slow down runs that leave
+// counters disabled. The Counters/Traced variants quantify what collection
+// actually costs when switched on.
+func benchFramework(b *testing.B, mut func(*core.GuardOptions)) {
+	m := benchTrainedModel(b)
+	a := fig2aMatrix(false)
+	fw := core.NewFramework(core.DefaultConfig(), m)
+	v := benchVec(a.Cols)
+	u := make([]float64, a.Rows)
+	opt := core.DefaultGuardOptions()
+	if mut != nil {
+		mut(&opt)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fw.RunGuardedOpts(context.Background(), a, v, u, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFramework(b *testing.B) { benchFramework(b, nil) }
+func BenchmarkFrameworkCounters(b *testing.B) {
+	benchFramework(b, func(o *core.GuardOptions) { o.Counters = true })
+}
+func BenchmarkFrameworkTraced(b *testing.B) {
+	benchFramework(b, func(o *core.GuardOptions) {
+		o.Counters = true
+		o.Trace = trace.NewDeterministicWriter(discardWriter{})
+	})
+}

@@ -1,0 +1,171 @@
+// Command spmvbench runs the auto-tuning framework over the synthetic
+// matgen corpus and writes a machine-readable benchmark file — the perf
+// trajectory of the repo as data instead of anecdote:
+//
+//	spmvbench -out BENCH_PR3.json                      # measure
+//	spmvbench -out new.json -baseline BENCH_PR3.json   # measure + gate
+//
+// Each case records modeled device cycles, a GFLOPS-equivalent derived
+// from the simulated clock, host ns/op, and a device-counter summary
+// (lane utilization, LDS mix, load imbalance). The modeled metrics are
+// deterministic — identical code produces identical numbers on any
+// machine — so CI gates on cycles with a relative threshold and treats
+// wall time as informational. Exit codes: 0 clean, 1 regression vs the
+// baseline, 2 setup/usage failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spmvtune/internal/c50"
+	"spmvtune/internal/core"
+	"spmvtune/internal/matgen"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output results file")
+	baseline := flag.String("baseline", "", "baseline results file to gate against (empty = measure only)")
+	threshold := flag.Float64("threshold", 1.25, "fail when a case's cycles exceed baseline*threshold")
+	n := flag.Int("n", 10, "benchmark corpus size")
+	iters := flag.Int("iters", 3, "guarded executions per case (min wall time wins)")
+	modelPath := flag.String("model", "", "trained model file (empty: bootstrap-train deterministically)")
+	trainCorpus := flag.Int("train-corpus", 8, "bootstrap training corpus size when no -model is given")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	flag.Parse()
+
+	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "spmvbench:", err)
+		os.Exit(2)
+	}
+}
+
+func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64) error {
+	cfg := core.DefaultConfig()
+	model, err := obtainModel(cfg, modelPath, trainCorpus, seed)
+	if err != nil {
+		return err
+	}
+	fw := core.NewFramework(cfg, model)
+
+	mats := matgen.Corpus(matgen.CorpusOptions{N: n, MinRows: 512, MaxRows: 2048, Seed: seed})
+	results := &Results{Schema: Schema, GoVersion: runtime.Version()}
+	for _, cm := range mats {
+		c, err := benchCase(fw, cm, iters)
+		if err != nil {
+			return fmt.Errorf("case %s: %w", cm.Name, err)
+		}
+		fmt.Printf("%-18s %7d rows %9d nnz  %12.0f cycles  %7.2f GFLOPS-eq  %9d ns/op  lanes %.2f\n",
+			c.Name, c.Rows, c.NNZ, c.Cycles, c.GFLOPSEquivalent, c.NsPerOp, c.Counters.ActiveLaneRatio)
+		results.Cases = append(results.Cases, *c)
+	}
+	if err := results.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d cases to %s\n", len(results.Cases), out)
+
+	if baseline == "" {
+		return nil
+	}
+	base, err := ReadResults(baseline)
+	if err != nil {
+		return err
+	}
+	regressions := Compare(base, results, threshold)
+	if len(regressions) == 0 {
+		fmt.Printf("no regressions vs %s (threshold %.2fx)\n", baseline, threshold)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "%d regression(s) vs %s:\n", len(regressions), baseline)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "  "+r)
+	}
+	os.Exit(1)
+	return nil
+}
+
+// benchCase plans once, then executes the plan iters times through the
+// guarded executor with counters enabled. The modeled metrics come from
+// the first run (they are identical every time — that determinism is
+// asserted, since the CI gate depends on it); wall time is the minimum
+// across runs, the standard noise floor estimate.
+func benchCase(fw *core.Framework, cm matgen.CorpusMatrix, iters int) (*Case, error) {
+	a := cm.A
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = 1
+	}
+	u := make([]float64, a.Rows)
+	p, err := fw.Plan(context.Background(), a)
+	if err != nil {
+		return nil, err
+	}
+	opt := core.DefaultGuardOptions()
+	opt.Counters = true
+
+	c := &Case{
+		Name: cm.Name, Family: cm.Family,
+		Rows: a.Rows, Cols: a.Cols, NNZ: int64(a.NNZ()),
+		U: p.U, Bins: len(p.Bins),
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		rep, err := fw.ExecutePlanOpts(context.Background(), p, a, v, u, opt)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start).Nanoseconds()
+		if i == 0 {
+			c.Cycles = rep.Stats.Cycles
+			c.SimSeconds = rep.Stats.Seconds
+			if rep.Stats.Seconds > 0 {
+				c.GFLOPSEquivalent = 2 * float64(c.NNZ) / rep.Stats.Seconds / 1e9
+			}
+			c.Degraded = rep.Degraded()
+			c.NsPerOp = wall
+			ctr := rep.Counters
+			c.Counters = CounterSummary{
+				ActiveLaneRatio:  ctr.ActiveLaneRatio(),
+				LoadImbalance:    ctr.LoadImbalance(),
+				MemInstrs:        ctr.MemInstrs,
+				LDSReads:         ctr.LDSReads,
+				LDSWrites:        ctr.LDSWrites,
+				LDSBankConflicts: ctr.LDSBankConflicts,
+				BarrierWaits:     ctr.BarrierWaits,
+			}
+		} else {
+			if rep.Stats.Cycles != c.Cycles {
+				return nil, fmt.Errorf("nondeterministic cycles: %v then %v", c.Cycles, rep.Stats.Cycles)
+			}
+			if wall < c.NsPerOp {
+				c.NsPerOp = wall
+			}
+		}
+	}
+	return c, nil
+}
+
+// obtainModel loads a trained model or bootstrap-trains one from a seeded
+// corpus. The bootstrap is deterministic: same seed, same model, same
+// plans, same cycles — on every machine.
+func obtainModel(cfg core.Config, path string, corpus int, seed int64) (*core.Model, error) {
+	if path != "" {
+		return core.LoadModel(path)
+	}
+	if corpus < 2 {
+		corpus = 2
+	}
+	mats := matgen.Corpus(matgen.CorpusOptions{N: corpus, MinRows: 256, MaxRows: 1024, Seed: seed})
+	td := core.NewTrainingData(cfg)
+	for _, cm := range mats {
+		td.AddMatrix(cfg, cm.A)
+	}
+	return core.TrainModel(td, cfg, c50.DefaultOptions()), nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema identifies the result-file layout; bump on breaking changes so a
+// stale baseline fails loudly instead of comparing garbage.
+const Schema = "spmvbench/v1"
+
+// CounterSummary condenses one case's device counters to the signals the
+// paper's analysis keys on.
+type CounterSummary struct {
+	ActiveLaneRatio  float64 `json:"activeLaneRatio"`
+	LoadImbalance    float64 `json:"loadImbalance"`
+	MemInstrs        int64   `json:"memInstrs"`
+	LDSReads         int64   `json:"ldsReads"`
+	LDSWrites        int64   `json:"ldsWrites"`
+	LDSBankConflicts int64   `json:"ldsBankConflicts"`
+	BarrierWaits     int64   `json:"barrierWaits"`
+}
+
+// Case is one benchmark matrix's measurement.
+//
+// Cycles (and everything derived from the simulator) is deterministic:
+// identical code on any machine reports identical values, which is what
+// lets CI gate on it. NsPerOp is host wall time — machine-dependent,
+// recorded for humans, never compared.
+type Case struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	Rows   int    `json:"rows"`
+	Cols   int    `json:"cols"`
+	NNZ    int64  `json:"nnz"`
+
+	U    int `json:"u"`
+	Bins int `json:"bins"`
+
+	Cycles     float64 `json:"cycles"`
+	SimSeconds float64 `json:"simSeconds"`
+	// GFLOPSEquivalent is 2·nnz / modeled seconds / 1e9 — the paper's
+	// throughput metric computed against the simulated device clock.
+	GFLOPSEquivalent float64 `json:"gflopsEquivalent"`
+	NsPerOp          int64   `json:"nsPerOp"`
+
+	Degraded bool           `json:"degraded,omitempty"`
+	Counters CounterSummary `json:"counters"`
+}
+
+// Results is the machine-readable output of one spmvbench run.
+type Results struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"goVersion,omitempty"`
+	Cases     []Case `json:"cases"`
+}
+
+// WriteFile writes the results as indented JSON.
+func (r *Results) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// ReadResults loads a results file and checks its schema.
+func ReadResults(path string) (*Results, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Results
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, this binary expects %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// Compare reports every regression of cur against base: a case whose
+// modeled cycles grew beyond base·threshold (threshold 1.25 = fail above
+// +25%), or a baseline case that disappeared. New cases in cur are fine —
+// they gate the next baseline refresh, not this run. The returned slice is
+// empty when the run is clean; entries are human-readable one-liners.
+func Compare(base, cur *Results, threshold float64) []string {
+	curByName := make(map[string]*Case, len(cur.Cases))
+	for i := range cur.Cases {
+		curByName[cur.Cases[i].Name] = &cur.Cases[i]
+	}
+	var regressions []string
+	names := make([]string, 0, len(base.Cases))
+	baseByName := make(map[string]*Case, len(base.Cases))
+	for i := range base.Cases {
+		baseByName[base.Cases[i].Name] = &base.Cases[i]
+		names = append(names, base.Cases[i].Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := baseByName[name]
+		c, ok := curByName[name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: present in baseline, missing from this run", name))
+			continue
+		}
+		if b.Cycles > 0 && c.Cycles > b.Cycles*threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f cycles vs baseline %.0f (%.2fx > %.2fx threshold)",
+					name, c.Cycles, b.Cycles, c.Cycles/b.Cycles, threshold))
+		}
+	}
+	return regressions
+}

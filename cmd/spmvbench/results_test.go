@@ -1,0 +1,87 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleResults(scale float64) *Results {
+	return &Results{
+		Schema: Schema,
+		Cases: []Case{
+			{Name: "road-0001", Family: "road", Rows: 100, NNZ: 500, Cycles: 1000 * scale},
+			{Name: "blockfem-0002", Family: "blockfem", Rows: 200, NNZ: 9000, Cycles: 4000 * scale},
+		},
+	}
+}
+
+func TestResultsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := sampleResults(1)
+	r.GoVersion = "go1.24.0"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResults(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.GoVersion != "go1.24.0" || len(got.Cases) != 2 {
+		t.Fatalf("round trip mangled results: %+v", got)
+	}
+	if got.Cases[0] != r.Cases[0] || got.Cases[1] != r.Cases[1] {
+		t.Fatalf("cases differ after round trip: %+v vs %+v", got.Cases, r.Cases)
+	}
+}
+
+func TestReadResultsRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	r := sampleResults(1)
+	r.Schema = "spmvbench/v0"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResults(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: err = %v", err)
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	base := sampleResults(1)
+	cur := sampleResults(1.2) // +20%, under the 25% threshold
+	if regs := Compare(base, cur, 1.25); len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+}
+
+// TestCompareFailsOnDoubledCycles is the injected-regression check the CI
+// gate depends on: a 2x cycle blowup must be reported.
+func TestCompareFailsOnDoubledCycles(t *testing.T) {
+	base := sampleResults(1)
+	cur := sampleResults(2)
+	regs := Compare(base, cur, 1.25)
+	if len(regs) != 2 {
+		t.Fatalf("2x regression produced %d findings, want 2: %v", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "2.00x") {
+		t.Errorf("regression line lacks the ratio: %q", regs[0])
+	}
+}
+
+func TestCompareMissingCase(t *testing.T) {
+	base := sampleResults(1)
+	cur := &Results{Schema: Schema, Cases: base.Cases[:1]}
+	regs := Compare(base, cur, 1.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("dropped case not reported: %v", regs)
+	}
+}
+
+func TestCompareNewCasesAllowed(t *testing.T) {
+	base := &Results{Schema: Schema, Cases: sampleResults(1).Cases[:1]}
+	cur := sampleResults(1)
+	if regs := Compare(base, cur, 1.25); len(regs) != 0 {
+		t.Fatalf("new case flagged as regression: %v", regs)
+	}
+}

@@ -5,14 +5,16 @@
 //	spmvd -model model.json                 # serve with a trained model
 //	spmvd -corpus 40                        # no model file: train at startup
 //	spmvd -addr :8080 -cache-dir /var/cache/spmvd -cache-ttl 1h
+//	spmvd -trace spans.jsonl                # JSONL pipeline spans per request
 //
-// API (see DESIGN.md §7):
+// API (see DESIGN.md §7–8):
 //
-//	POST /v1/matrices    upload a Matrix Market body → {"id": ...}
-//	POST /v1/spmv        {"matrix": id, "vector": [...]} or {"vectors": [[...]]}
-//	GET  /v1/plans/{id}  the tuning plan the model chose for a matrix
-//	GET  /healthz        liveness
-//	GET  /metrics        cache and request counters, text exposition
+//	POST /v1/matrices       upload a Matrix Market body → {"id": ...}
+//	POST /v1/spmv           {"matrix": id, "vector": [...]} or {"vectors": [[...]]}
+//	GET  /v1/plans/{id}     the tuning plan the model chose for a matrix
+//	GET  /v1/profiles/{id}  per-bin execution profiles of the latest guarded run
+//	GET  /healthz           liveness
+//	GET  /metrics           cache, request and device counters, text exposition
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"spmvtune/internal/matgen"
 	"spmvtune/internal/plancache"
 	"spmvtune/internal/server"
+	"spmvtune/internal/trace"
 )
 
 func main() {
@@ -46,6 +49,8 @@ func main() {
 	cacheCap := flag.Int("cache-capacity", 256, "resident tuning plans")
 	cacheTTL := flag.Duration("cache-ttl", 0, "plan expiry (0 = never)")
 	cacheDir := flag.String("cache-dir", "", "persist plans to this directory (empty = memory only)")
+	tracePath := flag.String("trace", "", "append JSONL pipeline spans to this file (one span per phase, tagged with per-request trace IDs)")
+	noCounters := flag.Bool("no-counters", false, "disable device performance-counter collection")
 	flag.Parse()
 	log.SetPrefix("spmvd: ")
 	log.SetFlags(log.LstdFlags)
@@ -57,6 +62,17 @@ func main() {
 	cfg := core.DefaultConfig()
 	fw := core.NewFramework(cfg, model)
 	log.Printf("model version %s", core.ModelVersion(model))
+
+	var tw *trace.Writer
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("open trace file: %v", err)
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		log.Printf("tracing pipeline spans to %s", *tracePath)
+	}
 
 	srv, err := server.New(server.Config{
 		Framework:      fw,
@@ -70,6 +86,8 @@ func main() {
 			TTL:      *cacheTTL,
 			Dir:      *cacheDir,
 		},
+		Trace:           tw,
+		DisableCounters: *noCounters,
 	})
 	if err != nil {
 		log.Fatal(err)

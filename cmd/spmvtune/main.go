@@ -29,8 +29,19 @@ import (
 	"spmvtune/internal/formats"
 	"spmvtune/internal/matgen"
 	"spmvtune/internal/mmio"
+	"spmvtune/internal/plan"
 	"spmvtune/internal/sparse"
+	"spmvtune/internal/trace"
 )
+
+// counterImbalance returns the profile's load-imbalance figure, or 0 when
+// counters were not collected.
+func counterImbalance(pr plan.ExecProfile) float64 {
+	if pr.Counters == nil {
+		return 0
+	}
+	return pr.Counters.LoadImbalance()
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -221,6 +232,8 @@ func cmdRun(args []string) error {
 	model := fs.String("model", "model.json", "trained model file")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	guarded := fs.Bool("guarded", true, "run through the guarded executor (fallback chain + verification)")
+	tracePath := fs.String("trace", "", "write JSONL pipeline spans to this file ('-' for stdout); deterministic — identical runs emit identical bytes")
+	counters := fs.Bool("counters", false, "collect device performance counters and print per-bin execution profiles (guarded runs only)")
 	fs.Parse(args)
 	a, err := loadMatrix(*in)
 	if err != nil {
@@ -236,14 +249,43 @@ func cmdRun(args []string) error {
 	ctx, cancel := withTimeout(*timeout)
 	defer cancel()
 
+	opt := core.DefaultGuardOptions()
+	opt.Counters = *counters
+	if *tracePath != "" {
+		if !*guarded {
+			return fmt.Errorf("-trace requires the guarded executor (drop -guarded=false)")
+		}
+		out := os.Stdout
+		if *tracePath != "-" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		// Deterministic on purpose: the trace is an artifact of the modeled
+		// execution, so two identical runs must emit identical bytes (the
+		// property CI diffs against).
+		opt.Trace = trace.NewDeterministicWriter(out)
+	}
+
 	if *guarded {
-		d, rep, err := fw.RunGuarded(ctx, a, v, u)
+		d, rep, err := fw.RunGuardedOpts(ctx, a, v, u, opt)
 		if err != nil {
 			return err
 		}
 		fmt.Println("decision:", d)
 		fmt.Printf("simulated: %s\n", rep.Stats)
 		fmt.Println(rep)
+		if *counters {
+			fmt.Println("per-bin execution profiles:")
+			for _, pr := range rep.Profiles {
+				fmt.Printf("  bin %-3d %-12s %8d rows %10d nnz  %12.0f cycles  lanes %.2f  imbalance %.2f\n",
+					pr.Bin, pr.KernelName, pr.Rows, pr.NNZ, pr.Cycles,
+					pr.ActiveLaneRatio(), counterImbalance(pr))
+			}
+		}
 		fmt.Println("result verified against the sequential reference")
 		return nil
 	}

@@ -13,6 +13,7 @@ import (
 	"spmvtune/internal/hsa"
 	"spmvtune/internal/kernels"
 	"spmvtune/internal/sparse"
+	"spmvtune/internal/trace"
 )
 
 // Decision is the framework's chosen parallelization strategy for one
@@ -52,14 +53,42 @@ func NewFramework(cfg Config, m *Model) *Framework {
 // Decide runs the predict path: extract features, stage 1 chooses U, the
 // matrix is binned, and stage 2 chooses a kernel per non-empty bin.
 func (fw *Framework) Decide(a *sparse.CSR) (Decision, *binning.Binning) {
+	return fw.decideTraced(a, nil, "")
+}
+
+// decideTraced is Decide with one trace span per predict phase (features →
+// predict-u → bin → predict-kernel). A nil Writer emits nothing; the span
+// attrs carry only deterministic values so deterministic traces stay
+// byte-identical across runs.
+func (fw *Framework) decideTraced(a *sparse.CSR, tw *trace.Writer, traceID string) (Decision, *binning.Binning) {
+	start := tw.Now()
 	vec := fw.Cfg.FeatureVector(a)
+	tw.Emit(traceID, "features", start, map[string]any{
+		"count": len(vec), "rows": a.Rows, "cols": a.Cols, "nnz": a.NNZ()})
+
+	start = tw.Now()
 	u := fw.Model.PredictUVec(vec)
+	tw.Emit(traceID, "predict-u", start, map[string]any{"u": u})
+
+	start = tw.Now()
 	b := binning.Coarse(a, u, fw.Cfg.MaxBins)
+	tw.Emit(traceID, "bin", start, map[string]any{
+		"u": u, "maxBins": fw.Cfg.MaxBins, "nonEmpty": len(b.NonEmpty())})
+
+	start = tw.Now()
 	d := Decision{U: u, KernelByBin: map[int]int{}}
+	kernelNames := map[string]any{}
 	for _, binID := range b.NonEmpty() {
-		d.KernelByBin[binID] = fw.Model.PredictKernelVec(vec, u, binID,
+		kid := fw.Model.PredictKernelVec(vec, u, binID,
 			b.NumRows(binID), binAvgRowLen(a, b.Bins[binID]))
+		d.KernelByBin[binID] = kid
+		name := fmt.Sprintf("kernel#%d", kid)
+		if info, ok := kernels.ByID(kid); ok {
+			name = info.Name
+		}
+		kernelNames[fmt.Sprintf("bin%d", binID)] = name
 	}
+	tw.Emit(traceID, "predict-kernel", start, kernelNames)
 	return d, b
 }
 

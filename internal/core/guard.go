@@ -12,7 +12,9 @@ import (
 	"spmvtune/internal/errdefs"
 	"spmvtune/internal/hsa"
 	"spmvtune/internal/kernels"
+	"spmvtune/internal/plan"
 	"spmvtune/internal/sparse"
+	"spmvtune/internal/trace"
 )
 
 // Typed failure sentinels of the guarded execution path, re-exported from
@@ -66,6 +68,19 @@ type GuardOptions struct {
 	// launches; nil injects nothing. Production callers leave it nil —
 	// it exists so degradation paths are testable.
 	Faults *hsa.FaultPlan
+	// Counters enables device performance-counter collection on every
+	// simulated launch: each bin's ExecProfile then carries the measured
+	// lane utilization, LDS mix and load imbalance, and ExecReport.Counters
+	// sums them. Off by default; disabled runs pay a single nil check per
+	// collection site.
+	Counters bool
+	// Trace receives one JSONL span per pipeline phase (features →
+	// predict-u → bin → predict-kernel → execute-bin). Nil disables
+	// emission; every call site is nil-safe.
+	Trace *trace.Writer
+	// TraceID tags this run's spans so concurrent runs sharing one Writer
+	// stay separable.
+	TraceID string
 }
 
 // DefaultGuardOptions returns the production defaults.
@@ -120,6 +135,14 @@ type ExecReport struct {
 	// Stats sums the device stats of the accepted simulated launches only;
 	// aborted launches never reach stats finalization.
 	Stats hsa.Stats
+	// Profiles records how each bin actually executed, in service order:
+	// kernel chosen, fallback depth, modeled cost, and (when
+	// GuardOptions.Counters is set) the device performance counters.
+	Profiles []plan.ExecProfile
+	// Counters sums the device counters of the accepted launches; valid
+	// only when CountersEnabled (GuardOptions.Counters was set).
+	Counters        hsa.Counters
+	CountersEnabled bool
 	// Retries counts re-launches of a kernel already attempted on its bin;
 	// Fallbacks counts bins not served by their predicted kernel; CPUServed
 	// counts bins that degraded all the way to the native reference.
@@ -189,7 +212,7 @@ func (fw *Framework) RunGuardedOpts(ctx context.Context, a *sparse.CSR, v, u []f
 		ctx = context.Background()
 	}
 	opt = opt.withDefaults()
-	rep := &ExecReport{}
+	rep := &ExecReport{CountersEnabled: opt.Counters}
 
 	// Launch validation: the matrix and vector shapes are untrusted.
 	if err := a.Validate(); err != nil {
@@ -207,7 +230,7 @@ func (fw *Framework) RunGuardedOpts(ctx context.Context, a *sparse.CSR, v, u []f
 
 	// The predict path consults a deserialized model over input-derived
 	// features; a malformed model must degrade the decision, not the run.
-	d, b, err := fw.decideGuarded(a)
+	d, b, err := fw.decideGuarded(a, opt.Trace, opt.TraceID)
 	if err != nil {
 		rep.DecisionFallback = true
 		b = binning.Single(a)
@@ -238,14 +261,15 @@ func (fw *Framework) runBinsGuarded(ctx context.Context, a *sparse.CSR, v, u, wa
 	return nil
 }
 
-// decideGuarded runs the predict path with panic recovery.
-func (fw *Framework) decideGuarded(a *sparse.CSR) (d Decision, b *binning.Binning, err error) {
+// decideGuarded runs the predict path with panic recovery, emitting one
+// span per predict phase when tw is non-nil.
+func (fw *Framework) decideGuarded(a *sparse.CSR, tw *trace.Writer, traceID string) (d Decision, b *binning.Binning, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("core: predict path panicked: %v", rec)
 		}
 	}()
-	d, b = fw.Decide(a)
+	d, b = fw.decideTraced(a, tw, traceID)
 	for _, binID := range b.NonEmpty() {
 		if _, ok := d.KernelByBin[binID]; !ok {
 			return d, b, fmt.Errorf("core: no kernel assigned to non-empty bin %d", binID)
@@ -296,7 +320,9 @@ func (fw *Framework) runBinGuarded(ctx context.Context, a *sparse.CSR, v, u, wan
 				return errdefs.Canceled(err)
 			}
 			fs := opt.Faults.Arm(binID, ln.kid, retry)
-			st, err := simulateBinAttempt(ctx, fw.Cfg.Device, a, v, u, info.Kernel, groups, fs)
+			spanStart := opt.Trace.Now()
+			wallStart := time.Now()
+			st, ctr, err := simulateBinAttempt(ctx, fw.Cfg.Device, a, v, u, info.Kernel, groups, fs, opt.Counters)
 			if err == nil {
 				if row, ok := verifyBin(u, want, groups, opt.Tolerance); !ok {
 					err = fmt.Errorf("core: output verification failed at row %d: %w", row, errdefs.ErrKernelFault)
@@ -309,6 +335,21 @@ func (fw *Framework) runBinGuarded(ctx context.Context, a *sparse.CSR, v, u, wan
 					rep.Fallbacks++
 				}
 				rep.Stats.Add(st)
+				if ctr != nil {
+					rep.Counters.Add(*ctr)
+				}
+				pr := plan.ExecProfile{
+					Bin: binID, U: rep.Decision.U,
+					Kernel: ln.kid, KernelName: info.Name,
+					Rows: br.Rows, NNZ: binNNZ(a, groups),
+					Stage: ln.stage.String(), FallbackDepth: int(ln.stage),
+					Attempts: len(br.Attempts),
+					Cycles:   st.Cycles, Seconds: st.Seconds,
+					WallNs:   time.Since(wallStart).Nanoseconds(),
+					Counters: ctr,
+				}
+				rep.Profiles = append(rep.Profiles, pr)
+				emitBinSpan(opt, spanStart, &pr)
 				rep.Bins = append(rep.Bins, br)
 				return nil
 			}
@@ -322,6 +363,8 @@ func (fw *Framework) runBinGuarded(ctx context.Context, a *sparse.CSR, v, u, wan
 
 	// Terminal fallback: the reference result is already in want; serving
 	// the bin from it is exact, so no verification step is needed.
+	spanStart := opt.Trace.Now()
+	wallStart := time.Now()
 	for _, g := range groups {
 		copy(u[g.Start:int(g.Start)+int(g.Count)], want[g.Start:int(g.Start)+int(g.Count)])
 	}
@@ -329,16 +372,63 @@ func (fw *Framework) runBinGuarded(ctx context.Context, a *sparse.CSR, v, u, wan
 	br.Final = StageCPUReference
 	rep.Fallbacks++
 	rep.CPUServed++
+	pr := plan.ExecProfile{
+		Bin: binID, U: rep.Decision.U,
+		Kernel: -1, KernelName: "reference",
+		Rows: br.Rows, NNZ: binNNZ(a, groups),
+		Stage: StageCPUReference.String(), FallbackDepth: int(StageCPUReference),
+		Attempts: len(br.Attempts),
+		WallNs:   time.Since(wallStart).Nanoseconds(),
+	}
+	rep.Profiles = append(rep.Profiles, pr)
+	emitBinSpan(opt, spanStart, &pr)
 	rep.Bins = append(rep.Bins, br)
 	return nil
+}
+
+// binNNZ sums the stored non-zeros of the rows covered by groups.
+func binNNZ(a *sparse.CSR, groups []binning.Group) int64 {
+	var n int64
+	for _, g := range groups {
+		n += a.RowPtr[int(g.Start)+int(g.Count)] - a.RowPtr[g.Start]
+	}
+	return n
+}
+
+// emitBinSpan writes one execute-bin span for an accepted bin result. The
+// attrs hold only deterministic measurements (modeled cycles, counters) —
+// wall time rides on the span's own clock fields, which the deterministic
+// Writer suppresses, keeping identical runs byte-identical.
+func emitBinSpan(opt GuardOptions, start time.Time, pr *plan.ExecProfile) {
+	if opt.Trace == nil {
+		return
+	}
+	attrs := map[string]any{
+		"bin": pr.Bin, "u": pr.U, "kernel": pr.KernelName,
+		"stage": pr.Stage, "fallbackDepth": pr.FallbackDepth,
+		"attempts": pr.Attempts, "rows": pr.Rows, "nnz": pr.NNZ,
+		"cycles": pr.Cycles,
+	}
+	if c := pr.Counters; c != nil {
+		attrs["activeLaneRatio"] = c.ActiveLaneRatio()
+		attrs["memInstrs"] = c.MemInstrs
+		attrs["ldsReads"] = c.LDSReads
+		attrs["ldsWrites"] = c.LDSWrites
+		attrs["ldsBankConflicts"] = c.LDSBankConflicts
+		attrs["barrierWaits"] = c.BarrierWaits
+		attrs["loadImbalance"] = c.LoadImbalance()
+	}
+	opt.Trace.Emit(opt.TraceID, "execute-bin", start, attrs)
 }
 
 // simulateBinAttempt runs one kernel launch with panic recovery: injected
 // device faults and cancellation surface as their typed errors, and any
 // other panic — a misbehaving kernel indexing out of range, say — is
 // contained as a generic kernel fault instead of taking down the process.
+// With collect set the launch gathers device performance counters,
+// returned alongside the stats (nil otherwise).
 func simulateBinAttempt(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []float64,
-	k kernels.Kernel, groups []binning.Group, fs *hsa.FaultState) (st hsa.Stats, err error) {
+	k kernels.Kernel, groups []binning.Group, fs *hsa.FaultState, collect bool) (st hsa.Stats, ctr *hsa.Counters, err error) {
 
 	defer func() {
 		rec := recover()
@@ -355,6 +445,9 @@ func simulateBinAttempt(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u
 	run := hsa.NewRun(dev)
 	run.SetContext(ctx)
 	run.InjectFaults(fs)
+	if collect {
+		run.EnableCounters()
+	}
 	in := kernels.NewInput(run, a, v, u)
 	k.Run(run, in, groups)
 	if fs.PoisonOutput() {
@@ -366,7 +459,11 @@ func simulateBinAttempt(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u
 			}
 		}
 	}
-	return run.Stats(), nil
+	st = run.Stats()
+	if c, ok := run.Counters(); ok {
+		ctr = &c
+	}
+	return st, ctr, nil
 }
 
 // verifyBin compares the bin's output rows against the reference within

@@ -12,6 +12,7 @@ import (
 	"spmvtune/internal/kernels"
 	"spmvtune/internal/plan"
 	"spmvtune/internal/sparse"
+	"spmvtune/internal/trace"
 )
 
 // ModelVersion returns a deterministic hex digest of a trained model —
@@ -57,6 +58,14 @@ func ModelVersion(m *Model) string {
 // fallback. The error is non-nil only for invalid input or an expired
 // context.
 func (fw *Framework) Plan(ctx context.Context, a *sparse.CSR) (*plan.TuningPlan, error) {
+	return fw.PlanTraced(ctx, a, nil, "")
+}
+
+// PlanTraced is Plan with pipeline tracing: one span per predict phase
+// (features → predict-u → bin → predict-kernel) is emitted to tw, tagged
+// with traceID. A nil Writer emits nothing — Plan is exactly
+// PlanTraced(ctx, a, nil, "").
+func (fw *Framework) PlanTraced(ctx context.Context, a *sparse.CSR, tw *trace.Writer, traceID string) (*plan.TuningPlan, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -76,7 +85,7 @@ func (fw *Framework) Plan(ctx context.Context, a *sparse.CSR) (*plan.TuningPlan,
 		FeatureNames: fw.Cfg.FeatureNames(),
 	}
 
-	d, b, err := fw.decideGuarded(a)
+	d, b, err := fw.decideGuarded(a, tw, traceID)
 	if err != nil {
 		p.Fallback = true
 		b = binning.Single(a)
@@ -125,7 +134,7 @@ func (fw *Framework) ExecutePlanOpts(ctx context.Context, p *plan.TuningPlan, a 
 		ctx = context.Background()
 	}
 	opt = opt.withDefaults()
-	rep := &ExecReport{}
+	rep := &ExecReport{CountersEnabled: opt.Counters}
 
 	if p == nil {
 		return rep, errdefs.Invalidf("core: nil tuning plan")

@@ -1,0 +1,133 @@
+package hsa
+
+// LDSBanks is the modeled number of LDS banks (GCN has 32); the
+// bank-conflict estimate reported by kernels is expressed against it.
+const LDSBanks = 32
+
+// Counters are the optional per-launch device performance counters — the
+// simulator's stand-in for the hardware-counter profiling that grounds
+// kernel selection in Elafrou et al. and Chen et al. They extend Stats
+// with the utilization signals the throughput model alone cannot expose:
+// lane-level SIMD utilization, the LDS read/write mix and a bank-conflict
+// estimate, and the per-work-group cost spread (load imbalance).
+//
+// Collection is off by default and costs nothing when disabled: every
+// collection site is guarded by a single nil check. Enable with
+// Run.EnableCounters before executing the kernel. All values are
+// deterministic — the same launch always reports identical counters.
+type Counters struct {
+	// MemInstrs counts vector memory instructions (Gather/Seq/Scalar
+	// issues with at least one active lane).
+	MemInstrs int64 `json:"memInstrs"`
+	// LaneSlots is WavefrontSize per memory instruction — the lane
+	// capacity those instructions offered.
+	LaneSlots int64 `json:"laneSlots"`
+	// ActiveLanes is how many of those slots carried an address. The
+	// ratio ActiveLanes/LaneSlots is the SIMD utilization the paper's
+	// kernel choices trade against coalescing.
+	ActiveLanes int64 `json:"activeLanes"`
+
+	// LDSReads / LDSWrites split the launch's LDS instructions by
+	// direction (legacy WFAcc.LDS charges count as reads).
+	LDSReads  int64 `json:"ldsReads"`
+	LDSWrites int64 `json:"ldsWrites"`
+	// LDSBankConflicts is the kernel-reported estimate of serialized LDS
+	// accesses due to bank collisions on the 32-bank LDS (see
+	// WFAcc.BankConflicts). An estimate, not a cycle charge.
+	LDSBankConflicts int64 `json:"ldsBankConflicts"`
+
+	// BarrierWaits counts work-group barrier instructions executed.
+	BarrierWaits int64 `json:"barrierWaits"`
+
+	// Per-work-group cost aggregation: the dispatch+pipe cycles of each
+	// work-group, folded into sum/min/max so a launch-level load-imbalance
+	// figure survives without storing every work-group.
+	WGCount     int64   `json:"wgCount"`
+	WGCyclesSum float64 `json:"wgCyclesSum"`
+	WGCyclesMin float64 `json:"wgCyclesMin"`
+	WGCyclesMax float64 `json:"wgCyclesMax"`
+}
+
+// ActiveLaneRatio returns ActiveLanes/LaneSlots in (0,1], or 0 when no
+// memory instruction was issued.
+func (c Counters) ActiveLaneRatio() float64 {
+	if c.LaneSlots == 0 {
+		return 0
+	}
+	return float64(c.ActiveLanes) / float64(c.LaneSlots)
+}
+
+// LoadImbalance returns max/mean of the per-work-group cycle costs — 1.0
+// is perfectly balanced; 0 when no work-group ran.
+func (c Counters) LoadImbalance() float64 {
+	if c.WGCount == 0 || c.WGCyclesSum == 0 {
+		return 0
+	}
+	return c.WGCyclesMax * float64(c.WGCount) / c.WGCyclesSum
+}
+
+// Add accumulates another launch's counters (sequential launches: sums add,
+// the work-group extrema merge).
+func (c *Counters) Add(o Counters) {
+	c.MemInstrs += o.MemInstrs
+	c.LaneSlots += o.LaneSlots
+	c.ActiveLanes += o.ActiveLanes
+	c.LDSReads += o.LDSReads
+	c.LDSWrites += o.LDSWrites
+	c.LDSBankConflicts += o.LDSBankConflicts
+	c.BarrierWaits += o.BarrierWaits
+	if o.WGCount > 0 {
+		if c.WGCount == 0 || o.WGCyclesMin < c.WGCyclesMin {
+			c.WGCyclesMin = o.WGCyclesMin
+		}
+		if o.WGCyclesMax > c.WGCyclesMax {
+			c.WGCyclesMax = o.WGCyclesMax
+		}
+		c.WGCount += o.WGCount
+		c.WGCyclesSum += o.WGCyclesSum
+	}
+}
+
+// EnableCounters turns on performance-counter collection for this launch.
+// Call before executing the kernel; the counters then cover every
+// instruction the kernel issues.
+func (r *Run) EnableCounters() {
+	if r.ctr == nil {
+		r.ctr = &Counters{}
+	}
+}
+
+// CountersEnabled reports whether this launch collects counters.
+func (r *Run) CountersEnabled() bool { return r.ctr != nil }
+
+// Counters returns the collected counters; ok is false when collection was
+// never enabled.
+func (r *Run) Counters() (Counters, bool) {
+	if r.ctr == nil {
+		return Counters{}, false
+	}
+	return *r.ctr, true
+}
+
+// recordWG folds one work-group's cost into the per-launch aggregation.
+func (c *Counters) recordWG(cycles float64) {
+	if c.WGCount == 0 || cycles < c.WGCyclesMin {
+		c.WGCyclesMin = cycles
+	}
+	if cycles > c.WGCyclesMax {
+		c.WGCyclesMax = cycles
+	}
+	c.WGCount++
+	c.WGCyclesSum += cycles
+}
+
+// recordMem folds one vector memory instruction with the given active lane
+// count into the lane-utilization counters.
+func (c *Counters) recordMem(active int64, wfSize int) {
+	if active > int64(wfSize) {
+		active = int64(wfSize)
+	}
+	c.MemInstrs++
+	c.LaneSlots += int64(wfSize)
+	c.ActiveLanes += active
+}

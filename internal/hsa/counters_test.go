@@ -1,0 +1,154 @@
+package hsa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// runCounterWorkload drives a fixed two-work-group launch through the
+// accounting API, standing in for a kernel.
+func runCounterWorkload(r *Run) Stats {
+	reg := r.Alloc(8, 4096)
+	for wg := 0; wg < 2; wg++ {
+		g := r.BeginWG()
+		for wf := 0; wf < 2; wf++ {
+			acc := g.WF()
+			// A half-active gather, a full sequential read, LDS traffic
+			// and a barrier — every counter family fires.
+			idx := make([]int64, r.cfg.WavefrontSize/2)
+			for i := range idx {
+				idx[i] = int64(wg*1024 + wf*128 + i*2)
+			}
+			acc.Gather(reg, idx)
+			acc.Seq(reg, int64(wg*2048), int64(r.cfg.WavefrontSize))
+			acc.ALU(3)
+			acc.LDSWrite(1)
+			acc.Barrier()
+			acc.LDSRead(2)
+			acc.BankConflicts(4)
+			if wg == 1 && wf == 1 {
+				acc.ALU(100) // imbalance: one pipe works longer
+			}
+		}
+		g.End()
+	}
+	return r.Stats()
+}
+
+func TestCountersDisabledByDefault(t *testing.T) {
+	r := NewRun(SmallConfig())
+	runCounterWorkload(r)
+	if r.CountersEnabled() {
+		t.Fatal("counters enabled without EnableCounters")
+	}
+	if _, ok := r.Counters(); ok {
+		t.Fatal("Counters() reported ok on a disabled run")
+	}
+}
+
+func TestCountersCollect(t *testing.T) {
+	r := NewRun(SmallConfig())
+	r.EnableCounters()
+	st := runCounterWorkload(r)
+	c, ok := r.Counters()
+	if !ok {
+		t.Fatal("counters not collected")
+	}
+	wf := int64(SmallConfig().WavefrontSize)
+	// 4 wavefronts, each: one gather (wf/2 lanes) + one seq (wf lanes).
+	if want := int64(8); c.MemInstrs != want {
+		t.Errorf("MemInstrs = %d, want %d", c.MemInstrs, want)
+	}
+	if want := 8 * wf; c.LaneSlots != want {
+		t.Errorf("LaneSlots = %d, want %d", c.LaneSlots, want)
+	}
+	if want := 4*(wf/2) + 4*wf; c.ActiveLanes != want {
+		t.Errorf("ActiveLanes = %d, want %d", c.ActiveLanes, want)
+	}
+	if got := c.ActiveLaneRatio(); got <= 0 || got > 1 {
+		t.Errorf("ActiveLaneRatio = %v, want in (0,1]", got)
+	}
+	if c.LDSReads != 8 || c.LDSWrites != 4 {
+		t.Errorf("LDS split = %d reads / %d writes, want 8/4", c.LDSReads, c.LDSWrites)
+	}
+	if c.LDSBankConflicts != 16 {
+		t.Errorf("LDSBankConflicts = %d, want 16", c.LDSBankConflicts)
+	}
+	if c.BarrierWaits != st.Barriers {
+		t.Errorf("BarrierWaits = %d, Stats.Barriers = %d", c.BarrierWaits, st.Barriers)
+	}
+	if c.WGCount != 2 {
+		t.Errorf("WGCount = %d, want 2", c.WGCount)
+	}
+	if c.WGCyclesMax <= c.WGCyclesMin {
+		t.Errorf("imbalanced workload should have WGCyclesMax > WGCyclesMin (%v vs %v)",
+			c.WGCyclesMax, c.WGCyclesMin)
+	}
+	if got := c.LoadImbalance(); got <= 1 {
+		t.Errorf("LoadImbalance = %v, want > 1 for imbalanced workload", got)
+	}
+	if c.WGCyclesSum < c.WGCyclesMin+c.WGCyclesMax-1e-9 {
+		t.Errorf("WGCyclesSum = %v inconsistent with min %v + max %v",
+			c.WGCyclesSum, c.WGCyclesMin, c.WGCyclesMax)
+	}
+}
+
+// TestCountersDeterministic is the counter half of the observability
+// determinism contract: two identical launches report identical counters
+// and identical stats.
+func TestCountersDeterministic(t *testing.T) {
+	launch := func() (Stats, Counters) {
+		r := NewRun(SmallConfig())
+		r.EnableCounters()
+		st := runCounterWorkload(r)
+		c, _ := r.Counters()
+		return st, c
+	}
+	st1, c1 := launch()
+	st2, c2 := launch()
+	if !reflect.DeepEqual(st1, st2) {
+		t.Errorf("stats differ across identical launches:\n%+v\n%+v", st1, st2)
+	}
+	if c1 != c2 {
+		t.Errorf("counters differ across identical launches:\n%+v\n%+v", c1, c2)
+	}
+}
+
+// TestCountersDoNotPerturbStats: enabling counters must not change the
+// modeled cost — otherwise profiling would invalidate the training data.
+func TestCountersDoNotPerturbStats(t *testing.T) {
+	plain := NewRun(SmallConfig())
+	stPlain := runCounterWorkload(plain)
+
+	counted := NewRun(SmallConfig())
+	counted.EnableCounters()
+	stCounted := runCounterWorkload(counted)
+
+	if !reflect.DeepEqual(stPlain, stCounted) {
+		t.Errorf("enabling counters changed Stats:\n%+v\n%+v", stPlain, stCounted)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{MemInstrs: 1, LaneSlots: 64, ActiveLanes: 32, LDSReads: 2,
+		WGCount: 1, WGCyclesSum: 100, WGCyclesMin: 100, WGCyclesMax: 100}
+	b := Counters{MemInstrs: 3, LaneSlots: 192, ActiveLanes: 190, LDSWrites: 5,
+		BarrierWaits: 1, LDSBankConflicts: 7,
+		WGCount: 2, WGCyclesSum: 500, WGCyclesMin: 50, WGCyclesMax: 450}
+	a.Add(b)
+	if a.MemInstrs != 4 || a.LaneSlots != 256 || a.ActiveLanes != 222 {
+		t.Errorf("lane counters wrong after Add: %+v", a)
+	}
+	if a.LDSReads != 2 || a.LDSWrites != 5 || a.LDSBankConflicts != 7 || a.BarrierWaits != 1 {
+		t.Errorf("lds/barrier counters wrong after Add: %+v", a)
+	}
+	if a.WGCount != 3 || a.WGCyclesSum != 600 || a.WGCyclesMin != 50 || a.WGCyclesMax != 450 {
+		t.Errorf("wg aggregation wrong after Add: %+v", a)
+	}
+	// Adding an empty launch must not disturb the extrema.
+	before := a
+	a.Add(Counters{})
+	if a != before {
+		t.Errorf("adding zero counters changed state: %+v vs %+v", a, before)
+	}
+}

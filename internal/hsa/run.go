@@ -83,6 +83,11 @@ type Run struct {
 
 	stats Stats
 
+	// Optional performance-counter collection (nil = disabled, the
+	// default). Every collection site is a single nil check, so disabled
+	// runs pay nothing.
+	ctr *Counters
+
 	segScratch []int64
 
 	// Armed fault-injection state for this launch (nil = fault-free) and
@@ -202,6 +207,9 @@ func (g *WG) End() {
 		}
 	}
 	r := g.run
+	if r.ctr != nil {
+		r.ctr.recordWG(r.cfg.WGLaunchCycles + max)
+	}
 	r.cuCycles[r.nextCU] += r.cfg.WGLaunchCycles + max
 	if f := r.fault; f != nil && f.cycleBudget > 0 && r.cuCycles[r.nextCU] > f.cycleBudget {
 		r.faultAbort(FaultCycleBudget,
@@ -255,11 +263,31 @@ func (a *WFAcc) ALU(n int) {
 	a.add(c)
 }
 
-// LDS charges n local-data-share instructions.
-func (a *WFAcc) LDS(n int) {
+// LDS charges n local-data-share instructions. Counter collection records
+// them as reads; kernels that know the direction should prefer the
+// LDSRead/LDSWrite pair.
+func (a *WFAcc) LDS(n int) { a.lds(n, false) }
+
+// LDSRead charges n LDS read instructions.
+func (a *WFAcc) LDSRead(n int) { a.lds(n, false) }
+
+// LDSWrite charges n LDS write instructions.
+func (a *WFAcc) LDSWrite(n int) { a.lds(n, true) }
+
+// lds charges n LDS instructions, splitting the counter by direction. The
+// cycle cost is identical either way — the split exists for the profile,
+// not the model.
+func (a *WFAcc) lds(n int, write bool) {
 	if f := a.run.fault; f != nil && f.ldsOverflow {
 		a.run.faultAbort(FaultLDSOverflow,
 			fmt.Sprintf("LDS allocation exceeds %d bytes per work-group", a.run.cfg.LDSBytesPerWG))
+	}
+	if ctr := a.run.ctr; ctr != nil {
+		if write {
+			ctr.LDSWrites += int64(n)
+		} else {
+			ctr.LDSReads += int64(n)
+		}
 	}
 	a.run.stats.LDSOps += int64(n)
 	c := float64(n) * a.run.cfg.LDSCycles
@@ -267,11 +295,24 @@ func (a *WFAcc) LDS(n int) {
 	a.add(c)
 }
 
+// BankConflicts records n estimated serialized LDS accesses from bank
+// collisions. Kernels report the estimate where they know the access
+// pattern (e.g. the strided segmented reduction); it feeds the counters
+// only — no cycles are charged, keeping the cost model unchanged.
+func (a *WFAcc) BankConflicts(n int) {
+	if ctr := a.run.ctr; ctr != nil {
+		ctr.LDSBankConflicts += int64(n)
+	}
+}
+
 // Barrier charges one work-group barrier.
 func (a *WFAcc) Barrier() {
 	if f := a.run.fault; f != nil && f.barrierDiverge {
 		a.run.faultAbort(FaultBarrierDivergence,
 			"work-group deadlocked on a barrier reached by diverged wavefronts")
+	}
+	if ctr := a.run.ctr; ctr != nil {
+		ctr.BarrierWaits++
 	}
 	a.run.stats.Barriers++
 	a.run.stats.CyclesBarrier += a.run.cfg.BarrierCycles
@@ -285,6 +326,9 @@ func (a *WFAcc) Barrier() {
 func (a *WFAcc) Gather(reg Region, idx []int64) {
 	if len(idx) == 0 {
 		return
+	}
+	if ctr := a.run.ctr; ctr != nil {
+		ctr.recordMem(int64(len(idx)), a.run.cfg.WavefrontSize)
 	}
 	segs := a.run.segScratch[:0]
 	seg := a.run.cfg.SegmentBytes
@@ -315,6 +359,9 @@ func (a *WFAcc) Gather(reg Region, idx []int64) {
 func (a *WFAcc) Seq(reg Region, start, count int64) {
 	if count <= 0 {
 		return
+	}
+	if ctr := a.run.ctr; ctr != nil {
+		ctr.recordMem(count, a.run.cfg.WavefrontSize)
 	}
 	seg := a.run.cfg.SegmentBytes
 	first := (reg.base + start*reg.elemSize) / seg

@@ -43,6 +43,25 @@ func (s Subvector) Name() string {
 	return fmt.Sprintf("subvector%d", s.X)
 }
 
+// reductionConflicts estimates the serialized LDS accesses one segmented
+// reduction pass suffers from bank collisions: step k accesses LDS words
+// at stride 2^k, and on an hsa.LDSBanks-bank LDS a power-of-two stride s
+// folds the lanes onto banks/min(s,banks) distinct banks, serializing
+// min(s,banks) accesses where a conflict-free pattern would issue one.
+// The estimate feeds the performance counters only; the cycle model is
+// unchanged (LDS instructions are charged at a flat throughput cost).
+func reductionConflicts(steps int) int {
+	n := 0
+	for k := 0; k < steps; k++ {
+		s := 1 << k
+		if s > hsa.LDSBanks {
+			s = hsa.LDSBanks
+		}
+		n += s - 1
+	}
+	return n
+}
+
 func dotRow(a *sparse.CSR, v []float64, r int32) float64 {
 	lo, hi := a.RowPtr[r], a.RowPtr[r+1]
 	sum := 0.0
@@ -74,6 +93,7 @@ func (s Subvector) Run(run *hsa.Run, in *Input, groups []binning.Group) {
 	addrs := make([]int64, 0, wfSize)
 	vAddrs := make([]int64, 0, wfSize)
 	redSteps := log2ceil(chunk)
+	redConflicts := reductionConflicts(redSteps)
 
 	for {
 		rows = it.take(rows[:0:cap(rows)])
@@ -147,11 +167,16 @@ func (s Subvector) Run(run *hsa.Run, in *Input, groups []binning.Group) {
 						acc.Gather(in.RegV, vAddrs)
 						acc.ALU(1) // product
 					}
-					acc.LDS(1) // stage into localMem
+					acc.LDSWrite(1) // stage into localMem
 				}
 				acc.Barrier()
-				// Segmented parallel reduction over the staged products.
-				acc.LDS(2 * redSteps)
+				// Segmented parallel reduction over the staged products:
+				// each step reads partner values and writes the combined
+				// ones back, at a doubling (power-of-two) stride — the
+				// access pattern behind the bank-conflict estimate.
+				acc.LDSRead(redSteps)
+				acc.LDSWrite(redSteps)
+				acc.BankConflicts(redConflicts)
 				acc.ALU(redSteps)
 				acc.Barrier()
 				acc.ALU(1) // first lane accumulates into sum

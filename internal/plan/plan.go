@@ -101,6 +101,12 @@ type TuningPlan struct {
 	// Fallback records that the predict path failed (malformed model) and
 	// the plan degraded to single-bin Kernel-Serial.
 	Fallback bool `json:"fallback,omitempty"`
+
+	// Profiles optionally carries the per-bin execution profiles of the
+	// most recent guarded run of this plan (see ExecProfile). They are
+	// evidence, not decision state: Validate ignores them and execution
+	// never reads them.
+	Profiles []ExecProfile `json:"profiles,omitempty"`
 }
 
 // KernelByBin returns the per-bin kernel map in the form the execution

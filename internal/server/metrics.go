@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"spmvtune/internal/core"
 )
 
 // Endpoint indices for the per-endpoint counters.
@@ -11,12 +13,13 @@ const (
 	epMatrices = iota
 	epSpMV
 	epPlans
+	epProfiles
 	epHealthz
 	epMetrics
 	nEndpoints
 )
 
-var endpointNames = [nEndpoints]string{"matrices", "spmv", "plans", "healthz", "metrics"}
+var endpointNames = [nEndpoints]string{"matrices", "spmv", "plans", "profiles", "healthz", "metrics"}
 
 // metrics holds the server-side counters. Everything is atomic so the
 // handlers never serialize on observability.
@@ -30,11 +33,44 @@ type metrics struct {
 	inflight atomic.Int64
 	vectors  atomic.Int64 // SpMV right-hand sides served
 	degraded atomic.Int64 // guarded runs that needed the fallback chain
+
+	// Device-counter derived totals, accumulated from the per-run
+	// ExecReport of every guarded execution. Cycles are modeled device
+	// cycles (deterministic per launch), the rest are the hsa.Counters
+	// families summed over accepted launches.
+	deviceCycles       atomic.Int64
+	deviceMemInstrs    atomic.Int64
+	deviceLaneSlots    atomic.Int64
+	deviceActiveLanes  atomic.Int64
+	deviceLDSReads     atomic.Int64
+	deviceLDSWrites    atomic.Int64
+	deviceLDSConflicts atomic.Int64
+	deviceBarrierWaits atomic.Int64
+	deviceWorkGroups   atomic.Int64
+}
+
+// observeReport folds one guarded run's device activity into the
+// counter-derived gauges.
+func (m *metrics) observeReport(rep *core.ExecReport) {
+	m.deviceCycles.Add(int64(rep.Stats.Cycles))
+	if !rep.CountersEnabled {
+		return
+	}
+	c := rep.Counters
+	m.deviceMemInstrs.Add(c.MemInstrs)
+	m.deviceLaneSlots.Add(c.LaneSlots)
+	m.deviceActiveLanes.Add(c.ActiveLanes)
+	m.deviceLDSReads.Add(c.LDSReads)
+	m.deviceLDSWrites.Add(c.LDSWrites)
+	m.deviceLDSConflicts.Add(c.LDSBankConflicts)
+	m.deviceBarrierWaits.Add(c.BarrierWaits)
+	m.deviceWorkGroups.Add(c.WGCount)
 }
 
 // writeTo renders the text exposition: one "name value" line per counter,
 // with the per-endpoint families labeled Prometheus-style. The format is
-// stable — tests and scrapers key on the names.
+// stable — tests and scrapers key on the names; existing keys never change
+// meaning, new families only append.
 func (m *metrics) writeTo(w io.Writer) {
 	for ep := 0; ep < nEndpoints; ep++ {
 		fmt.Fprintf(w, "spmvd_requests_total{endpoint=%q} %d\n", endpointNames[ep], m.requests[ep].Load())
@@ -42,12 +78,34 @@ func (m *metrics) writeTo(w io.Writer) {
 	for ep := 0; ep < nEndpoints; ep++ {
 		fmt.Fprintf(w, "spmvd_request_errors_total{endpoint=%q} %d\n", endpointNames[ep], m.errors[ep].Load())
 	}
+	// The seconds sum/count pair lets scrapers form an average latency;
+	// every request contributes exactly one latency observation, so the
+	// count equals the request total by construction.
 	for ep := 0; ep < nEndpoints; ep++ {
 		fmt.Fprintf(w, "spmvd_request_seconds_sum{endpoint=%q} %.6f\n", endpointNames[ep], float64(m.latencyNs[ep].Load())/1e9)
+	}
+	for ep := 0; ep < nEndpoints; ep++ {
+		fmt.Fprintf(w, "spmvd_request_seconds_count{endpoint=%q} %d\n", endpointNames[ep], m.requests[ep].Load())
 	}
 	fmt.Fprintf(w, "spmvd_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "spmvd_canceled_total %d\n", m.canceled.Load())
 	fmt.Fprintf(w, "spmvd_inflight %d\n", m.inflight.Load())
 	fmt.Fprintf(w, "spmvd_spmv_vectors_total %d\n", m.vectors.Load())
 	fmt.Fprintf(w, "spmvd_degraded_runs_total %d\n", m.degraded.Load())
+
+	fmt.Fprintf(w, "spmvd_device_cycles_total %d\n", m.deviceCycles.Load())
+	fmt.Fprintf(w, "spmvd_device_mem_instrs_total %d\n", m.deviceMemInstrs.Load())
+	fmt.Fprintf(w, "spmvd_device_lane_slots_total %d\n", m.deviceLaneSlots.Load())
+	fmt.Fprintf(w, "spmvd_device_active_lanes_total %d\n", m.deviceActiveLanes.Load())
+	slots, active := m.deviceLaneSlots.Load(), m.deviceActiveLanes.Load()
+	ratio := 0.0
+	if slots > 0 {
+		ratio = float64(active) / float64(slots)
+	}
+	fmt.Fprintf(w, "spmvd_device_active_lane_ratio %.6f\n", ratio)
+	fmt.Fprintf(w, "spmvd_device_lds_reads_total %d\n", m.deviceLDSReads.Load())
+	fmt.Fprintf(w, "spmvd_device_lds_writes_total %d\n", m.deviceLDSWrites.Load())
+	fmt.Fprintf(w, "spmvd_device_lds_bank_conflicts_total %d\n", m.deviceLDSConflicts.Load())
+	fmt.Fprintf(w, "spmvd_device_barrier_waits_total %d\n", m.deviceBarrierWaits.Load())
+	fmt.Fprintf(w, "spmvd_device_workgroups_total %d\n", m.deviceWorkGroups.Load())
 }

@@ -20,6 +20,9 @@ type SpMVRequest struct {
 	// TimeoutMs caps this request's execution time; 0 uses the server
 	// default. The server clamps it to its configured maximum.
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// TraceID tags this request's pipeline spans in the server's trace
+	// stream. Empty selects a server-generated ID when tracing is enabled.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // Batch normalizes the request into a list of vectors.
@@ -45,6 +48,9 @@ func decodeSpMVRequest(data []byte, maxBatch int) (*SpMVRequest, error) {
 	}
 	if req.TimeoutMs < 0 {
 		return nil, errdefs.Invalidf("server: negative timeoutMs %d", req.TimeoutMs)
+	}
+	if len(req.TraceID) > 128 {
+		return nil, errdefs.Invalidf("server: traceId longer than 128 bytes")
 	}
 	if len(req.Vector) > 0 && len(req.Vectors) > 0 {
 		return nil, errdefs.Invalidf("server: vector and vectors are mutually exclusive")

@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spmvtune/internal/core"
@@ -35,6 +36,7 @@ import (
 	"spmvtune/internal/plan"
 	"spmvtune/internal/plancache"
 	"spmvtune/internal/sparse"
+	"spmvtune/internal/trace"
 )
 
 // matrixIDLen is the fingerprint prefix used as the public matrix ID:
@@ -73,6 +75,15 @@ type Config struct {
 	MaxMatrices int
 	// Cache configures the shared tuning-plan cache.
 	Cache plancache.Options
+	// Trace receives one JSONL span per pipeline phase of every traced
+	// request (see internal/trace). Nil disables emission. Requests are
+	// tagged with their own trace IDs, so one Writer serves the daemon.
+	Trace *trace.Writer
+	// DisableCounters turns off device performance-counter collection on
+	// guarded executions. Counters are on by default in the server — they
+	// feed /metrics and GET /v1/profiles — and cost one nil check per
+	// collection site when disabled.
+	DisableCounters bool
 }
 
 func (c Config) withDefaults() Config {
@@ -120,11 +131,23 @@ type Server struct {
 	mu       sync.RWMutex
 	matrices map[string]*matrixEntry
 	order    []string // upload order, for capacity eviction
+	profiles map[string]*profileRecord
 
 	queue chan struct{} // waiting + executing SpMV requests
 	sem   chan struct{} // executing SpMV requests
 
+	traceSeq atomic.Int64 // generated per-request trace IDs
+
 	m metrics
+}
+
+// profileRecord is the evidence of the most recent guarded execution
+// against one matrix: its per-bin profiles and the trace ID that tags the
+// run's spans.
+type profileRecord struct {
+	TraceID  string
+	Degraded bool
+	Profiles []plan.ExecProfile
 }
 
 // New builds a Server around a framework. The framework's model may be nil
@@ -139,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		cache:    plancache.New(cfg.Cache),
 		matrices: make(map[string]*matrixEntry),
+		profiles: make(map[string]*profileRecord),
 		queue:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		sem:      make(chan struct{}, cfg.Workers),
 	}
@@ -146,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/matrices", s.instrument(epMatrices, s.handleUpload))
 	mux.HandleFunc("POST /v1/spmv", s.instrument(epSpMV, s.handleSpMV))
 	mux.HandleFunc("GET /v1/plans/{id}", s.instrument(epPlans, s.handlePlan))
+	mux.HandleFunc("GET /v1/profiles/{id}", s.instrument(epProfiles, s.handleProfiles))
 	mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
 	s.mux = mux
@@ -259,11 +284,34 @@ func (s *Server) requestCtx(r *http.Request, timeoutMs int) (context.Context, co
 
 // planFor fetches the matrix's tuning plan through the shared cache:
 // singleflight guarantees one tuning pass per structure regardless of
-// concurrency.
-func (s *Server) planFor(ctx context.Context, e *matrixEntry) (*plan.TuningPlan, bool, error) {
+// concurrency. When the request is traced and the plan must be computed,
+// the predict phases are emitted under the request's trace ID (only the
+// computing request emits them — cache hits skip the predict path by
+// design).
+func (s *Server) planFor(ctx context.Context, e *matrixEntry, traceID string) (*plan.TuningPlan, bool, error) {
 	return s.cache.GetOrCompute(ctx, e.Fingerprint, func(ctx context.Context) (*plan.TuningPlan, error) {
-		return s.cfg.Framework.Plan(ctx, e.A)
+		return s.cfg.Framework.PlanTraced(ctx, e.A, s.cfg.Trace, traceID)
 	})
+}
+
+// guardOpts derives the per-request guarded-execution options: the
+// configured guard settings plus counter collection (unless disabled) and
+// the request's trace binding.
+func (s *Server) guardOpts(traceID string) core.GuardOptions {
+	opt := s.cfg.Guard
+	opt.Counters = !s.cfg.DisableCounters
+	opt.Trace = s.cfg.Trace
+	opt.TraceID = traceID
+	return opt
+}
+
+// requestTraceID resolves the trace ID for one request: the client's own
+// ID when given, a generated one when tracing is on, empty otherwise.
+func (s *Server) requestTraceID(supplied, matrixID string) string {
+	if supplied != "" || s.cfg.Trace == nil {
+		return supplied
+	}
+	return fmt.Sprintf("%s-%d", matrixID, s.traceSeq.Add(1))
 }
 
 // handleUpload ingests a Matrix Market body. The parser is the hardened
@@ -294,6 +342,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			oldest := s.order[0]
 			s.order = s.order[1:]
 			delete(s.matrices, oldest)
+			delete(s.profiles, oldest)
 		}
 	}
 	s.mu.Unlock()
@@ -322,6 +371,7 @@ type spmvResponse struct {
 	CacheHit  bool        `json:"cacheHit"`
 	Degraded  bool        `json:"degraded"`
 	Fallbacks int         `json:"fallbacks"`
+	TraceID   string      `json:"traceId,omitempty"`
 	Result    []float64   `json:"result,omitempty"`
 	Results   [][]float64 `json:"results,omitempty"`
 	ElapsedMs float64     `json:"elapsedMs"`
@@ -373,16 +423,19 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := time.Now()
-	p, cacheHit, err := s.planFor(ctx, e)
+	traceID := s.requestTraceID(req.TraceID, e.ID)
+	p, cacheHit, err := s.planFor(ctx, e, traceID)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 
-	resp := spmvResponse{Matrix: e.ID, Plan: p.Fingerprint, U: p.U, CacheHit: cacheHit}
+	resp := spmvResponse{Matrix: e.ID, Plan: p.Fingerprint, U: p.U, CacheHit: cacheHit, TraceID: traceID}
+	opt := s.guardOpts(traceID)
+	var lastRep *core.ExecReport
 	for _, vec := range vecs {
 		u := make([]float64, e.A.Rows)
-		rep, err := s.cfg.Framework.ExecutePlanOpts(ctx, p, e.A, vec, u, s.cfg.Guard)
+		rep, err := s.cfg.Framework.ExecutePlanOpts(ctx, p, e.A, vec, u, opt)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -394,6 +447,19 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		resp.Fallbacks += rep.Fallbacks
 		resp.Results = append(resp.Results, u)
 		s.m.vectors.Add(1)
+		s.m.observeReport(rep)
+		lastRep = rep
+	}
+	if lastRep != nil && len(lastRep.Profiles) > 0 {
+		s.mu.Lock()
+		if _, resident := s.matrices[e.ID]; resident {
+			s.profiles[e.ID] = &profileRecord{
+				TraceID:  traceID,
+				Degraded: resp.Degraded,
+				Profiles: lastRep.Profiles,
+			}
+		}
+		s.mu.Unlock()
 	}
 	if len(req.Vector) > 0 {
 		resp.Result = resp.Results[0]
@@ -415,12 +481,60 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
-	p, _, err := s.planFor(ctx, e)
+	p, _, err := s.planFor(ctx, e, "")
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, p)
+}
+
+// profilesResponse is the body of GET /v1/profiles/{id}: the matrix's
+// tuning plan with the per-bin execution profiles of its most recent
+// guarded run attached (TuningPlan.Profiles), plus the trace ID tagging
+// that run's spans.
+type profilesResponse struct {
+	Matrix   string           `json:"matrix"`
+	TraceID  string           `json:"traceId,omitempty"`
+	Degraded bool             `json:"degraded"`
+	Plan     *plan.TuningPlan `json:"plan"`
+}
+
+// handleProfiles returns the execution evidence for an uploaded matrix:
+// 404 until at least one SpMV has run against it (profiles are measured,
+// never synthesized).
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.matrix(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "not_found", "detail": "unknown matrix id " + id})
+		return
+	}
+	s.mu.RLock()
+	rec := s.profiles[id]
+	s.mu.RUnlock()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": "not_found", "detail": "no execution profiled yet for matrix " + id + " — POST /v1/spmv first"})
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	p, _, err := s.planFor(ctx, e, "")
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Attach the evidence to a copy: the cached plan stays immutable.
+	withProfiles := *p
+	withProfiles.Profiles = rec.Profiles
+	writeJSON(w, http.StatusOK, profilesResponse{
+		Matrix:   id,
+		TraceID:  rec.TraceID,
+		Degraded: rec.Degraded,
+		Plan:     &withProfiles,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,107 @@
+// Package trace emits the auto-tuning pipeline's execution as JSONL spans:
+// one JSON object per line, one span per pipeline phase (features →
+// predict-u → bin → predict-kernel → execute-bin). Spans carry the modeled
+// device metrics of the phase they describe, so a trace answers "why did
+// the model pick this kernel for that bin, and what did the launch cost"
+// from the artifact alone.
+//
+// The package is a leaf: it depends only on the standard library, so every
+// layer (hsa, core, server, CLIs) can emit spans without import cycles.
+//
+// Determinism contract: a Writer built with NewDeterministicWriter never
+// consults the host clock, and encoding/json sorts attribute keys, so the
+// same pipeline run emits byte-identical output every time. That property
+// is what lets CI diff traces across runs; the wall-clock Writer adds
+// startUnixNs/wallNs for humans and keeps everything else identical.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span is one phase of a pipeline execution. The zero values of the
+// optional fields are omitted from the wire form, so deterministic traces
+// simply never populate the clock-derived fields.
+type Span struct {
+	// Trace groups the spans of one request/run; empty for untagged runs.
+	Trace string `json:"trace,omitempty"`
+	// Name is the phase: "features", "predict-u", "bin", "predict-kernel",
+	// "execute-bin", or a caller-defined phase.
+	Name string `json:"name"`
+	// Seq orders spans within one Writer (monotonic, starts at 0).
+	Seq int64 `json:"seq"`
+	// StartUnixNs is the host start time; absent in deterministic mode.
+	StartUnixNs int64 `json:"startUnixNs,omitempty"`
+	// WallNs is the host wall time; absent in deterministic mode.
+	WallNs int64 `json:"wallNs,omitempty"`
+	// Attrs are the phase's measurements (modeled cycles, chosen U, bin
+	// id, counters...). json.Marshal sorts the keys, keeping the wire
+	// form deterministic.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Writer serializes spans as JSONL to an io.Writer. It is safe for
+// concurrent use; each Emit writes exactly one line.
+type Writer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq int64
+	// now is nil in deterministic mode: no clock is ever read and the
+	// clock-derived span fields stay zero (and are omitted from JSON).
+	now func() time.Time
+}
+
+// NewWriter returns a wall-clock Writer: spans carry startUnixNs/wallNs.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, now: time.Now}
+}
+
+// NewDeterministicWriter returns a Writer that never reads the host clock:
+// two identical pipeline runs produce byte-identical output.
+func NewDeterministicWriter(w io.Writer) *Writer {
+	return &Writer{w: w}
+}
+
+// Deterministic reports whether this writer suppresses clock-derived
+// fields.
+func (t *Writer) Deterministic() bool { return t == nil || t.now == nil }
+
+// Now returns the current time for span timing, or the zero time in
+// deterministic mode. Callers pass the result to Emit as start.
+func (t *Writer) Now() time.Time {
+	if t == nil || t.now == nil {
+		return time.Time{}
+	}
+	return t.now()
+}
+
+// Emit writes one span. start is the phase's begin time as returned by
+// Now; in deterministic mode (or when start is zero) the clock fields are
+// left out. Emit is a no-op on a nil Writer, so call sites need no guard.
+func (t *Writer) Emit(traceID, name string, start time.Time, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	s := Span{Trace: traceID, Name: name, Attrs: attrs}
+	if t.now != nil && !start.IsZero() {
+		s.StartUnixNs = start.UnixNano()
+		s.WallNs = t.now().Sub(start).Nanoseconds()
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.Seq = t.seq
+	t.seq++
+	blob, err := json.Marshal(s)
+	if err != nil {
+		// Attrs are built by this repo's own call sites from plain
+		// numbers and strings; a marshal failure is a programmer error.
+		// Drop the span rather than corrupt the JSONL stream.
+		return
+	}
+	blob = append(blob, '\n')
+	_, _ = t.w.Write(blob)
+}

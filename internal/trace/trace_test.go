@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// emitSample writes a fixed span sequence, standing in for one pipeline run.
+func emitSample(t *Writer) {
+	t.Emit("req-1", "features", t.Now(), map[string]any{"count": 7})
+	t.Emit("req-1", "predict-u", t.Now(), map[string]any{"u": 100})
+	t.Emit("req-1", "execute-bin", t.Now(), map[string]any{
+		"bin": 3, "kernel": "subvector8", "cycles": 1234.0, "activeLaneRatio": 0.75,
+	})
+}
+
+func TestDeterministicByteIdentical(t *testing.T) {
+	var a, b bytes.Buffer
+	emitSample(NewDeterministicWriter(&a))
+	emitSample(NewDeterministicWriter(&b))
+	if a.Len() == 0 {
+		t.Fatal("no output")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("deterministic traces differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if strings.Contains(a.String(), "startUnixNs") || strings.Contains(a.String(), "wallNs") {
+		t.Fatalf("deterministic trace leaked clock fields: %s", a.String())
+	}
+}
+
+func TestJSONLStructure(t *testing.T) {
+	var buf bytes.Buffer
+	emitSample(NewDeterministicWriter(&buf))
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	names := []string{"features", "predict-u", "execute-bin"}
+	for i, line := range lines {
+		var s Span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if s.Seq != int64(i) {
+			t.Errorf("line %d: seq = %d, want %d", i, s.Seq, i)
+		}
+		if s.Name != names[i] {
+			t.Errorf("line %d: name = %q, want %q", i, s.Name, names[i])
+		}
+		if s.Trace != "req-1" {
+			t.Errorf("line %d: trace = %q", i, s.Trace)
+		}
+	}
+}
+
+func TestWallClockWriterAddsTiming(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if w.Deterministic() {
+		t.Fatal("wall-clock writer reports deterministic")
+	}
+	start := w.Now()
+	if start.IsZero() {
+		t.Fatal("wall-clock Now returned zero time")
+	}
+	time.Sleep(time.Millisecond)
+	w.Emit("", "execute-bin", start, nil)
+	var s Span
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.StartUnixNs == 0 || s.WallNs <= 0 {
+		t.Fatalf("wall-clock span missing timing: %+v", s)
+	}
+}
+
+func TestNilWriterIsNoop(t *testing.T) {
+	var w *Writer
+	if !w.Deterministic() {
+		t.Error("nil writer should report deterministic")
+	}
+	if !w.Now().IsZero() {
+		t.Error("nil writer Now should be zero")
+	}
+	w.Emit("x", "y", time.Now(), nil) // must not panic
+}
+
+func TestConcurrentEmitsKeepLineAtomicity(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewDeterministicWriter(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				w.Emit("c", "execute-bin", time.Time{}, map[string]any{"j": j})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("want 400 lines, got %d", len(lines))
+	}
+	seen := make(map[int64]bool)
+	for _, line := range lines {
+		var s Span
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("corrupt line %q: %v", line, err)
+		}
+		if seen[s.Seq] {
+			t.Fatalf("duplicate seq %d", s.Seq)
+		}
+		seen[s.Seq] = true
+	}
+}
