@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race bench fuzz fmt vet lint vulncheck spmvbench
+.PHONY: check build test race bench bench-parallel fuzz fmt vet lint vulncheck spmvbench
 
 ## check: the full verification gate (fmt, vet, build, race tests, fuzz
 ## smoke, staticcheck + govulncheck when installed)
@@ -38,6 +38,13 @@ vulncheck:
 	govulncheck ./...
 
 ## spmvbench: measure against the committed baseline (cycles-based gate,
-## fails above +25%). Refresh with: go run ./cmd/spmvbench -out BENCH_PR3.json
+## fails above +25%). Refresh with: go run ./cmd/spmvbench -out BENCH_PR4.json
 spmvbench:
-	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench.json -baseline BENCH_PR3.json
+	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench.json -baseline BENCH_PR4.json
+
+## bench-parallel: sequential-vs-parallel tuning-search comparison. The two
+## passes must produce identical labels; the >= 3x speedup floor at 8
+## workers is enforced only when the host has >= 8 CPUs (see BENCH_PR4.json
+## "search" for the last committed measurement).
+bench-parallel:
+	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench-parallel.json -workers 8 -min-speedup 3

@@ -2,16 +2,21 @@
 // matgen corpus and writes a machine-readable benchmark file — the perf
 // trajectory of the repo as data instead of anecdote:
 //
-//	spmvbench -out BENCH_PR3.json                      # measure
-//	spmvbench -out new.json -baseline BENCH_PR3.json   # measure + gate
+//	spmvbench -out BENCH_PR4.json                      # measure
+//	spmvbench -out new.json -baseline BENCH_PR4.json   # measure + gate
 //
 // Each case records modeled device cycles, a GFLOPS-equivalent derived
 // from the simulated clock, host ns/op, and a device-counter summary
 // (lane utilization, LDS mix, load imbalance). The modeled metrics are
 // deterministic — identical code produces identical numbers on any
 // machine — so CI gates on cycles with a relative threshold and treats
-// wall time as informational. Exit codes: 0 clean, 1 regression vs the
-// baseline, 2 setup/usage failure.
+// wall time as informational.
+//
+// The run also benchmarks the exhaustive tuning search sequentially
+// (Workers=1) and in parallel (-workers), requiring identical labels from
+// both and — when the host has at least -workers CPUs — a speedup of at
+// least -min-speedup. Exit codes: 0 clean, 1 regression vs the baseline
+// or a failed search gate, 2 setup/usage failure.
 package main
 
 import (
@@ -19,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
+	"sort"
 	"time"
 
 	"spmvtune/internal/c50"
@@ -28,7 +35,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output results file")
+	out := flag.String("out", "BENCH_PR4.json", "output results file")
 	baseline := flag.String("baseline", "", "baseline results file to gate against (empty = measure only)")
 	threshold := flag.Float64("threshold", 1.25, "fail when a case's cycles exceed baseline*threshold")
 	n := flag.Int("n", 10, "benchmark corpus size")
@@ -36,15 +43,17 @@ func main() {
 	modelPath := flag.String("model", "", "trained model file (empty: bootstrap-train deterministically)")
 	trainCorpus := flag.Int("train-corpus", 8, "bootstrap training corpus size when no -model is given")
 	seed := flag.Int64("seed", 42, "corpus seed")
+	workers := flag.Int("workers", 8, "parallel-search worker count for the seq-vs-parallel comparison (<= 1 skips it)")
+	minSpeedup := flag.Float64("min-speedup", 3.0, "required search speedup at -workers; enforced only when the host has at least that many CPUs (0 disables)")
 	flag.Parse()
 
-	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed); err != nil {
+	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed, *workers, *minSpeedup); err != nil {
 		fmt.Fprintln(os.Stderr, "spmvbench:", err)
 		os.Exit(2)
 	}
 }
 
-func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64) error {
+func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64, workers int, minSpeedup float64) error {
 	cfg := core.DefaultConfig()
 	model, err := obtainModel(cfg, modelPath, trainCorpus, seed)
 	if err != nil {
@@ -53,7 +62,7 @@ func run(out, baseline string, threshold float64, n, iters int, modelPath string
 	fw := core.NewFramework(cfg, model)
 
 	mats := matgen.Corpus(matgen.CorpusOptions{N: n, MinRows: 512, MaxRows: 2048, Seed: seed})
-	results := &Results{Schema: Schema, GoVersion: runtime.Version()}
+	results := &Results{Schema: Schema, GoVersion: runtime.Version(), HostCPUs: runtime.NumCPU()}
 	for _, cm := range mats {
 		c, err := benchCase(fw, cm, iters)
 		if err != nil {
@@ -63,29 +72,82 @@ func run(out, baseline string, threshold float64, n, iters int, modelPath string
 			c.Name, c.Rows, c.NNZ, c.Cycles, c.GFLOPSEquivalent, c.NsPerOp, c.Counters.ActiveLaneRatio)
 		results.Cases = append(results.Cases, *c)
 	}
+	var regressions []string
+	if workers > 1 {
+		sb := searchBench(cfg, mats, workers)
+		results.Search = sb
+		fmt.Printf("search: %d matrices, seq %.3fs, parallel(%d) %.3fs, %.2fx speedup, identical=%v (host CPUs: %d)\n",
+			sb.Matrices, sb.SeqSeconds, sb.Workers, sb.ParSeconds, sb.Speedup, sb.Identical, sb.HostCPUs)
+		if sb.HostCPUs < sb.Workers {
+			fmt.Printf("search: speedup gate not enforced — host has %d CPUs, fewer than %d workers\n",
+				sb.HostCPUs, sb.Workers)
+		}
+		regressions = append(regressions, CheckSearch(sb, minSpeedup)...)
+	}
 	if err := results.WriteFile(out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %d cases to %s\n", len(results.Cases), out)
 
-	if baseline == "" {
-		return nil
+	if baseline != "" {
+		base, err := ReadResults(baseline)
+		if err != nil {
+			return err
+		}
+		cycleRegs := Compare(base, results, threshold)
+		if len(cycleRegs) == 0 {
+			fmt.Printf("no regressions vs %s (threshold %.2fx)\n", baseline, threshold)
+		}
+		regressions = append(regressions, cycleRegs...)
 	}
-	base, err := ReadResults(baseline)
-	if err != nil {
-		return err
-	}
-	regressions := Compare(base, results, threshold)
 	if len(regressions) == 0 {
-		fmt.Printf("no regressions vs %s (threshold %.2fx)\n", baseline, threshold)
 		return nil
 	}
-	fmt.Fprintf(os.Stderr, "%d regression(s) vs %s:\n", len(regressions), baseline)
+	fmt.Fprintf(os.Stderr, "%d regression(s):\n", len(regressions))
 	for _, r := range regressions {
 		fmt.Fprintln(os.Stderr, "  "+r)
 	}
 	os.Exit(1)
 	return nil
+}
+
+// searchBench times the exhaustive tuning search over the largest corpus
+// matrices twice — Workers=1, then Workers=workers — and checks the two
+// passes produced identical labels. The matrices are the same either way,
+// so the wall-time ratio isolates the host-pool speedup.
+func searchBench(cfg core.Config, mats []matgen.CorpusMatrix, workers int) *SearchBench {
+	picks := make([]matgen.CorpusMatrix, len(mats))
+	copy(picks, mats)
+	sort.Slice(picks, func(i, j int) bool { return picks[i].A.NNZ() > picks[j].A.NNZ() })
+	if len(picks) > 3 {
+		picks = picks[:3]
+	}
+
+	pass := func(w int) ([]core.SearchResult, float64) {
+		c := cfg
+		c.Workers = w
+		start := time.Now()
+		res := make([]core.SearchResult, 0, len(picks))
+		for _, cm := range picks {
+			res = append(res, core.Search(c, cm.A))
+		}
+		return res, time.Since(start).Seconds()
+	}
+	seqRes, seqS := pass(1)
+	parRes, parS := pass(workers)
+
+	sb := &SearchBench{
+		Matrices:   len(picks),
+		Workers:    workers,
+		HostCPUs:   runtime.NumCPU(),
+		SeqSeconds: seqS,
+		ParSeconds: parS,
+		Identical:  reflect.DeepEqual(seqRes, parRes),
+	}
+	if parS > 0 {
+		sb.Speedup = seqS / parS
+	}
+	return sb
 }
 
 // benchCase plans once, then executes the plan iters times through the

@@ -8,8 +8,9 @@ import (
 )
 
 // Schema identifies the result-file layout; bump on breaking changes so a
-// stale baseline fails loudly instead of comparing garbage.
-const Schema = "spmvbench/v1"
+// stale baseline fails loudly instead of comparing garbage. v2 added the
+// host CPU count and the sequential-vs-parallel search benchmark.
+const Schema = "spmvbench/v2"
 
 // CounterSummary condenses one case's device counters to the signals the
 // paper's analysis keys on.
@@ -50,11 +51,33 @@ type Case struct {
 	Counters CounterSummary `json:"counters"`
 }
 
+// SearchBench records the sequential-vs-parallel exhaustive-search
+// comparison of one run: the same tuning search timed at Workers=1 and at
+// Workers=N, with the requirement that both produce identical labels.
+// Seconds are host wall time — machine-dependent — which is why HostCPUs
+// is recorded: the speedup gate is capacity-conditional and only enforced
+// when the host actually has at least Workers CPUs (a 1-CPU runner cannot
+// honestly demonstrate a parallel speedup, and a fabricated number would
+// defeat the gate's purpose).
+type SearchBench struct {
+	Matrices   int     `json:"matrices"` // matrices searched per pass
+	Workers    int     `json:"workers"`
+	HostCPUs   int     `json:"hostCPUs"`
+	SeqSeconds float64 `json:"seqSeconds"`
+	ParSeconds float64 `json:"parSeconds"`
+	Speedup    float64 `json:"speedup"`
+	// Identical reports that the parallel pass produced exactly the
+	// sequential pass's SearchResults — the determinism contract.
+	Identical bool `json:"identical"`
+}
+
 // Results is the machine-readable output of one spmvbench run.
 type Results struct {
-	Schema    string `json:"schema"`
-	GoVersion string `json:"goVersion,omitempty"`
-	Cases     []Case `json:"cases"`
+	Schema    string       `json:"schema"`
+	GoVersion string       `json:"goVersion,omitempty"`
+	HostCPUs  int          `json:"hostCPUs,omitempty"`
+	Search    *SearchBench `json:"search,omitempty"`
+	Cases     []Case       `json:"cases"`
 }
 
 // WriteFile writes the results as indented JSON.
@@ -115,4 +138,26 @@ func Compare(base, cur *Results, threshold float64) []string {
 		}
 	}
 	return regressions
+}
+
+// CheckSearch gates the search benchmark: the parallel result must equal
+// the sequential one unconditionally (determinism is not machine-
+// dependent), and the speedup must reach minSpeedup whenever the host has
+// the CPUs to demonstrate it — on a host with fewer CPUs than workers the
+// speedup is reported but not enforced.
+func CheckSearch(sb *SearchBench, minSpeedup float64) []string {
+	if sb == nil {
+		return nil
+	}
+	var regs []string
+	if !sb.Identical {
+		regs = append(regs,
+			"search: parallel labels differ from sequential labels (determinism violation)")
+	}
+	if minSpeedup > 0 && sb.Workers > 1 && sb.HostCPUs >= sb.Workers && sb.Speedup < minSpeedup {
+		regs = append(regs,
+			fmt.Sprintf("search: %.2fx speedup at %d workers, want >= %.2fx (host has %d CPUs)",
+				sb.Speedup, sb.Workers, minSpeedup, sb.HostCPUs))
+	}
+	return regs
 }

@@ -42,6 +42,7 @@ func main() {
 	modelPath := flag.String("model", "", "trained model file (empty: bootstrap-train at startup)")
 	corpus := flag.Int("corpus", 24, "bootstrap training corpus size when no -model is given")
 	workers := flag.Int("workers", 0, "concurrent SpMV executions (0 = GOMAXPROCS)")
+	execWorkers := flag.Int("exec-workers", 1, "per-request bin-execution goroutines (1 = sequential bins; clamped so workers*exec-workers <= GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "queued SpMV requests beyond the executing ones before 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request execution deadline")
 	maxBatch := flag.Int("max-batch", 64, "maximum vectors per SpMV request")
@@ -77,6 +78,7 @@ func main() {
 	srv, err := server.New(server.Config{
 		Framework:      fw,
 		Workers:        *workers,
+		ExecWorkers:    *execWorkers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxBatch:       *maxBatch,

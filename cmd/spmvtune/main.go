@@ -168,9 +168,11 @@ func cmdTrain(args []string) error {
 	minRows := fs.Int("minrows", 512, "smallest corpus matrix")
 	maxRows := fs.Int("maxrows", 8192, "largest corpus matrix")
 	seed := fs.Int64("seed", 42, "corpus seed")
+	workers := fs.Int("workers", 0, "host goroutines for the exhaustive tuning search (0 = GOMAXPROCS, 1 = sequential; labels are identical for every value)")
 	fs.Parse(args)
 
 	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
 	mats := matgen.Corpus(matgen.CorpusOptions{N: *corpus, MinRows: *minRows, MaxRows: *maxRows, Seed: *seed})
 	td := core.NewTrainingData(cfg)
 	for i, cm := range mats {
@@ -234,6 +236,8 @@ func cmdRun(args []string) error {
 	guarded := fs.Bool("guarded", true, "run through the guarded executor (fallback chain + verification)")
 	tracePath := fs.String("trace", "", "write JSONL pipeline spans to this file ('-' for stdout); deterministic — identical runs emit identical bytes")
 	counters := fs.Bool("counters", false, "collect device performance counters and print per-bin execution profiles (guarded runs only)")
+	workers := fs.Int("workers", 1, "host goroutines serving independent bins in the guarded executor (1 = sequential; the result and report are identical for every value)")
+	deviceWorkers := fs.Int("device-workers", 0, "sharded ND-range executor workers per kernel launch (0 = legacy sequential simulator; >= 1 selects the sharded executor, whose modeled cycles are worker-count-invariant)")
 	fs.Parse(args)
 	a, err := loadMatrix(*in)
 	if err != nil {
@@ -243,7 +247,9 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	fw := core.NewFramework(core.DefaultConfig(), m)
+	cfg := core.DefaultConfig()
+	cfg.Device.Workers = *deviceWorkers
+	fw := core.NewFramework(cfg, m)
 	v := onesVec(a.Cols)
 	u := make([]float64, a.Rows)
 	ctx, cancel := withTimeout(*timeout)
@@ -251,6 +257,7 @@ func cmdRun(args []string) error {
 
 	opt := core.DefaultGuardOptions()
 	opt.Counters = *counters
+	opt.Workers = *workers
 	if *tracePath != "" {
 		if !*guarded {
 			return fmt.Errorf("-trace requires the guarded executor (drop -guarded=false)")
@@ -310,6 +317,7 @@ func cmdCompare(args []string) error {
 	in := fs.String("in", "", "input Matrix Market file")
 	model := fs.String("model", "model.json", "trained model file")
 	timeout := fs.Duration("timeout", 0, "abort the comparison after this duration (0 = no limit)")
+	deviceWorkers := fs.Int("device-workers", 0, "sharded ND-range executor workers per kernel launch (0 = legacy sequential simulator; >= 1 selects the sharded executor, whose modeled cycles are worker-count-invariant)")
 	fs.Parse(args)
 	a, err := loadMatrix(*in)
 	if err != nil {
@@ -320,6 +328,7 @@ func cmdCompare(args []string) error {
 		return err
 	}
 	cfg := core.DefaultConfig()
+	cfg.Device.Workers = *deviceWorkers
 	fw := core.NewFramework(cfg, m)
 	v := onesVec(a.Cols)
 	u := make([]float64, a.Rows)

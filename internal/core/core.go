@@ -37,6 +37,16 @@ type Config struct {
 	// with the normalized row-length histogram — the richer parameter set
 	// the paper's Section IV-C proposes for future work.
 	ExtendedFeatures bool
+
+	// Workers bounds the host-side worker pool the exhaustive tuning
+	// search fans (U, bin, kernel-pool) evaluations over: <= 0 selects
+	// GOMAXPROCS, 1 is fully sequential. The search result is byte-
+	// identical for every value — candidate evaluations are independent and
+	// the canonical tie-breaking runs over results assembled in fixed
+	// (U, bin, kernel) order — so the knob only chooses how much host
+	// hardware tuning may occupy. Device-level launch parallelism is
+	// separate: see Device.Workers (hsa.Config).
+	Workers int
 }
 
 // FeatureVector extracts the matrix features this configuration's models
@@ -88,13 +98,8 @@ func SimulateKernelCtx(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u 
 			panic(rec)
 		}
 	}()
-	run := hsa.NewRun(dev)
-	if ctx != nil {
-		run.SetContext(ctx)
-	}
-	in := kernels.NewInput(run, a, v, u)
-	k.Run(run, in, groups)
-	return run.Stats(), nil
+	st, _ = launchKernel(ctx, dev, a, v, u, k, groups, nil, false)
+	return st, nil
 }
 
 // SimulateBinned executes one kernel launch per non-empty bin using the

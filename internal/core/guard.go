@@ -81,6 +81,18 @@ type GuardOptions struct {
 	// TraceID tags this run's spans so concurrent runs sharing one Writer
 	// stay separable.
 	TraceID string
+	// Workers bounds the host pool independent bins are served over: <= 1
+	// (including the zero value) serves bins sequentially in bin order —
+	// the legacy behavior; > 1 fans bins over at most Workers goroutines.
+	// Bins write disjoint row ranges of u and each keeps its own fault
+	// arming, retry/backoff loop and fallback chain; per-bin sub-reports
+	// merge in bin order, so on the success path u and the ExecReport are
+	// identical to a sequential run's (trace spans may interleave, and on
+	// an aborting error the parallel run may have served bins a sequential
+	// run would not have reached). Inner device launches are clamped to a
+	// sequential executor — the bin pool owns the host budget (see
+	// sequentialDevice).
+	Workers int
 }
 
 // DefaultGuardOptions returns the production defaults.
@@ -250,15 +262,51 @@ func (fw *Framework) RunGuardedOpts(ctx context.Context, a *sparse.CSR, v, u []f
 }
 
 // runBinsGuarded serves every non-empty bin through the fallback chain —
-// the shared execution engine of RunGuardedOpts and ExecutePlanOpts.
+// the shared execution engine of RunGuardedOpts and ExecutePlanOpts. With
+// opt.Workers > 1 independent bins are served concurrently; each bin runs
+// against a private sub-report and the sub-reports merge in bin order, so
+// the success-path result is identical to the sequential run's.
 func (fw *Framework) runBinsGuarded(ctx context.Context, a *sparse.CSR, v, u, want []float64,
 	b *binning.Binning, kernelByBin map[int]int, opt GuardOptions, rep *ExecReport) error {
-	for _, binID := range b.NonEmpty() {
-		if err := fw.runBinGuarded(ctx, a, v, u, want, b, binID, kernelByBin[binID], opt, rep); err != nil {
-			return err
+
+	bins := b.NonEmpty()
+	workers := opt.Workers
+	if workers > len(bins) {
+		workers = len(bins)
+	}
+	if workers <= 1 {
+		for _, binID := range bins {
+			if err := fw.runBinGuarded(ctx, fw.Cfg.Device, a, v, u, want, b, binID, kernelByBin[binID], opt, rep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	dev := sequentialDevice(fw.Cfg.Device)
+	subs := make([]*ExecReport, len(bins))
+	errs := make([]error, len(bins))
+	forEachLimit(workers, len(bins), func(i int) {
+		sub := &ExecReport{Decision: rep.Decision, CountersEnabled: rep.CountersEnabled}
+		subs[i] = sub
+		errs[i] = fw.runBinGuarded(ctx, dev, a, v, u, want, b, bins[i], kernelByBin[bins[i]], opt, sub)
+	})
+	var firstErr error
+	for i, sub := range subs {
+		rep.Bins = append(rep.Bins, sub.Bins...)
+		rep.Profiles = append(rep.Profiles, sub.Profiles...)
+		rep.Stats.Add(sub.Stats)
+		if rep.CountersEnabled {
+			rep.Counters.Add(sub.Counters)
+		}
+		rep.Retries += sub.Retries
+		rep.Fallbacks += sub.Fallbacks
+		rep.CPUServed += sub.CPUServed
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // decideGuarded runs the predict path with panic recovery, emitting one
@@ -278,10 +326,12 @@ func (fw *Framework) decideGuarded(a *sparse.CSR, tw *trace.Writer, traceID stri
 	return d, b, nil
 }
 
-// runBinGuarded serves one bin through the fallback chain. It returns a
-// non-nil error only on cancellation; every device failure degrades to the
-// next chain link, and the CPU reference cannot fail.
-func (fw *Framework) runBinGuarded(ctx context.Context, a *sparse.CSR, v, u, want []float64,
+// runBinGuarded serves one bin through the fallback chain on the given
+// device config (runBinsGuarded passes a sequential-clamped device when the
+// bins themselves run on a pool). It returns a non-nil error only on
+// cancellation; every device failure degrades to the next chain link, and
+// the CPU reference cannot fail.
+func (fw *Framework) runBinGuarded(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u, want []float64,
 	b *binning.Binning, binID, predictedKID int, opt GuardOptions, rep *ExecReport) error {
 
 	groups := b.Bins[binID]
@@ -322,7 +372,7 @@ func (fw *Framework) runBinGuarded(ctx context.Context, a *sparse.CSR, v, u, wan
 			fs := opt.Faults.Arm(binID, ln.kid, retry)
 			spanStart := opt.Trace.Now()
 			wallStart := time.Now()
-			st, ctr, err := simulateBinAttempt(ctx, fw.Cfg.Device, a, v, u, info.Kernel, groups, fs, opt.Counters)
+			st, ctr, err := simulateBinAttempt(ctx, dev, a, v, u, info.Kernel, groups, fs, opt.Counters)
 			if err == nil {
 				if row, ok := verifyBin(u, want, groups, opt.Tolerance); !ok {
 					err = fmt.Errorf("core: output verification failed at row %d: %w", row, errdefs.ErrKernelFault)
@@ -425,7 +475,9 @@ func emitBinSpan(opt GuardOptions, start time.Time, pr *plan.ExecProfile) {
 // device faults and cancellation surface as their typed errors, and any
 // other panic — a misbehaving kernel indexing out of range, say — is
 // contained as a generic kernel fault instead of taking down the process.
-// With collect set the launch gathers device performance counters,
+// The launch routes through launchKernel, so dev.Workers selects the
+// executor (legacy single-accountant vs sharded) and faults fire under
+// either. With collect set the launch gathers device performance counters,
 // returned alongside the stats (nil otherwise).
 func simulateBinAttempt(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []float64,
 	k kernels.Kernel, groups []binning.Group, fs *hsa.FaultState, collect bool) (st hsa.Stats, ctr *hsa.Counters, err error) {
@@ -442,14 +494,7 @@ func simulateBinAttempt(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u
 		err = fmt.Errorf("core: recovered kernel panic: %v: %w", rec, errdefs.ErrKernelFault)
 	}()
 
-	run := hsa.NewRun(dev)
-	run.SetContext(ctx)
-	run.InjectFaults(fs)
-	if collect {
-		run.EnableCounters()
-	}
-	in := kernels.NewInput(run, a, v, u)
-	k.Run(run, in, groups)
+	st, ctr = launchKernel(ctx, dev, a, v, u, k, groups, fs, collect)
 	if fs.PoisonOutput() {
 		// Silent data corruption: the launch "succeeded" but its output
 		// rows are NaN. Only the verification oracle can catch this.
@@ -458,10 +503,6 @@ func simulateBinAttempt(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u
 				u[r] = math.NaN()
 			}
 		}
-	}
-	st = run.Stats()
-	if c, ok := run.Counters(); ok {
-		ctr = &c
 	}
 	return st, ctr, nil
 }

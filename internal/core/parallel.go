@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/sparse"
+)
+
+// launchKernel executes one kernel launch on the device, routing between
+// the legacy single-accountant path (dev.Workers == 0 — byte-compatible
+// with the pre-parallel simulator) and the sharded ND-range executor
+// (dev.Workers >= 1 — worker-count-invariant, see hsa.RunSharded). Faults
+// and cancellation surface as panics on the calling goroutine in both
+// modes; callers that need containment wrap this in a recover (see
+// simulateBinAttempt and SimulateKernelCtx).
+func launchKernel(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []float64,
+	k kernels.Kernel, groups []binning.Group, fs *hsa.FaultState, collect bool) (hsa.Stats, *hsa.Counters) {
+
+	if dev.Workers == 0 {
+		run := hsa.NewRun(dev)
+		if ctx != nil {
+			run.SetContext(ctx)
+		}
+		run.InjectFaults(fs)
+		if collect {
+			run.EnableCounters()
+		}
+		in := kernels.NewInput(run, a, v, u)
+		k.Run(run, in, groups)
+		st := run.Stats()
+		if c, ok := run.Counters(); ok {
+			return st, &c
+		}
+		return st, nil
+	}
+
+	parts := kernels.SplitGroups(groups, kernels.RowsPerWG(k, dev), dev.Shards())
+	return hsa.RunSharded(ctx, dev, hsa.ShardOptions{
+		Shards:   dev.Shards(),
+		Workers:  dev.Workers,
+		Counters: collect,
+		Fault:    fs,
+	}, func(shard int, r *hsa.Run) {
+		in := kernels.NewInput(r, a, v, u)
+		k.Run(r, in, parts[shard])
+	})
+}
+
+// sequentialDevice bounds a device config for use inside an outer host
+// worker pool: a launch that is itself one task of a fan-out must not spawn
+// its own shard workers on top (pool × pool oversubscribes the host). The
+// clamp preserves the executor semantics class — a sharded device stays
+// sharded (Workers 1 produces the same bits as any other value), the
+// legacy mode stays legacy — so results are unchanged, only host occupancy.
+func sequentialDevice(dev hsa.Config) hsa.Config {
+	if dev.Workers > 1 {
+		dev.Workers = 1
+	}
+	return dev
+}
+
+// resolveWorkers maps a worker knob to an effective pool size: <= 0 selects
+// GOMAXPROCS, anything else is taken as given.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// forEachLimit runs fn(0), ..., fn(n-1) on a pool of at most workers
+// goroutines and returns once every task finished. Task panics are captured
+// and, after the join, the panic of the lowest task index is re-raised on
+// the caller — keeping failure behavior deterministic for tasks whose
+// outcome does not depend on scheduling. workers <= 1 degenerates to a
+// plain in-order loop with panics propagating directly.
+func forEachLimit(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							panics[i] = rec
+							panicked.Store(true)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for i := 0; i < n; i++ {
+			if panics[i] != nil {
+				panic(panics[i])
+			}
+		}
+	}
+}

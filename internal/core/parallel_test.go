@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/plan"
+)
+
+// bitsEqual compares float vectors bit-for-bit — the determinism contract
+// is byte identity, not tolerance.
+func bitsEqual(a, b []float64) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestSearchWorkerDeterminism: the exhaustive search must label
+// identically at every worker count — the labels are training ground
+// truth, and nondeterministic ground truth poisons every model after it.
+func TestSearchWorkerDeterminism(t *testing.T) {
+	cfg := testConfig()
+	a := matgen.Mixed(700, 700, 35, []int{2, 80}, 21)
+
+	cfg.Workers = 1
+	want, err := SearchCtx(context.Background(), cfg, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		cfg.Workers = w
+		got, err := SearchCtx(context.Background(), cfg, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: search result differs from workers=1:\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+	// The legacy entry point wraps SearchCtx; it must agree too.
+	cfg.Workers = 0
+	if got := Search(cfg, a); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Search (workers=0) differs from SearchCtx(workers=1)")
+	}
+}
+
+func TestSearchCtxCancellation(t *testing.T) {
+	cfg := testConfig()
+	a := matgen.Mixed(400, 400, 20, []int{2, 50}, 22)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SearchCtx(ctx, cfg, a); !errors.Is(err, errdefs.ErrCanceled) {
+		t.Fatalf("canceled search returned %v, want ErrCanceled", err)
+	}
+}
+
+// normalizeProfiles strips the one legitimately nondeterministic field —
+// host wall time — so profiles can be compared exactly.
+func normalizeProfiles(ps []plan.ExecProfile) []plan.ExecProfile {
+	out := make([]plan.ExecProfile, len(ps))
+	copy(out, ps)
+	for i := range out {
+		out[i].WallNs = 0
+	}
+	return out
+}
+
+// guardedRun executes one guarded run with the given bin-pool size and
+// returns everything the determinism contract covers.
+func guardedRun(t *testing.T, fw *Framework, workers int) ([]float64, Decision, *ExecReport) {
+	t.Helper()
+	a, v, _ := guardMatrix()
+	u := make([]float64, a.Rows)
+	opt := DefaultGuardOptions()
+	opt.Counters = true
+	opt.Workers = workers
+	d, rep, err := fw.RunGuardedOpts(context.Background(), a, v, u, opt)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return u, d, rep
+}
+
+// TestGuardedWorkerDeterminism is the end-to-end golden test: Workers=1
+// and Workers=8 must produce byte-identical output vectors, Stats,
+// Counters, decisions and execution profiles (wall time excepted — it is
+// measured, not modeled).
+func TestGuardedWorkerDeterminism(t *testing.T) {
+	fw := guardFramework(t)
+	u1, d1, rep1 := guardedRun(t, fw, 1)
+	u8, d8, rep8 := guardedRun(t, fw, 8)
+
+	if i := bitsEqual(u1, u8); i != -1 {
+		t.Fatalf("output vectors differ at row %d: %x vs %x", i, u1[i], u8[i])
+	}
+	if !reflect.DeepEqual(d1, d8) {
+		t.Errorf("decisions differ: %+v vs %+v", d1, d8)
+	}
+	if rep1.Stats != rep8.Stats {
+		t.Errorf("stats differ:\n w=1 %+v\n w=8 %+v", rep1.Stats, rep8.Stats)
+	}
+	if rep1.Counters != rep8.Counters {
+		t.Errorf("counters differ:\n w=1 %+v\n w=8 %+v", rep1.Counters, rep8.Counters)
+	}
+	if !reflect.DeepEqual(rep1.Bins, rep8.Bins) {
+		t.Errorf("bin reports differ:\n w=1 %+v\n w=8 %+v", rep1.Bins, rep8.Bins)
+	}
+	if !reflect.DeepEqual(normalizeProfiles(rep1.Profiles), normalizeProfiles(rep8.Profiles)) {
+		t.Errorf("exec profiles differ:\n w=1 %+v\n w=8 %+v", rep1.Profiles, rep8.Profiles)
+	}
+}
+
+// TestPlanFingerprintWorkerDeterminism: plans computed while parallel
+// execution is in play must carry the same fingerprints and model version
+// regardless of worker count.
+func TestPlanFingerprintWorkerDeterminism(t *testing.T) {
+	fw := guardFramework(t)
+	a, _, _ := guardMatrix()
+	p1, err := fw.Plan(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.Cfg.Workers = 8
+	p8, err := fw.Plan(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Fingerprint != p8.Fingerprint || p1.ModelVersion != p8.ModelVersion {
+		t.Fatalf("plan identity differs: %s/%s vs %s/%s",
+			p1.Fingerprint, p1.ModelVersion, p8.Fingerprint, p8.ModelVersion)
+	}
+	if !reflect.DeepEqual(p1.Bins, p8.Bins) {
+		t.Fatalf("plan bins differ: %+v vs %+v", p1.Bins, p8.Bins)
+	}
+}
+
+// TestGuardedParallelFaults: fault injection and the fallback chain keep
+// their per-bin semantics when bins run on a pool — the merged report must
+// equal the sequential run's (wall time excepted).
+func TestGuardedParallelFaults(t *testing.T) {
+	fw := guardFramework(t)
+	a, v, want := guardMatrix()
+
+	run := func(workers int) ([]float64, *ExecReport) {
+		u := make([]float64, a.Rows)
+		opt := DefaultGuardOptions()
+		opt.Backoff = -1
+		opt.Workers = workers
+		opt.Faults = hsa.NewFaultPlan().
+			AddFault(hsa.Fault{Class: hsa.FaultBarrierDivergence, Transient: 1})
+		_, rep, err := fw.RunGuardedOpts(context.Background(), a, v, u, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return u, rep
+	}
+
+	u1, rep1 := run(1)
+	u4, rep4 := run(4)
+	if i := bitsEqual(u1, u4); i != -1 {
+		t.Fatalf("faulted outputs differ at row %d", i)
+	}
+	for i := range want {
+		if math.Abs(u4[i]-want[i]) > 1e-9 {
+			t.Fatalf("faulted run not verified at row %d", i)
+		}
+	}
+	if rep1.Retries == 0 {
+		t.Fatal("transient fault injected no retries — the fault path was not exercised")
+	}
+	if !rep4.Degraded() || rep4.Retries != rep1.Retries || rep4.Fallbacks != rep1.Fallbacks || rep4.CPUServed != rep1.CPUServed {
+		t.Fatalf("degradation accounting differs: w=1 {r%d f%d c%d}, w=4 {r%d f%d c%d}",
+			rep1.Retries, rep1.Fallbacks, rep1.CPUServed, rep4.Retries, rep4.Fallbacks, rep4.CPUServed)
+	}
+	if !reflect.DeepEqual(rep1.Bins, rep4.Bins) {
+		t.Fatalf("faulted bin reports differ:\n w=1 %+v\n w=4 %+v", rep1.Bins, rep4.Bins)
+	}
+}
+
+// TestSimulateKernelShardedInvariance: the device-level sharded executor
+// is worker-count-invariant through the core routing layer too.
+func TestSimulateKernelShardedInvariance(t *testing.T) {
+	a := matgen.Mixed(600, 600, 30, []int{2, 70}, 23)
+	v := randVec(a.Cols, 29)
+	dev := testConfig().Device
+	k := kernels.Pool()[4].Kernel
+	groups := binning.Single(a).Bins[0]
+
+	results := map[int]hsa.Stats{}
+	outputs := map[int][]float64{}
+	for _, w := range []int{1, 2, 6} {
+		dev.Workers = w
+		u := make([]float64, a.Rows)
+		st, err := SimulateKernelCtx(context.Background(), dev, a, v, u, k, groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[w] = st
+		outputs[w] = u
+	}
+	for _, w := range []int{2, 6} {
+		if results[w] != results[1] {
+			t.Errorf("device workers=%d stats differ from workers=1:\n %+v\n %+v", w, results[w], results[1])
+		}
+		if i := bitsEqual(outputs[1], outputs[w]); i != -1 {
+			t.Errorf("device workers=%d output differs at row %d", w, i)
+		}
+	}
+}
+
+// TestExecutePlanConcurrentStress: many goroutines executing the same
+// shared plan against the same framework, each with a parallel bin pool —
+// the scenario spmvd serves. Run with -race in CI; every result must
+// verify and match the others bit-for-bit.
+func TestExecutePlanConcurrentStress(t *testing.T) {
+	fw := guardFramework(t)
+	a, v, _ := guardMatrix()
+	p, err := fw.Plan(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	outs := make([][]float64, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			u := make([]float64, a.Rows)
+			opt := DefaultGuardOptions()
+			opt.Counters = true
+			opt.Workers = 2
+			_, errs[g] = fw.ExecutePlanOpts(context.Background(), p, a, v, u, opt)
+			outs[g] = u
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if i := bitsEqual(outs[0], outs[g]); i != -1 {
+			t.Fatalf("goroutine %d output differs at row %d", g, i)
+		}
+	}
+}
+
+// TestForEachLimitPanicOrder: the pool must re-raise the lowest task
+// index's panic — the one a sequential loop would have hit first.
+func TestForEachLimitPanicOrder(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		got := func() (rec any) {
+			defer func() { rec = recover() }()
+			forEachLimit(workers, 10, func(i int) {
+				if i == 3 || i == 7 {
+					panic(i)
+				}
+			})
+			return nil
+		}()
+		if got != 3 {
+			t.Errorf("workers=%d: recovered %v, want 3", workers, got)
+		}
+	}
+}

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"spmvtune/internal/binning"
+	"spmvtune/internal/errdefs"
 	"spmvtune/internal/kernels"
 	"spmvtune/internal/sparse"
 )
@@ -66,47 +70,117 @@ const tieEpsilon = 0.08
 // Search exhaustively evaluates every candidate U and, for each non-empty
 // bin, every kernel in the pool on the simulated device, returning the
 // labeled optimum. The probe vector v is deterministic (all ones) — kernel
-// cost depends only on structure, not values.
+// cost depends only on structure, not values. It is SearchCtx under a
+// background context (which cannot expire).
 func Search(cfg Config, a *sparse.CSR) SearchResult {
+	res, _ := SearchCtx(context.Background(), cfg, a)
+	return res
+}
+
+// searchTask is one independent cell of the exhaustive search: the full
+// kernel pool evaluated on one (U, bin) pair, writing one BinLabel slot.
+type searchTask struct {
+	ui, bi int
+	groups []binning.Group
+}
+
+// SearchCtx is Search under a context and the Config.Workers host pool.
+// The search fans its (U, bin) cells — each evaluating the whole kernel
+// pool on one bin — over at most resolveWorkers(cfg.Workers) goroutines.
+// The result is byte-identical for every worker count: cells are
+// independent (each writes only its own preallocated slot), and the
+// cross-cell reductions — per-U sums and the canonical tie-breaks — run
+// sequentially over the slots in fixed (U, bin, kernel) order afterwards.
+// Cancellation is polled per cell and inside each simulated launch; on
+// expiry an error matching errdefs.ErrCanceled is returned.
+func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pool := kernels.Pool()
 	v := make([]float64, a.Cols)
 	for i := range v {
 		v[i] = 1
 	}
-	u := make([]float64, a.Rows)
 
+	// Stage 1 (sequential): bin the matrix per U and lay the result skeleton
+	// out in canonical order, one task per non-empty (U, bin) cell.
 	res := SearchResult{Seconds: math.Inf(1)}
+	var tasks []searchTask
 	for _, unit := range cfg.Us {
 		b := binning.Coarse(a, unit, cfg.MaxBins)
 		ul := ULabel{U: unit}
 		for _, binID := range b.NonEmpty() {
-			bl := BinLabel{BinID: binID, Rows: b.NumRows(binID), KernelID: -1,
+			ul.Bins = append(ul.Bins, BinLabel{BinID: binID, Rows: b.NumRows(binID), KernelID: -1,
 				AvgLen:      binAvgRowLen(a, b.Bins[binID]),
-				KernelTimes: make([]float64, len(pool)), Seconds: math.Inf(1)}
-			for _, info := range pool {
-				st := SimulateKernel(cfg.Device, a, v, u, info.Kernel, b.Bins[binID])
-				bl.KernelTimes[info.ID] = st.Seconds
-				if st.Seconds < bl.Seconds {
-					bl.Seconds = st.Seconds
-				}
-			}
-			// Canonical label: the lowest kernel ID within the tie slack.
-			for kid, s := range bl.KernelTimes {
-				if s <= bl.Seconds*(1+tieEpsilon) {
-					bl.KernelID = kid
-					bl.Seconds = bl.KernelTimes[kid]
-					break
-				}
-			}
-			ul.Seconds += bl.Seconds
-			ul.Bins = append(ul.Bins, bl)
+				KernelTimes: make([]float64, len(pool)), Seconds: math.Inf(1)})
+			tasks = append(tasks, searchTask{ui: len(res.PerU), bi: len(ul.Bins) - 1, groups: b.Bins[binID]})
 		}
 		res.PerU = append(res.PerU, ul)
+	}
+
+	// Stage 2: evaluate the cells on the worker pool. Inner device launches
+	// are clamped to a sequential executor when the outer pool is parallel —
+	// the fan-out owns the host budget (see sequentialDevice).
+	workers := resolveWorkers(cfg.Workers)
+	dev := cfg.Device
+	if workers > 1 {
+		dev = sequentialDevice(dev)
+	}
+	scratch := sync.Pool{New: func() any { s := make([]float64, a.Rows); return &s }}
+	errs := make([]error, len(tasks))
+	var stop atomic.Bool
+	forEachLimit(workers, len(tasks), func(i int) {
+		if stop.Load() {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			errs[i] = errdefs.Canceled(err)
+			stop.Store(true)
+			return
+		}
+		t := tasks[i]
+		bl := &res.PerU[t.ui].Bins[t.bi]
+		up := scratch.Get().(*[]float64)
+		defer scratch.Put(up)
+		for _, info := range pool {
+			st, err := SimulateKernelCtx(ctx, dev, a, v, *up, info.Kernel, t.groups)
+			if err != nil {
+				errs[i] = err
+				stop.Store(true)
+				return
+			}
+			bl.KernelTimes[info.ID] = st.Seconds
+			if st.Seconds < bl.Seconds {
+				bl.Seconds = st.Seconds
+			}
+		}
+		// Canonical label: the lowest kernel ID within the tie slack.
+		for kid, s := range bl.KernelTimes {
+			if s <= bl.Seconds*(1+tieEpsilon) {
+				bl.KernelID = kid
+				bl.Seconds = bl.KernelTimes[kid]
+				break
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return SearchResult{}, err
+		}
+	}
+
+	// Stage 3 (sequential): reduce in canonical order — per-U sums, then the
+	// smallest granularity within the tie slack.
+	for ui := range res.PerU {
+		ul := &res.PerU[ui]
+		for _, bl := range ul.Bins {
+			ul.Seconds += bl.Seconds
+		}
 		if ul.Seconds < res.Seconds {
 			res.Seconds = ul.Seconds
 		}
 	}
-	// Canonical U label: the smallest granularity within the tie slack.
 	for _, ul := range res.PerU {
 		if ul.Seconds <= res.Seconds*(1+tieEpsilon) {
 			res.BestU = ul.U
@@ -114,7 +188,7 @@ func Search(cfg Config, a *sparse.CSR) SearchResult {
 			break
 		}
 	}
-	return res
+	return res, nil
 }
 
 // binAvgRowLen returns the mean stored row length across the groups.

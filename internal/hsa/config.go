@@ -54,7 +54,32 @@ type Config struct {
 	// cheaper than a host-synchronized launch, and the mechanism that lets
 	// per-bin kernels run back-to-back.
 	QueueDispatchCycles float64
+
+	// Workers selects the host-side execution mode of kernel launches that
+	// go through the parallel ND-range executor (RunSharded and the core
+	// simulate entry points):
+	//
+	//   - 0 (the default) keeps the legacy single-accountant path: every
+	//     work-group of a launch runs sequentially on one goroutine against
+	//     one shared cache-tag array, exactly as before this knob existed;
+	//   - >= 1 opts into the sharded executor: the ND-range is split into
+	//     Shards() deterministic shards (each with its own cache tags,
+	//     counter block and per-CU cycle accumulators) and at most Workers
+	//     host goroutines execute them, with 1 meaning a plain sequential
+	//     loop over the shards.
+	//
+	// The shard count is a function of the device alone — never of Workers
+	// — and shard results merge in fixed shard order, so every Workers >= 1
+	// value produces byte-identical results, Stats and Counters. Workers
+	// only decides how much host hardware the simulation may use.
+	Workers int
 }
+
+// Shards returns the deterministic shard count of the parallel ND-range
+// executor for this device: one shard per modeled compute unit. Keeping the
+// count a pure function of the device (independent of Config.Workers and of
+// the host) is what makes sharded results worker-count-invariant.
+func (c Config) Shards() int { return c.NumCUs }
 
 // DefaultConfig models the paper's platform: an AMD A10-7850K Kaveri APU
 // GPU — 8 GCN compute units at 720 MHz, 4 SIMD pipes per CU, 64-lane

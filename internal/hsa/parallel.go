@@ -1,0 +1,200 @@
+package hsa
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel ND-range executor: the host-side answer to the
+// device parallelism the whole paper is about. A kernel launch is split
+// into Config.Shards() *deterministic* shards — each shard owns a private
+// Run (its own cache-tag array, counter block and per-CU cycle
+// accumulators) and executes a WG-aligned slice of the ND-range — and a
+// bounded pool of host workers executes the shards. Work-groups share no
+// state across barriers (the observation CSR-Adaptive's independent-bin
+// execution rests on), so sharding preserves functional semantics exactly.
+//
+// Determinism strategy: the shard count and shard boundaries are pure
+// functions of (device, ND-range), never of the worker count or of
+// scheduling, and shard results are reduced in fixed shard-index order.
+// Workers therefore only decides how many OS threads the simulation may
+// occupy; every Workers >= 1 value yields byte-identical output vectors,
+// Stats and Counters. Workers=1 is the retained sequential path — a plain
+// in-order loop over the shards with no goroutines involved.
+//
+// Model note: each shard warms its own cache tags, so the sharded
+// executor models the shared cache as partitioned across the shards'
+// compute units. That differs slightly from the legacy single-accountant
+// path (Config.Workers == 0), which streams every work-group through one
+// shared tag array; both models are deterministic, the knob selects which
+// one a launch uses.
+
+// ShardOptions configures one sharded launch.
+type ShardOptions struct {
+	// Shards is the deterministic shard count; <= 0 selects cfg.Shards().
+	Shards int
+	// Workers bounds the host goroutines executing shards; <= 0 selects
+	// GOMAXPROCS, 1 runs the shards sequentially in shard order on the
+	// calling goroutine. The effective pool never exceeds the shard count.
+	Workers int
+	// Counters enables per-shard performance-counter collection; the merged
+	// counters are returned alongside the stats.
+	Counters bool
+	// Fault is the armed fault state shared (read-only) by every shard; a
+	// firing fault aborts the launch by panicking with a *KernelFault,
+	// exactly like the sequential path. Nil injects nothing.
+	Fault *FaultState
+}
+
+// RunSharded executes one kernel launch as a set of independent shards and
+// returns the merged launch statistics (and counters, when enabled). fn is
+// called once per shard with the shard index and that shard's private Run;
+// it must execute exactly the shard's slice of the ND-range (allocate
+// regions, dispatch work-groups) and touch no other shard's state.
+//
+// Failure semantics mirror a sequential launch: injected faults and
+// cancellation abort the launch by panicking (with *KernelFault or an
+// error matching errdefs.ErrCanceled), to be recovered by guarded
+// executors. When several shards panic, the lowest shard index wins —
+// and because shards share no state, that is the same shard that would
+// have panicked first under sequential execution, keeping fault behavior
+// worker-count-invariant.
+func RunSharded(ctx context.Context, cfg Config, opt ShardOptions, fn func(shard int, r *Run)) (Stats, *Counters) {
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = cfg.Shards()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+
+	runs := make([]*Run, shards)
+	for i := range runs {
+		r := NewRun(cfg)
+		if ctx != nil {
+			r.SetContext(ctx)
+		}
+		r.InjectFaults(opt.Fault)
+		if opt.Counters {
+			r.EnableCounters()
+		}
+		runs[i] = r
+	}
+
+	if workers == 1 {
+		// The sequential path: an in-order loop, panics propagate directly.
+		for i := 0; i < shards; i++ {
+			fn(i, runs[i])
+		}
+		return mergeShardRuns(cfg, runs, opt.Counters)
+	}
+
+	// Parallel path: workers drain an atomic shard counter. A panicking
+	// shard does not stop its siblings (they run to completion — shards are
+	// independent, so the waste is bounded by one launch); after the join,
+	// the lowest panicking shard's value is re-raised on the caller.
+	panics := make([]any, shards)
+	var panicked atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shards {
+					return
+				}
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							panics[i] = rec
+							panicked.Store(true)
+						}
+					}()
+					fn(i, runs[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		for i := 0; i < shards; i++ {
+			if panics[i] != nil {
+				panic(panics[i])
+			}
+		}
+	}
+	return mergeShardRuns(cfg, runs, opt.Counters)
+}
+
+// mergeShardRuns reduces per-shard accountants into one launch result, in
+// fixed shard order so float accumulation is bit-reproducible. Activity
+// counts and issue-cycle sums add; per-CU cycle loads add elementwise (the
+// shards' work-groups really do share the device's compute units); the
+// merged makespan is the most loaded CU bounded below by the DRAM roofline
+// over the total traffic, plus one kernel launch overhead — exactly the
+// finalization a single Run performs.
+func mergeShardRuns(cfg Config, runs []*Run, counters bool) (Stats, *Counters) {
+	var s Stats
+	cu := make([]float64, cfg.NumCUs)
+	var ctr Counters
+	for _, r := range runs {
+		p := r.stats
+		s.ALUOps += p.ALUOps
+		s.LDSOps += p.LDSOps
+		s.Barriers += p.Barriers
+		s.Transactions += p.Transactions
+		s.CacheHits += p.CacheHits
+		s.CacheMisses += p.CacheMisses
+		s.DRAMBytes += p.DRAMBytes
+		s.WorkGroups += p.WorkGroups
+		s.Wavefronts += p.Wavefronts
+		s.CyclesALU += p.CyclesALU
+		s.CyclesLDS += p.CyclesLDS
+		s.CyclesMem += p.CyclesMem
+		s.CyclesBarrier += p.CyclesBarrier
+		for i := range cu {
+			cu[i] += r.cuCycles[i]
+		}
+		if counters && r.ctr != nil {
+			ctr.Add(*r.ctr)
+		}
+	}
+	makespan := 0.0
+	for _, c := range cu {
+		if c > makespan {
+			makespan = c
+		}
+	}
+	if bw := float64(s.DRAMBytes) / cfg.DRAMBytesPerCycle; bw > makespan {
+		makespan = bw
+	}
+	s.ExecCycles = makespan
+	s.Cycles = makespan + cfg.KernelLaunchCycles
+	s.Seconds = s.Cycles / cfg.ClockHz
+	if !counters {
+		return s, nil
+	}
+	return s, &ctr
+}
+
+// WorkersMode names the executor mode a Config.Workers value selects, for
+// logs and CLI output.
+func WorkersMode(workers int) string {
+	switch {
+	case workers == 0:
+		return "legacy-sequential"
+	case workers == 1:
+		return "sharded-sequential"
+	}
+	return fmt.Sprintf("sharded-parallel(%d)", workers)
+}

@@ -1,0 +1,140 @@
+package hsa
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// shardWorkload dispatches a deterministic, shard-dependent mix of
+// work-groups on the shard's private Run — enough gathers, LDS traffic and
+// barriers to exercise every merged stats family.
+func shardWorkload(shard int, r *Run) {
+	reg := r.Alloc(8, 4096)
+	addrs := make([]int64, 64)
+	for wg := 0; wg < 3+shard%4; wg++ {
+		g := r.BeginWG()
+		for wf := 0; wf < 2; wf++ {
+			acc := g.WF()
+			for l := range addrs {
+				addrs[l] = int64((shard*131 + wg*17 + wf*5 + l*7) % 4096)
+			}
+			acc.Gather(reg, addrs)
+			acc.ALU(4)
+			acc.LDSWrite(2)
+			acc.LDSRead(2)
+			acc.Barrier()
+		}
+		g.End()
+	}
+}
+
+// TestRunShardedWorkerInvariance is the executor's core contract: the same
+// sharded launch produces byte-identical Stats and Counters for every
+// worker count — 1 (the sequential in-order loop), a few, and GOMAXPROCS.
+func TestRunShardedWorkerInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	counts := []int{1, 2, 3, runtime.GOMAXPROCS(0) + 2}
+	var wantStats Stats
+	var wantCtr *Counters
+	for i, w := range counts {
+		st, ctr := RunSharded(context.Background(), cfg,
+			ShardOptions{Workers: w, Counters: true}, shardWorkload)
+		if i == 0 {
+			wantStats, wantCtr = st, ctr
+			if st.Cycles <= 0 || st.WorkGroups == 0 {
+				t.Fatalf("workload produced empty stats: %+v", st)
+			}
+			continue
+		}
+		if st != wantStats {
+			t.Errorf("workers=%d: stats differ from workers=1:\n got %+v\nwant %+v", w, st, wantStats)
+		}
+		if !reflect.DeepEqual(ctr, wantCtr) {
+			t.Errorf("workers=%d: counters differ from workers=1:\n got %+v\nwant %+v", w, ctr, wantCtr)
+		}
+	}
+}
+
+// TestRunShardedShardCountDefault checks that omitting Shards selects
+// cfg.Shards() — the shard count must be a device property, never derived
+// from the worker count, or determinism across worker counts is lost.
+func TestRunShardedShardCountDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	seen := 0
+	RunSharded(context.Background(), cfg, ShardOptions{Workers: 1},
+		func(shard int, r *Run) { seen++ })
+	if seen != cfg.Shards() {
+		t.Fatalf("dispatched %d shards, want cfg.Shards()=%d", seen, cfg.Shards())
+	}
+	if cfg.Shards() != cfg.NumCUs {
+		t.Fatalf("Shards()=%d, want NumCUs=%d", cfg.Shards(), cfg.NumCUs)
+	}
+}
+
+// TestRunShardedPanicDeterminism: when several shards fault, the lowest
+// shard index must win at every worker count — that is the shard a
+// sequential execution would have hit first.
+func TestRunShardedPanicDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0) + 1} {
+		got := func() (rec any) {
+			defer func() { rec = recover() }()
+			RunSharded(context.Background(), cfg, ShardOptions{Workers: w},
+				func(shard int, r *Run) {
+					if shard >= 2 {
+						panic(shard)
+					}
+					shardWorkload(shard, r)
+				})
+			return nil
+		}()
+		if got != 2 {
+			t.Errorf("workers=%d: recovered %v, want lowest panicking shard 2", w, got)
+		}
+	}
+}
+
+// TestRunShardedFaultInjection: an armed fault state aborts the sharded
+// launch with the same typed panic the sequential executor raises.
+func TestRunShardedFaultInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	fs := NewFaultPlan().AddFault(Fault{Class: FaultBarrierDivergence}).Arm(0, 0, 0)
+	for _, w := range []int{1, 3} {
+		func() {
+			defer func() {
+				rec := recover()
+				kf, ok := rec.(*KernelFault)
+				if !ok || kf.Class != FaultBarrierDivergence {
+					t.Errorf("workers=%d: recovered %v, want *KernelFault(barrier-divergence)", w, rec)
+				}
+			}()
+			RunSharded(context.Background(), cfg, ShardOptions{Workers: w, Fault: fs}, shardWorkload)
+		}()
+	}
+}
+
+// TestStatsMergeSemantics: Merge models parallel composition — makespans
+// take the max, activity counts add — unlike Add, which models sequential
+// launches by adding cycles too.
+func TestStatsMergeSemantics(t *testing.T) {
+	a := Stats{Cycles: 100, ExecCycles: 90, Seconds: 1, ALUOps: 10, DRAMBytes: 64, CacheHits: 3, WorkGroups: 2, Wavefronts: 4, CyclesALU: 7}
+	b := Stats{Cycles: 40, ExecCycles: 35, Seconds: 0.5, ALUOps: 5, DRAMBytes: 32, CacheMisses: 2, WorkGroups: 1, Wavefronts: 2, CyclesALU: 3}
+
+	m := a
+	m.Merge(b)
+	if m.Cycles != 100 || m.ExecCycles != 90 || m.Seconds != 1 {
+		t.Errorf("Merge must keep the max makespan: %+v", m)
+	}
+	if m.ALUOps != 15 || m.DRAMBytes != 96 || m.CacheHits != 3 || m.CacheMisses != 2 ||
+		m.WorkGroups != 3 || m.Wavefronts != 6 || m.CyclesALU != 10 {
+		t.Errorf("Merge must add activity: %+v", m)
+	}
+
+	s := a
+	s.Add(b)
+	if s.Cycles != 140 {
+		t.Errorf("Add must add cycles (sequential composition): %+v", s)
+	}
+}

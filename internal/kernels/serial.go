@@ -17,6 +17,10 @@ type Serial struct{}
 // Name implements Kernel.
 func (Serial) Name() string { return "serial" }
 
+// RowsPerWG implements WorkGroupSizer: one work-item per row, so a full
+// work-group covers MaxWorkGroupSize rows.
+func (Serial) RowsPerWG(cfg hsa.Config) int { return cfg.MaxWorkGroupSize }
+
 // Run implements Kernel.
 func (Serial) Run(run *hsa.Run, in *Input, groups []binning.Group) {
 	cfg := run.Config()

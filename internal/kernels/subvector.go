@@ -43,6 +43,26 @@ func (s Subvector) Name() string {
 	return fmt.Sprintf("subvector%d", s.X)
 }
 
+// clampX returns the effective subvector width on the device (Run applies
+// the same bounds before dispatching).
+func (s Subvector) clampX(cfg hsa.Config) int {
+	x := s.X
+	if x < 2 {
+		x = 2
+	}
+	if x > cfg.MaxWorkGroupSize {
+		x = cfg.MaxWorkGroupSize
+	}
+	return x
+}
+
+// RowsPerWG implements WorkGroupSizer: X work-items cooperate on one row,
+// so a work-group covers MaxWorkGroupSize/X rows (one row for the vector
+// variant).
+func (s Subvector) RowsPerWG(cfg hsa.Config) int {
+	return cfg.MaxWorkGroupSize / s.clampX(cfg)
+}
+
 // reductionConflicts estimates the serialized LDS accesses one segmented
 // reduction pass suffers from bank collisions: step k accesses LDS words
 // at stride 2^k, and on an hsa.LDSBanks-bank LDS a power-of-two stride s
@@ -76,13 +96,7 @@ func (s Subvector) Run(run *hsa.Run, in *Input, groups []binning.Group) {
 	cfg := run.Config()
 	wgSize := cfg.MaxWorkGroupSize
 	wfSize := cfg.WavefrontSize
-	x := s.X
-	if x < 2 {
-		x = 2
-	}
-	if x > wgSize {
-		x = wgSize
-	}
+	x := s.clampX(cfg)
 	rowsPerWG := wgSize / x
 	factor := s.factor()
 	chunk := factor * x // elements one subvector consumes per round

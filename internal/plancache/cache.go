@@ -72,6 +72,12 @@ type Stats struct {
 	Evictions   int64 // LRU capacity evictions
 	Expirations int64 // TTL expirations observed at lookup
 	Entries     int64 // current resident plans
+	// TuneNs is the cumulative wall-clock nanoseconds spent inside compute
+	// callbacks (cache misses that actually tuned), and Tunes the number of
+	// such computes — together they expose the mean tuning latency a miss
+	// costs, the quantity the offline/online split amortizes.
+	TuneNs int64
+	Tunes  int64
 }
 
 type entry struct {
@@ -103,6 +109,7 @@ type Cache struct {
 	flight map[string]*call
 
 	hits, misses, diskHits, evictions, expirations, entries atomic.Int64
+	tuneNs, tunes                                           atomic.Int64
 }
 
 // New builds a cache with the given options.
@@ -235,7 +242,10 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(conte
 			c.diskHits.Add(1)
 			c.Put(key, p)
 		} else {
+			start := c.opts.Clock()
 			p, err = compute(ctx)
+			c.tuneNs.Add(c.opts.Clock().Sub(start).Nanoseconds())
+			c.tunes.Add(1)
 			if err == nil {
 				c.Put(key, p)
 				c.saveDisk(key, p)
@@ -260,6 +270,8 @@ func (c *Cache) Stats() Stats {
 		Evictions:   c.evictions.Load(),
 		Expirations: c.expirations.Load(),
 		Entries:     c.entries.Load(),
+		TuneNs:      c.tuneNs.Load(),
+		Tunes:       c.tunes.Load(),
 	}
 }
 

@@ -203,3 +203,44 @@ func TestPurge(t *testing.T) {
 		t.Error("purged entry served")
 	}
 }
+
+// TestTuneLatencyCounters: every miss that runs a compute callback must add
+// its wall time to TuneNs and bump Tunes; hits and singleflight followers
+// must not — the counters measure what tuning actually cost, so spmvd can
+// export a true mean tune latency.
+func TestTuneLatencyCounters(t *testing.T) {
+	now := time.Unix(5000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	c := New(Options{Capacity: 8, Clock: clock})
+
+	compute := func(fp string, advance time.Duration) func(context.Context) (*plan.TuningPlan, error) {
+		return func(context.Context) (*plan.TuningPlan, error) {
+			mu.Lock()
+			now = now.Add(advance)
+			mu.Unlock()
+			return testPlan(fp), nil
+		}
+	}
+	if _, hit, err := c.GetOrCompute(context.Background(), "a", compute("a", 3*time.Second)); err != nil || hit {
+		t.Fatalf("first compute: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := c.GetOrCompute(context.Background(), "b", compute("b", 2*time.Second)); err != nil || hit {
+		t.Fatalf("second compute: hit=%v err=%v", hit, err)
+	}
+	// A hit must not run compute or move the counters.
+	if _, hit, err := c.GetOrCompute(context.Background(), "a", func(context.Context) (*plan.TuningPlan, error) {
+		t.Fatal("compute ran on a hit")
+		return nil, nil
+	}); err != nil || !hit {
+		t.Fatalf("hit: hit=%v err=%v", hit, err)
+	}
+
+	st := c.Stats()
+	if st.Tunes != 2 {
+		t.Errorf("Tunes = %d, want 2", st.Tunes)
+	}
+	if want := (5 * time.Second).Nanoseconds(); st.TuneNs != want {
+		t.Errorf("TuneNs = %d, want %d", st.TuneNs, want)
+	}
+}

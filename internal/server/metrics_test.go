@@ -24,6 +24,8 @@ var metricFamilies = []string{
 	`spmvd_plan_cache_evictions `,
 	`spmvd_plan_cache_expirations `,
 	`spmvd_plan_cache_entries `,
+	`spmvd_tune_seconds_sum `,
+	`spmvd_tune_seconds_count `,
 	`spmvd_matrices_stored `,
 	`spmvd_requests_total{endpoint="matrices"} `,
 	`spmvd_requests_total{endpoint="spmv"} `,

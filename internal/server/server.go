@@ -63,6 +63,13 @@ type Config struct {
 	// the executing ones; the next request is rejected with 429.
 	// <= 0 selects 64.
 	QueueDepth int
+	// ExecWorkers bounds the per-request bin pool: each guarded execution
+	// may serve up to this many independent bins concurrently
+	// (core.GuardOptions.Workers). <= 0 selects 1 — sequential bins, all
+	// parallelism spent across requests. Values > 1 are clamped so the
+	// request pool times the bin pool never exceeds GOMAXPROCS; the
+	// request pool owns the host budget.
+	ExecWorkers int
 	// DefaultTimeout is the per-request execution deadline when the
 	// request does not carry its own; <= 0 selects 30s.
 	DefaultTimeout time.Duration
@@ -99,6 +106,19 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.ExecWorkers <= 0 {
+		c.ExecWorkers = 1
+	}
+	// Worker-pool × request-pool must not oversubscribe the host: clamp the
+	// per-request bin pool so the product stays within GOMAXPROCS.
+	if c.ExecWorkers > 1 {
+		if limit := runtime.GOMAXPROCS(0); c.Workers*c.ExecWorkers > limit {
+			c.ExecWorkers = limit / c.Workers
+			if c.ExecWorkers < 1 {
+				c.ExecWorkers = 1
+			}
+		}
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -302,6 +322,7 @@ func (s *Server) guardOpts(traceID string) core.GuardOptions {
 	opt.Counters = !s.cfg.DisableCounters
 	opt.Trace = s.cfg.Trace
 	opt.TraceID = traceID
+	opt.Workers = s.cfg.ExecWorkers
 	return opt
 }
 
@@ -553,6 +574,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "spmvd_plan_cache_evictions %d\n", st.Evictions)
 	fmt.Fprintf(w, "spmvd_plan_cache_expirations %d\n", st.Expirations)
 	fmt.Fprintf(w, "spmvd_plan_cache_entries %d\n", st.Entries)
+	// The tuning sum/count pair exposes the mean wall-clock cost a cache
+	// miss pays computing its plan — the latency the cache amortizes away.
+	fmt.Fprintf(w, "spmvd_tune_seconds_sum %.6f\n", float64(st.TuneNs)/1e9)
+	fmt.Fprintf(w, "spmvd_tune_seconds_count %d\n", st.Tunes)
 	fmt.Fprintf(w, "spmvd_matrices_stored %d\n", s.MatrixCount())
 	s.m.writeTo(w)
 }
