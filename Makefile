@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-parallel fuzz fmt vet lint vulncheck spmvbench
+.PHONY: check build test race bench bench-parallel bench-tune fuzz fmt vet lint vulncheck spmvbench
 
 ## check: the full verification gate (fmt, vet, build, race tests, fuzz
 ## smoke, staticcheck + govulncheck when installed)
@@ -38,13 +38,20 @@ vulncheck:
 	govulncheck ./...
 
 ## spmvbench: measure against the committed baseline (cycles-based gate,
-## fails above +25%). Refresh with: go run ./cmd/spmvbench -out BENCH_PR4.json
+## fails above +25%). Refresh with: go run ./cmd/spmvbench -out BENCH_PR5.json
 spmvbench:
-	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench.json -baseline BENCH_PR4.json
+	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench.json -baseline BENCH_PR5.json
 
 ## bench-parallel: sequential-vs-parallel tuning-search comparison. The two
 ## passes must produce identical labels; the >= 3x speedup floor at 8
-## workers is enforced only when the host has >= 8 CPUs (see BENCH_PR4.json
+## workers is enforced only when the host has >= 8 CPUs (see BENCH_PR5.json
 ## "search" for the last committed measurement).
 bench-parallel:
 	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench-parallel.json -workers 8 -min-speedup 3
+
+## bench-tune: legacy-vs-cached+pruned tuning-search comparison, both
+## passes single-threaded. Labels must pass the exact-equivalence check and
+## the cached+pruned pass must be >= 3x faster — on any host, since no
+## parallelism is involved (see BENCH_PR5.json "tune").
+bench-tune:
+	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench-tune.json -workers 1 -min-tune-speedup 3

@@ -2,8 +2,8 @@
 // matgen corpus and writes a machine-readable benchmark file — the perf
 // trajectory of the repo as data instead of anecdote:
 //
-//	spmvbench -out BENCH_PR4.json                      # measure
-//	spmvbench -out new.json -baseline BENCH_PR4.json   # measure + gate
+//	spmvbench -out BENCH_PR5.json                      # measure
+//	spmvbench -out new.json -baseline BENCH_PR5.json   # measure + gate
 //
 // Each case records modeled device cycles, a GFLOPS-equivalent derived
 // from the simulated clock, host ns/op, and a device-counter summary
@@ -15,8 +15,11 @@
 // The run also benchmarks the exhaustive tuning search sequentially
 // (Workers=1) and in parallel (-workers), requiring identical labels from
 // both and — when the host has at least -workers CPUs — a speedup of at
-// least -min-speedup. Exit codes: 0 clean, 1 regression vs the baseline
-// or a failed search gate, 2 setup/usage failure.
+// least -min-speedup. A second search comparison times the legacy
+// exhaustive path (cost cache and pruner disabled) against the cached+
+// pruned default, requiring byte-identical labels and a speedup of at
+// least -min-tune-speedup. Exit codes: 0 clean, 1 regression vs the
+// baseline or a failed search gate, 2 setup/usage failure.
 package main
 
 import (
@@ -32,10 +35,11 @@ import (
 	"spmvtune/internal/c50"
 	"spmvtune/internal/core"
 	"spmvtune/internal/matgen"
+	"spmvtune/internal/plancache"
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output results file")
+	out := flag.String("out", "BENCH_PR5.json", "output results file")
 	baseline := flag.String("baseline", "", "baseline results file to gate against (empty = measure only)")
 	threshold := flag.Float64("threshold", 1.25, "fail when a case's cycles exceed baseline*threshold")
 	n := flag.Int("n", 10, "benchmark corpus size")
@@ -45,15 +49,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "corpus seed")
 	workers := flag.Int("workers", 8, "parallel-search worker count for the seq-vs-parallel comparison (<= 1 skips it)")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "required search speedup at -workers; enforced only when the host has at least that many CPUs (0 disables)")
+	minTuneSpeedup := flag.Float64("min-tune-speedup", 3.0, "required cached+pruned search speedup over the legacy exhaustive path (0 disables)")
 	flag.Parse()
 
-	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed, *workers, *minSpeedup); err != nil {
+	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed, *workers, *minSpeedup, *minTuneSpeedup); err != nil {
 		fmt.Fprintln(os.Stderr, "spmvbench:", err)
 		os.Exit(2)
 	}
 }
 
-func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64, workers int, minSpeedup float64) error {
+func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64, workers int, minSpeedup, minTuneSpeedup float64) error {
 	cfg := core.DefaultConfig()
 	model, err := obtainModel(cfg, modelPath, trainCorpus, seed)
 	if err != nil {
@@ -84,6 +89,12 @@ func run(out, baseline string, threshold float64, n, iters int, modelPath string
 		}
 		regressions = append(regressions, CheckSearch(sb, minSpeedup)...)
 	}
+	tb := tuneBench(cfg, mats)
+	results.Tune = tb
+	fmt.Printf("tune: %d matrices, legacy %.3fs, cached+pruned %.3fs, %.2fx speedup, identical=%v (cache: %d hits, %d misses, %d cells pruned)\n",
+		tb.Matrices, tb.LegacySeconds, tb.TunedSeconds, tb.Speedup, tb.Identical,
+		tb.CacheHits, tb.CacheMisses, tb.Pruned)
+	regressions = append(regressions, CheckTune(tb, minTuneSpeedup)...)
 	if err := results.WriteFile(out); err != nil {
 		return err
 	}
@@ -126,6 +137,11 @@ func searchBench(cfg core.Config, mats []matgen.CorpusMatrix, workers int) *Sear
 	pass := func(w int) ([]core.SearchResult, float64) {
 		c := cfg
 		c.Workers = w
+		// A fresh cost cache per pass keeps the comparison about the host
+		// pool: with the process-wide shared cache, the second pass would
+		// replay the first pass's simulations and report a speedup that has
+		// nothing to do with parallelism.
+		c.SearchCache = plancache.NewCostCache(plancache.CostCacheOptions{})
 		start := time.Now()
 		res := make([]core.SearchResult, 0, len(picks))
 		for _, cm := range picks {
@@ -148,6 +164,59 @@ func searchBench(cfg core.Config, mats []matgen.CorpusMatrix, workers int) *Sear
 		sb.Speedup = seqS / parS
 	}
 	return sb
+}
+
+// tuneBench times the exhaustive search over the whole corpus twice, both
+// passes single-threaded: legacy (cost cache and lower-bound pruner
+// disabled — every cell simulated from scratch, the pre-cache behavior)
+// and tuned (a fresh private cost cache plus pruning — the production
+// default, isolated from the process-wide cache so the measurement starts
+// cold). Equivalence is checked after the clocks stop so the gate never
+// contaminates the timing.
+func tuneBench(cfg core.Config, mats []matgen.CorpusMatrix) *TuneBench {
+	legacyCfg := cfg
+	legacyCfg.Workers = 1
+	legacyCfg.DisableSearchCache = true
+	legacyCfg.DisableSearchPrune = true
+
+	tunedCfg := cfg
+	tunedCfg.Workers = 1
+	cc := plancache.NewCostCache(plancache.CostCacheOptions{})
+	tunedCfg.SearchCache = cc
+
+	start := time.Now()
+	legacy := make([]core.SearchResult, 0, len(mats))
+	for _, cm := range mats {
+		legacy = append(legacy, core.Search(legacyCfg, cm.A))
+	}
+	legacyS := time.Since(start).Seconds()
+
+	start = time.Now()
+	tuned := make([]core.SearchResult, 0, len(mats))
+	for _, cm := range mats {
+		tuned = append(tuned, core.Search(tunedCfg, cm.A))
+	}
+	tunedS := time.Since(start).Seconds()
+
+	tb := &TuneBench{
+		Matrices:      len(mats),
+		HostCPUs:      runtime.NumCPU(),
+		LegacySeconds: legacyS,
+		TunedSeconds:  tunedS,
+		Identical:     true,
+	}
+	for i := range mats {
+		if err := core.CheckSearchEquivalence(legacy[i], tuned[i]); err != nil {
+			fmt.Fprintf(os.Stderr, "tune: %s: %v\n", mats[i].Name, err)
+			tb.Identical = false
+		}
+	}
+	st := cc.Stats()
+	tb.CacheHits, tb.CacheMisses, tb.Pruned = st.Hits, st.Misses, st.Pruned
+	if tunedS > 0 {
+		tb.Speedup = legacyS / tunedS
+	}
+	return tb
 }
 
 // benchCase plans once, then executes the plan iters times through the

@@ -9,8 +9,9 @@ import (
 
 // Schema identifies the result-file layout; bump on breaking changes so a
 // stale baseline fails loudly instead of comparing garbage. v2 added the
-// host CPU count and the sequential-vs-parallel search benchmark.
-const Schema = "spmvbench/v2"
+// host CPU count and the sequential-vs-parallel search benchmark; v3 added
+// the legacy-vs-cached tune-time comparison (TuneBench).
+const Schema = "spmvbench/v3"
 
 // CounterSummary condenses one case's device counters to the signals the
 // paper's analysis keys on.
@@ -71,12 +72,32 @@ type SearchBench struct {
 	Identical bool `json:"identical"`
 }
 
+// TuneBench records the tune-time comparison of one run: the exhaustive
+// search over the corpus timed twice at Workers=1 — once with the cost
+// cache and lower-bound pruner disabled (the legacy path), once with a
+// fresh cost cache plus pruning (the production default). Both passes are
+// sequential, so the speedup isolates the shared-computation layer and is
+// demonstrable on any host; Identical reports that every tuned result
+// passed core.CheckSearchEquivalence against its legacy counterpart.
+type TuneBench struct {
+	Matrices      int     `json:"matrices"`
+	HostCPUs      int     `json:"hostCPUs"`
+	LegacySeconds float64 `json:"legacySeconds"`
+	TunedSeconds  float64 `json:"tunedSeconds"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"identical"`
+	CacheHits     int64   `json:"cacheHits"`
+	CacheMisses   int64   `json:"cacheMisses"`
+	Pruned        int64   `json:"pruned"` // (U, bin, kernel) cells skipped by the lower bound
+}
+
 // Results is the machine-readable output of one spmvbench run.
 type Results struct {
 	Schema    string       `json:"schema"`
 	GoVersion string       `json:"goVersion,omitempty"`
 	HostCPUs  int          `json:"hostCPUs,omitempty"`
 	Search    *SearchBench `json:"search,omitempty"`
+	Tune      *TuneBench   `json:"tune,omitempty"`
 	Cases     []Case       `json:"cases"`
 }
 
@@ -158,6 +179,29 @@ func CheckSearch(sb *SearchBench, minSpeedup float64) []string {
 		regs = append(regs,
 			fmt.Sprintf("search: %.2fx speedup at %d workers, want >= %.2fx (host has %d CPUs)",
 				sb.Speedup, sb.Workers, minSpeedup, sb.HostCPUs))
+	}
+	return regs
+}
+
+// CheckTune gates the tune-time comparison: the cached+pruned search must
+// reproduce the legacy labels unconditionally (the equivalence is exact
+// and machine-independent), and the speedup must reach minTuneSpeedup.
+// Both passes run single-threaded, so — unlike the parallel search gate —
+// the floor does not depend on the host's CPU count and is always
+// enforced when nonzero.
+func CheckTune(tb *TuneBench, minTuneSpeedup float64) []string {
+	if tb == nil {
+		return nil
+	}
+	var regs []string
+	if !tb.Identical {
+		regs = append(regs,
+			"tune: cached+pruned labels differ from legacy exhaustive labels (determinism violation)")
+	}
+	if minTuneSpeedup > 0 && tb.Speedup < minTuneSpeedup {
+		regs = append(regs,
+			fmt.Sprintf("tune: %.2fx speedup over the legacy search, want >= %.2fx",
+				tb.Speedup, minTuneSpeedup))
 	}
 	return regs
 }

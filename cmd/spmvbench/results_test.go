@@ -111,3 +111,28 @@ func TestCheckSearch(t *testing.T) {
 		t.Fatalf("clean search bench flagged: %v", regs)
 	}
 }
+
+// TestCheckTune locks the tune-gate semantics: divergent labels always
+// fail, the speedup floor is enforced on every host (both passes are
+// single-threaded, so CPU count is irrelevant), and 0 disables the floor
+// but never the equivalence check.
+func TestCheckTune(t *testing.T) {
+	if regs := CheckTune(nil, 3); len(regs) != 0 {
+		t.Fatalf("nil tune bench flagged: %v", regs)
+	}
+	diverged := &TuneBench{HostCPUs: 1, Speedup: 5, Identical: false}
+	if regs := CheckTune(diverged, 3); len(regs) != 1 || !strings.Contains(regs[0], "determinism") {
+		t.Fatalf("divergent labels not flagged: %v", regs)
+	}
+	slow := &TuneBench{HostCPUs: 1, Speedup: 1.4, Identical: true}
+	if regs := CheckTune(slow, 3); len(regs) != 1 || !strings.Contains(regs[0], "speedup") {
+		t.Fatalf("missed speedup floor not flagged: %v", regs)
+	}
+	if regs := CheckTune(slow, 0); len(regs) != 0 {
+		t.Fatalf("disabled floor still flagged: %v", regs)
+	}
+	clean := &TuneBench{HostCPUs: 16, Speedup: 4.2, Identical: true}
+	if regs := CheckTune(clean, 3); len(regs) != 0 {
+		t.Fatalf("clean tune bench flagged: %v", regs)
+	}
+}

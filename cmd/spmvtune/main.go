@@ -238,6 +238,7 @@ func cmdRun(args []string) error {
 	counters := fs.Bool("counters", false, "collect device performance counters and print per-bin execution profiles (guarded runs only)")
 	workers := fs.Int("workers", 1, "host goroutines serving independent bins in the guarded executor (1 = sequential; the result and report are identical for every value)")
 	deviceWorkers := fs.Int("device-workers", 0, "sharded ND-range executor workers per kernel launch (0 = legacy sequential simulator; >= 1 selects the sharded executor, whose modeled cycles are worker-count-invariant)")
+	searchStats := fs.Bool("search-stats", false, "run the exhaustive tuning search on the matrix and print cost-cache statistics (hits/misses/pruned cells) before executing")
 	fs.Parse(args)
 	a, err := loadMatrix(*in)
 	if err != nil {
@@ -254,6 +255,22 @@ func cmdRun(args []string) error {
 	u := make([]float64, a.Rows)
 	ctx, cancel := withTimeout(*timeout)
 	defer cancel()
+
+	if *searchStats {
+		// Drive the exhaustive search the offline tuner runs, against the
+		// process-wide shared cost cache, so the cache/pruner effectiveness
+		// on this exact matrix is visible before the model-predicted run.
+		scfg := cfg
+		scfg.Workers = *workers
+		res, serr := core.SearchCtx(ctx, scfg, a)
+		if serr != nil {
+			return serr
+		}
+		st := core.SearchCacheStats()
+		fmt.Printf("search: best U=%d, %.3f ms simulated\n", res.BestU, res.Seconds*1e3)
+		fmt.Printf("search-cache: hits=%d misses=%d pruned=%d entries=%d evictions=%d\n",
+			st.Hits, st.Misses, st.Pruned, st.Entries, st.Evictions)
+	}
 
 	opt := core.DefaultGuardOptions()
 	opt.Counters = *counters

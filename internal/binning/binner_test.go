@@ -1,0 +1,78 @@
+package binning
+
+import (
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+func binnerCorpus() []*sparse.CSR {
+	return []*sparse.CSR{
+		matgen.RandomUniform(500, 300, 2, 30, 1),
+		matgen.PowerLaw(800, 8, 2.1, 400, 2),
+		matgen.Diagonal(257, 3),
+		matgen.Banded(100, 9, 4),
+		matgen.SingleNNZRows(64, 64, 5),
+	}
+}
+
+// TestBinnerMatchesCoarse pins the arena-based Binner to the append-based
+// construction: reflect.DeepEqual results for every (matrix, U), including
+// nil empty bins, and stability across reuses of one Binner.
+func TestBinnerMatchesCoarse(t *testing.T) {
+	var bn Binner
+	for mi, a := range binnerCorpus() {
+		for _, u := range []int{1, 7, 10, 100, 5000} {
+			want := Coarse(a, u, 0)
+			got := bn.Coarse(a, u, 0)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("matrix %d U=%d: Binner result differs from Coarse", mi, u)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("matrix %d U=%d: %v", mi, u, err)
+			}
+		}
+	}
+}
+
+// TestBinnerCoarseZeroAlloc asserts the hard PR-5 guarantee: a warm Binner
+// builds a coarse binning without allocating.
+func TestBinnerCoarseZeroAlloc(t *testing.T) {
+	a := matgen.RandomUniform(2000, 1000, 2, 40, 9)
+	var bn Binner
+	for _, u := range []int{10, 100, 1000} {
+		bn.Coarse(a, u, 0) // warm the arena at every U this test replays
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(20, func() {
+		bn.Coarse(a, 10, 0)
+		bn.Coarse(a, 100, 0)
+		bn.Coarse(a, 1000, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Binner.Coarse allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkCoarse(b *testing.B) {
+	a := matgen.RandomUniform(20000, 10000, 2, 40, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Coarse(a, 100, 0)
+	}
+}
+
+func BenchmarkBinnerCoarse(b *testing.B) {
+	a := matgen.RandomUniform(20000, 10000, 2, 40, 9)
+	var bn Binner
+	bn.Coarse(a, 100, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bn.Coarse(a, 100, 0)
+	}
+}

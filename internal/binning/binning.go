@@ -121,31 +121,105 @@ func Workloads(a *sparse.CSR, u int) []int64 {
 	return wl
 }
 
-// Coarse implements the paper's coarse-grained binning (Algorithm 2):
-// virtual rows of U adjacent rows, bin index floor(workload/U), overflow
-// into the last bin. maxBins <= 0 uses DefaultMaxBins.
-func Coarse(a *sparse.CSR, u, maxBins int) *Binning {
+// coarseBinID returns virtual row i's bin under the coarse scheme, reading
+// the workload straight off the CSR row-pointer prefix array — the wl slice
+// Workloads materializes is never needed.
+func coarseBinID(a *sparse.CSR, i, u, maxBins int) int {
+	lo := i * u
+	hi := lo + u
+	if hi > a.Rows {
+		hi = a.Rows
+	}
+	id := int((a.RowPtr[hi] - a.RowPtr[lo]) / int64(u))
+	if id >= maxBins {
+		id = maxBins - 1
+	}
+	return id
+}
+
+// Binner builds coarse binnings without allocating once warm: group counts,
+// bin offsets and the group arena are reused across calls, and bin indices
+// come straight from the row-pointer prefix array instead of a materialized
+// Workloads slice. Hot per-request paths (plan rebinning, benchmarks) keep
+// one Binner per goroutine; the returned Binning aliases the Binner's arena
+// and is valid until the next Coarse call on the same Binner.
+type Binner struct {
+	counts []int32
+	offs   []int32
+	arena  []Group
+	bins   [][]Group
+	out    Binning
+}
+
+// Coarse is the paper's coarse-grained binning (Algorithm 2) on reused
+// storage: virtual rows of U adjacent rows, bin index floor(workload/U),
+// overflow into the last bin. maxBins <= 0 uses DefaultMaxBins. The result
+// is structurally identical (reflect.DeepEqual) to the package-level Coarse.
+func (bn *Binner) Coarse(a *sparse.CSR, u, maxBins int) *Binning {
 	if u < 1 {
 		u = 1
 	}
 	if maxBins <= 0 {
 		maxBins = DefaultMaxBins
 	}
-	wl := Workloads(a, u)
-	b := &Binning{Scheme: "coarse", U: u, Bins: make([][]Group, maxBins), M: a.Rows}
-	for i, w := range wl {
-		binID := int(w / int64(u))
-		if binID >= maxBins {
-			binID = maxBins - 1
+	n := (a.Rows + u - 1) / u
+
+	if cap(bn.counts) < maxBins {
+		bn.counts = make([]int32, maxBins)
+	}
+	counts := bn.counts[:maxBins]
+	clear(counts)
+	for i := 0; i < n; i++ {
+		counts[coarseBinID(a, i, u, maxBins)]++
+	}
+
+	if cap(bn.offs) < maxBins {
+		bn.offs = make([]int32, maxBins)
+	}
+	offs := bn.offs[:maxBins]
+	total := int32(0)
+	for b := 0; b < maxBins; b++ {
+		offs[b] = total
+		total += counts[b]
+	}
+
+	if cap(bn.arena) < int(total) {
+		bn.arena = make([]Group, total)
+	}
+	if cap(bn.bins) < maxBins {
+		bn.bins = make([][]Group, maxBins)
+	}
+	bins := bn.bins[:maxBins]
+	// Empty bins must be nil, matching the append-based construction.
+	for b := 0; b < maxBins; b++ {
+		if counts[b] == 0 {
+			bins[b] = nil
+			continue
 		}
+		off := offs[b]
+		bins[b] = bn.arena[off : off : off+counts[b]]
+	}
+	for i := 0; i < n; i++ {
+		id := coarseBinID(a, i, u, maxBins)
 		start := i * u
 		count := u
 		if start+count > a.Rows {
 			count = a.Rows - start
 		}
-		b.Bins[binID] = append(b.Bins[binID], Group{Start: int32(start), Count: int32(count)})
+		bins[id] = append(bins[id], Group{Start: int32(start), Count: int32(count)})
 	}
-	return b
+
+	bn.out = Binning{Scheme: "coarse", U: u, Bins: bins, M: a.Rows}
+	return &bn.out
+}
+
+// Coarse implements the paper's coarse-grained binning (Algorithm 2):
+// virtual rows of U adjacent rows, bin index floor(workload/U), overflow
+// into the last bin. maxBins <= 0 uses DefaultMaxBins.
+func Coarse(a *sparse.CSR, u, maxBins int) *Binning {
+	var bn Binner
+	b := *bn.Coarse(a, u, maxBins)
+	return &b
 }
 
 // Fine is the fine-grained alternative (Section III-B): every single row is

@@ -24,6 +24,7 @@ import (
 	"spmvtune/internal/features"
 	"spmvtune/internal/hsa"
 	"spmvtune/internal/kernels"
+	"spmvtune/internal/plancache"
 	"spmvtune/internal/sparse"
 )
 
@@ -47,6 +48,21 @@ type Config struct {
 	// hardware tuning may occupy. Device-level launch parallelism is
 	// separate: see Device.Workers (hsa.Config).
 	Workers int
+
+	// SearchCache holds simulated per-bin kernel costs keyed by content
+	// fingerprint, letting the exhaustive search replay identical cells
+	// instead of re-simulating them (see DESIGN.md §10). Nil selects the
+	// process-wide shared cache; set DisableSearchCache to simulate every
+	// cell from scratch. Either way the SearchResult is byte-identical —
+	// the cache stores values, never decisions.
+	SearchCache        *plancache.CostCache
+	DisableSearchCache bool
+
+	// DisableSearchPrune turns off the analytic lower-bound pruning that
+	// skips simulating kernels which provably cannot win their bin. Pruning
+	// never changes labels (the bound is certified against the simulator's
+	// cost model); the knob exists for equivalence testing and diagnostics.
+	DisableSearchPrune bool
 }
 
 // FeatureVector extracts the matrix features this configuration's models

@@ -255,19 +255,22 @@ func (fw *Framework) RunGuardedOpts(ctx context.Context, a *sparse.CSR, v, u []f
 	want := make([]float64, a.Rows)
 	a.MulVec(v, want)
 
-	if err := fw.runBinsGuarded(ctx, a, v, u, want, b, d.KernelByBin, opt, rep); err != nil {
+	if err := fw.runBinsGuarded(ctx, a, v, u, want, b, func(binID int) int { return d.KernelByBin[binID] }, opt, rep); err != nil {
 		return d, rep, err
 	}
 	return d, rep, nil
 }
 
 // runBinsGuarded serves every non-empty bin through the fallback chain —
-// the shared execution engine of RunGuardedOpts and ExecutePlanOpts. With
-// opt.Workers > 1 independent bins are served concurrently; each bin runs
-// against a private sub-report and the sub-reports merge in bin order, so
-// the success-path result is identical to the sequential run's.
+// the shared execution engine of RunGuardedOpts and ExecutePlanOpts.
+// kernelFor maps a non-empty bin to its predicted kernel ID (a func rather
+// than a map so hot per-request callers can route plan lookups without
+// materializing a map per request). With opt.Workers > 1 independent bins
+// are served concurrently; each bin runs against a private sub-report and
+// the sub-reports merge in bin order, so the success-path result is
+// identical to the sequential run's.
 func (fw *Framework) runBinsGuarded(ctx context.Context, a *sparse.CSR, v, u, want []float64,
-	b *binning.Binning, kernelByBin map[int]int, opt GuardOptions, rep *ExecReport) error {
+	b *binning.Binning, kernelFor func(binID int) int, opt GuardOptions, rep *ExecReport) error {
 
 	bins := b.NonEmpty()
 	workers := opt.Workers
@@ -276,7 +279,7 @@ func (fw *Framework) runBinsGuarded(ctx context.Context, a *sparse.CSR, v, u, wa
 	}
 	if workers <= 1 {
 		for _, binID := range bins {
-			if err := fw.runBinGuarded(ctx, fw.Cfg.Device, a, v, u, want, b, binID, kernelByBin[binID], opt, rep); err != nil {
+			if err := fw.runBinGuarded(ctx, fw.Cfg.Device, a, v, u, want, b, binID, kernelFor(binID), opt, rep); err != nil {
 				return err
 			}
 		}
@@ -289,7 +292,7 @@ func (fw *Framework) runBinsGuarded(ctx context.Context, a *sparse.CSR, v, u, wa
 	forEachLimit(workers, len(bins), func(i int) {
 		sub := &ExecReport{Decision: rep.Decision, CountersEnabled: rep.CountersEnabled}
 		subs[i] = sub
-		errs[i] = fw.runBinGuarded(ctx, dev, a, v, u, want, b, bins[i], kernelByBin[bins[i]], opt, sub)
+		errs[i] = fw.runBinGuarded(ctx, dev, a, v, u, want, b, bins[i], kernelFor(bins[i]), opt, sub)
 	})
 	var firstErr error
 	for i, sub := range subs {

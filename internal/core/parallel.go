@@ -23,7 +23,7 @@ func launchKernel(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []flo
 	k kernels.Kernel, groups []binning.Group, fs *hsa.FaultState, collect bool) (hsa.Stats, *hsa.Counters) {
 
 	if dev.Workers == 0 {
-		run := hsa.NewRun(dev)
+		run := hsa.AcquireRun(dev)
 		if ctx != nil {
 			run.SetContext(ctx)
 		}
@@ -31,13 +31,16 @@ func launchKernel(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []flo
 		if collect {
 			run.EnableCounters()
 		}
-		in := kernels.NewInput(run, a, v, u)
+		in := kernels.AcquireInput(run, a, v, u)
 		k.Run(run, in, groups)
 		st := run.Stats()
+		var ctr *hsa.Counters
 		if c, ok := run.Counters(); ok {
-			return st, &c
+			ctr = &c
 		}
-		return st, nil
+		in.Release()
+		run.Release()
+		return st, ctr
 	}
 
 	parts := kernels.SplitGroups(groups, kernels.RowsPerWG(k, dev), dev.Shards())
@@ -47,8 +50,9 @@ func launchKernel(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []flo
 		Counters: collect,
 		Fault:    fs,
 	}, func(shard int, r *hsa.Run) {
-		in := kernels.NewInput(r, a, v, u)
+		in := kernels.AcquireInput(r, a, v, u)
 		k.Run(r, in, parts[shard])
+		in.Release()
 	})
 }
 

@@ -159,11 +159,15 @@ func (fw *Framework) ExecutePlanOpts(ctx context.Context, p *plan.TuningPlan, a 
 	}
 
 	b, err := p.Rebin(a)
+	// Execution routes bin→kernel lookups through the plan's allocation-free
+	// accessor; the report's Decision still carries the conventional map.
+	kernelFor := func(binID int) int { kid, _ := p.KernelFor(binID); return kid }
 	kernelByBin := p.KernelByBin()
 	if err != nil {
 		// A stale plan degrades exactly like a failed predict path.
 		rep.DecisionFallback = true
 		b = binning.Single(a)
+		kernelFor = func(int) int { return 0 }
 		kernelByBin = map[int]int{0: 0}
 	}
 	rep.Decision = Decision{U: p.U, KernelByBin: kernelByBin}
@@ -171,7 +175,7 @@ func (fw *Framework) ExecutePlanOpts(ctx context.Context, p *plan.TuningPlan, a 
 	want := make([]float64, a.Rows)
 	a.MulVec(v, want)
 
-	if err := fw.runBinsGuarded(ctx, a, v, u, want, b, kernelByBin, opt, rep); err != nil {
+	if err := fw.runBinsGuarded(ctx, a, v, u, want, b, kernelFor, opt, rep); err != nil {
 		return rep, err
 	}
 	return rep, nil

@@ -9,6 +9,7 @@ import (
 	"spmvtune/internal/binning"
 	"spmvtune/internal/errdefs"
 	"spmvtune/internal/kernels"
+	"spmvtune/internal/plancache"
 	"spmvtune/internal/sparse"
 )
 
@@ -23,6 +24,13 @@ type BinLabel struct {
 	KernelID    int
 	Seconds     float64   // best kernel's simulated time
 	KernelTimes []float64 // simulated seconds per kernel ID
+
+	// Pruned marks kernels the search skipped because their certified
+	// analytic lower bound already exceeded the bin's tie window; for those
+	// entries KernelTimes holds that lower bound instead of a simulated
+	// time. Nil when every kernel was simulated (or replayed from cache).
+	// Pruning never changes KernelID or Seconds — see CheckSearchEquivalence.
+	Pruned []bool
 }
 
 // ULabel is the search outcome for one granularity on one matrix.
@@ -57,6 +65,19 @@ func (r SearchResult) KernelByBin() map[int]int {
 		m[bl.BinID] = bl.KernelID
 	}
 	return m
+}
+
+// KernelFor returns the winning U's kernel for one bin without building the
+// KernelByBin map — the allocation-free lookup for hot per-request paths,
+// where most matrices have a handful of non-empty bins and a linear scan
+// beats a map.
+func (r SearchResult) KernelFor(binID int) (int, bool) {
+	for _, bl := range r.BestBins() {
+		if bl.BinID == binID {
+			return bl.KernelID, true
+		}
+	}
+	return 0, false
 }
 
 // tieEpsilon is the relative slack used to canonicalize labels: among
@@ -127,6 +148,9 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 	if workers > 1 {
 		dev = sequentialDevice(dev)
 	}
+	// The shared-computation layer (searchcost.go): replay cached cells and
+	// skip kernels whose certified lower bound cannot win. Nil = legacy path.
+	cl := newCostLayer(cfg, dev, a)
 	scratch := sync.Pool{New: func() any { s := make([]float64, a.Rows); return &s }}
 	errs := make([]error, len(tasks))
 	var stop atomic.Bool
@@ -141,9 +165,34 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 		}
 		t := tasks[i]
 		bl := &res.PerU[t.ui].Bins[t.bi]
+		var key plancache.CostKey
+		var geom cellGeom
+		if cl != nil {
+			key, geom = cl.cell(t.groups)
+			if cl.cache != nil {
+				if mask, ok := cl.cache.Get(key, bl.KernelTimes); ok {
+					finishBinLabel(bl, mask)
+					return
+				}
+			}
+		}
 		up := scratch.Get().(*[]float64)
 		defer scratch.Put(up)
+		var mask uint32
+		best := math.Inf(1) // best simulated time so far, in pool ID order
 		for _, info := range pool {
+			if cl != nil && cl.prune {
+				// A kernel whose certified floor is already outside the tie
+				// window of a faster simulated kernel can neither win the bin
+				// nor be picked by the canonical tie-break: skip it and record
+				// the bound. The trajectory is deterministic — fixed ID order,
+				// bounds that are pure functions of (device, structure, bin).
+				if lb := cl.lowerBound(info, geom); lb > best*(1+tieEpsilon) {
+					bl.KernelTimes[info.ID] = lb
+					mask |= 1 << info.ID
+					continue
+				}
+			}
 			st, err := SimulateKernelCtx(ctx, dev, a, v, *up, info.Kernel, t.groups)
 			if err != nil {
 				errs[i] = err
@@ -151,18 +200,21 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 				return
 			}
 			bl.KernelTimes[info.ID] = st.Seconds
-			if st.Seconds < bl.Seconds {
-				bl.Seconds = st.Seconds
+			if st.Seconds < best {
+				best = st.Seconds
 			}
 		}
-		// Canonical label: the lowest kernel ID within the tie slack.
-		for kid, s := range bl.KernelTimes {
-			if s <= bl.Seconds*(1+tieEpsilon) {
-				bl.KernelID = kid
-				bl.Seconds = bl.KernelTimes[kid]
-				break
+		if cl != nil && cl.cache != nil {
+			cl.cache.Put(key, bl.KernelTimes, mask)
+			if mask != 0 {
+				n := int64(0)
+				for m := mask; m != 0; m &= m - 1 {
+					n++
+				}
+				cl.cache.AddPruned(n)
 			}
 		}
+		finishBinLabel(bl, mask)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -189,6 +241,34 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 		}
 	}
 	return res, nil
+}
+
+// finishBinLabel derives the bin's label from a fully populated KernelTimes
+// slice: the minimum time, then the canonical tie-break (lowest kernel ID
+// within the tie slack). Pruned entries hold lower bounds strictly outside
+// the tie window, so they influence neither the minimum nor the pick —
+// the label is the same whether the times were simulated, replayed from
+// cache, or partially replaced by bounds. mask marks the pruned kernels.
+func finishBinLabel(bl *BinLabel, mask uint32) {
+	best := math.Inf(1)
+	for _, s := range bl.KernelTimes {
+		if s < best {
+			best = s
+		}
+	}
+	for kid, s := range bl.KernelTimes {
+		if s <= best*(1+tieEpsilon) {
+			bl.KernelID = kid
+			bl.Seconds = s
+			break
+		}
+	}
+	if mask != 0 {
+		bl.Pruned = make([]bool, len(bl.KernelTimes))
+		for kid := range bl.Pruned {
+			bl.Pruned[kid] = mask&(1<<kid) != 0
+		}
+	}
 }
 
 // binAvgRowLen returns the mean stored row length across the groups.

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/plancache"
+	"spmvtune/internal/sparse"
+)
+
+func equivCorpus() map[string]*sparse.CSR {
+	return map[string]*sparse.CSR{
+		"uniform":  matgen.RandomUniform(600, 400, 2, 20, 1),
+		"powerlaw": matgen.PowerLaw(800, 6, 2.0, 200, 2),
+		"diagonal": matgen.Diagonal(300, 3),
+		"mixed":    matgen.Mixed(600, 400, 150, []int{2, 30, 4, 120}, 4),
+	}
+}
+
+// TestSearchCachePruneEquivalence is the PR-5 property test: the search
+// with the bin-signature cost cache and the lower-bound pruner — in every
+// combination, at every worker count — must produce labels byte-identical
+// to the legacy exhaustive path. Cache-only runs must match the legacy
+// result exactly (DeepEqual: every KernelTimes entry is a replayed
+// simulation); pruning runs must pass CheckSearchEquivalence, which also
+// certifies every recorded lower bound against the legacy simulated time.
+func TestSearchCachePruneEquivalence(t *testing.T) {
+	for name, a := range equivCorpus() {
+		t.Run(name, func(t *testing.T) {
+			legacyCfg := DefaultConfig()
+			legacyCfg.Workers = 1
+			legacyCfg.DisableSearchCache = true
+			legacyCfg.DisableSearchPrune = true
+			legacy := Search(legacyCfg, a)
+
+			sawPrune := false
+			for _, workers := range []int{1, 3} {
+				for _, mode := range []struct {
+					name         string
+					cache, prune bool
+				}{
+					{"cache-only", true, false},
+					{"prune-only", false, true},
+					{"cache+prune", true, true},
+				} {
+					cfg := DefaultConfig()
+					cfg.Workers = workers
+					cfg.DisableSearchCache = !mode.cache
+					cfg.DisableSearchPrune = !mode.prune
+					var cc *plancache.CostCache
+					if mode.cache {
+						// A fresh private cache per variant keeps runs independent.
+						cc = plancache.NewCostCache(plancache.CostCacheOptions{})
+						cfg.SearchCache = cc
+					}
+					tuned := Search(cfg, a)
+					if err := CheckSearchEquivalence(legacy, tuned); err != nil {
+						t.Fatalf("workers=%d %s: %v", workers, mode.name, err)
+					}
+					if !mode.prune && !reflect.DeepEqual(legacy, tuned) {
+						t.Fatalf("workers=%d %s: result not byte-identical to legacy", workers, mode.name)
+					}
+					for _, ul := range tuned.PerU {
+						for _, bl := range ul.Bins {
+							for _, p := range bl.Pruned {
+								if p {
+									sawPrune = true
+								}
+							}
+						}
+					}
+					if mode.cache {
+						st := cc.Stats()
+						if st.Hits == 0 {
+							t.Errorf("workers=%d %s: cost cache never hit (%+v)", workers, mode.name, st)
+						}
+						// A second search of the same matrix must replay every
+						// cell from the now-warm cache and still match.
+						again := Search(cfg, a)
+						if err := CheckSearchEquivalence(legacy, again); err != nil {
+							t.Fatalf("workers=%d %s warm rerun: %v", workers, mode.name, err)
+						}
+						warm := cc.Stats()
+						if warm.Misses != st.Misses {
+							t.Errorf("workers=%d %s: warm rerun missed %d cells", workers, mode.name, warm.Misses-st.Misses)
+						}
+					}
+				}
+			}
+			if !sawPrune {
+				t.Error("lower-bound pruner never fired on this matrix (test is vacuous)")
+			}
+		})
+	}
+}
+
+// TestSearchDefaultsMatchLegacy pins the production default (shared cache +
+// pruning, no explicit knobs) to the legacy labels as well.
+func TestSearchDefaultsMatchLegacy(t *testing.T) {
+	a := matgen.RandomUniform(500, 300, 2, 24, 7)
+	legacyCfg := DefaultConfig()
+	legacyCfg.DisableSearchCache = true
+	legacyCfg.DisableSearchPrune = true
+	legacy := Search(legacyCfg, a)
+	tuned := Search(DefaultConfig(), a)
+	if err := CheckSearchEquivalence(legacy, tuned); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearchResultKernelFor(b *testing.B) {
+	res := Search(DefaultConfig(), matgen.RandomUniform(400, 300, 2, 16, 5))
+	bins := res.BestBins()
+	if len(bins) == 0 {
+		b.Fatal("no bins")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := res.KernelFor(bins[i%len(bins)].BinID); !ok {
+			b.Fatal("missing bin")
+		}
+	}
+}
+
+func BenchmarkSearchResultKernelByBin(b *testing.B) {
+	res := Search(DefaultConfig(), matgen.RandomUniform(400, 300, 2, 16, 5))
+	bins := res.BestBins()
+	if len(bins) == 0 {
+		b.Fatal("no bins")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := res.KernelByBin()
+		if _, ok := m[bins[i%len(bins)].BinID]; !ok {
+			b.Fatal("missing bin")
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/plan"
+	"spmvtune/internal/plancache"
+	"spmvtune/internal/sparse"
+)
+
+// This file is the shared-computation layer under the exhaustive search:
+// a content-addressed cost cache that replays previously simulated
+// (device, matrix-structure, row-range) cells, and an analytic lower-bound
+// pruner that skips simulating kernels which provably cannot win their bin.
+// Both preserve byte-identical search labels — the cache stores simulator
+// outputs keyed by everything the cost model reads, and the pruning bound
+// is certified against the simulator's charging rules (see DESIGN.md §10).
+
+// sharedSearchCache is the process-wide default cost cache used when
+// Config.SearchCache is nil. Sharing it across searches is what makes
+// repeated tuning of structurally identical matrices (the serving daemon's
+// steady state) nearly free.
+var sharedSearchCache = plancache.NewCostCache(plancache.CostCacheOptions{})
+
+// SharedSearchCostCache returns the process-wide default search cost cache.
+func SharedSearchCostCache() *plancache.CostCache { return sharedSearchCache }
+
+// SearchCacheStats reports the process-wide default cache's counters, for
+// metrics exposition (spmvd_search_cache_*).
+func SearchCacheStats() plancache.CostStats { return sharedSearchCache.Stats() }
+
+// costLayer carries the per-search state of the shared-computation layer.
+// A nil *costLayer selects the pure legacy path (simulate every cell).
+type costLayer struct {
+	dev   hsa.Config
+	cache *plancache.CostCache // nil = caching disabled
+	prune bool
+	a     *sparse.CSR
+	// prefix is deviceFingerprint || matrixFingerprint — the key material
+	// shared by every cell of this search.
+	prefix []byte
+	// rowLen[r] is the stored length of row r, computed once per matrix from
+	// the row-pointer prefix array and shared read-only by all cells.
+	rowLen []int32
+}
+
+// newCostLayer builds the shared layer for one search, or returns nil when
+// the config disables both the cache and the pruner. dev must be the device
+// the search will actually launch on (after any worker clamping); its
+// fingerprint collapses Workers to the executor class, so every worker
+// count shares one key space.
+func newCostLayer(cfg Config, dev hsa.Config, a *sparse.CSR) *costLayer {
+	cache := cfg.SearchCache
+	if cache == nil {
+		cache = sharedSearchCache
+	}
+	if cfg.DisableSearchCache {
+		cache = nil
+	}
+	prune := !cfg.DisableSearchPrune
+	if cache == nil && !prune {
+		return nil
+	}
+	cl := &costLayer{dev: dev, cache: cache, prune: prune, a: a}
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], dev.Fingerprint())
+	cl.prefix = append(p[:], plan.Fingerprint(a)...)
+	cl.rowLen = make([]int32, a.Rows)
+	for i := range cl.rowLen {
+		cl.rowLen[i] = int32(a.RowPtr[i+1] - a.RowPtr[i])
+	}
+	return cl
+}
+
+// cellGeom is the geometry of one (U, bin) cell that the lower bounds read:
+// row count, longest row, and the certified floor on distinct cache
+// segments the kernels must touch.
+type cellGeom struct {
+	rows   int
+	maxLen int
+	segs   int64
+}
+
+// cell fingerprints one bin's row coverage and computes its geometry in a
+// single pass. The key digests the device fingerprint, the matrix structure
+// fingerprint, and the bin's coalesced [start, end) row ranges — everything
+// the simulated cost of a launch depends on. Group partition boundaries are
+// deliberately excluded: kernels consume rows through a flat row iterator
+// (and the sharded executor re-splits by work-group size), so two binnings
+// covering the same rows in the same order cost the same.
+func (cl *costLayer) cell(groups []binning.Group) (plancache.CostKey, cellGeom) {
+	h := sha256.New()
+	h.Write(cl.prefix)
+	var buf [16]byte
+	var g cellGeom
+	segBytes := cl.dev.SegmentBytes
+	prev8, prev4 := int64(-1), int64(-1)
+	for i := 0; i < len(groups); {
+		start := groups[i].Start
+		end := start + groups[i].Count
+		for i++; i < len(groups) && groups[i].Start == end; i++ {
+			end += groups[i].Count
+		}
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(start))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(end))
+		h.Write(buf[:])
+		g.rows += int(end - start)
+		for r := start; r < end; r++ {
+			if l := int(cl.rowLen[r]); l > g.maxLen {
+				g.maxLen = l
+			}
+		}
+		lo, hi := cl.a.RowPtr[start], cl.a.RowPtr[end]
+		if hi > lo {
+			g.segs += segRange(lo, hi, 8, segBytes, &prev8) // val (float64)
+			g.segs += segRange(lo, hi, 4, segBytes, &prev4) // colidx (int32)
+		}
+	}
+	sum := h.Sum(nil)
+	var key plancache.CostKey
+	key[0] = binary.LittleEndian.Uint64(sum[0:8])
+	key[1] = binary.LittleEndian.Uint64(sum[8:16])
+	return key, g
+}
+
+// segRange counts the distinct cache segments the element range [lo, hi)
+// touches in a region of elem-byte elements. Regions are segment-aligned,
+// so segment indices reduce to (k*elem)/segBytes. Ascending adjacent ranges
+// can share at most their boundary segment (*prev carries the previous
+// range's last segment), which is subtracted so the total never overcounts.
+func segRange(lo, hi, elem, segBytes int64, prev *int64) int64 {
+	first := lo * elem / segBytes
+	last := (hi*elem - 1) / segBytes
+	n := last - first + 1
+	if *prev == first {
+		n--
+	}
+	*prev = last
+	return n
+}
+
+// lowerBound returns a certified lower bound, in seconds, on simulating one
+// kernel over a cell with geometry g: the simulator's Stats.Seconds is
+// always >= the returned value, in both the legacy and the sharded
+// executor. Three bounds are combined (DESIGN.md §10 derives each from the
+// simulator's charging rules):
+//
+//   - additive CU bound: every work-group charges its dispatch overhead to
+//     a compute unit, and every mandatory segment transaction costs at
+//     least TxHitCycles on some SIMD pipe (a work-group's cost is its
+//     busiest pipe >= pipe sum / SIMDPerCU); the makespan is at least the
+//     total CU load divided evenly;
+//   - divergence pipe floor: the wavefront covering the longest row pays an
+//     irreducible per-iteration pipe cost (kernels.PipeFloorer);
+//   - DRAM roofline: every distinct segment is fetched at least once on a
+//     cold cache, and the makespan is bounded by DRAM bandwidth.
+func (cl *costLayer) lowerBound(info kernels.Info, g cellGeom) float64 {
+	d := cl.dev
+	rowsPer := kernels.RowsPerWG(info.Kernel, d)
+	wgs := (g.rows + rowsPer - 1) / rowsPer
+	tx := float64(g.segs) * d.TxHitCycles
+	lb := (float64(wgs)*d.WGLaunchCycles + tx/float64(d.SIMDPerCU)) / float64(d.NumCUs)
+	if pf, ok := info.Kernel.(kernels.PipeFloorer); ok {
+		if f := pf.PipeFloor(d, g.maxLen); f > lb {
+			lb = f
+		}
+	}
+	if bw := float64(g.segs) * float64(d.SegmentBytes) / d.DRAMBytesPerCycle; bw > lb {
+		lb = bw
+	}
+	return (lb + d.KernelLaunchCycles) / d.ClockHz
+}
+
+// CheckSearchEquivalence verifies that a cached/pruned search result carries
+// exactly the labels of a legacy exhaustive result on the same (config,
+// matrix): every decision field must match bit-for-bit, and every
+// KernelTimes entry must match except where tuned pruned the kernel — there
+// the recorded lower bound must be sound (<= the legacy simulated time) and
+// label-irrelevant (above the bin's tie window). It returns nil when the
+// two results are equivalent.
+func CheckSearchEquivalence(legacy, tuned SearchResult) error {
+	if legacy.BestU != tuned.BestU {
+		return fmt.Errorf("BestU: legacy %d, tuned %d", legacy.BestU, tuned.BestU)
+	}
+	if legacy.Seconds != tuned.Seconds {
+		return fmt.Errorf("Seconds: legacy %v, tuned %v", legacy.Seconds, tuned.Seconds)
+	}
+	if len(legacy.PerU) != len(tuned.PerU) {
+		return fmt.Errorf("PerU length: legacy %d, tuned %d", len(legacy.PerU), len(tuned.PerU))
+	}
+	for ui := range legacy.PerU {
+		lu, tu := legacy.PerU[ui], tuned.PerU[ui]
+		if lu.U != tu.U || lu.Seconds != tu.Seconds {
+			return fmt.Errorf("U=%d: (U, Seconds) legacy (%d, %v), tuned (%d, %v)", lu.U, lu.U, lu.Seconds, tu.U, tu.Seconds)
+		}
+		if len(lu.Bins) != len(tu.Bins) {
+			return fmt.Errorf("U=%d: bin count legacy %d, tuned %d", lu.U, len(lu.Bins), len(tu.Bins))
+		}
+		for bi := range lu.Bins {
+			lb, tb := lu.Bins[bi], tu.Bins[bi]
+			if lb.BinID != tb.BinID || lb.Rows != tb.Rows || lb.AvgLen != tb.AvgLen ||
+				lb.KernelID != tb.KernelID || lb.Seconds != tb.Seconds {
+				return fmt.Errorf("U=%d bin %d: label mismatch legacy %+v, tuned %+v", lu.U, lb.BinID, lb, tb)
+			}
+			if len(lb.KernelTimes) != len(tb.KernelTimes) {
+				return fmt.Errorf("U=%d bin %d: KernelTimes length legacy %d, tuned %d", lu.U, lb.BinID, len(lb.KernelTimes), len(tb.KernelTimes))
+			}
+			best := math.Inf(1)
+			for _, s := range tb.KernelTimes {
+				if s < best {
+					best = s
+				}
+			}
+			for kid := range lb.KernelTimes {
+				pruned := kid < len(tb.Pruned) && tb.Pruned[kid]
+				switch {
+				case !pruned && lb.KernelTimes[kid] != tb.KernelTimes[kid]:
+					return fmt.Errorf("U=%d bin %d kernel %d: time legacy %v, tuned %v", lu.U, lb.BinID, kid, lb.KernelTimes[kid], tb.KernelTimes[kid])
+				case pruned && tb.KernelTimes[kid] > lb.KernelTimes[kid]:
+					return fmt.Errorf("U=%d bin %d kernel %d: unsound lower bound %v > simulated %v", lu.U, lb.BinID, kid, tb.KernelTimes[kid], lb.KernelTimes[kid])
+				case pruned && tb.KernelTimes[kid] <= best*(1+tieEpsilon):
+					return fmt.Errorf("U=%d bin %d kernel %d: pruned bound %v inside tie window of %v", lu.U, lb.BinID, kid, tb.KernelTimes[kid], best)
+				}
+			}
+		}
+	}
+	return nil
+}

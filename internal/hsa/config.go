@@ -21,6 +21,8 @@
 // same estimated time.
 package hsa
 
+import "math"
+
 // Config describes the simulated device. The zero value is not usable; use
 // DefaultConfig or a preset.
 type Config struct {
@@ -73,6 +75,48 @@ type Config struct {
 	// value produces byte-identical results, Stats and Counters. Workers
 	// only decides how much host hardware the simulation may use.
 	Workers int
+}
+
+// Fingerprint digests every field of the config that the cost model reads,
+// for content-addressed caching of simulated results. Two configs with equal
+// fingerprints produce identical Stats for any launch. Workers is collapsed
+// to its executor class (0 = legacy single-accountant, 1 = sharded): the two
+// classes model the cache differently and so must not share cached costs,
+// while within the sharded class every Workers value is byte-identical by
+// contract. Name is cosmetic and excluded.
+func (c Config) Fingerprint() uint64 {
+	h := uint64(14695981039346656037) // FNV-1a
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mixF := func(f float64) { mix(math.Float64bits(f)) }
+	mix(uint64(c.NumCUs))
+	mix(uint64(c.SIMDPerCU))
+	mix(uint64(c.WavefrontSize))
+	mix(uint64(c.MaxWorkGroupSize))
+	mix(uint64(c.LDSBytesPerWG))
+	mixF(c.ClockHz)
+	mix(uint64(c.SegmentBytes))
+	mix(uint64(c.CacheBytes))
+	mixF(c.TxHitCycles)
+	mixF(c.TxMissCycles)
+	mixF(c.DRAMBytesPerCycle)
+	mixF(c.ALUCycles)
+	mixF(c.LDSCycles)
+	mixF(c.BarrierCycles)
+	mixF(c.WGLaunchCycles)
+	mixF(c.KernelLaunchCycles)
+	mixF(c.QueueDispatchCycles)
+	if c.Workers >= 1 {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	return h
 }
 
 // Shards returns the deterministic shard count of the parallel ND-range

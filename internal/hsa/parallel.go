@@ -77,7 +77,7 @@ func RunSharded(ctx context.Context, cfg Config, opt ShardOptions, fn func(shard
 
 	runs := make([]*Run, shards)
 	for i := range runs {
-		r := NewRun(cfg)
+		r := AcquireRun(cfg)
 		if ctx != nil {
 			r.SetContext(ctx)
 		}
@@ -87,13 +87,22 @@ func RunSharded(ctx context.Context, cfg Config, opt ShardOptions, fn func(shard
 		}
 		runs[i] = r
 	}
+	// The shard accountants return to the pool after the merge reads them;
+	// a panicking launch abandons them instead (the pool refills itself).
+	release := func() {
+		for _, r := range runs {
+			r.Release()
+		}
+	}
 
 	if workers == 1 {
 		// The sequential path: an in-order loop, panics propagate directly.
 		for i := 0; i < shards; i++ {
 			fn(i, runs[i])
 		}
-		return mergeShardRuns(cfg, runs, opt.Counters)
+		st, ctr := mergeShardRuns(cfg, runs, opt.Counters)
+		release()
+		return st, ctr
 	}
 
 	// Parallel path: workers drain an atomic shard counter. A panicking
@@ -133,7 +142,9 @@ func RunSharded(ctx context.Context, cfg Config, opt ShardOptions, fn func(shard
 			}
 		}
 	}
-	return mergeShardRuns(cfg, runs, opt.Counters)
+	st, ctr := mergeShardRuns(cfg, runs, opt.Counters)
+	release()
+	return st, ctr
 }
 
 // mergeShardRuns reduces per-shard accountants into one launch result, in

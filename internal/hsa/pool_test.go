@@ -1,0 +1,103 @@
+package hsa
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// launchOnce drives one small but complete launch through an acquired Run:
+// allocation, a few work-groups with gathering wavefronts, stats
+// finalization, release. It is the launch-setup path the tuning search pays
+// thousands of times per matrix.
+func launchOnce(cfg Config, addrs []int64) Stats {
+	r := AcquireRun(cfg)
+	reg := r.Alloc(8, 4096)
+	for wg := 0; wg < 4; wg++ {
+		g := r.BeginWG()
+		for wf := 0; wf < cfg.MaxWorkGroupSize/cfg.WavefrontSize; wf++ {
+			acc := g.WF()
+			for i := range addrs {
+				addrs[i] = int64((wg*64 + wf*8 + i) % 4096)
+			}
+			acc.Gather(reg, addrs)
+			acc.ALU(2)
+		}
+		g.End()
+	}
+	st := r.Stats()
+	r.Release()
+	return st
+}
+
+// TestAcquireRunMatchesNewRun pins the pooling contract: a recycled Run is
+// behaviorally identical to a fresh one — same stats for the same launch,
+// no state leaking across Acquire/Release cycles.
+func TestAcquireRunMatchesNewRun(t *testing.T) {
+	cfg := DefaultConfig()
+	addrs := make([]int64, 16)
+
+	// Reference launch on a never-pooled Run.
+	ref := func() Stats {
+		r := NewRun(cfg)
+		reg := r.Alloc(8, 4096)
+		for wg := 0; wg < 4; wg++ {
+			g := r.BeginWG()
+			for wf := 0; wf < cfg.MaxWorkGroupSize/cfg.WavefrontSize; wf++ {
+				acc := g.WF()
+				for i := range addrs {
+					addrs[i] = int64((wg*64 + wf*8 + i) % 4096)
+				}
+				acc.Gather(reg, addrs)
+				acc.ALU(2)
+			}
+			g.End()
+		}
+		return r.Stats()
+	}()
+
+	for i := 0; i < 5; i++ {
+		if got := launchOnce(cfg, addrs); got != ref {
+			t.Fatalf("recycled launch %d: stats %+v, want %+v", i, got, ref)
+		}
+	}
+
+	// A recycled Run must also reset cleanly onto a different device shape.
+	small := SmallConfig()
+	first := launchOnce(small, addrs)
+	if again := launchOnce(small, addrs); again != first {
+		t.Fatalf("cross-config recycle: %+v, want %+v", again, first)
+	}
+}
+
+// TestLaunchSetupZeroAlloc asserts the hard PR-5 guarantee: once the pools
+// are warm, a complete launch (acquire, alloc, dispatch, stats, release)
+// allocates nothing. GC is disabled during measurement so a collection
+// cannot purge the sync.Pool mid-run.
+func TestLaunchSetupZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool operations")
+	}
+	cfg := DefaultConfig()
+	addrs := make([]int64, 16)
+	for i := 0; i < 8; i++ { // warm the pool
+		launchOnce(cfg, addrs)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(50, func() {
+		launchOnce(cfg, addrs)
+	})
+	if allocs != 0 {
+		t.Fatalf("launch setup allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkLaunchSetup(b *testing.B) {
+	cfg := DefaultConfig()
+	addrs := make([]int64, 16)
+	launchOnce(cfg, addrs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		launchOnce(cfg, addrs)
+	}
+}

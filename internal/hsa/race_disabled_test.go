@@ -1,0 +1,5 @@
+//go:build !race
+
+package hsa
+
+const raceEnabled = false

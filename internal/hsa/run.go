@@ -3,6 +3,7 @@ package hsa
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"spmvtune/internal/errdefs"
 )
@@ -128,6 +129,12 @@ type Run struct {
 
 	segScratch []int64
 
+	// wgFree recycles WG accountants (and their pipe arrays and WFAcc
+	// blocks) within this Run: a launch dispatches thousands of work-groups
+	// but holds only a handful open at once, so the freelist caps the
+	// per-launch WG allocations at that high-water mark.
+	wgFree []*WG
+
 	// Armed fault-injection state for this launch (nil = fault-free) and
 	// the caller's context, polled between work-groups so a canceled or
 	// expired launch aborts instead of running to completion.
@@ -166,15 +173,68 @@ func NewRun(cfg Config) *Run {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	r := new(Run)
+	r.reset(cfg)
+	return r
+}
+
+// runPool recycles Run accountants across launches. The dominant launch
+// allocation is the cache-tag array (CacheBytes/SegmentBytes entries — 64 KiB
+// on the default device), paid per launch even for a bin of ten rows; a
+// tuning search performs thousands of launches, so pooling them removes the
+// bulk of its allocation and GC pressure.
+var runPool = sync.Pool{New: func() any { return new(Run) }}
+
+// AcquireRun returns a launch accountant from the process-wide pool, fully
+// reset for the given device — behaviorally identical to NewRun(cfg) (the
+// cache tags, CU loads, stats, allocator cursor and attached state are all
+// cleared). Call Release when the launch's Stats and Counters have been
+// read; the Run must not be touched afterwards.
+func AcquireRun(cfg Config) *Run {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := runPool.Get().(*Run)
+	r.reset(cfg)
+	return r
+}
+
+// Release returns the Run to the pool. Safe after aborted launches too —
+// the next AcquireRun resets every piece of state.
+func (r *Run) Release() {
+	r.ctr = nil // drop references eagerly; reset clears the rest on reuse
+	r.fault = nil
+	r.ctx = nil
+	runPool.Put(r)
+}
+
+// reset restores the zero launch state on (possibly recycled) storage.
+func (r *Run) reset(cfg Config) {
+	r.cfg = cfg
+	r.nextBase = 0
 	sets := cfg.CacheBytes / cfg.SegmentBytes
 	if sets < 1 {
 		sets = 1
 	}
-	return &Run{
-		cfg:      cfg,
-		cache:    make([]int64, sets),
-		cuCycles: make([]float64, cfg.NumCUs),
+	if int64(cap(r.cache)) < sets {
+		r.cache = make([]int64, sets)
+	} else {
+		r.cache = r.cache[:sets]
+		clear(r.cache)
 	}
+	if cap(r.cuCycles) < cfg.NumCUs {
+		r.cuCycles = make([]float64, cfg.NumCUs)
+	} else {
+		r.cuCycles = r.cuCycles[:cfg.NumCUs]
+		clear(r.cuCycles)
+	}
+	r.nextCU = 0
+	r.stats = Stats{}
+	r.ctr = nil
+	r.fault = nil
+	r.ctx = nil
+	// wgFree and segScratch keep their capacity — their contents are
+	// (re)initialized at every BeginWG / Gather.
 }
 
 // Config returns the device configuration of this run.
@@ -219,12 +279,34 @@ type WG struct {
 	run    *Run
 	pipes  []float64
 	nextWF int
+
+	// accs recycles wavefront accountants across this WG's reuses (End
+	// returns the WG to its Run's freelist): pointers stay stable, so a
+	// work-group's wavefronts cost zero allocations once warmed up.
+	accs    []*WFAcc
+	nextAcc int
 }
 
 // BeginWG starts accounting a work-group.
 func (r *Run) BeginWG() *WG {
 	r.stats.WorkGroups++
-	return &WG{run: r, pipes: make([]float64, r.cfg.SIMDPerCU)}
+	var g *WG
+	if n := len(r.wgFree); n > 0 {
+		g = r.wgFree[n-1]
+		r.wgFree = r.wgFree[:n-1]
+	} else {
+		g = new(WG)
+	}
+	g.run = r
+	g.nextWF = 0
+	g.nextAcc = 0
+	if cap(g.pipes) < r.cfg.SIMDPerCU {
+		g.pipes = make([]float64, r.cfg.SIMDPerCU)
+	} else {
+		g.pipes = g.pipes[:r.cfg.SIMDPerCU]
+		clear(g.pipes)
+	}
+	return g
 }
 
 // WF returns the accountant for the next wavefront of this work-group.
@@ -232,11 +314,22 @@ func (g *WG) WF() *WFAcc {
 	pipe := g.nextWF % len(g.pipes)
 	g.nextWF++
 	g.run.stats.Wavefronts++
-	return &WFAcc{run: g.run, wg: g, pipe: pipe}
+	var a *WFAcc
+	if g.nextAcc < len(g.accs) {
+		a = g.accs[g.nextAcc]
+	} else {
+		a = new(WFAcc)
+		g.accs = append(g.accs, a)
+	}
+	g.nextAcc++
+	a.run, a.wg, a.pipe = g.run, g, pipe
+	return a
 }
 
 // End finishes the work-group: its cost (dispatch + slowest SIMD pipe) is
-// assigned to the next compute unit round-robin.
+// assigned to the next compute unit round-robin. The WG (and its wavefront
+// accountants) must not be used afterwards — End recycles them for the
+// launch's next BeginWG.
 func (g *WG) End() {
 	max := 0.0
 	for _, p := range g.pipes {
@@ -245,6 +338,7 @@ func (g *WG) End() {
 		}
 	}
 	r := g.run
+	r.wgFree = append(r.wgFree, g)
 	if r.ctr != nil {
 		r.ctr.recordWG(r.cfg.WGLaunchCycles + max)
 	}

@@ -16,6 +16,7 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"spmvtune/internal/binning"
 	"spmvtune/internal/hsa"
@@ -40,15 +41,81 @@ type Input struct {
 
 // NewInput allocates simulated regions for the matrix and vectors on run.
 func NewInput(run *hsa.Run, a *sparse.CSR, v, u []float64) *Input {
-	return &Input{
-		A: a, V: v, U: u,
-		RegRowPtr: run.Alloc(8, int64(len(a.RowPtr))),
-		RegColIdx: run.Alloc(4, int64(len(a.ColIdx))),
-		RegVal:    run.Alloc(8, int64(len(a.Val))),
-		RegV:      run.Alloc(8, int64(len(v))),
-		RegU:      run.Alloc(8, int64(len(u))),
-		RegBin:    run.Alloc(4, int64(a.Rows)+1),
+	in := new(Input)
+	in.bind(run, a, v, u)
+	return in
+}
+
+func (in *Input) bind(run *hsa.Run, a *sparse.CSR, v, u []float64) {
+	in.A, in.V, in.U = a, v, u
+	in.RegRowPtr = run.Alloc(8, int64(len(a.RowPtr)))
+	in.RegColIdx = run.Alloc(4, int64(len(a.ColIdx)))
+	in.RegVal = run.Alloc(8, int64(len(a.Val)))
+	in.RegV = run.Alloc(8, int64(len(v)))
+	in.RegU = run.Alloc(8, int64(len(u)))
+	in.RegBin = run.Alloc(4, int64(a.Rows)+1)
+}
+
+var inputPool = sync.Pool{New: func() any { return new(Input) }}
+
+// AcquireInput is NewInput backed by a pool — one less allocation per
+// launch on hot paths that perform thousands of them (the tuning search).
+// The Input is valid for one launch; Release it once the kernel returned.
+func AcquireInput(run *hsa.Run, a *sparse.CSR, v, u []float64) *Input {
+	in := inputPool.Get().(*Input)
+	in.bind(run, a, v, u)
+	return in
+}
+
+// Release returns the Input to the pool, dropping its data references.
+func (in *Input) Release() {
+	*in = Input{}
+	inputPool.Put(in)
+}
+
+// launchScratch pools the per-launch staging slices every kernel needs
+// (row batches, gather address lists, partial sums) so a launch allocates
+// nothing once the pool is warm. Buffers are handed out with exact
+// capacities: rowIter.take fills to cap(dst), so capacity is semantic —
+// a recycled buffer must never leak a previous launch's larger cap.
+type launchScratch struct {
+	rows   []int32
+	addrs  []int64
+	vAddrs []int64
+	sums   []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(launchScratch) }}
+
+func acquireScratch() *launchScratch  { return scratchPool.Get().(*launchScratch) }
+func releaseScratch(s *launchScratch) { scratchPool.Put(s) }
+
+func (s *launchScratch) rowBuf(n int) []int32 {
+	if cap(s.rows) < n {
+		s.rows = make([]int32, n)
 	}
+	return s.rows[:0:n]
+}
+
+func (s *launchScratch) addrBuf(n int) []int64 {
+	if cap(s.addrs) < n {
+		s.addrs = make([]int64, n)
+	}
+	return s.addrs[:0:n]
+}
+
+func (s *launchScratch) vAddrBuf(n int) []int64 {
+	if cap(s.vAddrs) < n {
+		s.vAddrs = make([]int64, n)
+	}
+	return s.vAddrs[:0:n]
+}
+
+func (s *launchScratch) sumBuf(n int) []float64 {
+	if cap(s.sums) < n {
+		s.sums = make([]float64, n)
+	}
+	return s.sums[:n]
 }
 
 // Kernel is one SpMV implementation from the candidate pool. Run processes
@@ -104,6 +171,21 @@ func ByID(id int) (Info, bool) {
 		return Info{}, false
 	}
 	return p[id], true
+}
+
+// PipeFloorer is implemented by kernels that can certify an analytic lower
+// bound on their launch cost, enabling the tuning search to skip simulating
+// kernels that cannot possibly win a bin (see core's lower-bound pruning).
+type PipeFloorer interface {
+	// PipeFloor returns a certified lower bound, in device cycles, on the
+	// busiest SIMD pipe of any single work-group of a launch covering rows
+	// whose longest row has maxRowLen stored non-zeros. Soundness contract:
+	// the simulated makespan of the launch (excluding kernel-launch
+	// overhead) is always >= the returned value, in both the legacy and the
+	// sharded executor. Implementations derive it from the wavefront that
+	// covers the longest row — the divergence floor the paper's kernel
+	// trade-off hinges on. Returns 0 when no useful bound exists.
+	PipeFloor(cfg hsa.Config, maxRowLen int) float64
 }
 
 // rowIter walks the rows of a group list in order.

@@ -21,16 +21,30 @@ func (Serial) Name() string { return "serial" }
 // work-group covers MaxWorkGroupSize rows.
 func (Serial) RowsPerWG(cfg hsa.Config) int { return cfg.MaxWorkGroupSize }
 
+// PipeFloor implements PipeFloorer. The wavefront holding the longest row
+// iterates maxRowLen times in lock-step, and every iteration issues three
+// gathers (column indices, values, v entries — each at least one
+// transaction, at least a cache hit) plus two ALU instructions on the same
+// SIMD pipe. That pipe's work-group bounds the makespan from below.
+func (Serial) PipeFloor(cfg hsa.Config, maxRowLen int) float64 {
+	if maxRowLen <= 0 {
+		return 0
+	}
+	return float64(maxRowLen) * (3*cfg.TxHitCycles + 2*cfg.ALUCycles)
+}
+
 // Run implements Kernel.
 func (Serial) Run(run *hsa.Run, in *Input, groups []binning.Group) {
 	cfg := run.Config()
 	wfSize := cfg.WavefrontSize
 
 	it := rowIter{groups: groups}
-	wgRows := make([]int32, 0, cfg.MaxWorkGroupSize)
-	addrs := make([]int64, 0, wfSize)
-	vAddrs := make([]int64, 0, wfSize)
-	sums := make([]float64, wfSize)
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	wgRows := sc.rowBuf(cfg.MaxWorkGroupSize)
+	addrs := sc.addrBuf(wfSize)
+	vAddrs := sc.vAddrBuf(wfSize)
+	sums := sc.sumBuf(wfSize)
 
 	a := in.A
 	for {

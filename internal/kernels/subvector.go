@@ -63,6 +63,27 @@ func (s Subvector) RowsPerWG(cfg hsa.Config) int {
 	return cfg.MaxWorkGroupSize / s.clampX(cfg)
 }
 
+// PipeFloor implements PipeFloorer. The wavefront covering the longest row
+// runs ceil(maxRowLen/chunk) rounds, and every round unconditionally
+// charges its pipe: factor LDS stages, two barriers, the segmented
+// reduction's 2·redSteps LDS instructions and redSteps+1 ALU instructions
+// (gather costs are deliberately excluded — they are bounded separately by
+// the segment roofline). The simulated makespan can never undercut it.
+func (s Subvector) PipeFloor(cfg hsa.Config, maxRowLen int) float64 {
+	if maxRowLen <= 0 {
+		return 0
+	}
+	factor := s.factor()
+	chunk := factor * s.clampX(cfg)
+	rounds := (maxRowLen + chunk - 1) / chunk
+	redSteps := log2ceil(chunk)
+	perRound := float64(factor)*cfg.LDSCycles +
+		2*cfg.BarrierCycles +
+		2*float64(redSteps)*cfg.LDSCycles +
+		float64(redSteps+1)*cfg.ALUCycles
+	return float64(rounds) * perRound
+}
+
 // reductionConflicts estimates the serialized LDS accesses one segmented
 // reduction pass suffers from bank collisions: step k accesses LDS words
 // at stride 2^k, and on an hsa.LDSBanks-bank LDS a power-of-two stride s
@@ -103,9 +124,11 @@ func (s Subvector) Run(run *hsa.Run, in *Input, groups []binning.Group) {
 
 	a := in.A
 	it := rowIter{groups: groups}
-	rows := make([]int32, 0, rowsPerWG)
-	addrs := make([]int64, 0, wfSize)
-	vAddrs := make([]int64, 0, wfSize)
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	rows := sc.rowBuf(rowsPerWG)
+	addrs := sc.addrBuf(wfSize)
+	vAddrs := sc.vAddrBuf(wfSize)
 	redSteps := log2ceil(chunk)
 	redConflicts := reductionConflicts(redSteps)
 

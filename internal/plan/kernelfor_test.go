@@ -1,0 +1,51 @@
+package plan
+
+import "testing"
+
+func benchPlan(bins int) *TuningPlan {
+	p := &TuningPlan{Scheme: "coarse", U: 100, MaxBins: 100, Rows: 1000, Cols: 1000, NNZ: 5000}
+	for i := 0; i < bins; i++ {
+		p.Bins = append(p.Bins, BinAssignment{Bin: i * 3, Rows: 10, Kernel: i % 9})
+	}
+	return p
+}
+
+func TestKernelForMatchesKernelByBin(t *testing.T) {
+	for _, bins := range []int{0, 1, 4, 20} {
+		p := benchPlan(bins)
+		m := p.KernelByBin()
+		for id := -1; id < 70; id++ {
+			kid, ok := p.KernelFor(id)
+			mkid, mok := m[id]
+			if ok != mok || (ok && kid != mkid) {
+				t.Fatalf("bins=%d id=%d: KernelFor=(%d,%v), map=(%d,%v)", bins, id, kid, ok, mkid, mok)
+			}
+		}
+	}
+}
+
+// The per-request execution path used to materialize the KernelByBin map
+// for every lookup; these benchmarks document why it now scans instead
+// (single-digit bin counts are the norm, and the scan allocates nothing).
+func BenchmarkPlanKernelFor(b *testing.B) {
+	p := benchPlan(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.KernelFor(9); !ok {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkPlanKernelByBinMap(b *testing.B) {
+	p := benchPlan(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := p.KernelByBin()
+		if _, ok := m[9]; !ok {
+			b.Fatal("missing")
+		}
+	}
+}

@@ -119,6 +119,18 @@ func (p *TuningPlan) KernelByBin() map[int]int {
 	return m
 }
 
+// KernelFor returns the kernel assigned to one bin without materializing
+// the KernelByBin map — plans carry a handful of bins, so the linear scan
+// is both faster and allocation-free on hot per-request execution paths.
+func (p *TuningPlan) KernelFor(binID int) (int, bool) {
+	for _, b := range p.Bins {
+		if b.Bin == binID {
+			return b.Kernel, true
+		}
+	}
+	return 0, false
+}
+
 // Validate checks the internal consistency of a plan — decoded plans are
 // untrusted input (they may come from disk or the network). Failures match
 // errdefs.ErrInvalidMatrix.
@@ -181,9 +193,8 @@ func (p *TuningPlan) Rebin(a *sparse.CSR) (*binning.Binning, error) {
 	default:
 		return nil, errdefs.Invalidf("plan: unsupported scheme %q", p.Scheme)
 	}
-	kbb := p.KernelByBin()
 	for _, binID := range b.NonEmpty() {
-		if _, ok := kbb[binID]; !ok {
+		if _, ok := p.KernelFor(binID); !ok {
 			return nil, errdefs.Invalidf("plan: non-empty bin %d has no kernel assignment (stale plan?)", binID)
 		}
 	}

@@ -1,0 +1,183 @@
+package plancache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the bin-signature cost cache backing the exhaustive tuning
+// search (core.SearchCtx). Where the plan cache above amortizes whole
+// tuning decisions across requests, the cost cache amortizes the individual
+// device simulations *inside* one tuning pass: different granularities U
+// frequently produce bins covering the same row ranges, and the simulated
+// cost of a bin is a pure function of (device config, matrix structure,
+// row ranges) — so the kernel-pool timing profile of a bin can be computed
+// once and replayed for every later occurrence, within a search and across
+// searches of structurally identical matrices.
+//
+// The cache stores values, never decisions: a hit replays the exact
+// KernelTimes the simulations would have produced, so search labels are
+// byte-identical with the cache on, off, hot or cold.
+
+// CostKey is the 128-bit content signature of one cost-cache entry —
+// a collision-resistant digest of (device fingerprint, matrix structural
+// fingerprint, the bin's row ranges). Callers build it with a cryptographic
+// hash; the cache treats it as an opaque value.
+type CostKey [2]uint64
+
+// CostCacheOptions configures a CostCache. The zero value selects defaults.
+type CostCacheOptions struct {
+	// Capacity bounds the total resident entries across all shards;
+	// <= 0 selects 32768 (an entry is ~100 bytes: one float64 per pool
+	// kernel plus bookkeeping). Eviction is FIFO per shard — eviction
+	// policy affects only the hit rate, never a search result.
+	Capacity int
+	// Shards is the number of independent lock domains; <= 0 selects 16.
+	Shards int
+}
+
+func (o CostCacheOptions) withDefaults() CostCacheOptions {
+	if o.Capacity <= 0 {
+		o.Capacity = 32768
+	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.Shards > o.Capacity {
+		o.Shards = o.Capacity
+	}
+	return o
+}
+
+// CostStats is a point-in-time snapshot of the cost-cache counters.
+type CostStats struct {
+	Hits      int64 // bin cells whose whole kernel-pool profile was replayed
+	Misses    int64 // bin cells that had to simulate (then filled the cache)
+	Pruned    int64 // individual simulations skipped by the lower-bound prune
+	Entries   int64 // resident entries
+	Evictions int64 // FIFO capacity evictions
+}
+
+type costEntry struct {
+	times  []float64 // simulated seconds per kernel ID (lower bound where pruned)
+	pruned uint32    // bitmask over kernel IDs whose slot holds a lower bound
+}
+
+type costShard struct {
+	mu   sync.Mutex
+	m    map[CostKey]costEntry
+	ring []CostKey // FIFO eviction order
+	next int
+	cap  int
+}
+
+// CostCache is a sharded, size-bounded map from bin signatures to
+// kernel-pool timing profiles. All methods are safe for concurrent use; a
+// stored value is a pure function of its key, so racing writers always
+// store the same bytes and lookups are reproducible at any worker count.
+type CostCache struct {
+	shards []*costShard
+
+	hits, misses, pruned, evictions, entries atomic.Int64
+}
+
+// NewCostCache builds a cost cache with the given options.
+func NewCostCache(opts CostCacheOptions) *CostCache {
+	opts = opts.withDefaults()
+	c := &CostCache{}
+	per := opts.Capacity / opts.Shards
+	if per < 1 {
+		per = 1
+	}
+	for i := 0; i < opts.Shards; i++ {
+		c.shards = append(c.shards, &costShard{
+			m:   make(map[CostKey]costEntry),
+			cap: per,
+		})
+	}
+	return c
+}
+
+func (c *CostCache) shardFor(k CostKey) *costShard {
+	return c.shards[k[0]%uint64(len(c.shards))]
+}
+
+// Get returns the cached kernel-pool profile for k by copying it into
+// times (which must be at least as long as the stored profile), plus the
+// pruned-kernel bitmask. A miss leaves times untouched.
+func (c *CostCache) Get(k CostKey, times []float64) (pruned uint32, ok bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if ok {
+		copy(times, e.times)
+		pruned = e.pruned
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return pruned, ok
+}
+
+// Put stores the kernel-pool profile for k, copying times. When the shard
+// is full the oldest entry is evicted (FIFO). Re-puts of a resident key
+// refresh the value in place — by construction the bytes are identical.
+func (c *CostCache) Put(k CostKey, times []float64, pruned uint32) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[k]; ok {
+		copy(e.times, times)
+		e.pruned = pruned
+		s.m[k] = e
+		return
+	}
+	e := costEntry{times: make([]float64, len(times)), pruned: pruned}
+	copy(e.times, times)
+	if len(s.m) >= s.cap { // ring is full exactly when the map is: evict FIFO
+		delete(s.m, s.ring[s.next])
+		s.ring[s.next] = k
+		s.next = (s.next + 1) % s.cap
+		c.evictions.Add(1)
+		c.entries.Add(-1)
+	} else {
+		s.ring = append(s.ring, k)
+	}
+	s.m[k] = e
+	c.entries.Add(1)
+}
+
+// AddPruned counts n simulations skipped by the analytic lower-bound prune.
+// The counter lives here so one stats snapshot covers the whole shared-
+// computation layer (memoization and pruning both skip simulations).
+func (c *CostCache) AddPruned(n int64) { c.pruned.Add(n) }
+
+// Stats returns a snapshot of the counters.
+func (c *CostCache) Stats() CostStats {
+	return CostStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Pruned:    c.pruned.Load(),
+		Entries:   c.entries.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *CostCache) Len() int { return int(c.entries.Load()) }
+
+// PurgeCost drops every resident entry, preserving counters.
+func (c *CostCache) PurgeCost() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n := len(s.m)
+		s.m = make(map[CostKey]costEntry)
+		s.ring = s.ring[:0]
+		s.next = 0
+		c.entries.Add(int64(-n))
+		s.mu.Unlock()
+	}
+}

@@ -26,6 +26,9 @@ var metricFamilies = []string{
 	`spmvd_plan_cache_entries `,
 	`spmvd_tune_seconds_sum `,
 	`spmvd_tune_seconds_count `,
+	`spmvd_search_cache_hits `,
+	`spmvd_search_cache_misses `,
+	`spmvd_search_cache_pruned `,
 	`spmvd_matrices_stored `,
 	`spmvd_requests_total{endpoint="matrices"} `,
 	`spmvd_requests_total{endpoint="spmv"} `,

@@ -578,6 +578,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	// miss pays computing its plan — the latency the cache amortizes away.
 	fmt.Fprintf(w, "spmvd_tune_seconds_sum %.6f\n", float64(st.TuneNs)/1e9)
 	fmt.Fprintf(w, "spmvd_tune_seconds_count %d\n", st.Tunes)
+	// The search cost cache sits below the plan cache: it amortizes the
+	// per-bin kernel simulations inside one exhaustive search, while the
+	// plan cache above amortizes whole tuning plans across requests.
+	ss := core.SearchCacheStats()
+	fmt.Fprintf(w, "spmvd_search_cache_hits %d\n", ss.Hits)
+	fmt.Fprintf(w, "spmvd_search_cache_misses %d\n", ss.Misses)
+	fmt.Fprintf(w, "spmvd_search_cache_pruned %d\n", ss.Pruned)
 	fmt.Fprintf(w, "spmvd_matrices_stored %d\n", s.MatrixCount())
 	s.m.writeTo(w)
 }
