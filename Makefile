@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-parallel bench-tune fuzz fmt vet lint vulncheck spmvbench
+.PHONY: check build test race bench bench-parallel bench-tune chaos fuzz fmt vet lint vulncheck spmvbench
 
 ## check: the full verification gate (fmt, vet, build, race tests, fuzz
 ## smoke, staticcheck + govulncheck when installed)
@@ -22,6 +22,13 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMTX -fuzztime=10s ./internal/mmio
 	$(GO) test -run='^$$' -fuzz=FuzzHTTPSpMV -fuzztime=10s ./internal/server
+
+## chaos: the chaos invariant suite — seeded fault storms (filesystem,
+## tuning, panics, device faults) replayed against a live in-process
+## spmvd under the race detector. A failing seed number is a
+## reproduction recipe: the injector is deterministic per seed.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/chaos
 
 fmt:
 	gofmt -l -w .

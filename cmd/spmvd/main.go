@@ -13,7 +13,8 @@
 //	POST /v1/spmv           {"matrix": id, "vector": [...]} or {"vectors": [[...]]}
 //	GET  /v1/plans/{id}     the tuning plan the model chose for a matrix
 //	GET  /v1/profiles/{id}  per-bin execution profiles of the latest guarded run
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness (200 with degraded reasons when impaired)
+//	GET  /readyz            readiness (503 while saturated or draining)
 //	GET  /metrics           cache, request and device counters, text exposition
 package main
 
@@ -52,6 +53,9 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist plans to this directory (empty = memory only)")
 	tracePath := flag.String("trace", "", "append JSONL pipeline spans to this file (one span per phase, tagged with per-request trace IDs)")
 	noCounters := flag.Bool("no-counters", false, "disable device performance-counter collection")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive tuning failures before a matrix's breaker trips and requests degrade (0 = default 3)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open tuning probe (0 = default 5s)")
+	noBreaker := flag.Bool("no-breaker", false, "disable the tuning circuit breaker: tuning failures surface as request errors")
 	flag.Parse()
 	log.SetPrefix("spmvd: ")
 	log.SetFlags(log.LstdFlags)
@@ -90,9 +94,27 @@ func main() {
 		},
 		Trace:           tw,
 		DisableCounters: *noCounters,
+		Breaker: server.BreakerConfig{
+			Threshold: *breakerThreshold,
+			Cooldown:  *breakerCooldown,
+			Disabled:  *noBreaker,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Sweep the persistent cache dir before serving: crashed persists leave
+	// tmp files, and anything corrupt is quarantined now rather than at
+	// first request.
+	if *cacheDir != "" {
+		rs, err := srv.RecoverCache()
+		if err != nil {
+			log.Printf("cache recovery: %v (continuing memory-only)", err)
+		} else {
+			log.Printf("cache dir %s: %d plans loadable, %d quarantined, %d tmp files removed",
+				*cacheDir, rs.Loadable, rs.Quarantined, rs.TmpRemoved)
+		}
 	}
 
 	httpSrv := &http.Server{
@@ -119,6 +141,13 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		// In-flight requests are done; flush unpersisted plans so the next
+		// start serves them from disk instead of re-tuning.
+		if flushed, err := srv.Drain(); err != nil {
+			log.Printf("drain: flushed %d plans, error: %v", flushed, err)
+		} else if flushed > 0 {
+			log.Printf("drain: flushed %d plans to cache dir", flushed)
 		}
 	}
 	st := srv.CacheStats()

@@ -1,0 +1,187 @@
+// Package chaos is a deterministic, seeded fault injector for the spmvd
+// service boundary. Where internal/hsa injects *device* faults (PR 1:
+// LDS overflow, barrier divergence, cycle budgets, NaN poison), this
+// package injects the faults a long-running daemon meets above the
+// device: filesystem failures under the plan cache's persistence (short
+// writes, rename failures, disk-full, bit flips, crash-mid-persist),
+// latency/failures/panics on the tuning path, and panics in execution
+// workers. The two compose — Injector.FaultPlan arms the hsa simulator
+// per request — so one seed exercises the whole degradation ladder.
+//
+// Every decision is drawn from one seeded PRNG behind a mutex: replaying
+// the same seed against the same serial request schedule reproduces the
+// same fault sequence exactly (concurrent schedules remain valid but
+// interleave draws nondeterministically). The chaos invariant suite
+// (suite_test.go, `make chaos`) relies on this to replay failures by
+// seed number.
+//
+// Production never imports this package: the server's hook fields
+// (Config.TuneHook/ExecHook/FaultHook) and the cache's Options.FS are nil
+// there, each costing one nil check.
+package chaos
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/plancache"
+)
+
+// Config sets the per-site fault probabilities, each in [0,1]. The zero
+// value injects nothing.
+type Config struct {
+	// Seed seeds the PRNG every injection decision draws from.
+	Seed int64
+
+	// Filesystem faults, rolled per operation of a wrapped FS:
+	ShortWrite float64 // WriteFile silently persists a truncated prefix
+	BitFlip    float64 // WriteFile silently flips one stored bit
+	DiskFull   float64 // WriteFile fails with a disk-full error
+	RenameFail float64 // Rename fails
+
+	// Tuning-path faults, rolled per actual plan computation:
+	TuneDelay    float64       // sleep Delay before tuning (times out slow tunes)
+	Delay        time.Duration // injected latency; <= 0 selects 10ms
+	TuneError    float64       // fail the tune with an unavailable-classed error
+	TunePanic    float64       // panic inside the tuning computation
+	ExecPanic    float64       // panic on the request goroutine before execution
+	DeviceFaults float64       // arm a random hsa fault plan for the request
+}
+
+// Stats counts what actually fired, per class.
+type Stats struct {
+	ShortWrites  int64
+	BitFlips     int64
+	DiskFulls    int64
+	RenameFails  int64
+	TuneDelays   int64
+	TuneErrors   int64
+	TunePanics   int64
+	ExecPanics   int64
+	DeviceFaults int64
+}
+
+// Total sums every injected fault.
+func (s Stats) Total() int64 {
+	return s.ShortWrites + s.BitFlips + s.DiskFulls + s.RenameFails +
+		s.TuneDelays + s.TuneErrors + s.TunePanics + s.ExecPanics + s.DeviceFaults
+}
+
+// Injector draws faults from one seeded stream.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	shortWrites, bitFlips, diskFulls, renameFails atomic.Int64
+	tuneDelays, tuneErrors, tunePanics            atomic.Int64
+	execPanics, deviceFaults                      atomic.Int64
+}
+
+// New builds an injector over a seeded PRNG.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll draws one decision. Probabilities <= 0 never fire and consume no
+// draw, so disabled fault classes do not perturb the stream of enabled
+// ones.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// intn draws a uniform int in [0, n).
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// Stats snapshots the fired-fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		ShortWrites:  in.shortWrites.Load(),
+		BitFlips:     in.bitFlips.Load(),
+		DiskFulls:    in.diskFulls.Load(),
+		RenameFails:  in.renameFails.Load(),
+		TuneDelays:   in.tuneDelays.Load(),
+		TuneErrors:   in.tuneErrors.Load(),
+		TunePanics:   in.tunePanics.Load(),
+		ExecPanics:   in.execPanics.Load(),
+		DeviceFaults: in.deviceFaults.Load(),
+	}
+}
+
+// TuneHook is the tuning-path injection point; wire it to
+// server.Config.TuneHook. It may sleep (injected latency the request
+// deadline converts into a timeout), fail with an unavailable-classed
+// error, or panic — which the plan-compute containment must convert into
+// a classed error, never a dead daemon.
+func (in *Injector) TuneHook(ctx context.Context) error {
+	if in.roll(in.cfg.TunePanic) {
+		in.tunePanics.Add(1)
+		panic("chaos: injected tuning panic")
+	}
+	if in.roll(in.cfg.TuneDelay) {
+		in.tuneDelays.Add(1)
+		d := in.cfg.Delay
+		if d <= 0 {
+			d = 10 * time.Millisecond
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return errdefs.Canceled(ctx.Err())
+		case <-t.C:
+		}
+	}
+	if in.roll(in.cfg.TuneError) {
+		in.tuneErrors.Add(1)
+		return errdefs.Unavailablef("chaos: injected tuning fault")
+	}
+	return nil
+}
+
+// ExecHook is the worker injection point; wire it to
+// server.Config.ExecHook. A fired panic must be contained at the server
+// boundary as a classed 500.
+func (in *Injector) ExecHook() {
+	if in.roll(in.cfg.ExecPanic) {
+		in.execPanics.Add(1)
+		panic("chaos: injected exec panic")
+	}
+}
+
+// FaultPlan arms a random device fault plan for one request (or nil);
+// wire it to server.Config.FaultHook. This composes the service-layer
+// chaos with the PR 1 simulator faults: the guarded fallback chain must
+// absorb whatever fires, terminally at the CPU reference.
+func (in *Injector) FaultPlan() *hsa.FaultPlan {
+	if !in.roll(in.cfg.DeviceFaults) {
+		return nil
+	}
+	in.deviceFaults.Add(1)
+	class := hsa.FaultClass(in.intn(4) + 1) // the four injectable classes
+	transient := in.intn(2)                 // 0: persistent, 1: clears after one retry
+	return hsa.NewFaultPlan().AddFault(hsa.Fault{Class: class, Transient: transient})
+}
+
+// FS wraps a filesystem with the configured fault classes; wire the
+// result to plancache.Options.FS. Short writes and bit flips are
+// *silent* — the write reports success and the corruption is only
+// discoverable through the persistence layer's checksums.
+func (in *Injector) FS(base plancache.FS) plancache.FS {
+	return &faultFS{base: base, in: in}
+}

@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"sync/atomic"
+
+	"spmvtune/internal/plancache"
+)
+
+// ErrDiskFull is the injected disk-full failure.
+var ErrDiskFull = errors.New("chaos: injected disk full")
+
+// ErrRenameFail is the injected rename failure.
+var ErrRenameFail = errors.New("chaos: injected rename failure")
+
+// ErrCrashed is returned by a CrashFS for every operation after its
+// allowance is spent — from the persistence code's point of view the
+// process died mid-sequence.
+var ErrCrashed = errors.New("chaos: simulated crash")
+
+// faultFS injects probabilistic faults into the mutating operations of a
+// wrapped filesystem. Reads pass through untouched: the interesting
+// corruption is the kind that was *stored* wrong, which the persistence
+// layer must catch at load time via its checksum trailer.
+type faultFS struct {
+	base plancache.FS
+	in   *Injector
+}
+
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error { return f.base.MkdirAll(path, perm) }
+func (f *faultFS) ReadFile(path string) ([]byte, error)         { return f.base.ReadFile(path) }
+func (f *faultFS) Remove(path string) error                     { return f.base.Remove(path) }
+func (f *faultFS) Stat(path string) (os.FileInfo, error)        { return f.base.Stat(path) }
+func (f *faultFS) ReadDir(path string) ([]os.DirEntry, error)   { return f.base.ReadDir(path) }
+func (f *faultFS) SyncDir(path string) error                    { return f.base.SyncDir(path) }
+
+// WriteFile may fail loudly (disk full) or succeed while lying: a short
+// write persists only a prefix, a bit flip corrupts one stored bit. The
+// silent cases return nil — exactly the contract violation checksummed
+// persistence exists to survive.
+func (f *faultFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	in := f.in
+	if in.roll(in.cfg.DiskFull) {
+		in.diskFulls.Add(1)
+		// Model ENOSPC partway through: a prefix lands, then the error.
+		_ = f.base.WriteFile(path, data[:len(data)/2], perm)
+		return ErrDiskFull
+	}
+	if in.roll(in.cfg.ShortWrite) {
+		in.shortWrites.Add(1)
+		return f.base.WriteFile(path, data[:len(data)/2], perm)
+	}
+	if in.roll(in.cfg.BitFlip) && len(data) > 0 {
+		in.bitFlips.Add(1)
+		corrupt := make([]byte, len(data))
+		copy(corrupt, data)
+		bit := in.intn(len(corrupt) * 8)
+		corrupt[bit/8] ^= 1 << (bit % 8)
+		return f.base.WriteFile(path, corrupt, perm)
+	}
+	return f.base.WriteFile(path, data, perm)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.in.roll(f.in.cfg.RenameFail) {
+		f.in.renameFails.Add(1)
+		return ErrRenameFail
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// CrashFS simulates a crash at an exact point in a persistence sequence:
+// the first allowOps mutating operations succeed, the next WriteFile
+// tears (half the bytes land, then ErrCrashed), and everything after
+// fails with ErrCrashed and no effect. Driving allowOps from 0 upward
+// crashes a persistence sequence at every step; the recovery invariant
+// is that a fresh cache over the surviving directory always loads.
+// Reads always pass through — they model the next process's life, not
+// the crashed one's.
+type CrashFS struct {
+	base      plancache.FS
+	remaining atomic.Int64
+}
+
+// NewCrashFS allows the first allowOps mutating operations to succeed.
+func NewCrashFS(base plancache.FS, allowOps int) *CrashFS {
+	fs := &CrashFS{base: base}
+	fs.remaining.Store(int64(allowOps))
+	return fs
+}
+
+// take consumes one operation slot: 0 allowed, 1 the crashing (torn)
+// operation, 2 fully dead.
+func (c *CrashFS) take() int {
+	switch r := c.remaining.Add(-1); {
+	case r >= 0:
+		return 0
+	case r == -1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func (c *CrashFS) ReadFile(path string) ([]byte, error)       { return c.base.ReadFile(path) }
+func (c *CrashFS) Stat(path string) (os.FileInfo, error)      { return c.base.Stat(path) }
+func (c *CrashFS) ReadDir(path string) ([]os.DirEntry, error) { return c.base.ReadDir(path) }
+
+func (c *CrashFS) MkdirAll(path string, perm os.FileMode) error {
+	if c.take() != 0 {
+		return ErrCrashed
+	}
+	return c.base.MkdirAll(path, perm)
+}
+
+func (c *CrashFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	switch c.take() {
+	case 0:
+		return c.base.WriteFile(path, data, perm)
+	case 1:
+		// The crash interrupted this very write: a torn prefix survives.
+		_ = c.base.WriteFile(path, data[:len(data)/2], perm)
+		return ErrCrashed
+	default:
+		return ErrCrashed
+	}
+}
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if c.take() != 0 {
+		return ErrCrashed
+	}
+	return c.base.Rename(oldpath, newpath)
+}
+
+func (c *CrashFS) Remove(path string) error {
+	if c.take() != 0 {
+		return ErrCrashed
+	}
+	return c.base.Remove(path)
+}
+
+func (c *CrashFS) SyncDir(path string) error {
+	if c.take() != 0 {
+		return ErrCrashed
+	}
+	return c.base.SyncDir(path)
+}

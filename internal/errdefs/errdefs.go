@@ -20,6 +20,11 @@
 //   - ErrCanceled: the caller's context was canceled or its deadline
 //     expired. Errors built with Canceled also match context.Canceled /
 //     context.DeadlineExceeded, whichever actually fired.
+//   - ErrUnavailable: a service-layer dependency (tuning path, persistence,
+//     an injected chaos fault) failed transiently. The work itself is fine;
+//     retrying later, or degrading to a cheaper plan, is the right response.
+//   - ErrPanic: a worker or handler panicked and the panic was contained at
+//     a recovery boundary. The process survived; the request did not.
 package errdefs
 
 import (
@@ -34,7 +39,30 @@ var (
 	ErrKernelFault    = errors.New("kernel fault")
 	ErrBudgetExceeded = errors.New("cycle budget exceeded")
 	ErrCanceled       = errors.New("execution canceled")
+	ErrUnavailable    = errors.New("service unavailable")
+	ErrPanic          = errors.New("panic recovered")
 )
+
+// Class pairs a sentinel with its stable name, for layers that must treat
+// the taxonomy exhaustively (the HTTP status mapping, metrics labels).
+type Class struct {
+	Name string
+	Err  error
+}
+
+// Classes returns every sentinel of the taxonomy. Any new sentinel MUST be
+// added here — the server's error-mapping table test iterates this list to
+// catch classes that would otherwise fall through to an accidental 500.
+func Classes() []Class {
+	return []Class{
+		{"invalid", ErrInvalidMatrix},
+		{"kernel_fault", ErrKernelFault},
+		{"budget_exceeded", ErrBudgetExceeded},
+		{"canceled", ErrCanceled},
+		{"unavailable", ErrUnavailable},
+		{"panic", ErrPanic},
+	}
+}
 
 // Canceled wraps a context error (context.Canceled or
 // context.DeadlineExceeded) so the result matches both ErrCanceled and the
@@ -60,4 +88,17 @@ func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
 // description.
 func Invalidf(format string, args ...any) error {
 	return fmt.Errorf(format+": %w", append(args, ErrInvalidMatrix)...)
+}
+
+// Unavailablef builds an ErrUnavailable-classified error with a formatted
+// description.
+func Unavailablef(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrUnavailable)...)
+}
+
+// Panicf builds an ErrPanic-classified error with a formatted description.
+// Recovery boundaries use it to convert a recovered panic value into a
+// classed error the serving layer can map to a deliberate status.
+func Panicf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrPanic)...)
 }

@@ -16,12 +16,15 @@
 package plancache
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,11 +42,17 @@ type Options struct {
 	Shards int
 	// TTL expires entries this long after insertion; <= 0 disables expiry.
 	TTL time.Duration
-	// Dir, when non-empty, persists plans as JSON files under this
-	// directory and consults it on memory misses. The directory is created
-	// on first use. Persistence is best-effort: I/O failures degrade to
-	// compute, never to a request error.
+	// Dir, when non-empty, persists plans as checksummed JSON files under
+	// this directory and consults it on memory misses. The directory is
+	// created on first use. Persistence is best-effort: I/O failures
+	// degrade to compute (and count in Stats.PersistErrors), never to a
+	// request error. Corrupt files found at load time are quarantined
+	// (moved aside with a .corrupt suffix) and re-tuned.
 	Dir string
+	// FS overrides the filesystem the persistence layer uses; nil selects
+	// OSFS (fsync-on-write, directory fsync after rename). The chaos
+	// harness substitutes fault-injecting implementations here.
+	FS FS
 	// Clock overrides the time source for TTL tests; nil uses time.Now.
 	Clock func() time.Time
 }
@@ -60,6 +69,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now
+	}
+	if o.FS == nil {
+		o.FS = OSFS()
 	}
 	return o
 }
@@ -78,6 +90,14 @@ type Stats struct {
 	// costs, the quantity the offline/online split amortizes.
 	TuneNs int64
 	Tunes  int64
+	// PersistErrors counts failed persistence attempts (any step: mkdir,
+	// write, fsync, rename, directory sync). The entry stays memory-only;
+	// Flush retries everything resident, so a transient disk fault heals
+	// on the next drain.
+	PersistErrors int64
+	// Quarantined counts corrupt persisted entries found at load time and
+	// moved aside (<name>.corrupt) so the key re-tunes instead of erroring.
+	Quarantined int64
 }
 
 type entry struct {
@@ -110,6 +130,7 @@ type Cache struct {
 
 	hits, misses, diskHits, evictions, expirations, entries atomic.Int64
 	tuneNs, tunes                                           atomic.Int64
+	persistErrors, quarantined                              atomic.Int64
 }
 
 // New builds a cache with the given options.
@@ -243,7 +264,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(conte
 			c.Put(key, p)
 		} else {
 			start := c.opts.Clock()
-			p, err = compute(ctx)
+			p, err = runCompute(ctx, compute)
 			c.tuneNs.Add(c.opts.Clock().Sub(start).Nanoseconds())
 			c.tunes.Add(1)
 			if err == nil {
@@ -261,17 +282,32 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(conte
 	return p, hit, err
 }
 
+// runCompute invokes the compute callback with panic containment: a
+// panicking tuner (poisoned input, chaos injection, a model bug) becomes a
+// classed error instead of unwinding through GetOrCompute — which would
+// leak the singleflight slot and wedge every follower of this key forever.
+func runCompute(ctx context.Context, compute func(context.Context) (*plan.TuningPlan, error)) (p *plan.TuningPlan, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p, err = nil, errdefs.Panicf("plancache: compute panicked: %v", rec)
+		}
+	}()
+	return compute(ctx)
+}
+
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		DiskHits:    c.diskHits.Load(),
-		Evictions:   c.evictions.Load(),
-		Expirations: c.expirations.Load(),
-		Entries:     c.entries.Load(),
-		TuneNs:      c.tuneNs.Load(),
-		Tunes:       c.tunes.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		DiskHits:      c.diskHits.Load(),
+		Evictions:     c.evictions.Load(),
+		Expirations:   c.expirations.Load(),
+		Entries:       c.entries.Load(),
+		TuneNs:        c.tuneNs.Load(),
+		Tunes:         c.tunes.Load(),
+		PersistErrors: c.persistErrors.Load(),
+		Quarantined:   c.quarantined.Load(),
 	}
 }
 
@@ -310,46 +346,221 @@ func (c *Cache) diskPath(key string) string {
 	return filepath.Join(c.opts.Dir, key+".plan.json")
 }
 
-// loadDisk consults the persistence dir; a missing, corrupt or expired
-// file is a plain miss.
+// checksumTrailer introduces the integrity trailer of a persisted entry:
+// the plan JSON, then one line holding the SHA-256 of those JSON bytes.
+// A short write, a bit flip, or a concatenation of two partial writes all
+// fail the checksum and quarantine instead of decoding garbage.
+const checksumTrailer = "\n#sha256:"
+
+// encodeEntry renders a plan in the persisted entry format.
+func encodeEntry(p *plan.TuningPlan) ([]byte, error) {
+	blob, err := p.Encode()
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(blob)
+	out := make([]byte, 0, len(blob)+len(checksumTrailer)+65)
+	out = append(out, blob...)
+	out = append(out, checksumTrailer...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	out = append(out, '\n')
+	return out, nil
+}
+
+// decodeEntry verifies the checksum trailer and decodes the plan. Every
+// failure — missing trailer (including pre-checksum legacy files), digest
+// mismatch, JSON that no longer validates — is corruption.
+func decodeEntry(data []byte) (*plan.TuningPlan, error) {
+	i := bytes.LastIndex(data, []byte(checksumTrailer))
+	if i < 0 {
+		return nil, fmt.Errorf("plancache: entry has no checksum trailer")
+	}
+	body := data[:i]
+	digest := strings.TrimRight(string(data[i+len(checksumTrailer):]), "\n")
+	sum := sha256.Sum256(body)
+	if digest != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("plancache: checksum mismatch")
+	}
+	return plan.Decode(body)
+}
+
+// loadDisk consults the persistence dir; a missing or expired file is a
+// plain miss, and a corrupt file is quarantined — moved aside so the key
+// re-tunes now and the poison never resurfaces on a later load.
 func (c *Cache) loadDisk(key string) *plan.TuningPlan {
 	if c.opts.Dir == "" {
 		return nil
 	}
 	path := c.diskPath(key)
 	if c.opts.TTL > 0 {
-		fi, err := os.Stat(path)
+		fi, err := c.opts.FS.Stat(path)
 		if err != nil || c.opts.Clock().Sub(fi.ModTime()) > c.opts.TTL {
 			return nil
 		}
 	}
-	blob, err := os.ReadFile(path)
+	blob, err := c.opts.FS.ReadFile(path)
 	if err != nil {
 		return nil
 	}
-	p, err := plan.Decode(blob)
+	p, err := decodeEntry(blob)
 	if err != nil {
+		c.quarantine(path)
 		return nil
 	}
 	return p
 }
 
-// saveDisk persists a plan, best-effort.
-func (c *Cache) saveDisk(key string, p *plan.TuningPlan) {
+// quarantine moves a corrupt entry aside (best-effort: a rename failure
+// falls back to removal, and a failed removal at worst re-quarantines on
+// the next load).
+func (c *Cache) quarantine(path string) {
+	c.quarantined.Add(1)
+	if err := c.opts.FS.Rename(path, path+".corrupt"); err != nil {
+		_ = c.opts.FS.Remove(path)
+	}
+}
+
+// saveDisk persists a plan crash-safely: checksummed entry → temp file
+// (written and fsynced) → atomic rename → directory fsync. A failure at
+// any step counts in PersistErrors and leaves either the old entry or no
+// entry — never a torn one a reader could decode.
+func (c *Cache) saveDisk(key string, p *plan.TuningPlan) error {
 	if c.opts.Dir == "" || p == nil {
-		return
+		return nil
 	}
-	blob, err := p.Encode()
+	err := c.persist(key, p)
 	if err != nil {
-		return
+		c.persistErrors.Add(1)
 	}
-	if err := os.MkdirAll(c.opts.Dir, 0o755); err != nil {
-		return
+	return err
+}
+
+func (c *Cache) persist(key string, p *plan.TuningPlan) error {
+	blob, err := encodeEntry(p)
+	if err != nil {
+		return fmt.Errorf("plancache: encode %s: %w", key, err)
+	}
+	if err := c.opts.FS.MkdirAll(c.opts.Dir, 0o755); err != nil {
+		return fmt.Errorf("plancache: mkdir %s: %w", c.opts.Dir, err)
 	}
 	path := c.diskPath(key)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return
+	if err := c.opts.FS.WriteFile(tmp, blob, 0o644); err != nil {
+		_ = c.opts.FS.Remove(tmp)
+		return fmt.Errorf("plancache: write %s: %w", tmp, err)
 	}
-	_ = os.Rename(tmp, path)
+	if err := c.opts.FS.Rename(tmp, path); err != nil {
+		_ = c.opts.FS.Remove(tmp)
+		return fmt.Errorf("plancache: rename %s: %w", path, err)
+	}
+	if err := c.opts.FS.SyncDir(c.opts.Dir); err != nil {
+		// The entry is in place and readable; only its durability across a
+		// host crash is in question. Surface it, do not undo the rename.
+		return fmt.Errorf("plancache: sync dir %s: %w", c.opts.Dir, err)
+	}
+	return nil
+}
+
+// Flush persists every resident plan, re-attempting entries whose earlier
+// saves failed — the SIGTERM drain path, so a rolling restart never loses
+// tuned plans to a transient disk fault. It returns the number persisted
+// and the first error. Without a persistence dir it is a no-op.
+func (c *Cache) Flush() (int, error) {
+	if c.opts.Dir == "" {
+		return 0, nil
+	}
+	var (
+		n        int
+		firstErr error
+	)
+	for _, s := range c.shards {
+		// Snapshot under the shard lock; persist outside it so a slow disk
+		// never blocks lookups.
+		s.mu.Lock()
+		snap := make([]*entry, 0, s.ll.Len())
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			snap = append(snap, el.Value.(*entry))
+		}
+		s.mu.Unlock()
+		for _, e := range snap {
+			if err := c.saveDisk(e.key, e.p); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			n++
+		}
+	}
+	return n, firstErr
+}
+
+// RecoverStats summarizes a Recover sweep.
+type RecoverStats struct {
+	Loadable    int // entries that verified and decoded
+	Quarantined int // corrupt entries moved aside
+	TmpRemoved  int // abandoned temp files from an interrupted persist
+}
+
+// Recover sweeps the persistence dir after a restart: abandoned .tmp
+// files (a crash between write and rename) are removed, and every
+// persisted entry is checksum-verified — corrupt ones are quarantined now
+// rather than at first use. After Recover returns nil, every remaining
+// .plan.json in the directory is loadable. A missing directory is healthy
+// (nothing persisted yet).
+func (c *Cache) Recover() (RecoverStats, error) {
+	var rs RecoverStats
+	if c.opts.Dir == "" {
+		return rs, nil
+	}
+	ents, err := c.opts.FS.ReadDir(c.opts.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return rs, nil
+		}
+		return rs, fmt.Errorf("plancache: recover: %w", err)
+	}
+	for _, de := range ents {
+		name := de.Name()
+		path := filepath.Join(c.opts.Dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			if err := c.opts.FS.Remove(path); err == nil {
+				rs.TmpRemoved++
+			}
+		case strings.HasSuffix(name, ".plan.json"):
+			blob, err := c.opts.FS.ReadFile(path)
+			if err != nil {
+				c.quarantine(path)
+				rs.Quarantined++
+				continue
+			}
+			if _, err := decodeEntry(blob); err != nil {
+				c.quarantine(path)
+				rs.Quarantined++
+				continue
+			}
+			rs.Loadable++
+		}
+	}
+	return rs, nil
+}
+
+// ProbeDisk verifies the persistence dir is writable right now: it
+// creates the directory if needed, writes a probe file and removes it.
+// The health endpoint calls this to report a read-only or full disk as a
+// degraded condition before a tune discovers it the hard way. Without a
+// persistence dir it reports healthy.
+func (c *Cache) ProbeDisk() error {
+	if c.opts.Dir == "" {
+		return nil
+	}
+	if err := c.opts.FS.MkdirAll(c.opts.Dir, 0o755); err != nil {
+		return err
+	}
+	probe := filepath.Join(c.opts.Dir, ".probe")
+	if err := c.opts.FS.WriteFile(probe, []byte("probe\n"), 0o644); err != nil {
+		return err
+	}
+	return c.opts.FS.Remove(probe)
 }

@@ -1,0 +1,73 @@
+package plancache
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the persistence layer needs. Production
+// uses OSFS; the chaos harness substitutes fault-injecting wrappers so
+// short writes, rename failures, disk-full and crash-mid-persist are all
+// reproducibly testable against the real persistence code.
+//
+// WriteFile must durably write the whole file: create/truncate, write all
+// bytes, fsync, close. SyncDir must fsync the directory so a preceding
+// rename survives a crash. Implementations may degrade these guarantees
+// only to simulate the failure modes they exist to defend against.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	Stat(path string) (os.FileInfo, error)
+	ReadDir(path string) ([]os.DirEntry, error)
+	SyncDir(path string) error
+}
+
+// OSFS returns the production filesystem: the os package, with WriteFile
+// upgraded to fsync before close and SyncDir implemented with open+fsync.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) Stat(path string) (os.FileInfo, error)        { return os.Stat(path) }
+func (osFS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(path) }
+
+// WriteFile is os.WriteFile plus an fsync before close: after it returns
+// nil the bytes are durable, not merely in the page cache — the missing
+// half of the classic write-then-rename pattern.
+func (osFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SyncDir fsyncs a directory so renames into it are durable. Filesystems
+// that do not support directory fsync (some network mounts) surface an
+// error the caller counts but does not fail on.
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

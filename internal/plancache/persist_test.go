@@ -1,0 +1,159 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spmvtune/internal/plan"
+)
+
+func TestEntryChecksumRoundTripAndCorruption(t *testing.T) {
+	p := testPlan("abc123")
+	blob, err := encodeEntry(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeEntry(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != p.Fingerprint {
+		t.Fatalf("round trip fingerprint %q, want %q", got.Fingerprint, p.Fingerprint)
+	}
+
+	// Every storage-level corruption mode must fail the decode, never
+	// return a wrong plan.
+	corruptions := map[string][]byte{
+		"truncated":        blob[:len(blob)/2],
+		"missing trailer":  blob[:strings.Index(string(blob), checksumTrailer)],
+		"flipped json bit": append(func() []byte { c := append([]byte(nil), blob...); c[2] ^= 0x10; return c }(), nil...),
+		"flipped sum bit":  append(func() []byte { c := append([]byte(nil), blob...); c[len(c)-3] ^= 0x01; return c }(), nil...),
+		"empty":            nil,
+	}
+	for name, c := range corruptions {
+		if _, err := decodeEntry(c); err == nil {
+			t.Errorf("%s: decodeEntry accepted corrupt entry", name)
+		}
+	}
+}
+
+// failWriteFS fails every WriteFile; everything else is the real FS.
+type failWriteFS struct{ FS }
+
+func (f failWriteFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	return errors.New("injected write failure")
+}
+
+func TestPersistErrorsCountedNotFatal(t *testing.T) {
+	c := New(Options{Dir: t.TempDir(), FS: failWriteFS{OSFS()}})
+	p, _, err := c.GetOrCompute(context.Background(), "fp1", func(context.Context) (*plan.TuningPlan, error) {
+		return testPlan("fp1"), nil
+	})
+	if err != nil || p == nil {
+		t.Fatalf("persist failure leaked into compute: %v", err)
+	}
+	if got := c.Stats().PersistErrors; got < 1 {
+		t.Errorf("persist errors %d, want >= 1", got)
+	}
+}
+
+func TestRecoverSweepsTmpAndQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	// One valid entry, one corrupt entry, one abandoned tmp file.
+	seeder := New(Options{Dir: dir})
+	if err := seeder.saveDisk("good", testPlan("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.plan.json"), []byte("not a plan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "orphan.plan.json.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Options{Dir: dir})
+	rs, err := c.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Loadable != 1 || rs.Quarantined != 1 || rs.TmpRemoved != 1 {
+		t.Fatalf("recover stats %+v, want 1/1/1", rs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.plan.json.corrupt")); err != nil {
+		t.Errorf("corrupt entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "orphan.plan.json.tmp")); !os.IsNotExist(err) {
+		t.Errorf("tmp file survived recovery: %v", err)
+	}
+	// The valid entry still loads; the quarantined one recomputes.
+	if p, ok := c.Get("good"); ok || p != nil {
+		t.Fatal("memory hit before disk load should miss") // Get is memory-only
+	}
+	p, _, err := c.GetOrCompute(context.Background(), "good", func(context.Context) (*plan.TuningPlan, error) {
+		t.Error("valid persisted entry was recomputed")
+		return testPlan("good"), nil
+	})
+	if err != nil || p == nil || p.Fingerprint != "good" {
+		t.Fatalf("disk load after recover: p=%v err=%v", p, err)
+	}
+	if got := c.Stats().DiskHits; got != 1 {
+		t.Errorf("disk hits %d, want 1", got)
+	}
+}
+
+func TestProbeDisk(t *testing.T) {
+	c := New(Options{Dir: t.TempDir()})
+	if err := c.ProbeDisk(); err != nil {
+		t.Fatalf("probe of writable dir: %v", err)
+	}
+	if err := New(Options{}).ProbeDisk(); err != nil {
+		t.Fatalf("probe without dir should be healthy: %v", err)
+	}
+	blocker := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(Options{Dir: filepath.Join(blocker, "sub")}).ProbeDisk(); err == nil {
+		t.Error("probe of unwritable dir reported healthy")
+	}
+}
+
+func TestFlushPersistsResidentPlans(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Options{Dir: dir, FS: failWriteFS{OSFS()}})
+	// Tune two plans; their eager saves fail.
+	for _, k := range []string{"k1", "k2"} {
+		k := k
+		if _, _, err := c.GetOrCompute(context.Background(), k, func(context.Context) (*plan.TuningPlan, error) {
+			return testPlan(k), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := c.Flush(); err == nil || n != 0 {
+		t.Fatalf("flush through failing FS: n=%d err=%v, want 0 and error", n, err)
+	}
+	// Heal the filesystem (as a transient disk fault would) and re-flush.
+	c.opts.FS = OSFS()
+	n, err := c.Flush()
+	if err != nil || n != 2 {
+		t.Fatalf("flush after heal: n=%d err=%v, want 2", n, err)
+	}
+	// A fresh instance serves both from disk.
+	c2 := New(Options{Dir: dir})
+	for _, k := range []string{"k1", "k2"} {
+		if p, _, err := c2.GetOrCompute(context.Background(), k, func(context.Context) (*plan.TuningPlan, error) {
+			t.Errorf("%s recomputed after flush", k)
+			return testPlan(k), nil
+		}); err != nil || p == nil || p.Fingerprint != k {
+			t.Fatalf("%s: p=%v err=%v", k, p, err)
+		}
+	}
+	if got := c2.Stats().DiskHits; got != 2 {
+		t.Errorf("disk hits %d, want 2", got)
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"spmvtune/internal/errdefs"
+)
+
+// BreakerConfig tunes the per-matrix tuning circuit breaker. The breaker
+// is the middle rung of the degradation ladder: when tuning a matrix
+// keeps failing or timing out, requests stop paying (and stop 5xx-ing
+// for) the broken tuning path and are served the always-available
+// degraded plan instead, until a half-open probe proves tuning healthy
+// again.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive tuning failures that trips
+	// the breaker for a matrix; <= 0 selects 3.
+	Threshold int
+	// Cooldown is how long a tripped breaker stays open before one
+	// half-open probe is allowed through; <= 0 selects 5s. Every failed
+	// probe doubles the cooldown up to MaxCooldown.
+	Cooldown time.Duration
+	// MaxCooldown caps the probe backoff; <= 0 selects 16×Cooldown.
+	MaxCooldown time.Duration
+	// Disabled turns the breaker off entirely: tuning failures surface as
+	// request errors, as they did before the breaker existed.
+	Disabled bool
+}
+
+func (b BreakerConfig) withDefaults() BreakerConfig {
+	if b.Threshold <= 0 {
+		b.Threshold = 3
+	}
+	if b.Cooldown <= 0 {
+		b.Cooldown = 5 * time.Second
+	}
+	if b.MaxCooldown <= 0 {
+		b.MaxCooldown = 16 * b.Cooldown
+	}
+	return b
+}
+
+// Breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is the circuit breaker of one matrix's tuning path.
+type breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	clock    func() time.Time
+	state    int
+	failures int           // consecutive failures while closed
+	openedAt time.Time     // when the breaker last opened
+	cooldown time.Duration // current open duration (doubled per failed probe)
+}
+
+func newBreaker(cfg BreakerConfig, clock func() time.Time) *breaker {
+	return &breaker{cfg: cfg, clock: clock, cooldown: cfg.Cooldown}
+}
+
+// allow reports whether a tuning attempt may proceed. In the open state it
+// returns false until the cooldown elapses, then transitions to half-open
+// and lets exactly one probe through (probe=true); further requests keep
+// degrading until the probe's outcome is recorded.
+func (b *breaker) allow() (proceed, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if b.clock().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true, true
+		}
+		return false, false
+	default: // half-open: a probe is already in flight
+		return false, false
+	}
+}
+
+// onSuccess records a successful tune: the breaker closes and the backoff
+// resets.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.cooldown = b.cfg.Cooldown
+}
+
+// onFailure records a failed tune and reports whether the breaker tripped
+// (transitioned to open) as a result. A failed half-open probe re-opens
+// with doubled cooldown.
+func (b *breaker) onFailure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.MaxCooldown {
+			b.cooldown = b.cfg.MaxCooldown
+		}
+		b.state = breakerOpen
+		b.openedAt = now
+		return true
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.failures = 0
+			return true
+		}
+		return false
+	default: // already open (a concurrent failure raced the trip)
+		return false
+	}
+}
+
+// isOpen reports whether the breaker currently refuses tuning (open or
+// half-open with the probe slot taken).
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}
+
+// snapshot returns the state for metrics.
+func (b *breaker) snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// breakerFor returns the breaker of one matrix, creating it on first use;
+// nil when breaking is disabled.
+func (s *Server) breakerFor(id string) *breaker {
+	if s.cfg.Breaker.Disabled {
+		return nil
+	}
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	br, ok := s.breakers[id]
+	if !ok {
+		br = newBreaker(s.cfg.Breaker, s.cfg.Clock)
+		s.breakers[id] = br
+	}
+	return br
+}
+
+// dropBreaker forgets an evicted matrix's breaker.
+func (s *Server) dropBreaker(id string) {
+	s.bmu.Lock()
+	delete(s.breakers, id)
+	s.bmu.Unlock()
+}
+
+// breakerCounts returns how many matrices currently have an open and a
+// half-open breaker, for /metrics and /healthz.
+func (s *Server) breakerCounts() (open, halfOpen int) {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	for _, br := range s.breakers {
+		switch br.snapshot() {
+		case breakerOpen:
+			open++
+		case breakerHalfOpen:
+			halfOpen++
+		}
+	}
+	return open, halfOpen
+}
+
+// tuneFailure classifies which tuning errors count against the breaker:
+// service-side faults (kernel faults, budget blowouts, injected
+// unavailability, contained panics) and deadline expiries do; the
+// caller's own bad input or disconnect does not — tripping a matrix's
+// breaker because one client sent garbage would degrade every other
+// client of that matrix.
+func tuneFailure(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, errdefs.ErrInvalidMatrix):
+		return false
+	case errors.Is(err, errdefs.ErrCanceled):
+		return errors.Is(err, context.DeadlineExceeded)
+	default:
+		return true
+	}
+}

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/sparse"
+)
+
+// fakeClock is a manually advanced time source for stepping a breaker
+// through its cooldown without sleeping.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// TestBreakerConvertsFailureStormToDegraded is the acceptance
+// demonstration: repeated tuning failures 5xx until the per-matrix
+// breaker trips, then every request is a degraded-but-correct 200 —
+// visible in the response body and /metrics — and a half-open probe
+// closes the breaker once tuning heals.
+func TestBreakerConvertsFailureStormToDegraded(t *testing.T) {
+	clk := &fakeClock{}
+	var failing atomic.Bool
+	failing.Store(true)
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Breaker = BreakerConfig{Threshold: 2, Cooldown: time.Minute}
+		c.Clock = clk.now
+		c.TuneHook = func(context.Context) error {
+			if failing.Load() {
+				return errdefs.Unavailablef("test: tuning storm")
+			}
+			return nil
+		}
+	})
+	a := matgen.Banded(150, 3, 3)
+	id := uploadMatrix(t, ts, a)
+	v := make([]float64, a.Cols)
+	for i := range v {
+		v[i] = float64(i%5) - 2
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(v, want)
+	vecJSON, _ := json.Marshal(v)
+	body := fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, vecJSON)
+
+	type result struct {
+		status   int
+		class    string
+		degraded bool
+		reason   string
+		result   []float64
+	}
+	post := func() result {
+		t.Helper()
+		resp, blob := postSpMV(t, ts, body)
+		var out struct {
+			Error          string    `json:"error"`
+			Degraded       bool      `json:"degraded"`
+			DegradedReason string    `json:"degradedReason"`
+			Result         []float64 `json:"result"`
+		}
+		if err := json.Unmarshal(blob, &out); err != nil {
+			t.Fatalf("status %d body not JSON: %s", resp.StatusCode, blob)
+		}
+		return result{resp.StatusCode, out.Error, out.Degraded, out.DegradedReason, out.Result}
+	}
+
+	// Failure 1 of threshold 2: the breaker is still closed, so the tuning
+	// failure surfaces as the classed 5xx it is.
+	if r := post(); r.status != http.StatusServiceUnavailable || r.class != "unavailable" {
+		t.Fatalf("first failure: status %d class %q, want 503 unavailable", r.status, r.class)
+	}
+	// Failure 2 trips the breaker; the very request that tripped it is
+	// served the degraded plan instead of a third 5xx.
+	r := post()
+	if r.status != http.StatusOK || !r.degraded || r.reason != "breaker_open" {
+		t.Fatalf("tripping request: status %d degraded %v reason %q, want degraded 200 breaker_open", r.status, r.degraded, r.reason)
+	}
+	if i := sparse.FirstVecDiff(want, r.result, 1e-9); i >= 0 {
+		t.Fatalf("degraded result row %d differs from reference", i)
+	}
+	// While open, requests keep getting degraded 200s without touching the
+	// broken tuning path.
+	for i := 0; i < 3; i++ {
+		if r := post(); r.status != http.StatusOK || !r.degraded {
+			t.Fatalf("open-state request %d: status %d degraded %v", i, r.status, r.degraded)
+		}
+	}
+	if got := scrapeMetric(t, ts, "spmvd_breaker_trips_total"); got != 1 {
+		t.Errorf("breaker trips %d, want 1", got)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_degraded_total"); got != 4 {
+		t.Errorf("degraded responses %d, want 4", got)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_breaker_open"); got != 1 {
+		t.Errorf("open breakers %d, want 1", got)
+	}
+
+	// The degradation is visible on /healthz while the breaker is open.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hblob, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != 200 || !strings.Contains(string(hblob), "breaker-open") {
+		t.Errorf("healthz while open: %d %s", hresp.StatusCode, hblob)
+	}
+
+	// Tuning heals; after the cooldown one half-open probe runs, succeeds,
+	// and the breaker closes — full-fidelity plans again.
+	failing.Store(false)
+	clk.advance(time.Minute + time.Second)
+	r = post()
+	if r.status != http.StatusOK || r.degraded {
+		t.Fatalf("probe request: status %d degraded %v, want clean 200", r.status, r.degraded)
+	}
+	if i := sparse.FirstVecDiff(want, r.result, 1e-9); i >= 0 {
+		t.Fatalf("recovered result row %d differs from reference", i)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_breaker_half_open_probes_total"); got != 1 {
+		t.Errorf("half-open probes %d, want 1", got)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_breaker_open"); got != 0 {
+		t.Errorf("open breakers after recovery %d, want 0", got)
+	}
+}
+
+// TestBreakerBackoffDoubling pins the probe backoff: every failed
+// half-open probe doubles the cooldown, capped at MaxCooldown.
+func TestBreakerBackoffDoubling(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := BreakerConfig{Threshold: 1, Cooldown: time.Minute, MaxCooldown: 4 * time.Minute}.withDefaults()
+	br := newBreaker(cfg, clk.now)
+
+	if tripped := br.onFailure(); !tripped {
+		t.Fatal("threshold-1 failure did not trip")
+	}
+	wantCooldowns := []time.Duration{time.Minute, 2 * time.Minute, 4 * time.Minute, 4 * time.Minute}
+	for i, cd := range wantCooldowns {
+		if proceed, _ := br.allow(); proceed {
+			t.Fatalf("round %d: allowed before cooldown", i)
+		}
+		clk.advance(cd)
+		proceed, probe := br.allow()
+		if !proceed || !probe {
+			t.Fatalf("round %d: no probe after cooldown %v", i, cd)
+		}
+		// Only one probe per half-open window.
+		if proceed, _ := br.allow(); proceed {
+			t.Fatalf("round %d: second probe allowed", i)
+		}
+		br.onFailure() // probe fails: reopen with doubled cooldown
+	}
+	br.onSuccess()
+	if proceed, probe := br.allow(); !proceed || probe {
+		t.Error("closed breaker should allow without probing")
+	}
+	if br.cooldown != cfg.Cooldown {
+		t.Errorf("cooldown after success %v, want reset to %v", br.cooldown, cfg.Cooldown)
+	}
+}
+
+// TestPanicContainment: an injected panic on the execution path becomes
+// one classed 500 response and a counter increment; the daemon keeps
+// serving afterwards.
+func TestPanicContainment(t *testing.T) {
+	var panicking atomic.Bool
+	_, ts := newTestServer(t, func(c *Config) {
+		c.ExecHook = func() {
+			if panicking.Load() {
+				panic("test: injected exec panic")
+			}
+		}
+	})
+	a := matgen.Banded(100, 3, 4)
+	id := uploadMatrix(t, ts, a)
+	vec, _ := json.Marshal(make([]float64, a.Cols))
+	body := fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, vec)
+
+	panicking.Store(true)
+	resp, blob := postSpMV(t, ts, body)
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatalf("panic response not JSON: %s", blob)
+	}
+	if resp.StatusCode != http.StatusInternalServerError || out.Error != "panic" {
+		t.Fatalf("panic response: status %d class %q, want 500 panic", resp.StatusCode, out.Error)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_panics_recovered_total"); got != 1 {
+		t.Errorf("panics recovered %d, want 1", got)
+	}
+
+	panicking.Store(false)
+	if resp, blob := postSpMV(t, ts, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon did not survive the panic: %d %s", resp.StatusCode, blob)
+	}
+}
+
+// TestTuningPanicContained: a panic inside the tuning computation (under
+// the plan cache's singleflight) is converted to a classed error, not a
+// wedged flight or a dead process.
+func TestTuningPanicContained(t *testing.T) {
+	var panicking atomic.Bool
+	panicking.Store(true)
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Breaker = BreakerConfig{Disabled: true}
+		c.TuneHook = func(context.Context) error {
+			if panicking.Load() {
+				panic("test: injected tuning panic")
+			}
+			return nil
+		}
+	})
+	a := matgen.Banded(100, 3, 6)
+	id := uploadMatrix(t, ts, a)
+	vec, _ := json.Marshal(make([]float64, a.Cols))
+	body := fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, vec)
+
+	resp, blob := postSpMV(t, ts, body)
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(blob, &out); err != nil || out.Error != "panic" || resp.StatusCode != 500 {
+		t.Fatalf("tuning panic: status %d body %s, want 500 panic", resp.StatusCode, blob)
+	}
+	// The flight must not be wedged: the next request tunes successfully.
+	panicking.Store(false)
+	if resp, blob := postSpMV(t, ts, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("singleflight wedged after tuning panic: %d %s", resp.StatusCode, blob)
+	}
+}
+
+// TestHealthzDegradedReasonsAndReadyzDrain: /healthz stays 200 but
+// reports why the daemon is impaired (unwritable cache dir), and a drain
+// flips /readyz to 503 while flushing resident plans to disk.
+func TestHealthzDegradedReasonsAndReadyzDrain(t *testing.T) {
+	// A regular file in the Dir path makes every persistence op fail.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Cache.Dir = filepath.Join(blocker, "cache")
+	})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var health struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.Unmarshal(blob, &health); err != nil {
+		t.Fatalf("healthz body: %s", blob)
+	}
+	if resp.StatusCode != 200 || health.Status != "degraded" {
+		t.Fatalf("healthz with unwritable cache dir: %d %s", resp.StatusCode, blob)
+	}
+	if len(health.Reasons) == 0 || !strings.HasPrefix(health.Reasons[0], "cache-dir-unwritable") {
+		t.Errorf("reasons %v, want cache-dir-unwritable first", health.Reasons)
+	}
+
+	// Requests still succeed with the persistence dir broken — saves are
+	// best-effort and counted, never fatal.
+	a := matgen.Banded(100, 3, 2)
+	id := uploadMatrix(t, ts, a)
+	vec, _ := json.Marshal(make([]float64, a.Cols))
+	if resp, blob := postSpMV(t, ts, fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, vec)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("spmv with broken cache dir: %d %s", resp.StatusCode, blob)
+	}
+	if got := scrapeMetric(t, ts, "spmvd_plan_cache_persist_errors"); got < 1 {
+		t.Errorf("persist errors %d, want >= 1", got)
+	}
+
+	// Ready until the drain begins.
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("readyz before drain: %d", resp.StatusCode)
+	}
+	if _, err := s.Drain(); err == nil {
+		t.Error("drain into an unwritable dir should surface the persist error")
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(blob), "draining") {
+		t.Errorf("readyz during drain: %d %s", resp.StatusCode, blob)
+	}
+}
+
+// TestDrainFlushesPlans: a drain persists every resident plan so a
+// restart serves them from disk without re-tuning.
+func TestDrainFlushesPlans(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Cache.Dir = dir
+		// Tune in memory only; the drain does the persisting. A failing
+		// save here would also exercise Flush's retry, but the point of
+		// this test is the clean path.
+	})
+	a := matgen.Banded(120, 3, 8)
+	id := uploadMatrix(t, ts, a)
+	vec, _ := json.Marshal(make([]float64, a.Cols))
+	body := fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, vec)
+	if resp, blob := postSpMV(t, ts, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("spmv: %d %s", resp.StatusCode, blob)
+	}
+	flushed, err := s.Drain()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if flushed < 1 {
+		t.Fatalf("drain flushed %d plans, want >= 1", flushed)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".plan.json") {
+			plans++
+		}
+	}
+	if plans < 1 {
+		t.Errorf("no .plan.json files after drain; dir has %v", ents)
+	}
+}

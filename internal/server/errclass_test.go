@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"spmvtune/internal/errdefs"
+)
+
+// TestErrorClassExhaustive drives errorClass with every sentinel of the
+// errdefs taxonomy and requires a deliberate (name, status) pair for each.
+// The table below is the server's public error contract; a sentinel added
+// to errdefs.Classes() without a row here fails the test, so no class can
+// ever fall through to an accidental "internal"/500.
+func TestErrorClassExhaustive(t *testing.T) {
+	want := map[string]int{
+		"invalid":         http.StatusBadRequest,
+		"canceled":        http.StatusGatewayTimeout,
+		"budget_exceeded": http.StatusInternalServerError,
+		"kernel_fault":    http.StatusInternalServerError,
+		"unavailable":     http.StatusServiceUnavailable,
+		"panic":           http.StatusInternalServerError,
+	}
+	classes := errdefs.Classes()
+	if len(classes) != len(want) {
+		t.Fatalf("errdefs.Classes() has %d classes, contract table has %d — add the new class a deliberate status", len(classes), len(want))
+	}
+	for _, c := range classes {
+		wantStatus, ok := want[c.Name]
+		if !ok {
+			t.Errorf("class %q has no row in the status contract", c.Name)
+			continue
+		}
+		// Both the bare sentinel and a wrapped instance must map identically.
+		for _, err := range []error{c.Err, fmt.Errorf("somewhere deep: %w", c.Err)} {
+			name, status := errorClass(err)
+			if name != c.Name || status != wantStatus {
+				t.Errorf("errorClass(%v) = (%q, %d), want (%q, %d)", err, name, status, c.Name, wantStatus)
+			}
+		}
+	}
+
+	// Constructed variants carry their class through the helpers.
+	for _, tc := range []struct {
+		err    error
+		name   string
+		status int
+	}{
+		{errdefs.Invalidf("bad header"), "invalid", 400},
+		{errdefs.Canceled(context.DeadlineExceeded), "canceled", 504},
+		{errdefs.Canceled(nil), "canceled", 504},
+		{errdefs.Unavailablef("tuning path down"), "unavailable", 503},
+		{errdefs.Panicf("worker panicked: %v", "boom"), "panic", 500},
+	} {
+		name, status := errorClass(tc.err)
+		if name != tc.name || status != tc.status {
+			t.Errorf("errorClass(%v) = (%q, %d), want (%q, %d)", tc.err, name, status, tc.name, tc.status)
+		}
+	}
+
+	// Unclassified errors fall back to internal/500 — a safety net, not a
+	// contract slot any errdefs class may occupy.
+	if name, status := errorClass(errors.New("mystery")); name != "internal" || status != 500 {
+		t.Errorf("unclassified error mapped to (%q, %d), want (internal, 500)", name, status)
+	}
+}
+
+// TestTuneFailureClassification pins which errors count against a
+// matrix's breaker: service faults and deadline expiry do, caller
+// mistakes and caller disconnects do not.
+func TestTuneFailureClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"invalid input", errdefs.Invalidf("caller sent garbage"), false},
+		{"caller disconnect", errdefs.Canceled(context.Canceled), false},
+		{"deadline expiry", errdefs.Canceled(context.DeadlineExceeded), true},
+		{"kernel fault", fmt.Errorf("x: %w", errdefs.ErrKernelFault), true},
+		{"unavailable", errdefs.Unavailablef("injected"), true},
+		{"contained panic", errdefs.Panicf("boom"), true},
+		{"unclassified", errors.New("mystery"), true},
+	}
+	for _, tc := range cases {
+		if got := tuneFailure(tc.err); got != tc.want {
+			t.Errorf("%s: tuneFailure = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -15,11 +15,12 @@ const (
 	epPlans
 	epProfiles
 	epHealthz
+	epReadyz
 	epMetrics
 	nEndpoints
 )
 
-var endpointNames = [nEndpoints]string{"matrices", "spmv", "plans", "profiles", "healthz", "metrics"}
+var endpointNames = [nEndpoints]string{"matrices", "spmv", "plans", "profiles", "healthz", "readyz", "metrics"}
 
 // metrics holds the server-side counters. Everything is atomic so the
 // handlers never serialize on observability.
@@ -33,6 +34,14 @@ type metrics struct {
 	inflight atomic.Int64
 	vectors  atomic.Int64 // SpMV right-hand sides served
 	degraded atomic.Int64 // guarded runs that needed the fallback chain
+
+	// Robustness counters: breaker-degraded responses served instead of
+	// 5xx, breaker trips and half-open probes, and panics contained at
+	// the server boundary.
+	degradedServed atomic.Int64
+	breakerTrips   atomic.Int64
+	breakerProbes  atomic.Int64
+	panics         atomic.Int64
 
 	// Device-counter derived totals, accumulated from the per-run
 	// ExecReport of every guarded execution. Cycles are modeled device
@@ -92,6 +101,10 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "spmvd_inflight %d\n", m.inflight.Load())
 	fmt.Fprintf(w, "spmvd_spmv_vectors_total %d\n", m.vectors.Load())
 	fmt.Fprintf(w, "spmvd_degraded_runs_total %d\n", m.degraded.Load())
+	fmt.Fprintf(w, "spmvd_degraded_total %d\n", m.degradedServed.Load())
+	fmt.Fprintf(w, "spmvd_breaker_trips_total %d\n", m.breakerTrips.Load())
+	fmt.Fprintf(w, "spmvd_breaker_half_open_probes_total %d\n", m.breakerProbes.Load())
+	fmt.Fprintf(w, "spmvd_panics_recovered_total %d\n", m.panics.Load())
 
 	fmt.Fprintf(w, "spmvd_device_cycles_total %d\n", m.deviceCycles.Load())
 	fmt.Fprintf(w, "spmvd_device_mem_instrs_total %d\n", m.deviceMemInstrs.Load())

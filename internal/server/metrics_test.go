@@ -24,6 +24,8 @@ var metricFamilies = []string{
 	`spmvd_plan_cache_evictions `,
 	`spmvd_plan_cache_expirations `,
 	`spmvd_plan_cache_entries `,
+	`spmvd_plan_cache_persist_errors `,
+	`spmvd_plan_cache_quarantined `,
 	`spmvd_tune_seconds_sum `,
 	`spmvd_tune_seconds_count `,
 	`spmvd_search_cache_hits `,
@@ -35,6 +37,7 @@ var metricFamilies = []string{
 	`spmvd_requests_total{endpoint="plans"} `,
 	`spmvd_requests_total{endpoint="profiles"} `,
 	`spmvd_requests_total{endpoint="healthz"} `,
+	`spmvd_requests_total{endpoint="readyz"} `,
 	`spmvd_requests_total{endpoint="metrics"} `,
 	`spmvd_request_errors_total{endpoint="spmv"} `,
 	`spmvd_request_seconds_sum{endpoint="spmv"} `,
@@ -44,6 +47,12 @@ var metricFamilies = []string{
 	`spmvd_inflight `,
 	`spmvd_spmv_vectors_total `,
 	`spmvd_degraded_runs_total `,
+	`spmvd_degraded_total `,
+	`spmvd_breaker_trips_total `,
+	`spmvd_breaker_half_open_probes_total `,
+	`spmvd_panics_recovered_total `,
+	`spmvd_breaker_open `,
+	`spmvd_breaker_half_open `,
 	`spmvd_device_cycles_total `,
 	`spmvd_device_mem_instrs_total `,
 	`spmvd_device_lane_slots_total `,

@@ -30,8 +30,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spmvtune/internal/binning"
 	"spmvtune/internal/core"
 	"spmvtune/internal/errdefs"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
 	"spmvtune/internal/mmio"
 	"spmvtune/internal/plan"
 	"spmvtune/internal/plancache"
@@ -91,6 +94,28 @@ type Config struct {
 	// feed /metrics and GET /v1/profiles — and cost one nil check per
 	// collection site when disabled.
 	DisableCounters bool
+	// Breaker tunes the per-matrix tuning circuit breaker (zero value
+	// selects the defaults; set Disabled to turn it off).
+	Breaker BreakerConfig
+	// Clock overrides the time source the breaker uses; nil selects
+	// time.Now. Tests inject a fake clock to step through cooldowns.
+	Clock func() time.Time
+
+	// The three hooks below are the service-layer chaos injection points
+	// (see internal/chaos). All are nil in production and cost one nil
+	// check each when unset.
+	//
+	// TuneHook runs at the start of every actual plan computation (inside
+	// the singleflight leader). Returning an error fails the tune; the
+	// hook may sleep to inject tuning latency, or panic to exercise the
+	// compute panic containment.
+	TuneHook func(ctx context.Context) error
+	// ExecHook runs on the request goroutine before every guarded SpMV
+	// execution; it may panic to exercise the handler panic containment.
+	ExecHook func()
+	// FaultHook supplies a per-request device fault plan for guarded
+	// executions, composing service chaos with the hsa simulator faults.
+	FaultHook func() *hsa.FaultPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +157,10 @@ func (c Config) withDefaults() Config {
 	if c.MaxMatrices <= 0 {
 		c.MaxMatrices = 1024
 	}
+	c.Breaker = c.Breaker.withDefaults()
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
 }
 
@@ -155,6 +184,11 @@ type Server struct {
 
 	queue chan struct{} // waiting + executing SpMV requests
 	sem   chan struct{} // executing SpMV requests
+
+	bmu      sync.Mutex
+	breakers map[string]*breaker // per-matrix tuning circuit breakers
+
+	draining atomic.Bool // set by Drain; /readyz reports 503
 
 	traceSeq atomic.Int64 // generated per-request trace IDs
 
@@ -183,6 +217,7 @@ func New(cfg Config) (*Server, error) {
 		cache:    plancache.New(cfg.Cache),
 		matrices: make(map[string]*matrixEntry),
 		profiles: make(map[string]*profileRecord),
+		breakers: make(map[string]*breaker),
 		queue:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		sem:      make(chan struct{}, cfg.Workers),
 	}
@@ -192,9 +227,28 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/plans/{id}", s.instrument(epPlans, s.handlePlan))
 	mux.HandleFunc("GET /v1/profiles/{id}", s.instrument(epProfiles, s.handleProfiles))
 	mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument(epReadyz, s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
 	s.mux = mux
 	return s, nil
+}
+
+// Drain prepares the server for shutdown: /readyz starts reporting 503 so
+// load balancers stop routing here, and every resident tuning plan is
+// flushed to the persistence dir — including entries whose earlier saves
+// failed — so a rolling restart never loses tuned plans. It returns the
+// number of plans persisted.
+func (s *Server) Drain() (int, error) {
+	s.draining.Store(true)
+	return s.cache.Flush()
+}
+
+// RecoverCache sweeps the plan-cache persistence dir (see
+// plancache.Cache.Recover): abandoned temp files from an interrupted save
+// are removed and corrupt entries are quarantined, so everything left is
+// loadable. spmvd runs it once at startup.
+func (s *Server) RecoverCache() (plancache.RecoverStats, error) {
+	return s.cache.Recover()
 }
 
 // ServeHTTP dispatches to the API mux.
@@ -212,25 +266,55 @@ func (s *Server) MatrixCount() int {
 	return len(s.matrices)
 }
 
-// statusRecorder captures the response status for error accounting.
+// statusRecorder captures the response status for error accounting and
+// whether anything was written yet — the panic recovery boundary may only
+// write its classed 500 while the response is still untouched.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request/latency/error accounting.
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with request/latency/error accounting and the
+// process's last panic containment boundary: a panicking handler or
+// worker — chaos-injected or real — becomes one classed 500 response
+// instead of a dead daemon. net/http would also stop the panic from
+// killing the process, but it kills the connection without a response;
+// this boundary keeps the "every request gets a well-formed classed
+// answer" invariant.
 func (s *Server) instrument(ep int, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.m.requests[ep].Add(1)
 		s.m.inflight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					s.m.panics.Add(1)
+					err := errdefs.Panicf("server: %s handler panicked: %v", endpointNames[ep], p)
+					if !rec.wrote {
+						s.writeError(rec, err)
+					} else {
+						// The body is already partially written; the most we
+						// can do is account the request as failed.
+						rec.status = http.StatusInternalServerError
+					}
+				}
+			}()
+			h(rec, r)
+		}()
 		s.m.inflight.Add(-1)
 		s.m.latencyNs[ep].Add(time.Since(start).Nanoseconds())
 		if rec.status >= 400 {
@@ -241,7 +325,9 @@ func (s *Server) instrument(ep int, h http.HandlerFunc) http.HandlerFunc {
 
 // errorClass maps an error to its wire class and HTTP status. The classes
 // mirror the errdefs taxonomy so clients can branch without parsing
-// detail strings.
+// detail strings. Every errdefs class must map to a deliberate status
+// here — the table test in errclass_test.go enforces it against
+// errdefs.Classes().
 func errorClass(err error) (string, int) {
 	switch {
 	case errors.Is(err, errdefs.ErrInvalidMatrix):
@@ -252,6 +338,10 @@ func errorClass(err error) (string, int) {
 		return "budget_exceeded", http.StatusInternalServerError
 	case errors.Is(err, errdefs.ErrKernelFault):
 		return "kernel_fault", http.StatusInternalServerError
+	case errors.Is(err, errdefs.ErrUnavailable):
+		return "unavailable", http.StatusServiceUnavailable
+	case errors.Is(err, errdefs.ErrPanic):
+		return "panic", http.StatusInternalServerError
 	}
 	return "internal", http.StatusInternalServerError
 }
@@ -302,16 +392,103 @@ func (s *Server) requestCtx(r *http.Request, timeoutMs int) (context.Context, co
 	return context.WithTimeout(r.Context(), d)
 }
 
-// planFor fetches the matrix's tuning plan through the shared cache:
-// singleflight guarantees one tuning pass per structure regardless of
-// concurrency. When the request is traced and the plan must be computed,
-// the predict phases are emitted under the request's trace ID (only the
-// computing request emits them — cache hits skip the predict path by
-// design).
-func (s *Server) planFor(ctx context.Context, e *matrixEntry, traceID string) (*plan.TuningPlan, bool, error) {
-	return s.cache.GetOrCompute(ctx, e.Fingerprint, func(ctx context.Context) (*plan.TuningPlan, error) {
+// planFor fetches the matrix's tuning plan through the degradation
+// ladder: the cached plan if resident (even with an open breaker — a
+// known-good plan always beats the degraded one), else a tune through the
+// shared cache's singleflight, else — when the matrix's circuit breaker
+// is open — the always-available degraded serial plan instead of an
+// error. The degraded return reports the bottom rung was served; such
+// responses carry degraded:true and count in spmvd_degraded_total.
+//
+// Tuning outcomes are recorded on the breaker inside the compute callback
+// — exactly once per actual tuning pass, however many singleflight
+// followers share its result — and a panicking tune is contained right
+// there so it is both classed and counted.
+func (s *Server) planFor(ctx context.Context, e *matrixEntry, traceID string) (p *plan.TuningPlan, cacheHit, degraded bool, err error) {
+	if p, ok := s.cache.Get(e.Fingerprint); ok {
+		return p, true, false, nil
+	}
+	br := s.breakerFor(e.ID)
+	if br != nil {
+		proceed, probe := br.allow()
+		if probe {
+			s.m.breakerProbes.Add(1)
+		}
+		if !proceed {
+			s.m.degradedServed.Add(1)
+			return s.degradedPlan(e), false, true, nil
+		}
+	}
+	p, cacheHit, err = s.cache.GetOrCompute(ctx, e.Fingerprint, func(ctx context.Context) (tp *plan.TuningPlan, terr error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				tp, terr = nil, errdefs.Panicf("server: tuning panicked: %v", rec)
+			}
+			s.recordTuneOutcome(br, terr)
+		}()
+		if hook := s.cfg.TuneHook; hook != nil {
+			if herr := hook(ctx); herr != nil {
+				return nil, herr
+			}
+		}
 		return s.cfg.Framework.PlanTraced(ctx, e.A, s.cfg.Trace, traceID)
 	})
+	if err != nil && br != nil && br.isOpen() {
+		// The failure tripped (or joined an already-open) breaker: serve
+		// the degraded plan instead of propagating a 5xx.
+		s.m.degradedServed.Add(1)
+		return s.degradedPlan(e), false, true, nil
+	}
+	return p, cacheHit, false, err
+}
+
+// recordTuneOutcome folds one actual tuning pass's result into the
+// matrix's breaker.
+func (s *Server) recordTuneOutcome(br *breaker, err error) {
+	if br == nil {
+		return
+	}
+	if err == nil {
+		br.onSuccess()
+		return
+	}
+	if !tuneFailure(err) {
+		return
+	}
+	if br.onFailure() {
+		s.m.breakerTrips.Add(1)
+	}
+}
+
+// degradedPlan is the bottom rung of the degradation ladder: the
+// single-bin Kernel-Serial plan, which needs no model, no search and no
+// tuning — it is constructible from the matrix alone, and its guarded
+// execution can still fall through to the CPU reference. Fallback is set
+// so the plan is recognizable as degraded wherever it surfaces.
+func (s *Server) degradedPlan(e *matrixEntry) *plan.TuningPlan {
+	b := binning.Single(e.A)
+	name := ""
+	if info, ok := kernels.ByID(0); ok {
+		name = info.Name
+	}
+	p := &plan.TuningPlan{
+		Fingerprint: e.Fingerprint,
+		Rows:        e.A.Rows,
+		Cols:        e.A.Cols,
+		NNZ:         e.A.NNZ(),
+		Scheme:      "single",
+		Fallback:    true,
+	}
+	for _, binID := range b.NonEmpty() {
+		p.Bins = append(p.Bins, plan.BinAssignment{
+			Bin:        binID,
+			Rows:       b.NumRows(binID),
+			Groups:     len(b.Bins[binID]),
+			Kernel:     0,
+			KernelName: name,
+		})
+	}
+	return p
 }
 
 // guardOpts derives the per-request guarded-execution options: the
@@ -323,6 +500,11 @@ func (s *Server) guardOpts(traceID string) core.GuardOptions {
 	opt.Trace = s.cfg.Trace
 	opt.TraceID = traceID
 	opt.Workers = s.cfg.ExecWorkers
+	if s.cfg.FaultHook != nil {
+		if fp := s.cfg.FaultHook(); fp != nil {
+			opt.Faults = fp
+		}
+	}
 	return opt
 }
 
@@ -364,6 +546,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			s.order = s.order[1:]
 			delete(s.matrices, oldest)
 			delete(s.profiles, oldest)
+			s.dropBreaker(oldest)
 		}
 	}
 	s.mu.Unlock()
@@ -386,16 +569,21 @@ func (s *Server) matrix(id string) (*matrixEntry, bool) {
 
 // spmvResponse is the body of a successful POST /v1/spmv.
 type spmvResponse struct {
-	Matrix    string      `json:"matrix"`
-	Plan      string      `json:"plan"` // plan fingerprint
-	U         int         `json:"u"`
-	CacheHit  bool        `json:"cacheHit"`
-	Degraded  bool        `json:"degraded"`
-	Fallbacks int         `json:"fallbacks"`
-	TraceID   string      `json:"traceId,omitempty"`
-	Result    []float64   `json:"result,omitempty"`
-	Results   [][]float64 `json:"results,omitempty"`
-	ElapsedMs float64     `json:"elapsedMs"`
+	Matrix   string `json:"matrix"`
+	Plan     string `json:"plan"` // plan fingerprint
+	U        int    `json:"u"`
+	CacheHit bool   `json:"cacheHit"`
+	// Degraded reports the run deviated from the clean tuned path —
+	// either the breaker served the degraded plan instead of tuning
+	// (DegradedReason "breaker_open") or the guarded executor needed its
+	// fallback chain.
+	Degraded       bool        `json:"degraded"`
+	DegradedReason string      `json:"degradedReason,omitempty"`
+	Fallbacks      int         `json:"fallbacks"`
+	TraceID        string      `json:"traceId,omitempty"`
+	Result         []float64   `json:"result,omitempty"`
+	Results        [][]float64 `json:"results,omitempty"`
+	ElapsedMs      float64     `json:"elapsedMs"`
 }
 
 // handleSpMV executes one or a batch of tuned multiplications. The hot
@@ -445,13 +633,20 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	traceID := s.requestTraceID(req.TraceID, e.ID)
-	p, cacheHit, err := s.planFor(ctx, e, traceID)
+	p, cacheHit, planDegraded, err := s.planFor(ctx, e, traceID)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 
 	resp := spmvResponse{Matrix: e.ID, Plan: p.Fingerprint, U: p.U, CacheHit: cacheHit, TraceID: traceID}
+	if planDegraded {
+		resp.Degraded = true
+		resp.DegradedReason = "breaker_open"
+	}
+	if s.cfg.ExecHook != nil {
+		s.cfg.ExecHook()
+	}
 	opt := s.guardOpts(traceID)
 	var lastRep *core.ExecReport
 	for _, vec := range vecs {
@@ -502,7 +697,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
-	p, _, err := s.planFor(ctx, e, "")
+	p, _, _, err := s.planFor(ctx, e, "")
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -542,7 +737,7 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r, 0)
 	defer cancel()
-	p, _, err := s.planFor(ctx, e, "")
+	p, _, _, err := s.planFor(ctx, e, "")
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -558,9 +753,56 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// degradedReasons collects every condition under which the daemon is
+// alive but not fully healthy. Order is stable for tests.
+func (s *Server) degradedReasons() []string {
+	var reasons []string
+	if err := s.cache.ProbeDisk(); err != nil {
+		reasons = append(reasons, "cache-dir-unwritable: "+err.Error())
+	}
+	if open, _ := s.breakerCounts(); open > 0 {
+		reasons = append(reasons, fmt.Sprintf("breaker-open: %d matrices degraded", open))
+	}
+	if len(s.queue) >= cap(s.queue) {
+		reasons = append(reasons, "queue-saturated")
+	}
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	return reasons
+}
+
+// handleHealthz is liveness plus degradation visibility: always 200 while
+// the process can answer (a degraded daemon must not be restarted into a
+// crash loop by its orchestrator), with status "ok" or "degraded" and the
+// reasons. Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	reasons := s.degradedReasons()
+	if len(reasons) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "reasons": reasons})
+}
+
+// handleReadyz is the load-balancer signal: 503 while the daemon should
+// not receive new traffic — the worker queue is saturated or a drain has
+// begun. Breaker-open matrices and an unwritable cache dir do NOT fail
+// readiness: the daemon still serves every request (degraded), which
+// beats removing it from rotation.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	var reasons []string
+	if len(s.queue) >= cap(s.queue) {
+		reasons = append(reasons, "queue-saturated")
+	}
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if len(reasons) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": reasons})
 }
 
 // handleMetrics renders the cache and request counters as a plain-text
@@ -574,6 +816,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "spmvd_plan_cache_evictions %d\n", st.Evictions)
 	fmt.Fprintf(w, "spmvd_plan_cache_expirations %d\n", st.Expirations)
 	fmt.Fprintf(w, "spmvd_plan_cache_entries %d\n", st.Entries)
+	fmt.Fprintf(w, "spmvd_plan_cache_persist_errors %d\n", st.PersistErrors)
+	fmt.Fprintf(w, "spmvd_plan_cache_quarantined %d\n", st.Quarantined)
 	// The tuning sum/count pair exposes the mean wall-clock cost a cache
 	// miss pays computing its plan — the latency the cache amortizes away.
 	fmt.Fprintf(w, "spmvd_tune_seconds_sum %.6f\n", float64(st.TuneNs)/1e9)
@@ -586,5 +830,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "spmvd_search_cache_misses %d\n", ss.Misses)
 	fmt.Fprintf(w, "spmvd_search_cache_pruned %d\n", ss.Pruned)
 	fmt.Fprintf(w, "spmvd_matrices_stored %d\n", s.MatrixCount())
+	// Breaker state gauges: how many matrices are currently tripped (open)
+	// or probing (half-open), alongside the trip/probe counters writeTo
+	// emits.
+	open, halfOpen := s.breakerCounts()
+	fmt.Fprintf(w, "spmvd_breaker_open %d\n", open)
+	fmt.Fprintf(w, "spmvd_breaker_half_open %d\n", halfOpen)
 	s.m.writeTo(w)
 }
