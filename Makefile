@@ -25,7 +25,10 @@ fuzz:
 
 ## chaos: the chaos invariant suite — seeded fault storms (filesystem,
 ## tuning, panics, device faults) replayed against a live in-process
-## spmvd under the race detector. A failing seed number is a
+## spmvd under the race detector, including the retrain storm: the
+## online learning loop raced against traffic with faults injected into
+## its row store and training passes (the regret gate must hold and
+## hot-swaps must stay torn-free). A failing seed number is a
 ## reproduction recipe: the injector is deterministic per seed.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/chaos

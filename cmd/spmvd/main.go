@@ -6,6 +6,8 @@
 //	spmvd -corpus 40                        # no model file: train at startup
 //	spmvd -addr :8080 -cache-dir /var/cache/spmvd -cache-ttl 1h
 //	spmvd -trace spans.jsonl                # JSONL pipeline spans per request
+//	spmvd -retrain-interval 10m -retrain-dir /var/lib/spmvd/rows
+//	spmvd -no-retrain                       # serve a frozen model
 //
 // API (see DESIGN.md §7–8):
 //
@@ -34,6 +36,7 @@ import (
 	"spmvtune/internal/core"
 	"spmvtune/internal/matgen"
 	"spmvtune/internal/plancache"
+	"spmvtune/internal/retrain"
 	"spmvtune/internal/server"
 	"spmvtune/internal/trace"
 )
@@ -56,6 +59,10 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive tuning failures before a matrix's breaker trips and requests degrade (0 = default 3)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open tuning probe (0 = default 5s)")
 	noBreaker := flag.Bool("no-breaker", false, "disable the tuning circuit breaker: tuning failures surface as request errors")
+	retrainInterval := flag.Duration("retrain-interval", 5*time.Minute, "background model retrain period")
+	retrainDir := flag.String("retrain-dir", "", "persist training rows to this directory (empty = memory only)")
+	noRetrain := flag.Bool("no-retrain", false, "disable the online learning loop")
+	exploreRate := flag.Float64("explore-rate", 0.05, "probability of simulating one counterfactual kernel per observed request")
 	flag.Parse()
 	log.SetPrefix("spmvd: ")
 	log.SetFlags(log.LstdFlags)
@@ -79,8 +86,33 @@ func main() {
 		log.Printf("tracing pipeline spans to %s", *tracePath)
 	}
 
+	// The online learning loop: production profiles become training rows,
+	// and a background pass periodically retrains the model, gating every
+	// promotion on held-out regret. server.New registers the hot-swap +
+	// cache-invalidation hook.
+	var svc *retrain.Service
+	if !*noRetrain {
+		store, err := retrain.OpenStore(retrain.StoreOptions{Dir: *retrainDir})
+		if err != nil {
+			log.Fatalf("open retrain store: %v", err)
+		}
+		svc, err = retrain.New(retrain.Config{
+			Framework:   fw,
+			Store:       store,
+			Interval:    *retrainInterval,
+			ExploreRate: *exploreRate,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("retrain service: %v", err)
+		}
+		log.Printf("online retraining every %s (explore rate %.2f, rows in %s)",
+			*retrainInterval, *exploreRate, storeDesc(*retrainDir))
+	}
+
 	srv, err := server.New(server.Config{
 		Framework:      fw,
+		Retrain:        svc,
 		Workers:        *workers,
 		ExecWorkers:    *execWorkers,
 		QueueDepth:     *queue,
@@ -126,6 +158,14 @@ func main() {
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var retrainDone chan struct{}
+	if svc != nil {
+		retrainDone = make(chan struct{})
+		go func() {
+			defer close(retrainDone)
+			svc.Run(ctx) // drains queued observations and flushes rows on cancel
+		}()
+	}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
@@ -149,9 +189,25 @@ func main() {
 		} else if flushed > 0 {
 			log.Printf("drain: flushed %d plans to cache dir", flushed)
 		}
+		// The retrain loop sees the same cancellation: it ingests whatever
+		// is still queued and seals pending rows before exiting.
+		if retrainDone != nil {
+			<-retrainDone
+			rst := svc.Stats()
+			log.Printf("retrain at exit: generation %d, %d rows, %d runs (%d promoted, %d rejected)",
+				rst.Generation, rst.Rows, rst.Runs, rst.Promotions, rst.Rejected)
+		}
 	}
 	st := srv.CacheStats()
 	log.Printf("plan cache at exit: %d entries, %d hits, %d misses", st.Entries, st.Hits, st.Misses)
+}
+
+// storeDesc names the row store's backing for the startup log line.
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
 }
 
 // obtainModel loads the model file, or bootstrap-trains a small one so the

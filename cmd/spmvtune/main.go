@@ -8,6 +8,7 @@
 //	spmvtune run -in m.mtx -model model.json
 //	spmvtune compare -in m.mtx -model model.json
 //	spmvtune gen -kind road -rows 100000 -out m.mtx
+//	spmvtune retrain -dir rows/ -model model.json -out next.json
 //
 // Inputs are Matrix Market files; `gen` produces synthetic matrices from
 // the built-in generators when no real inputs are at hand.
@@ -30,6 +31,7 @@ import (
 	"spmvtune/internal/matgen"
 	"spmvtune/internal/mmio"
 	"spmvtune/internal/plan"
+	"spmvtune/internal/retrain"
 	"spmvtune/internal/sparse"
 	"spmvtune/internal/trace"
 )
@@ -65,6 +67,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
+	case "retrain":
+		err = cmdRetrain(os.Args[2:])
 	default:
 		usage()
 	}
@@ -112,7 +116,9 @@ commands:
   run       execute the auto-tuned SpMV on the simulated device
   compare   auto vs kernel-serial, kernel-vector and CSR-Adaptive
   gen       generate a synthetic matrix into a Matrix Market file
-  convert   report per-format storage footprints and conversion feasibility`)
+  convert   report per-format storage footprints and conversion feasibility
+  retrain   replay a spmvd row store offline: train a candidate, gate it
+            on held-out regret against the incumbent, save it if it wins`)
 	os.Exit(2)
 }
 
@@ -442,6 +448,88 @@ func cmdConvert(args []string) error {
 		} else {
 			fmt.Printf("%-4s rejected (padding blow-up or too many diagonals)\n", name)
 		}
+	}
+	return nil
+}
+
+// cmdRetrain replays a row store written by spmvd -retrain-dir through the
+// same aggregate → train → regret-gate pipeline the daemon runs online, but
+// offline: useful for vetting a night of traffic before rolling a model, or
+// for retraining a fleet from one member's rows.
+func cmdRetrain(args []string) error {
+	fs := flag.NewFlagSet("retrain", flag.ExitOnError)
+	dir := fs.String("dir", "", "row-store directory written by spmvd -retrain-dir")
+	modelPath := fs.String("model", "", "incumbent model file (empty: gate against no incumbent)")
+	out := fs.String("out", "model.json", "where to save the candidate if it gates in")
+	minRows := fs.Int("min-rows", 64, "refuse to train on fewer rows than this")
+	slack := fs.Float64("slack", 0.01, "tolerated geomean-regret slack over the incumbent")
+	force := fs.Bool("force", false, "save the candidate even if the regret gate would reject it")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	store, err := retrain.OpenStore(retrain.StoreOptions{Dir: *dir})
+	if err != nil {
+		return err
+	}
+	loaded, err := store.Load()
+	if err != nil {
+		return err
+	}
+	var incumbent *core.Model
+	if *modelPath != "" {
+		if incumbent, err = core.LoadModel(*modelPath); err != nil {
+			return err
+		}
+	}
+	effSlack := *slack
+	if *force {
+		effSlack = 1e18 // any trainable candidate passes the gate
+	}
+	var promoted *core.Model
+	svc, err := retrain.New(retrain.Config{
+		Framework:   core.NewFramework(core.DefaultConfig(), incumbent),
+		Store:       store,
+		Synchronous: true,
+		MinRows:     *minRows,
+		RegretSlack: effSlack,
+		Promote:     func(m *core.Model, version string) { promoted = m },
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	res, err := svc.RetrainOnce(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rows %d, outcome %s", len(loaded), res.Outcome)
+	if res.Reason != "" {
+		fmt.Printf(" (%s)", res.Reason)
+	}
+	fmt.Println()
+	if res.Candidate.N > 0 {
+		fmt.Printf("candidate regret: geomean %.4f, worst %.4f over %d held-out matrices\n",
+			res.Candidate.GeoMean, res.Candidate.Worst, res.Candidate.N)
+	}
+	if res.Incumbent.N > 0 {
+		fmt.Printf("incumbent regret: geomean %.4f, worst %.4f\n",
+			res.Incumbent.GeoMean, res.Incumbent.Worst)
+	}
+	switch res.Outcome {
+	case "promoted":
+		if err := core.SaveModel(*out, promoted); err != nil {
+			return err
+		}
+		fmt.Printf("model version %s saved to %s\n", res.Version, *out)
+	case "unchanged":
+		fmt.Println("candidate is identical to the incumbent; nothing saved")
+	case "skipped":
+		return fmt.Errorf("retrain skipped: %s", res.Reason)
+	case "rejected":
+		return fmt.Errorf("candidate rejected by the regret gate (rerun with -force to save it anyway)")
 	}
 	return nil
 }

@@ -1,0 +1,92 @@
+package c50
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// synthDataset builds a reproducible multi-class dataset from a seed: three
+// noisy continuous attributes whose thresholds encode the class, the shape
+// that exercises gain-ratio splits, pruning and boosting reweighting.
+func synthDataset(seed int64, n int) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDataset([]string{"a", "b", "c"}, []string{"k0", "k1", "k2"})
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		y := 0
+		switch {
+		case x[0] > 6 && x[1] < 4:
+			y = 2
+		case x[2] > 5:
+			y = 1
+		}
+		if rng.Float64() < 0.08 { // label noise so pruning has work to do
+			y = (y + 1) % 3
+		}
+		d.Add(x, y)
+	}
+	return d
+}
+
+// TestTrainDeterministic locks the retraining loop's reproducibility
+// contract: the same Dataset and Options always train to a byte-identical
+// serialized model. Online retraining relies on this — a promoted model's
+// version is a hash of its serialized form, so any nondeterminism in Train
+// would make "unchanged" candidates look novel and churn the plan cache.
+func TestTrainDeterministic(t *testing.T) {
+	opts := DefaultOptions()
+	d1 := synthDataset(99, 400)
+	d2 := synthDataset(99, 400)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatal("seeded dataset construction is not reproducible")
+	}
+
+	blob := func(d *Dataset) []byte {
+		b, err := json.Marshal(Train(d, opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := blob(d1)
+	for i := 0; i < 3; i++ {
+		if got := blob(d1); !bytes.Equal(got, first) {
+			t.Fatalf("run %d: Train produced a different serialized tree", i)
+		}
+	}
+	if got := blob(d2); !bytes.Equal(got, first) {
+		t.Fatal("equal datasets trained to different trees")
+	}
+}
+
+// TestTrainBoostedDeterministic extends the contract to the boosted
+// committee: identical inputs yield byte-identical ensembles, and a seeded
+// Split is itself reproducible so a train/holdout pipeline re-run end to
+// end lands on the same bytes.
+func TestTrainBoostedDeterministic(t *testing.T) {
+	opts := DefaultOptions()
+	d := synthDataset(7, 300)
+
+	tr1, te1 := d.Split(0.75, 5)
+	tr2, te2 := d.Split(0.75, 5)
+	if !reflect.DeepEqual(tr1.Y, tr2.Y) || !reflect.DeepEqual(te1.Y, te2.Y) {
+		t.Fatal("seeded Split is not reproducible")
+	}
+
+	blob := func() []byte {
+		b, err := json.Marshal(TrainBoosted(tr1, opts, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := blob()
+	for i := 0; i < 3; i++ {
+		if got := blob(); !bytes.Equal(got, first) {
+			t.Fatalf("run %d: TrainBoosted produced a different serialized ensemble", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"spmvtune/internal/binning"
 	"spmvtune/internal/c50"
@@ -39,35 +40,58 @@ func (d Decision) String() string {
 }
 
 // Framework couples a trained model with a device configuration — the
-// runtime side of Figure 3.
+// runtime side of Figure 3. The model lives behind an atomic pointer so a
+// background retrainer can hot-swap a promoted model while requests are in
+// flight: every decision loads the pointer exactly once and runs the whole
+// predict path against that snapshot, so no request ever observes a torn
+// mix of two models.
 type Framework struct {
 	Cfg   Config
-	Model *Model
+	model atomic.Pointer[Model]
 }
 
 // NewFramework builds a runtime framework around a trained model.
 func NewFramework(cfg Config, m *Model) *Framework {
-	return &Framework{Cfg: cfg, Model: m}
+	fw := &Framework{Cfg: cfg}
+	if m != nil {
+		fw.model.Store(m)
+	}
+	return fw
+}
+
+// Model returns the currently installed model (nil when none is set).
+func (fw *Framework) Model() *Model {
+	return fw.model.Load()
+}
+
+// SwapModel atomically installs m as the live model and returns the
+// previous one. In-flight decisions that already loaded the old pointer
+// finish against it; new decisions see m. A nil m uninstalls the model
+// (the predict path then degrades to the serial fallback plan).
+func (fw *Framework) SwapModel(m *Model) *Model {
+	return fw.model.Swap(m)
 }
 
 // Decide runs the predict path: extract features, stage 1 chooses U, the
 // matrix is binned, and stage 2 chooses a kernel per non-empty bin.
 func (fw *Framework) Decide(a *sparse.CSR) (Decision, *binning.Binning) {
-	return fw.decideTraced(a, nil, "")
+	return fw.decideTraced(fw.Model(), a, nil, "")
 }
 
 // decideTraced is Decide with one trace span per predict phase (features →
-// predict-u → bin → predict-kernel). A nil Writer emits nothing; the span
-// attrs carry only deterministic values so deterministic traces stay
-// byte-identical across runs.
-func (fw *Framework) decideTraced(a *sparse.CSR, tw *trace.Writer, traceID string) (Decision, *binning.Binning) {
+// predict-u → bin → predict-kernel). The model snapshot is a parameter so
+// callers that also record ModelVersion hash exactly the model that
+// decided. A nil Writer emits nothing; the span attrs carry only
+// deterministic values so deterministic traces stay byte-identical across
+// runs.
+func (fw *Framework) decideTraced(m *Model, a *sparse.CSR, tw *trace.Writer, traceID string) (Decision, *binning.Binning) {
 	start := tw.Now()
 	vec := fw.Cfg.FeatureVector(a)
 	tw.Emit(traceID, "features", start, map[string]any{
 		"count": len(vec), "rows": a.Rows, "cols": a.Cols, "nnz": a.NNZ()})
 
 	start = tw.Now()
-	u := fw.Model.PredictUVec(vec)
+	u := m.PredictUVec(vec)
 	tw.Emit(traceID, "predict-u", start, map[string]any{"u": u})
 
 	start = tw.Now()
@@ -79,7 +103,7 @@ func (fw *Framework) decideTraced(a *sparse.CSR, tw *trace.Writer, traceID strin
 	d := Decision{U: u, KernelByBin: map[int]int{}}
 	kernelNames := map[string]any{}
 	for _, binID := range b.NonEmpty() {
-		kid := fw.Model.PredictKernelVec(vec, u, binID,
+		kid := m.PredictKernelVec(vec, u, binID,
 			b.NumRows(binID), binAvgRowLen(a, b.Bins[binID]))
 		d.KernelByBin[binID] = kid
 		name := fmt.Sprintf("kernel#%d", kid)

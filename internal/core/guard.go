@@ -242,7 +242,7 @@ func (fw *Framework) RunGuardedOpts(ctx context.Context, a *sparse.CSR, v, u []f
 
 	// The predict path consults a deserialized model over input-derived
 	// features; a malformed model must degrade the decision, not the run.
-	d, b, err := fw.decideGuarded(a, opt.Trace, opt.TraceID)
+	d, b, err := fw.decideGuarded(fw.Model(), a, opt.Trace, opt.TraceID)
 	if err != nil {
 		rep.DecisionFallback = true
 		b = binning.Single(a)
@@ -313,14 +313,16 @@ func (fw *Framework) runBinsGuarded(ctx context.Context, a *sparse.CSR, v, u, wa
 }
 
 // decideGuarded runs the predict path with panic recovery, emitting one
-// span per predict phase when tw is non-nil.
-func (fw *Framework) decideGuarded(a *sparse.CSR, tw *trace.Writer, traceID string) (d Decision, b *binning.Binning, err error) {
+// span per predict phase when tw is non-nil. The model snapshot m is
+// loaded once by the caller so the decision and any version recorded next
+// to it refer to the same model even under a concurrent hot-swap.
+func (fw *Framework) decideGuarded(m *Model, a *sparse.CSR, tw *trace.Writer, traceID string) (d Decision, b *binning.Binning, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("core: predict path panicked: %v", rec)
 		}
 	}()
-	d, b = fw.decideTraced(a, tw, traceID)
+	d, b = fw.decideTraced(m, a, tw, traceID)
 	for _, binID := range b.NonEmpty() {
 		if _, ok := d.KernelByBin[binID]; !ok {
 			return d, b, fmt.Errorf("core: no kernel assigned to non-empty bin %d", binID)

@@ -76,16 +76,20 @@ func (fw *Framework) PlanTraced(ctx context.Context, a *sparse.CSR, tw *trace.Wr
 		return nil, errdefs.Canceled(err)
 	}
 
+	// One atomic load for the whole plan: the recorded ModelVersion and the
+	// decisions below always come from the same model snapshot, even while
+	// a retrain promotion swaps the live pointer.
+	m := fw.Model()
 	p := &plan.TuningPlan{
 		Fingerprint:  plan.Fingerprint(a),
-		ModelVersion: ModelVersion(fw.Model),
+		ModelVersion: ModelVersion(m),
 		Rows:         a.Rows,
 		Cols:         a.Cols,
 		NNZ:          a.NNZ(),
 		FeatureNames: fw.Cfg.FeatureNames(),
 	}
 
-	d, b, err := fw.decideGuarded(a, tw, traceID)
+	d, b, err := fw.decideGuarded(m, a, tw, traceID)
 	if err != nil {
 		p.Fallback = true
 		b = binning.Single(a)

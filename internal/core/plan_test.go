@@ -24,7 +24,7 @@ func TestPlanExecuteRoundTrip(t *testing.T) {
 	if p.Fingerprint != plan.Fingerprint(a) {
 		t.Error("plan fingerprint does not match the matrix")
 	}
-	if p.ModelVersion == "" || p.ModelVersion != ModelVersion(fw.Model) {
+	if p.ModelVersion == "" || p.ModelVersion != ModelVersion(fw.Model()) {
 		t.Errorf("model version %q", p.ModelVersion)
 	}
 	if p.Rows != a.Rows || p.Cols != a.Cols || p.NNZ != a.NNZ() {

@@ -20,11 +20,16 @@ type Regret struct {
 }
 
 // EvaluateRegret runs the model's decision and the oracle's best decision
-// for every matrix and compares simulated times.
+// for every matrix and compares simulated times. A nil model has no
+// decision to evaluate and reports infinite regret — the promotion gate
+// then treats any trainable candidate as an improvement over it.
 func EvaluateRegret(cfg Config, m *Model, mats []*sparse.CSR) Regret {
 	r := Regret{Worst: 1}
 	if len(mats) == 0 {
 		return r
+	}
+	if m == nil {
+		return Regret{N: len(mats), GeoMean: math.Inf(1), Worst: math.Inf(1)}
 	}
 	logSum := 0.0
 	within := 0

@@ -102,11 +102,45 @@ type TuningPlan struct {
 	// the plan degraded to single-bin Kernel-Serial.
 	Fallback bool `json:"fallback,omitempty"`
 
-	// Profiles optionally carries the per-bin execution profiles of the
-	// most recent guarded run of this plan (see ExecProfile). They are
-	// evidence, not decision state: Validate ignores them and execution
-	// never reads them.
+	// Profiles optionally carries the per-bin execution profiles of recent
+	// guarded runs of this plan (see ExecProfile). They are evidence, not
+	// decision state: Validate ignores them and execution never reads them.
+	// Long-lived plans accumulate evidence via AppendProfiles, which caps
+	// retention at MaxRetainedProfiles — unbounded growth on a cached plan
+	// was a slow memory leak, and persisted plans ballooned with it.
 	Profiles []ExecProfile `json:"profiles,omitempty"`
+}
+
+// MaxRetainedProfiles bounds TuningPlan.Profiles: AppendProfiles keeps at
+// most this many entries, dropping the oldest first. The value covers
+// several full guarded runs of a plan at the bin-count cap (profiles
+// arrive one per bin per run) while keeping a cached or persisted plan a
+// few tens of KB at worst.
+const MaxRetainedProfiles = 256
+
+// AppendProfiles appends execution evidence to the plan's profile ring:
+// newest entries win, and retention is capped at MaxRetainedProfiles by
+// discarding from the front (the oldest evidence). A batch larger than the
+// cap keeps only its newest MaxRetainedProfiles entries.
+func (p *TuningPlan) AppendProfiles(ps ...ExecProfile) {
+	p.Profiles = AppendCappedProfiles(p.Profiles, ps...)
+}
+
+// AppendCappedProfiles is the profile ring behind AppendProfiles, exposed
+// for holders of bare profile slices (the server's per-matrix evidence
+// records) that need the same newest-wins retention cap.
+func AppendCappedProfiles(dst []ExecProfile, ps ...ExecProfile) []ExecProfile {
+	dst = append(dst, ps...)
+	if drop := len(dst) - MaxRetainedProfiles; drop > 0 {
+		// Shift in place rather than re-slicing so the backing array does
+		// not pin the dropped entries (and their counter blocks) forever.
+		n := copy(dst, dst[drop:])
+		for i := n; i < len(dst); i++ {
+			dst[i] = ExecProfile{}
+		}
+		dst = dst[:n]
+	}
+	return dst
 }
 
 // KernelByBin returns the per-bin kernel map in the form the execution

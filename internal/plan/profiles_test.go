@@ -1,0 +1,49 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAppendProfilesCapsRetention: the profile ring keeps the newest
+// MaxRetainedProfiles entries and drops the oldest — a long-lived cached
+// plan must not grow without bound as runs accumulate.
+func TestAppendProfilesCapsRetention(t *testing.T) {
+	var p TuningPlan
+	total := MaxRetainedProfiles*3 + 17
+	for i := 0; i < total; i++ {
+		p.AppendProfiles(ExecProfile{Bin: i, KernelName: fmt.Sprintf("run-%d", i)})
+		if len(p.Profiles) > MaxRetainedProfiles {
+			t.Fatalf("after %d appends: %d profiles retained, cap is %d",
+				i+1, len(p.Profiles), MaxRetainedProfiles)
+		}
+	}
+	if len(p.Profiles) != MaxRetainedProfiles {
+		t.Fatalf("retained %d, want %d", len(p.Profiles), MaxRetainedProfiles)
+	}
+	// Newest-wins: the survivors are exactly the last cap-many appends, in
+	// arrival order.
+	for i, pr := range p.Profiles {
+		want := total - MaxRetainedProfiles + i
+		if pr.Bin != want {
+			t.Fatalf("profile %d is append #%d, want #%d", i, pr.Bin, want)
+		}
+	}
+}
+
+// TestAppendProfilesBatchLargerThanCap: one oversized batch keeps only its
+// newest cap-many entries.
+func TestAppendProfilesBatchLargerThanCap(t *testing.T) {
+	var p TuningPlan
+	batch := make([]ExecProfile, MaxRetainedProfiles+40)
+	for i := range batch {
+		batch[i] = ExecProfile{Bin: i}
+	}
+	p.AppendProfiles(batch...)
+	if len(p.Profiles) != MaxRetainedProfiles {
+		t.Fatalf("retained %d, want %d", len(p.Profiles), MaxRetainedProfiles)
+	}
+	if p.Profiles[0].Bin != 40 || p.Profiles[len(p.Profiles)-1].Bin != len(batch)-1 {
+		t.Fatalf("wrong window: first=%d last=%d", p.Profiles[0].Bin, p.Profiles[len(p.Profiles)-1].Bin)
+	}
+}

@@ -98,6 +98,10 @@ type Stats struct {
 	// Quarantined counts corrupt persisted entries found at load time and
 	// moved aside (<name>.corrupt) so the key re-tunes instead of erroring.
 	Quarantined int64
+	// StaleEvictions counts entries dropped because their ModelVersion no
+	// longer matched the cache's current version (see SetModelVersion) —
+	// the unit of work a model rollout forces the cache to redo.
+	StaleEvictions int64
 }
 
 type entry struct {
@@ -130,7 +134,39 @@ type Cache struct {
 
 	hits, misses, diskHits, evictions, expirations, entries atomic.Int64
 	tuneNs, tunes                                           atomic.Int64
-	persistErrors, quarantined                              atomic.Int64
+	persistErrors, quarantined, staleEvictions              atomic.Int64
+
+	// modelVersion is the ModelVersion staleness hook: when non-empty,
+	// lookups treat any plan recorded under a different version as stale.
+	modelVersion atomic.Pointer[string]
+}
+
+// SetModelVersion installs v as the cache's current model version — the
+// staleness hook a model rollout pulls. From this call on, every resident
+// or persisted plan whose ModelVersion differs from v is evicted at
+// lookup time (counted in Stats.StaleEvictions) and recomputed through the
+// normal singleflight path, so N concurrent requests for a stale key
+// re-tune exactly once. An empty v disables the check (plans from a
+// model-less framework record no version).
+func (c *Cache) SetModelVersion(v string) {
+	c.modelVersion.Store(&v)
+}
+
+// wantVersion returns the current model version ("" = staleness disabled).
+func (c *Cache) wantVersion() string {
+	if p := c.modelVersion.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// stale reports whether p was produced by a model other than the current
+// one. Plans without a recorded version (degraded fallback plans, plans
+// from a nil model) are stale too once a version is set: a real model can
+// now do better than them.
+func (c *Cache) stale(p *plan.TuningPlan) bool {
+	want := c.wantVersion()
+	return want != "" && p.ModelVersion != want
 }
 
 // New builds a cache with the given options.
@@ -184,6 +220,13 @@ func (c *Cache) lookup(key string) (*plan.TuningPlan, bool) {
 		s.ll.Remove(el)
 		delete(s.byK, key)
 		c.expirations.Add(1)
+		c.entries.Add(-1)
+		return nil, false
+	}
+	if c.stale(e.p) {
+		s.ll.Remove(el)
+		delete(s.byK, key)
+		c.staleEvictions.Add(1)
 		c.entries.Add(-1)
 		return nil, false
 	}
@@ -298,16 +341,17 @@ func runCompute(ctx context.Context, compute func(context.Context) (*plan.Tuning
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:          c.hits.Load(),
-		Misses:        c.misses.Load(),
-		DiskHits:      c.diskHits.Load(),
-		Evictions:     c.evictions.Load(),
-		Expirations:   c.expirations.Load(),
-		Entries:       c.entries.Load(),
-		TuneNs:        c.tuneNs.Load(),
-		Tunes:         c.tunes.Load(),
-		PersistErrors: c.persistErrors.Load(),
-		Quarantined:   c.quarantined.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		DiskHits:       c.diskHits.Load(),
+		Evictions:      c.evictions.Load(),
+		Expirations:    c.expirations.Load(),
+		Entries:        c.entries.Load(),
+		TuneNs:         c.tuneNs.Load(),
+		Tunes:          c.tunes.Load(),
+		PersistErrors:  c.persistErrors.Load(),
+		Quarantined:    c.quarantined.Load(),
+		StaleEvictions: c.staleEvictions.Load(),
 	}
 }
 
@@ -405,6 +449,14 @@ func (c *Cache) loadDisk(key string) *plan.TuningPlan {
 	p, err := decodeEntry(blob)
 	if err != nil {
 		c.quarantine(path)
+		return nil
+	}
+	if c.stale(p) {
+		// Valid but produced by a superseded model: not corruption, so no
+		// quarantine — remove it so the stale plan never resurfaces and the
+		// fresh one takes its slot after the re-tune.
+		c.staleEvictions.Add(1)
+		_ = c.opts.FS.Remove(path)
 		return nil
 	}
 	return p

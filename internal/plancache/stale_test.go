@@ -1,0 +1,152 @@
+package plancache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spmvtune/internal/plan"
+)
+
+func versionedPlan(fp, version string) *plan.TuningPlan {
+	p := testPlan(fp)
+	p.ModelVersion = version
+	return p
+}
+
+// TestModelVersionStaleEviction: setting a model version evicts resident
+// plans recorded under any other version at lookup time, while matching
+// plans keep serving.
+func TestModelVersionStaleEviction(t *testing.T) {
+	c := New(Options{Capacity: 8, Shards: 1})
+	c.Put("old", versionedPlan("old", "v1"))
+	c.Put("fresh", versionedPlan("fresh", "v2"))
+	c.Put("unversioned", testPlan("unversioned"))
+
+	// No version set: everything serves.
+	for _, k := range []string{"old", "fresh", "unversioned"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing before version set", k)
+		}
+	}
+
+	c.SetModelVersion("v2")
+	if _, ok := c.Get("old"); ok {
+		t.Error("v1 plan served after rollout to v2")
+	}
+	if _, ok := c.Get("unversioned"); ok {
+		t.Error("unversioned plan served after rollout to v2")
+	}
+	if _, ok := c.Get("fresh"); !ok {
+		t.Error("current-version plan evicted")
+	}
+	st := c.Stats()
+	if st.StaleEvictions != 2 {
+		t.Errorf("StaleEvictions = %d, want 2", st.StaleEvictions)
+	}
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestModelVersionStaleSingleflight is the satellite acceptance check: a
+// version bump over a cached key makes N concurrent GetOrCompute callers
+// re-tune exactly once — the stale entry is evicted, one leader computes
+// the replacement, every follower shares it.
+func TestModelVersionStaleSingleflight(t *testing.T) {
+	c := New(Options{Capacity: 8, Shards: 1})
+	c.Put("k", versionedPlan("k", "v1"))
+	c.SetModelVersion("v2")
+
+	var computes atomic.Int64
+	var release sync.WaitGroup
+	release.Add(1)
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*plan.TuningPlan, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (*plan.TuningPlan, error) {
+				computes.Add(1)
+				release.Wait() // hold the leader so every follower joins the flight
+				return versionedPlan("k", "v2"), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+				return
+			}
+			results[i] = p
+		}(i)
+	}
+	// Let every goroutine reach the cache before releasing the leader.
+	release.Done()
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("stale key recomputed %d times, want exactly 1", got)
+	}
+	for i, p := range results {
+		if p == nil || p.ModelVersion != "v2" {
+			t.Fatalf("caller %d got plan %+v, want v2", i, p)
+		}
+	}
+	if st := c.Stats(); st.StaleEvictions == 0 {
+		t.Error("no stale eviction counted")
+	}
+	// The replacement is resident and survives further lookups.
+	if p, ok := c.Get("k"); !ok || p.ModelVersion != "v2" {
+		t.Fatalf("replacement not resident: %v %v", p, ok)
+	}
+}
+
+// TestModelVersionStaleDiskEntry: a persisted plan from a superseded model
+// is removed (not quarantined) on load, and the key recomputes.
+func TestModelVersionStaleDiskEntry(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Options{Capacity: 8, Shards: 1, Dir: dir})
+	c.Put("k", versionedPlan("k", "v1"))
+	if err := c.saveDisk("k", versionedPlan("k", "v1")); err != nil {
+		t.Fatal(err)
+	}
+	c.Purge() // force the next GetOrCompute through the disk path
+
+	c.SetModelVersion("v2")
+	computes := 0
+	p, _, err := c.GetOrCompute(context.Background(), "k", func(context.Context) (*plan.TuningPlan, error) {
+		computes++
+		return versionedPlan("k", "v2"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 || p.ModelVersion != "v2" {
+		t.Fatalf("computes=%d version=%q, want 1/v2", computes, p.ModelVersion)
+	}
+	// The stale file is gone, the fresh plan is persisted, nothing was
+	// quarantined (staleness is not corruption).
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		if strings.HasSuffix(de.Name(), ".corrupt") {
+			t.Errorf("stale entry quarantined: %s", de.Name())
+		}
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "k.plan.json"))
+	if err != nil {
+		t.Fatalf("fresh plan not persisted: %v", err)
+	}
+	if got, err := decodeEntry(blob); err != nil || got.ModelVersion != "v2" {
+		t.Fatalf("persisted plan version %v, err %v", got, err)
+	}
+	if st := c.Stats(); st.Quarantined != 0 {
+		t.Errorf("Quarantined = %d, want 0", st.Quarantined)
+	}
+}

@@ -1,0 +1,166 @@
+package retrain
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spmvtune/internal/c50"
+	"spmvtune/internal/core"
+)
+
+// TrainingSet is the aggregated, labeled form of a row log: the same
+// two-stage datasets offline training produces, but labeled by observed
+// (or counterfactually simulated) production cost instead of exhaustive
+// search.
+type TrainingSet struct {
+	Stage1 *c50.Dataset
+	Stage2 *c50.Dataset
+
+	// WorstKernels[i] is the most expensive observed kernel of the group
+	// behind Stage2 sample i. The label-noise knob flips labels to these —
+	// noise that inverts the cost signal degrades a candidate reliably,
+	// where random flips often collapse to a harmless majority class.
+	WorstKernels []int
+
+	RowsUsed       int // rows that survived grouping (valid U, valid kernel)
+	Groups         int // distinct (fingerprint, U, bin) groups = stage-2 samples
+	Counterfactual int // groups where >= 2 distinct kernels were observed
+}
+
+// group accumulates the observations of one (fingerprint, U, bin).
+type group struct {
+	features  []float64
+	u         int
+	bin       int
+	binRows   int
+	binAvgLen float64
+
+	bestKernel   int
+	bestSeconds  float64
+	worstKernel  int
+	worstSeconds float64
+	kernels      map[int]bool
+}
+
+// Aggregate reduces rows to labeled training samples. Deterministic: rows
+// are grouped under sorted keys and ties break toward the lower kernel ID
+// (and the smaller U), so the same row log always yields byte-identical
+// datasets — the property the promotion gate's reproducibility rests on.
+//
+// Stage 2 gets one sample per (fingerprint, U, bin) group, labeled with
+// the cheapest observed kernel. Stage 1 gets one sample per fingerprint
+// observed at two or more granularities, labeled with the U whose summed
+// best-kernel cost over its bins is lowest — a single-U fingerprint
+// carries no evidence of granularity choice and is skipped (the service
+// then reuses the incumbent's stage-1 tree).
+func Aggregate(cfg core.Config, rows []Row) *TrainingSet {
+	td := core.NewTrainingData(cfg)
+	ts := &TrainingSet{Stage1: td.Stage1, Stage2: td.Stage2}
+
+	uClass := make(map[int]int, len(cfg.Us))
+	for i, u := range cfg.Us {
+		uClass[u] = i
+	}
+
+	groups := make(map[string]*group)
+	var keys []string
+	for _, r := range rows {
+		if _, ok := uClass[r.U]; !ok {
+			continue // granularity outside the model's class set
+		}
+		key := r.Fingerprint + "\x00" + strconv.Itoa(r.U) + "\x00" + strconv.Itoa(r.Bin)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{
+				features: r.Features, u: r.U, bin: r.Bin,
+				binRows: r.BinRows, binAvgLen: r.BinAvgLen,
+				bestKernel: r.Kernel, bestSeconds: r.Seconds,
+				worstKernel: r.Kernel, worstSeconds: r.Seconds,
+				kernels: map[int]bool{},
+			}
+			groups[key] = g
+			keys = append(keys, key)
+		}
+		g.kernels[r.Kernel] = true
+		if r.Seconds < g.bestSeconds ||
+			(r.Seconds == g.bestSeconds && r.Kernel < g.bestKernel) {
+			g.bestKernel, g.bestSeconds = r.Kernel, r.Seconds
+		}
+		if r.Seconds > g.worstSeconds ||
+			(r.Seconds == g.worstSeconds && r.Kernel > g.worstKernel) {
+			g.worstKernel, g.worstSeconds = r.Kernel, r.Seconds
+		}
+		ts.RowsUsed++
+	}
+	sort.Strings(keys)
+
+	// Stage 2: one sample per group.
+	perFU := make(map[string]float64) // fingerprint\x00U -> summed best seconds
+	perFP := make(map[string][]int)   // fingerprint -> observed Us
+	for _, key := range keys {
+		g := groups[key]
+		x := append(append([]float64{}, g.features...),
+			float64(g.u), float64(g.bin), float64(g.binRows), g.binAvgLen)
+		ts.Stage2.Add(x, g.bestKernel)
+		ts.WorstKernels = append(ts.WorstKernels, g.worstKernel)
+		ts.Groups++
+		if len(g.kernels) >= 2 {
+			ts.Counterfactual++
+		}
+		perFU[fpOf(key)+"\x00"+strconv.Itoa(g.u)] += g.bestSeconds
+		fp := fpOf(key)
+		if !containsInt(perFP[fp], g.u) {
+			perFP[fp] = append(perFP[fp], g.u)
+		}
+	}
+
+	// Stage 1: one sample per fingerprint with >= 2 observed granularities.
+	var fps []string
+	for fp := range perFP {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		us := perFP[fp]
+		if len(us) < 2 {
+			continue
+		}
+		sort.Ints(us)
+		bestU, bestCost := 0, math.Inf(1)
+		var feats []float64
+		for _, u := range us {
+			cost := perFU[fp+"\x00"+strconv.Itoa(u)]
+			if cost < bestCost {
+				bestU, bestCost = u, cost
+			}
+		}
+		// Any group of this fingerprint carries the (identical) features.
+		for _, key := range keys {
+			if fpOf(key) == fp {
+				feats = groups[key].features
+				break
+			}
+		}
+		ts.Stage1.Add(feats, uClass[bestU])
+	}
+	return ts
+}
+
+// fpOf extracts the fingerprint from a group key.
+func fpOf(key string) string {
+	if i := strings.IndexByte(key, 0); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package retrain
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spmvtune/internal/core"
+	"spmvtune/internal/hsa"
+)
+
+func aggTestConfig() core.Config {
+	return core.Config{
+		Device:  hsa.DefaultConfig(),
+		MaxBins: 32,
+		Us:      []int{10, 50, 200, 1000},
+	}
+}
+
+// aggRow builds a row with the configured feature arity.
+func aggRow(cfg core.Config, fp string, u, bin, kernel int, seconds float64) Row {
+	return Row{
+		Fingerprint: fp,
+		Features:    make([]float64, len(cfg.FeatureNames())),
+		U:           u,
+		Bin:         bin,
+		BinRows:     64,
+		BinAvgLen:   8,
+		Kernel:      kernel,
+		Cycles:      seconds * 1e9,
+		Seconds:     seconds,
+	}
+}
+
+func TestAggregateLabelsBestKernelPerGroup(t *testing.T) {
+	cfg := aggTestConfig()
+	rows := []Row{
+		aggRow(cfg, "A", 50, 0, 3, 5e-6),
+		aggRow(cfg, "A", 50, 0, 1, 2e-6), // cheapest in (A,50,0)
+		aggRow(cfg, "A", 50, 0, 4, 9e-6),
+		aggRow(cfg, "A", 50, 1, 2, 4e-6), // only observation in (A,50,1)
+		aggRow(cfg, "A", 99, 0, 1, 1e-9), // U outside cfg.Us: dropped
+	}
+	ts := Aggregate(cfg, rows)
+	if ts.RowsUsed != 4 {
+		t.Fatalf("RowsUsed = %d, want 4", ts.RowsUsed)
+	}
+	if ts.Groups != 2 || ts.Stage2.Len() != 2 {
+		t.Fatalf("groups = %d (stage2 %d), want 2", ts.Groups, ts.Stage2.Len())
+	}
+	if ts.Counterfactual != 1 {
+		t.Fatalf("Counterfactual = %d, want 1", ts.Counterfactual)
+	}
+	if ts.Stage2.Y[0] != 1 || ts.Stage2.Y[1] != 2 {
+		t.Fatalf("stage-2 labels = %v, want [1 2]", ts.Stage2.Y)
+	}
+	// Single observed U per fingerprint: no stage-1 evidence.
+	if ts.Stage1.Len() != 0 {
+		t.Fatalf("stage-1 samples = %d, want 0", ts.Stage1.Len())
+	}
+}
+
+func TestAggregateTieBreaksTowardLowerKernel(t *testing.T) {
+	cfg := aggTestConfig()
+	rows := []Row{
+		aggRow(cfg, "A", 50, 0, 5, 3e-6),
+		aggRow(cfg, "A", 50, 0, 2, 3e-6), // exact tie: lower ID wins
+	}
+	ts := Aggregate(cfg, rows)
+	if ts.Stage2.Y[0] != 2 {
+		t.Fatalf("tie broke to kernel %d, want 2", ts.Stage2.Y[0])
+	}
+}
+
+func TestAggregateStage1LabelsByCheapestU(t *testing.T) {
+	cfg := aggTestConfig()
+	rows := []Row{
+		// Fingerprint A observed at U=50 (total 6us) and U=200 (total 3us):
+		// stage-1 label must be the U=200 class.
+		aggRow(cfg, "A", 50, 0, 1, 4e-6),
+		aggRow(cfg, "A", 50, 1, 1, 2e-6),
+		aggRow(cfg, "A", 200, 0, 2, 3e-6),
+		// Fingerprint B at one U only: skipped.
+		aggRow(cfg, "B", 10, 0, 1, 1e-6),
+	}
+	ts := Aggregate(cfg, rows)
+	if ts.Stage1.Len() != 1 {
+		t.Fatalf("stage-1 samples = %d, want 1", ts.Stage1.Len())
+	}
+	wantClass := 2 // index of 200 in cfg.Us
+	if ts.Stage1.Y[0] != wantClass {
+		t.Fatalf("stage-1 label = %d, want %d", ts.Stage1.Y[0], wantClass)
+	}
+}
+
+// TestAggregateDeterministic: row order must not matter — the promotion
+// gate's reproducibility rests on identical logs yielding identical
+// datasets.
+func TestAggregateDeterministic(t *testing.T) {
+	cfg := aggTestConfig()
+	var rows []Row
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		fp := string(rune('A' + rng.Intn(5)))
+		u := cfg.Us[rng.Intn(len(cfg.Us))]
+		rows = append(rows, aggRow(cfg, fp, u, rng.Intn(4), rng.Intn(9), float64(1+rng.Intn(100))*1e-7))
+	}
+	base := Aggregate(cfg, rows)
+
+	shuffled := append([]Row(nil), rows...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	again := Aggregate(cfg, shuffled)
+
+	if !reflect.DeepEqual(base.Stage2.X, again.Stage2.X) || !reflect.DeepEqual(base.Stage2.Y, again.Stage2.Y) {
+		t.Fatal("stage-2 dataset depends on row order")
+	}
+	if !reflect.DeepEqual(base.Stage1.X, again.Stage1.X) || !reflect.DeepEqual(base.Stage1.Y, again.Stage1.Y) {
+		t.Fatal("stage-1 dataset depends on row order")
+	}
+}

@@ -1,0 +1,88 @@
+// Package retrain closes the loop the paper leaves open: the two-stage
+// C5.0 selector is trained once, offline, yet every guarded execution in
+// spmvd already measures exactly the evidence training needs — which
+// kernel served which bin at what modeled cost. This package turns that
+// write-only telemetry into an online learning loop:
+//
+//   - production ExecProfiles are converted into labeled training rows
+//     (label = observed-best kernel per (matrix, U, bin) group), with a
+//     seeded exploration knob that occasionally simulates a non-predicted
+//     kernel so counterfactual labels exist even when the incumbent's
+//     choices dominate the traffic;
+//   - rows persist to an append-only JSONL segment store built on the
+//     plancache.FS seam (same crash-safe write→rename→dir-sync sequence,
+//     same chaos-injection surface);
+//   - a background service periodically retrains the two-stage model with
+//     deterministic seeding, gates promotion on core.EvaluateRegret over a
+//     held-out corpus (a candidate must be no worse than the incumbent),
+//     and on promotion hot-swaps the model into the live Framework — the
+//     ModelVersion bump invalidates stale cached plans via the plan
+//     cache's staleness hook.
+package retrain
+
+import (
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/kernels"
+)
+
+// Row is one labeled observation: a kernel ran (or was counterfactually
+// simulated) on one bin of one matrix at a known modeled cost. Rows are
+// the unit of the JSONL store; aggregation reduces them to training
+// samples by picking the cheapest observed kernel per group.
+type Row struct {
+	// Fingerprint identifies the matrix structure (plan.Fingerprint);
+	// ModelVersion records which model was serving when the row was
+	// observed (empty for exploration rows and model-less service).
+	Fingerprint  string `json:"fp"`
+	ModelVersion string `json:"model,omitempty"`
+
+	// Features is the matrix feature vector the serving plan recorded —
+	// the stage-1 attribute vector, and the prefix of the stage-2 one.
+	Features []float64 `json:"features"`
+
+	// The bin coordinates: granularity, bin ID, and the bin's share of the
+	// matrix (stage-2 attributes U, binID, binRows, binAvgLen).
+	U         int     `json:"u"`
+	Bin       int     `json:"bin"`
+	BinRows   int     `json:"binRows"`
+	BinAvgLen float64 `json:"binAvgLen"`
+
+	// Kernel is the pool kernel that produced the measurement; Cycles and
+	// Seconds are its modeled device cost (deterministic per launch).
+	Kernel  int     `json:"kernel"`
+	Cycles  float64 `json:"cycles"`
+	Seconds float64 `json:"seconds"`
+
+	// Explore marks a counterfactual row: the kernel was not the plan's
+	// choice but was simulated by the exploration policy.
+	Explore bool `json:"explore,omitempty"`
+}
+
+// Validate rejects rows that cannot label a training sample. Rows loaded
+// from disk are untrusted (a flipped bit can survive JSON parsing as an
+// absurd value); invalid rows are skipped and counted, never trained on.
+func (r Row) Validate() error {
+	if r.Fingerprint == "" {
+		return errdefs.Invalidf("retrain: row has no fingerprint")
+	}
+	if len(r.Features) == 0 {
+		return errdefs.Invalidf("retrain: row %s has no features", r.Fingerprint)
+	}
+	if r.U < 1 {
+		return errdefs.Invalidf("retrain: row %s has U=%d", r.Fingerprint, r.U)
+	}
+	if r.Bin < 0 {
+		return errdefs.Invalidf("retrain: row %s has bin %d", r.Fingerprint, r.Bin)
+	}
+	if r.BinRows < 1 {
+		return errdefs.Invalidf("retrain: row %s has binRows=%d", r.Fingerprint, r.BinRows)
+	}
+	if _, ok := kernels.ByID(r.Kernel); !ok {
+		return errdefs.Invalidf("retrain: row %s uses unknown kernel %d", r.Fingerprint, r.Kernel)
+	}
+	if !(r.Cycles > 0) || !(r.Seconds > 0) {
+		return errdefs.Invalidf("retrain: row %s has non-positive cost (cycles=%v seconds=%v)",
+			r.Fingerprint, r.Cycles, r.Seconds)
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package retrain
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"spmvtune/internal/plancache"
+)
+
+// StoreOptions configures a row Store. The zero value selects an
+// in-memory store (no directory).
+type StoreOptions struct {
+	// Dir, when non-empty, persists rows as append-only JSONL segment
+	// files under this directory. Empty keeps rows resident only — they
+	// die with the process, which is fine for tests and acceptable for a
+	// daemon whose rows are merely an optimization.
+	Dir string
+	// FS overrides the filesystem (nil selects plancache.OSFS). This is
+	// the same seam the plan cache persists through, so the chaos harness
+	// injects faults into both layers with one wrapper.
+	FS plancache.FS
+	// SegmentRows is the rotation threshold: a full buffer seals into one
+	// immutable segment file. <= 0 selects 256.
+	SegmentRows int
+	// MaxResidentRows bounds the rows a memory-only store retains (oldest
+	// dropped first); ignored when Dir is set. <= 0 selects 65536.
+	MaxResidentRows int
+}
+
+func (o StoreOptions) withDefaults() StoreOptions {
+	if o.FS == nil {
+		o.FS = plancache.OSFS()
+	}
+	if o.SegmentRows <= 0 {
+		o.SegmentRows = 256
+	}
+	if o.MaxResidentRows <= 0 {
+		o.MaxResidentRows = 65536
+	}
+	return o
+}
+
+// StoreStats is a snapshot of the store counters.
+type StoreStats struct {
+	Appended     int64 // rows accepted by Append
+	Sealed       int64 // rows written into sealed segments
+	Segments     int64 // segment files written
+	CorruptRows  int64 // undecodable or invalid rows skipped at Load
+	DroppedRows  int64 // memory-only overflow drops
+	SealErrors   int64 // failed segment writes (rows stay buffered)
+	TmpRecovered int64 // abandoned temp files removed at open
+}
+
+// Store is the append-only row log. Rows buffer in memory and seal into
+// immutable JSONL segment files at the rotation threshold, using the same
+// crash-safe sequence as the plan cache: write temp (fsynced) → atomic
+// rename → directory fsync. A crash loses at most the unsealed buffer
+// (bounded by SegmentRows); a crash mid-seal leaves a .tmp file that the
+// next Open removes. Corrupt lines in a segment are skipped at load —
+// one flipped bit costs one row, not the store.
+type Store struct {
+	opts StoreOptions
+
+	mu  sync.Mutex
+	buf []Row // rows not yet sealed
+	mem []Row // sealed rows, memory-only mode
+	seq int   // next segment number
+
+	appended, sealed, segments          atomic.Int64
+	corrupt, dropped, sealErrs, tmpRecd atomic.Int64
+}
+
+// OpenStore opens (or initializes) a row store. With a directory it
+// recovers first: abandoned .tmp files from an interrupted seal are
+// removed and the segment sequence resumes after the highest existing
+// segment. A missing directory is healthy (nothing persisted yet).
+func OpenStore(opts StoreOptions) (*Store, error) {
+	s := &Store{opts: opts.withDefaults()}
+	if s.opts.Dir == "" {
+		return s, nil
+	}
+	ents, err := s.opts.FS.ReadDir(s.opts.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("retrain: open store %s: %w", s.opts.Dir, err)
+	}
+	for _, de := range ents {
+		name := de.Name()
+		path := filepath.Join(s.opts.Dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			if s.opts.FS.Remove(path) == nil {
+				s.tmpRecd.Add(1)
+			}
+		case strings.HasPrefix(name, "rows-") && strings.HasSuffix(name, ".jsonl"):
+			var n int
+			if _, err := fmt.Sscanf(name, "rows-%08d.jsonl", &n); err == nil && n >= s.seq {
+				s.seq = n + 1
+			}
+			s.segments.Add(1)
+		}
+	}
+	return s, nil
+}
+
+// Append validates and buffers rows, sealing a segment whenever the
+// buffer reaches the rotation threshold. An invalid row fails the whole
+// call (callers construct rows from their own measurements — an invalid
+// one is a bug, not noise). Seal failures are counted and retried on the
+// next threshold crossing or Flush; the rows stay buffered.
+func (s *Store) Append(rows ...Row) error {
+	for _, r := range rows {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf, rows...)
+	s.appended.Add(int64(len(rows)))
+	for len(s.buf) >= s.opts.SegmentRows {
+		if err := s.sealLocked(s.opts.SegmentRows); err != nil {
+			return nil // counted; rows remain buffered for a later retry
+		}
+	}
+	return nil
+}
+
+// Flush seals whatever is buffered — the SIGTERM drain path, so pending
+// rows survive a rolling restart. Memory-only stores just migrate the
+// buffer to the sealed set.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) == 0 {
+		return nil
+	}
+	return s.sealLocked(len(s.buf))
+}
+
+// sealLocked moves the first n buffered rows into one immutable segment.
+// Callers hold s.mu.
+func (s *Store) sealLocked(n int) error {
+	if n > len(s.buf) {
+		n = len(s.buf)
+	}
+	batch := s.buf[:n]
+	if s.opts.Dir == "" {
+		s.mem = append(s.mem, batch...)
+		if drop := len(s.mem) - s.opts.MaxResidentRows; drop > 0 {
+			s.mem = append(s.mem[:0], s.mem[drop:]...)
+			s.dropped.Add(int64(drop))
+		}
+		s.buf = append(s.buf[:0], s.buf[n:]...)
+		s.sealed.Add(int64(n))
+		return nil
+	}
+
+	var blob bytes.Buffer
+	enc := json.NewEncoder(&blob)
+	for _, r := range batch {
+		if err := enc.Encode(r); err != nil {
+			s.sealErrs.Add(1)
+			return fmt.Errorf("retrain: encode row: %w", err)
+		}
+	}
+	if err := s.writeSegment(blob.Bytes()); err != nil {
+		s.sealErrs.Add(1)
+		return err
+	}
+	s.buf = append(s.buf[:0], s.buf[n:]...)
+	s.sealed.Add(int64(n))
+	s.segments.Add(1)
+	s.seq++
+	return nil
+}
+
+// writeSegment lands one segment durably: temp file (the FS contract
+// fsyncs on write) → atomic rename → directory fsync. No reader ever
+// observes a torn segment; a crash at any step leaves either the complete
+// file or a removable .tmp.
+func (s *Store) writeSegment(blob []byte) error {
+	if err := s.opts.FS.MkdirAll(s.opts.Dir, 0o755); err != nil {
+		return fmt.Errorf("retrain: mkdir %s: %w", s.opts.Dir, err)
+	}
+	path := filepath.Join(s.opts.Dir, fmt.Sprintf("rows-%08d.jsonl", s.seq))
+	tmp := path + ".tmp"
+	if err := s.opts.FS.WriteFile(tmp, blob, 0o644); err != nil {
+		_ = s.opts.FS.Remove(tmp)
+		return fmt.Errorf("retrain: write %s: %w", tmp, err)
+	}
+	if err := s.opts.FS.Rename(tmp, path); err != nil {
+		_ = s.opts.FS.Remove(tmp)
+		return fmt.Errorf("retrain: rename %s: %w", path, err)
+	}
+	if err := s.opts.FS.SyncDir(s.opts.Dir); err != nil {
+		return fmt.Errorf("retrain: sync dir %s: %w", s.opts.Dir, err)
+	}
+	return nil
+}
+
+// Load returns every retained row — sealed segments in sequence order,
+// then the unsealed buffer — skipping (and counting) lines that fail to
+// decode or validate. Corruption degrades coverage, never the load.
+func (s *Store) Load() ([]Row, error) {
+	s.mu.Lock()
+	buffered := append([]Row(nil), s.buf...)
+	resident := append([]Row(nil), s.mem...)
+	s.mu.Unlock()
+
+	var rows []Row
+	if s.opts.Dir != "" {
+		ents, err := s.opts.FS.ReadDir(s.opts.Dir)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("retrain: load: %w", err)
+		}
+		var names []string
+		for _, de := range ents {
+			if strings.HasPrefix(de.Name(), "rows-") && strings.HasSuffix(de.Name(), ".jsonl") {
+				names = append(names, de.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			blob, err := s.opts.FS.ReadFile(filepath.Join(s.opts.Dir, name))
+			if err != nil {
+				continue
+			}
+			for _, line := range bytes.Split(blob, []byte("\n")) {
+				if len(bytes.TrimSpace(line)) == 0 {
+					continue
+				}
+				var r Row
+				if err := json.Unmarshal(line, &r); err != nil || r.Validate() != nil {
+					s.corrupt.Add(1)
+					continue
+				}
+				rows = append(rows, r)
+			}
+		}
+	}
+	rows = append(rows, resident...)
+	rows = append(rows, buffered...)
+	return rows, nil
+}
+
+// Rows returns the number of rows this process has retained: the unsealed
+// buffer plus resident sealed rows (memory mode) or rows sealed to disk
+// (persistent mode). Segments inherited from a previous process are not
+// counted here — Load reads them, Rows is a live-ingest gauge.
+func (s *Store) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.Dir == "" {
+		return len(s.buf) + len(s.mem)
+	}
+	return len(s.buf) + int(s.sealed.Load())
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Appended:     s.appended.Load(),
+		Sealed:       s.sealed.Load(),
+		Segments:     s.segments.Load(),
+		CorruptRows:  s.corrupt.Load(),
+		DroppedRows:  s.dropped.Load(),
+		SealErrors:   s.sealErrs.Load(),
+		TmpRecovered: s.tmpRecd.Load(),
+	}
+}

@@ -1,0 +1,247 @@
+package retrain
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spmvtune/internal/plancache"
+)
+
+// testRow builds a valid row with a distinguishing bin index.
+func testRow(i int) Row {
+	return Row{
+		Fingerprint: "fp-test",
+		Features:    []float64{1, 2, 3},
+		U:           50,
+		Bin:         i,
+		BinRows:     100,
+		BinAvgLen:   4,
+		Kernel:      1,
+		Cycles:      1000,
+		Seconds:     1e-6,
+	}
+}
+
+func TestStoreSealAndLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir, SegmentRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(testRow(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Sealed != 8 || st.Segments != 2 {
+		t.Fatalf("sealed %d in %d segments, want 8 in 2", st.Sealed, st.Segments)
+	}
+	rows, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("loaded %d rows, want 10", len(rows))
+	}
+	for i, r := range rows {
+		if r.Bin != i {
+			t.Fatalf("row %d out of order: bin %d", i, r.Bin)
+		}
+	}
+	if got := s.Rows(); got != 10 {
+		t.Fatalf("Rows() = %d, want 10", got)
+	}
+
+	// Drain (the SIGTERM path) seals the 2-row tail; a new process over the
+	// same directory then resumes the sequence and seals new rows into a
+	// fresh segment, not over an existing one.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(StoreOptions{Dir: dir, SegmentRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 14; i++ {
+		if err := s2.Append(testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rows-00000003.jsonl")); err != nil {
+		t.Fatalf("resumed store did not write segment 3: %v", err)
+	}
+	rows, err = s2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("after restart loaded %d rows, want 14", len(rows))
+	}
+}
+
+func TestStoreFlushSealsBuffer(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir, SegmentRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append(testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Stats().Segments != 0 {
+		t.Fatal("sealed before threshold")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Segments != 1 || st.Sealed != 3 {
+		t.Fatalf("after flush: %+v", st)
+	}
+}
+
+func TestStoreTmpRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crash mid-seal: an abandoned temp file in the store dir.
+	tmp := filepath.Join(dir, "rows-00000007.jsonl.tmp")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("abandoned .tmp survived open")
+	}
+	if s.Stats().TmpRecovered != 1 {
+		t.Fatalf("TmpRecovered = %d, want 1", s.Stats().TmpRecovered)
+	}
+}
+
+func TestStoreCorruptLinesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir, SegmentRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := filepath.Join(dir, "rows-00000000.jsonl")
+	blob, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one line and append garbage: both must cost rows, not loads.
+	mangled := strings.Replace(string(blob), `"fp":"fp-test","features":[1,2,3]`,
+		`"fp":"fp-test","features":[`, 1)
+	mangled += "not json at all\n" + `{"fp":"x","u":-9}` + "\n"
+	if err := os.WriteFile(seg, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("loaded %d rows, want 3 survivors", len(rows))
+	}
+	if got := s.Stats().CorruptRows; got != 3 {
+		t.Fatalf("CorruptRows = %d, want 3 (mangled + garbage + invalid)", got)
+	}
+}
+
+func TestStoreMemoryOverflowDropsOldest(t *testing.T) {
+	s, err := OpenStore(StoreOptions{SegmentRows: 2, MaxResidentRows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("retained %d rows, want 4", len(rows))
+	}
+	if rows[0].Bin != 6 {
+		t.Fatalf("oldest retained row is %d, want 6 (newest-wins)", rows[0].Bin)
+	}
+	if s.Stats().DroppedRows != 6 {
+		t.Fatalf("DroppedRows = %d, want 6", s.Stats().DroppedRows)
+	}
+}
+
+func TestStoreRejectsInvalidRow(t *testing.T) {
+	s, err := OpenStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := testRow(0)
+	bad.Cycles = -1
+	if err := s.Append(bad); err == nil {
+		t.Fatal("invalid row accepted")
+	}
+	if s.Rows() != 0 {
+		t.Fatal("invalid row retained")
+	}
+}
+
+// faultFS fails WriteFile while tripped; everything else passes through.
+type faultFS struct {
+	plancache.FS
+	fail bool
+}
+
+func (f *faultFS) WriteFile(path string, data []byte, perm os.FileMode) error {
+	if f.fail {
+		return fmt.Errorf("injected write fault")
+	}
+	return f.FS.WriteFile(path, data, perm)
+}
+
+func TestStoreSealFailureKeepsRowsBuffered(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultFS{FS: plancache.OSFS(), fail: true}
+	s, err := OpenStore(StoreOptions{Dir: dir, FS: ffs, SegmentRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(testRow(i)); err != nil {
+			t.Fatalf("append must not surface seal faults: %v", err)
+		}
+	}
+	if s.Stats().SealErrors == 0 {
+		t.Fatal("no seal errors counted under injected faults")
+	}
+	if s.Stats().Sealed != 0 {
+		t.Fatal("rows sealed despite write faults")
+	}
+	// Heal the filesystem: the buffered rows seal on the next flush, none
+	// lost.
+	ffs.fail = false
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("recovered %d rows, want 4", len(rows))
+	}
+}

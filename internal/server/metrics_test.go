@@ -26,6 +26,7 @@ var metricFamilies = []string{
 	`spmvd_plan_cache_entries `,
 	`spmvd_plan_cache_persist_errors `,
 	`spmvd_plan_cache_quarantined `,
+	`spmvd_plan_cache_stale_evictions `,
 	`spmvd_tune_seconds_sum `,
 	`spmvd_tune_seconds_count `,
 	`spmvd_search_cache_hits `,
@@ -53,6 +54,12 @@ var metricFamilies = []string{
 	`spmvd_panics_recovered_total `,
 	`spmvd_breaker_open `,
 	`spmvd_breaker_half_open `,
+	`spmvd_model_version `,
+	`spmvd_model_regret `,
+	`spmvd_retrain_rows_total `,
+	`spmvd_retrain_runs_total `,
+	`spmvd_retrain_promotions_total `,
+	`spmvd_retrain_rejected_total `,
 	`spmvd_device_cycles_total `,
 	`spmvd_device_mem_instrs_total `,
 	`spmvd_device_lane_slots_total `,

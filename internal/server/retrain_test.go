@@ -1,0 +1,279 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"spmvtune/internal/c50"
+	"spmvtune/internal/core"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/retrain"
+	"spmvtune/internal/sparse"
+)
+
+// retrainCoreConfig mirrors testFramework's search space but builds
+// dedicated frameworks: these tests hot-swap models, which must never
+// touch the package-shared framework other tests serve from.
+func retrainCoreConfig() core.Config {
+	return core.Config{Device: hsa.DefaultConfig(), MaxBins: 32, Us: []int{10, 50, 200, 1000}}
+}
+
+// serialIncumbent trains a model with a competent stage 1 but a stage 2
+// that always selects the serial kernel — structurally valid, confidently
+// wrong, and far enough from optimal that a candidate learned from traffic
+// (plus exploration) beats it decisively.
+func serialIncumbent(t *testing.T, cfg core.Config) *core.Model {
+	t.Helper()
+	td := core.NewTrainingData(cfg)
+	td.AddMatrix(cfg, matgen.RoadNetwork(600, 1))
+	td.AddMatrix(cfg, matgen.BlockFEM(80, 150, 30, 2))
+	good := core.TrainModel(td, cfg, c50.DefaultOptions())
+
+	serial := core.NewTrainingData(cfg)
+	serial.Stage2.Add(make([]float64, len(cfg.FeatureNames())+4), 0)
+	return &core.Model{
+		Us:      cfg.Us,
+		MaxBins: cfg.MaxBins,
+		Stage1:  good.Stage1,
+		Stage2:  c50.Train(serial.Stage2, c50.DefaultOptions()),
+	}
+}
+
+func planVersion(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/plans/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p struct {
+		ModelVersion string `json:"modelVersion"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	return p.ModelVersion
+}
+
+// TestRetrainHotSwapE2E is the PR's acceptance story, end to end over the
+// HTTP API: production traffic feeds the retrain loop, a candidate learned
+// from that traffic gates in over a poor incumbent, the promotion bumps
+// the model version, and the bump invalidates every cached plan — which
+// re-tunes exactly once under concurrency. A label-noise-degraded
+// follow-up candidate is then rejected by the regret gate, observable on
+// /metrics.
+func TestRetrainHotSwapE2E(t *testing.T) {
+	cfg := retrainCoreConfig()
+	incumbent := serialIncumbent(t, cfg)
+	fw := core.NewFramework(cfg, incumbent)
+	store, err := retrain.OpenStore(retrain.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := retrain.New(retrain.Config{
+		Framework:   fw,
+		Store:       store,
+		Synchronous: true, // deterministic: rows land before the handler returns
+		ExploreRate: 1.0,  // every request contributes a counterfactual row
+		MinRows:     20,
+		Seed:        11,
+		Holdout: []*sparse.CSR{
+			matgen.RoadNetwork(300, 21),
+			matgen.BlockFEM(40, 70, 25, 22),
+			matgen.Banded(260, 5, 23),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.Framework = fw
+		c.Retrain = svc
+	})
+
+	mats := []*sparse.CSR{
+		matgen.RoadNetwork(240, 31),
+		matgen.BlockFEM(50, 60, 20, 32),
+		matgen.Mixed(220, 220, 20, []int{2, 40}, 33),
+	}
+	var ids []string
+	for _, a := range mats {
+		id := uploadMatrix(t, ts, a)
+		ids = append(ids, id)
+		body := fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, onesJSON(a.Cols))
+		for i := 0; i < 3; i++ {
+			if resp, blob := postSpMV(t, ts, body); resp.StatusCode != http.StatusOK {
+				t.Fatalf("spmv status %d: %s", resp.StatusCode, blob)
+			}
+		}
+	}
+	v0 := core.ModelVersion(incumbent)
+	for _, id := range ids {
+		if got := planVersion(t, ts, id); got != v0 {
+			t.Fatalf("pre-promotion plan version %q, want incumbent %q", got, v0)
+		}
+	}
+	if scrapeMetric(t, ts, "spmvd_retrain_rows_total") < 20 {
+		t.Fatalf("traffic produced too few rows: %d", scrapeMetric(t, ts, "spmvd_retrain_rows_total"))
+	}
+	if scrapeMetric(t, ts, "spmvd_model_version") != 0 {
+		t.Fatal("model generation moved before any retrain")
+	}
+
+	// Retrain: the traffic-learned candidate must gate in over the serial
+	// incumbent.
+	res, err := svc.RetrainOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != "promoted" {
+		t.Fatalf("retrain outcome %q (%s), want promoted", res.Outcome, res.Reason)
+	}
+	if got := core.ModelVersion(fw.Model()); got != res.Version {
+		t.Fatalf("framework serves %q, promotion was %q", got, res.Version)
+	}
+	if scrapeMetric(t, ts, "spmvd_model_version") != 1 ||
+		scrapeMetric(t, ts, "spmvd_retrain_promotions_total") != 1 {
+		t.Fatal("promotion not visible on /metrics")
+	}
+
+	// The ModelVersion bump invalidates every cached plan: concurrent
+	// requests for one invalidated matrix re-tune exactly once (stale
+	// eviction funnels into the ordinary singleflight), and the re-tuned
+	// plan carries the promoted version.
+	tunesBefore := scrapeMetric(t, ts, "spmvd_tune_seconds_count")
+	const waiters = 8
+	var wg sync.WaitGroup
+	versions := make([]string, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/plans/" + ids[0])
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var p struct {
+				ModelVersion string `json:"modelVersion"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&p) == nil {
+				versions[i] = p.ModelVersion
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range versions {
+		if v != res.Version {
+			t.Fatalf("waiter %d got plan version %q, want promoted %q", i, v, res.Version)
+		}
+	}
+	if delta := scrapeMetric(t, ts, "spmvd_tune_seconds_count") - tunesBefore; delta != 1 {
+		t.Fatalf("stale re-tune ran %d times, want exactly 1 (singleflight)", delta)
+	}
+	if scrapeMetric(t, ts, "spmvd_plan_cache_stale_evictions") < 1 {
+		t.Fatal("no stale evictions counted after promotion")
+	}
+	// The remaining matrices re-tune lazily on their next use.
+	for _, id := range ids[1:] {
+		if got := planVersion(t, ts, id); got != res.Version {
+			t.Fatalf("post-promotion plan version %q, want %q", got, res.Version)
+		}
+	}
+
+	// Degrade training with cost-inverting label noise: the regret gate
+	// must reject the candidate, count it, and keep serving the promoted
+	// model.
+	svc.SetLabelNoise(1.0)
+	res2, err := svc.RetrainOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Outcome != "rejected" {
+		t.Fatalf("noisy retrain outcome %q (%s), want rejected", res2.Outcome, res2.Reason)
+	}
+	if scrapeMetric(t, ts, "spmvd_retrain_rejected_total") != 1 {
+		t.Fatal("rejection not counted on /metrics")
+	}
+	if scrapeMetric(t, ts, "spmvd_model_version") != 1 {
+		t.Fatal("rejected candidate moved the model generation")
+	}
+	if got := core.ModelVersion(fw.Model()); got != res.Version {
+		t.Fatalf("rejected candidate reached the framework: serving %q", got)
+	}
+	if got := planVersion(t, ts, ids[0]); got != res.Version {
+		t.Fatalf("plans invalidated by a rejected candidate: version %q", got)
+	}
+	_ = srv
+}
+
+// TestModelHotSwapNoTornReads hammers SpMV requests while the model is
+// swapped concurrently: every request must succeed and every response must
+// be internally consistent with exactly one of the two models (the
+// framework snapshots the model pointer once per request — a torn read
+// would mix stage 1 of one model with stage 2 of another, which the race
+// detector and the version checks below would catch).
+func TestModelHotSwapNoTornReads(t *testing.T) {
+	cfg := retrainCoreConfig()
+	mBad := serialIncumbent(t, cfg)
+	td := core.NewTrainingData(cfg)
+	td.AddMatrix(cfg, matgen.RoadNetwork(600, 1))
+	td.AddMatrix(cfg, matgen.BlockFEM(80, 150, 30, 2))
+	mGood := core.TrainModel(td, cfg, c50.DefaultOptions())
+
+	fw := core.NewFramework(cfg, mBad)
+	srv, ts := newTestServer(t, func(c *Config) {
+		c.Framework = fw
+		// No cache TTL tricks: disable staleness interference by letting
+		// AdoptModel bump the wanted version on every swap below.
+	})
+
+	a := matgen.Banded(120, 3, 41)
+	id := uploadMatrix(t, ts, a)
+	body := fmt.Sprintf(`{"matrix":%q,"vector":%s}`, id, onesJSON(a.Cols))
+
+	vBad, vGood := core.ModelVersion(mBad), core.ModelVersion(mGood)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if i%2 == 0 {
+				srv.AdoptModel(mGood, vGood)
+			} else {
+				srv.AdoptModel(mBad, vBad)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, blob := postSpMV(t, ts, body)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("status %d: %s", resp.StatusCode, blob)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	close(errs)
+	for e := range errs {
+		t.Fatalf("request failed during hot swap: %s", e)
+	}
+	// Whatever plan is cached at the end must belong to one of the two
+	// models, never a mixture.
+	if v := planVersion(t, ts, id); v != vBad && v != vGood {
+		t.Fatalf("final plan version %q is neither model (%q / %q)", v, vBad, vGood)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"spmvtune/internal/mmio"
 	"spmvtune/internal/plan"
 	"spmvtune/internal/plancache"
+	"spmvtune/internal/retrain"
 	"spmvtune/internal/sparse"
 	"spmvtune/internal/trace"
 )
@@ -94,6 +95,12 @@ type Config struct {
 	// feed /metrics and GET /v1/profiles — and cost one nil check per
 	// collection site when disabled.
 	DisableCounters bool
+	// Retrain, when non-nil, receives an Observation for every clean SpMV
+	// execution — the online learning loop's evidence feed. New registers
+	// the server's AdoptModel as the service's promotion callback, so a
+	// gated-in model hot-swaps into the framework AND bumps the plan
+	// cache's wanted model version in one step.
+	Retrain *retrain.Service
 	// Breaker tunes the per-matrix tuning circuit breaker (zero value
 	// selects the defaults; set Disabled to turn it off).
 	Breaker BreakerConfig
@@ -230,7 +237,25 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /readyz", s.instrument(epReadyz, s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.instrument(epMetrics, s.handleMetrics))
 	s.mux = mux
+	// Anchor the cache's wanted model version to the model serving now, so
+	// plans persisted by an older model re-tune instead of being served
+	// stale; register the promotion hook that keeps the two in lockstep.
+	s.cache.SetModelVersion(core.ModelVersion(cfg.Framework.Model()))
+	if cfg.Retrain != nil {
+		cfg.Retrain.SetPromote(s.AdoptModel)
+	}
 	return s, nil
+}
+
+// AdoptModel installs a new kernel-selection model: hot-swap it into the
+// live framework (requests pick it up on their next atomic load — an
+// in-flight request keeps the snapshot it started with, never a torn mix)
+// and bump the plan cache's wanted model version so plans tuned by the
+// previous model are evicted and re-tuned on next use. The retrain
+// service calls this on every gated-in promotion.
+func (s *Server) AdoptModel(m *core.Model, version string) {
+	s.cfg.Framework.SwapModel(m)
+	s.cache.SetModelVersion(version)
 }
 
 // Drain prepares the server for shutdown: /readyz starts reporting 503 so
@@ -669,13 +694,32 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 	if lastRep != nil && len(lastRep.Profiles) > 0 {
 		s.mu.Lock()
 		if _, resident := s.matrices[e.ID]; resident {
-			s.profiles[e.ID] = &profileRecord{
-				TraceID:  traceID,
-				Degraded: resp.Degraded,
-				Profiles: lastRep.Profiles,
+			rec := s.profiles[e.ID]
+			if rec == nil {
+				rec = &profileRecord{}
+				s.profiles[e.ID] = rec
 			}
+			rec.TraceID = traceID
+			rec.Degraded = resp.Degraded
+			// Accumulate evidence across runs under the same retention cap
+			// as TuningPlan.Profiles: newest wins, bounded memory.
+			rec.Profiles = plan.AppendCappedProfiles(rec.Profiles, lastRep.Profiles...)
 		}
 		s.mu.Unlock()
+		if s.cfg.Retrain != nil {
+			s.cfg.Retrain.Observe(retrain.Observation{
+				Fingerprint:  e.Fingerprint,
+				ModelVersion: p.ModelVersion,
+				A:            e.A,
+				Features:     p.Features,
+				U:            p.U,
+				MaxBins:      p.MaxBins,
+				Scheme:       p.Scheme,
+				Fallback:     p.Fallback,
+				Degraded:     resp.Degraded,
+				Profiles:     lastRep.Profiles,
+			})
+		}
 	}
 	if len(req.Vector) > 0 {
 		resp.Result = resp.Results[0]
@@ -818,6 +862,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "spmvd_plan_cache_entries %d\n", st.Entries)
 	fmt.Fprintf(w, "spmvd_plan_cache_persist_errors %d\n", st.PersistErrors)
 	fmt.Fprintf(w, "spmvd_plan_cache_quarantined %d\n", st.Quarantined)
+	fmt.Fprintf(w, "spmvd_plan_cache_stale_evictions %d\n", st.StaleEvictions)
 	// The tuning sum/count pair exposes the mean wall-clock cost a cache
 	// miss pays computing its plan — the latency the cache amortizes away.
 	fmt.Fprintf(w, "spmvd_tune_seconds_sum %.6f\n", float64(st.TuneNs)/1e9)
@@ -836,5 +881,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	open, halfOpen := s.breakerCounts()
 	fmt.Fprintf(w, "spmvd_breaker_open %d\n", open)
 	fmt.Fprintf(w, "spmvd_breaker_half_open %d\n", halfOpen)
+	// Online-learning families. Always emitted — zeros when the retrain
+	// loop is disabled — so scrapers and the golden-name test see a stable
+	// exposition either way. spmvd_model_version is the promotion
+	// generation (0 = still serving the boot model); spmvd_model_regret is
+	// the served model's held-out geo-mean regret as of the last gate
+	// evaluation.
+	var rst retrain.Stats
+	if s.cfg.Retrain != nil {
+		rst = s.cfg.Retrain.Stats()
+	}
+	fmt.Fprintf(w, "spmvd_model_version %d\n", rst.Generation)
+	fmt.Fprintf(w, "spmvd_model_regret %.6f\n", rst.ModelRegret)
+	fmt.Fprintf(w, "spmvd_retrain_rows_total %d\n", rst.Rows)
+	fmt.Fprintf(w, "spmvd_retrain_runs_total %d\n", rst.Runs)
+	fmt.Fprintf(w, "spmvd_retrain_promotions_total %d\n", rst.Promotions)
+	fmt.Fprintf(w, "spmvd_retrain_rejected_total %d\n", rst.Rejected)
 	s.m.writeTo(w)
 }
