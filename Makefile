@@ -1,6 +1,18 @@
 GO ?= go
 
-.PHONY: check build test race bench bench-parallel bench-tune chaos fuzz fmt vet lint vulncheck spmvbench
+## BENCH_BASELINE: the committed benchmark baseline the cycles gate
+## compares against. This is the single source of truth — ci.yml consumes
+## it through `make spmvbench`, so refreshing the baseline means writing
+## the new file and changing this one line.
+BENCH_BASELINE ?= BENCH_PR5.json
+## BENCH_OUT: where spmvbench writes its measurement (CI overrides this to
+## upload the result as an artifact).
+BENCH_OUT ?= /tmp/spmvbench.json
+## SOAK_COUNT: repetitions of the solver-session soak (CI uses 3 to vary
+## the swap/iterate interleaving).
+SOAK_COUNT ?= 1
+
+.PHONY: check build test race bench bench-parallel bench-tune chaos fuzz soak fmt vet lint vulncheck spmvbench
 
 ## check: the full verification gate (fmt, vet, build, race tests, fuzz
 ## smoke, staticcheck + govulncheck when installed)
@@ -22,6 +34,15 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMTX -fuzztime=10s ./internal/mmio
 	$(GO) test -run='^$$' -fuzz=FuzzHTTPSpMV -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzHTTPSolve -fuzztime=10s ./internal/server
+
+## soak: the solver-session soak gate — concurrent sessions iterating
+## under the race detector while a model hot-swap fires mid-traffic.
+## Asserts no torn plan reads (monotonic per-session version transitions),
+## swap lands only at iteration boundaries, and exactly one re-tune per
+## distinct matrix through the plan cache's singleflight.
+soak:
+	$(GO) test -race -count=$(SOAK_COUNT) -run 'TestSolverSoak' -timeout 600s ./internal/server
 
 ## chaos: the chaos invariant suite — seeded fault storms (filesystem,
 ## tuning, panics, device faults) replayed against a live in-process
@@ -48,9 +69,10 @@ vulncheck:
 	govulncheck ./...
 
 ## spmvbench: measure against the committed baseline (cycles-based gate,
-## fails above +25%). Refresh with: go run ./cmd/spmvbench -out BENCH_PR5.json
+## fails above +25%). Refresh with:
+##   go run ./cmd/spmvbench -out $(BENCH_BASELINE)
 spmvbench:
-	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench.json -baseline BENCH_PR5.json
+	$(GO) run ./cmd/spmvbench -out $(BENCH_OUT) -baseline $(BENCH_BASELINE)
 
 ## bench-parallel: sequential-vs-parallel tuning-search comparison. The two
 ## passes must produce identical labels; the >= 3x speedup floor at 8

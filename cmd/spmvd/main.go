@@ -13,6 +13,12 @@
 //
 //	POST /v1/matrices       upload a Matrix Market body → {"id": ...}
 //	POST /v1/spmv           {"matrix": id, "vector": [...]} or {"vectors": [[...]]}
+//	POST /v1/solve          create a resident solver session (cg/jacobi/gmres/
+//	                        pagerank/power/spmv), or stream a whole solve as
+//	                        JSONL with {"mode": "run"}
+//	POST /v1/solve/{id}/iterate  advance a session ({"steps": N}; vector for spmv)
+//	GET  /v1/solve/{id}     session status + current iterate
+//	DELETE /v1/solve/{id}   release a session
 //	GET  /v1/plans/{id}     the tuning plan the model chose for a matrix
 //	GET  /v1/profiles/{id}  per-bin execution profiles of the latest guarded run
 //	GET  /healthz           liveness (200 with degraded reasons when impaired)
@@ -50,6 +56,8 @@ func main() {
 	queue := flag.Int("queue", 64, "queued SpMV requests beyond the executing ones before 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request execution deadline")
 	maxBatch := flag.Int("max-batch", 64, "maximum vectors per SpMV request")
+	maxSessions := flag.Int("max-sessions", 64, "resident solver sessions before the oldest idle one is evicted")
+	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "idle solver sessions are evicted after this long")
 	maxBody := flag.Int64("max-body", 64<<20, "maximum request body bytes")
 	cacheCap := flag.Int("cache-capacity", 256, "resident tuning plans")
 	cacheTTL := flag.Duration("cache-ttl", 0, "plan expiry (0 = never)")
@@ -119,6 +127,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxBatch:       *maxBatch,
 		MaxBodyBytes:   *maxBody,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 		Cache: plancache.Options{
 			Capacity: *cacheCap,
 			TTL:      *cacheTTL,

@@ -152,6 +152,16 @@ func (c *Cache) SetModelVersion(v string) {
 	c.modelVersion.Store(&v)
 }
 
+// ModelVersion returns the cache's current model version ("" = staleness
+// disabled). Holders of a pinned plan (solver sessions) compare their
+// plan's recorded version against this between iterations: a mismatch
+// means a model rollout happened and the plan must be re-resolved at the
+// next iteration boundary. The read is one atomic load, cheap enough to
+// perform per boundary.
+func (c *Cache) ModelVersion() string {
+	return c.wantVersion()
+}
+
 // wantVersion returns the current model version ("" = staleness disabled).
 func (c *Cache) wantVersion() string {
 	if p := c.modelVersion.Load(); p != nil {

@@ -12,6 +12,9 @@ import (
 const (
 	epMatrices = iota
 	epSpMV
+	epSolve
+	epIterate
+	epSession
 	epPlans
 	epProfiles
 	epHealthz
@@ -20,7 +23,7 @@ const (
 	nEndpoints
 )
 
-var endpointNames = [nEndpoints]string{"matrices", "spmv", "plans", "profiles", "healthz", "readyz", "metrics"}
+var endpointNames = [nEndpoints]string{"matrices", "spmv", "solve", "iterate", "session", "plans", "profiles", "healthz", "readyz", "metrics"}
 
 // metrics holds the server-side counters. Everything is atomic so the
 // handlers never serialize on observability.
@@ -42,6 +45,14 @@ type metrics struct {
 	breakerTrips   atomic.Int64
 	breakerProbes  atomic.Int64
 	panics         atomic.Int64
+
+	// Solver-session counters: stepper iterations served across all
+	// sessions, sessions evicted (TTL, capacity, or drain — client
+	// releases are not evictions), and plan re-pins paid at iteration
+	// boundaries after a model hot-swap.
+	sessionIterations atomic.Int64
+	sessionEvictions  atomic.Int64
+	sessionRetunes    atomic.Int64
 
 	// Device-counter derived totals, accumulated from the per-run
 	// ExecReport of every guarded execution. Cycles are modeled device
@@ -105,6 +116,9 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "spmvd_breaker_trips_total %d\n", m.breakerTrips.Load())
 	fmt.Fprintf(w, "spmvd_breaker_half_open_probes_total %d\n", m.breakerProbes.Load())
 	fmt.Fprintf(w, "spmvd_panics_recovered_total %d\n", m.panics.Load())
+	fmt.Fprintf(w, "spmvd_session_iterations_total %d\n", m.sessionIterations.Load())
+	fmt.Fprintf(w, "spmvd_session_evictions_total %d\n", m.sessionEvictions.Load())
+	fmt.Fprintf(w, "spmvd_session_retunes_total %d\n", m.sessionRetunes.Load())
 
 	fmt.Fprintf(w, "spmvd_device_cycles_total %d\n", m.deviceCycles.Load())
 	fmt.Fprintf(w, "spmvd_device_mem_instrs_total %d\n", m.deviceMemInstrs.Load())

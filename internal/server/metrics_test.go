@@ -33,8 +33,15 @@ var metricFamilies = []string{
 	`spmvd_search_cache_misses `,
 	`spmvd_search_cache_pruned `,
 	`spmvd_matrices_stored `,
+	`spmvd_sessions_active `,
+	`spmvd_session_iterations_total `,
+	`spmvd_session_evictions_total `,
+	`spmvd_session_retunes_total `,
 	`spmvd_requests_total{endpoint="matrices"} `,
 	`spmvd_requests_total{endpoint="spmv"} `,
+	`spmvd_requests_total{endpoint="solve"} `,
+	`spmvd_requests_total{endpoint="iterate"} `,
+	`spmvd_requests_total{endpoint="session"} `,
 	`spmvd_requests_total{endpoint="plans"} `,
 	`spmvd_requests_total{endpoint="profiles"} `,
 	`spmvd_requests_total{endpoint="healthz"} `,

@@ -101,6 +101,14 @@ type Config struct {
 	// gated-in model hot-swaps into the framework AND bumps the plan
 	// cache's wanted model version in one step.
 	Retrain *retrain.Service
+	// MaxSessions bounds resident solver sessions (see POST /v1/solve).
+	// At capacity the oldest idle session is evicted to admit a new one;
+	// if every session is busy the create is rejected with 429. <= 0
+	// selects 64.
+	MaxSessions int
+	// SessionTTL evicts solver sessions idle longer than this (swept
+	// lazily on session operations). <= 0 selects 10m.
+	SessionTTL time.Duration
 	// Breaker tunes the per-matrix tuning circuit breaker (zero value
 	// selects the defaults; set Disabled to turn it off).
 	Breaker BreakerConfig
@@ -164,6 +172,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxMatrices <= 0 {
 		c.MaxMatrices = 1024
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
 	c.Breaker = c.Breaker.withDefaults()
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -195,6 +209,10 @@ type Server struct {
 	bmu      sync.Mutex
 	breakers map[string]*breaker // per-matrix tuning circuit breakers
 
+	smu      sync.Mutex
+	sessions map[string]*session // resident solver sessions (see session.go)
+	sessSeq  atomic.Int64
+
 	draining atomic.Bool // set by Drain; /readyz reports 503
 
 	traceSeq atomic.Int64 // generated per-request trace IDs
@@ -225,12 +243,17 @@ func New(cfg Config) (*Server, error) {
 		matrices: make(map[string]*matrixEntry),
 		profiles: make(map[string]*profileRecord),
 		breakers: make(map[string]*breaker),
+		sessions: make(map[string]*session),
 		queue:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		sem:      make(chan struct{}, cfg.Workers),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/matrices", s.instrument(epMatrices, s.handleUpload))
 	mux.HandleFunc("POST /v1/spmv", s.instrument(epSpMV, s.handleSpMV))
+	mux.HandleFunc("POST /v1/solve", s.instrument(epSolve, s.handleSolve))
+	mux.HandleFunc("POST /v1/solve/{id}/iterate", s.instrument(epIterate, s.handleIterate))
+	mux.HandleFunc("GET /v1/solve/{id}", s.instrument(epSession, s.handleSession))
+	mux.HandleFunc("DELETE /v1/solve/{id}", s.instrument(epSession, s.handleRelease))
 	mux.HandleFunc("GET /v1/plans/{id}", s.instrument(epPlans, s.handlePlan))
 	mux.HandleFunc("GET /v1/profiles/{id}", s.instrument(epProfiles, s.handleProfiles))
 	mux.HandleFunc("GET /healthz", s.instrument(epHealthz, s.handleHealthz))
@@ -259,12 +282,15 @@ func (s *Server) AdoptModel(m *core.Model, version string) {
 }
 
 // Drain prepares the server for shutdown: /readyz starts reporting 503 so
-// load balancers stop routing here, and every resident tuning plan is
-// flushed to the persistence dir — including entries whose earlier saves
-// failed — so a rolling restart never loses tuned plans. It returns the
-// number of plans persisted.
+// load balancers stop routing here, new solver-session creates are
+// rejected and every idle session is evicted (a busy one finishes its
+// in-flight iterate — its client sees the eviction on the next request),
+// and every resident tuning plan is flushed to the persistence dir —
+// including entries whose earlier saves failed — so a rolling restart
+// never loses tuned plans. It returns the number of plans persisted.
 func (s *Server) Drain() (int, error) {
 	s.draining.Store(true)
+	s.evictIdleSessions()
 	return s.cache.Flush()
 }
 
@@ -309,6 +335,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (r *statusRecorder) Write(p []byte) (int, error) {
 	r.wrote = true
 	return r.ResponseWriter.Write(p)
+}
+
+// Flush forwards streaming flushes (the JSONL solve stream) to the
+// underlying writer when it supports them.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with request/latency/error accounting and the
@@ -691,35 +725,10 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		s.m.observeReport(rep)
 		lastRep = rep
 	}
-	if lastRep != nil && len(lastRep.Profiles) > 0 {
-		s.mu.Lock()
-		if _, resident := s.matrices[e.ID]; resident {
-			rec := s.profiles[e.ID]
-			if rec == nil {
-				rec = &profileRecord{}
-				s.profiles[e.ID] = rec
-			}
-			rec.TraceID = traceID
-			rec.Degraded = resp.Degraded
-			// Accumulate evidence across runs under the same retention cap
-			// as TuningPlan.Profiles: newest wins, bounded memory.
-			rec.Profiles = plan.AppendCappedProfiles(rec.Profiles, lastRep.Profiles...)
-		}
-		s.mu.Unlock()
-		if s.cfg.Retrain != nil {
-			s.cfg.Retrain.Observe(retrain.Observation{
-				Fingerprint:  e.Fingerprint,
-				ModelVersion: p.ModelVersion,
-				A:            e.A,
-				Features:     p.Features,
-				U:            p.U,
-				MaxBins:      p.MaxBins,
-				Scheme:       p.Scheme,
-				Fallback:     p.Fallback,
-				Degraded:     resp.Degraded,
-				Profiles:     lastRep.Profiles,
-			})
-		}
+	if lastRep != nil {
+		// Accumulate evidence across runs under the same retention cap as
+		// TuningPlan.Profiles: newest wins, bounded memory.
+		s.recordEvidence(e, p, traceID, lastRep, resp.Degraded)
 	}
 	if len(req.Vector) > 0 {
 		resp.Result = resp.Results[0]
@@ -875,6 +884,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "spmvd_search_cache_misses %d\n", ss.Misses)
 	fmt.Fprintf(w, "spmvd_search_cache_pruned %d\n", ss.Pruned)
 	fmt.Fprintf(w, "spmvd_matrices_stored %d\n", s.MatrixCount())
+	// Solver-session gauge: how many resident sessions hold a pinned plan
+	// and scratch right now. The iteration/eviction counters live in
+	// writeTo with the other totals.
+	fmt.Fprintf(w, "spmvd_sessions_active %d\n", s.SessionCount())
 	// Breaker state gauges: how many matrices are currently tripped (open)
 	// or probing (half-open), alongside the trip/probe counters writeTo
 	// emits.

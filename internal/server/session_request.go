@@ -1,0 +1,215 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+
+	"spmvtune/internal/errdefs"
+)
+
+// Session solver identifiers accepted by POST /v1/solve. "spmv" is the
+// degenerate solver: the session pins matrix + plan + output scratch and
+// each iterate request carries one input vector — the resident-state
+// variant of POST /v1/spmv for clients that drive their own iteration.
+const (
+	solverCG       = "cg"
+	solverJacobi   = "jacobi"
+	solverGMRES    = "gmres"
+	solverPageRank = "pagerank"
+	solverPower    = "power"
+	solverSpMV     = "spmv"
+)
+
+// linearSolver reports whether the solver solves A x = b (and therefore
+// requires b at session creation).
+func linearSolver(s string) bool {
+	return s == solverCG || s == solverJacobi || s == solverGMRES
+}
+
+const (
+	// defaultTol is the convergence tolerance when the request leaves it 0.
+	defaultTol = 1e-8
+	// defaultMaxIterations bounds a session's total iteration budget when
+	// the request leaves it 0; maxMaxIterations caps what a request may ask
+	// for.
+	defaultMaxIterations = 1000
+	maxMaxIterations     = 1_000_000
+	// maxStepsPerRequest caps one iterate call — a long solve is many
+	// bounded requests, each individually cancellable, never one unbounded
+	// handler.
+	maxStepsPerRequest = 10_000
+	// maxGMRESRestart caps the Krylov workspace one session may pin
+	// (restart+1 basis vectors of matrix dimension each).
+	maxGMRESRestart = 1000
+)
+
+// SolveRequest is the body of POST /v1/solve: create a resident solver
+// session (mode "session", the default) or run a whole server-driven solve
+// with convergence streamed back as JSONL (mode "run").
+type SolveRequest struct {
+	// Matrix is the ID returned by POST /v1/matrices.
+	Matrix string `json:"matrix"`
+	// Solver is one of cg, jacobi, gmres, pagerank, power, spmv.
+	Solver string `json:"solver"`
+	// Mode selects "session" (default: create, iterate via follow-up
+	// requests) or "run" (server iterates to convergence, streaming one
+	// JSONL progress line per iteration). "run" is not valid for spmv.
+	Mode string `json:"mode,omitempty"`
+	// B is the right-hand side for the linear solvers (cg/jacobi/gmres);
+	// forbidden for the others.
+	B []float64 `json:"b,omitempty"`
+	// X0 is the optional start vector: initial guess for the linear
+	// solvers (default zeros), start iterate for power (default all-ones)
+	// and pagerank (default uniform). Forbidden for spmv.
+	X0 []float64 `json:"x0,omitempty"`
+	// Tol is the convergence tolerance; 0 selects 1e-8.
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIterations is the session's total iteration budget; 0 selects
+	// 1000. Ignored by spmv sessions (each product is client-driven).
+	MaxIterations int `json:"maxIterations,omitempty"`
+	// Restart is the GMRES restart length; 0 selects min(n, 30). Only
+	// meaningful for gmres.
+	Restart int `json:"restart,omitempty"`
+	// Damping is the PageRank damping factor in (0,1]; 0 selects 0.85.
+	// Only meaningful for pagerank.
+	Damping float64 `json:"damping,omitempty"`
+	// TimeoutMs caps this request's execution time (the create's tuning
+	// pass, or the whole solve in run mode); 0 uses the server default.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// TraceID tags the session's pipeline spans; empty selects a generated
+	// ID when tracing is enabled.
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// IterateRequest is the body of POST /v1/solve/{id}/iterate: advance the
+// session. The body is deliberately tiny — the matrix, plan, right-hand
+// side and solver state are all resident server-side; a 100-iteration CG
+// solve re-uploads nothing.
+type IterateRequest struct {
+	// Steps is how many iterations to advance (clamped to the session's
+	// remaining budget); 0 selects 1, the maximum per request is 10000.
+	Steps int `json:"steps,omitempty"`
+	// Vector is the input vector for spmv sessions (required there,
+	// forbidden for solver sessions).
+	Vector []float64 `json:"vector,omitempty"`
+	// TimeoutMs caps this request's execution time; 0 uses the server
+	// default.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+func checkFiniteVec(name string, v []float64) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return errdefs.Invalidf("server: %s has non-finite value at %d", name, i)
+		}
+	}
+	return nil
+}
+
+// decodeSolveRequest parses and validates a solve-session creation body.
+// Untrusted network input: every rejection is a typed invalid-input error
+// (HTTP 400), never a panic — this is half of the FuzzHTTPSolve surface.
+// Dimension checks against the target matrix happen in the handler once
+// the matrix is resolved.
+func decodeSolveRequest(data []byte) (*SolveRequest, error) {
+	var req SolveRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, errdefs.Invalidf("server: bad request body: %v", err)
+	}
+	if req.Matrix == "" {
+		return nil, errdefs.Invalidf("server: missing matrix id")
+	}
+	switch req.Solver {
+	case solverCG, solverJacobi, solverGMRES, solverPageRank, solverPower, solverSpMV:
+	case "":
+		return nil, errdefs.Invalidf("server: missing solver")
+	default:
+		return nil, errdefs.Invalidf("server: unknown solver %q", req.Solver)
+	}
+	switch req.Mode {
+	case "":
+		req.Mode = "session"
+	case "session":
+	case "run":
+		if req.Solver == solverSpMV {
+			return nil, errdefs.Invalidf("server: mode run is not valid for spmv sessions")
+		}
+	default:
+		return nil, errdefs.Invalidf("server: unknown mode %q", req.Mode)
+	}
+	if math.IsNaN(req.Tol) || math.IsInf(req.Tol, 0) || req.Tol < 0 {
+		return nil, errdefs.Invalidf("server: tol must be a finite non-negative number")
+	}
+	if req.Tol == 0 {
+		req.Tol = defaultTol
+	}
+	if req.MaxIterations < 0 || req.MaxIterations > maxMaxIterations {
+		return nil, errdefs.Invalidf("server: maxIterations %d outside [0, %d]", req.MaxIterations, maxMaxIterations)
+	}
+	if req.MaxIterations == 0 {
+		req.MaxIterations = defaultMaxIterations
+	}
+	if req.Restart < 0 || req.Restart > maxGMRESRestart {
+		return nil, errdefs.Invalidf("server: restart %d outside [0, %d]", req.Restart, maxGMRESRestart)
+	}
+	if req.Restart != 0 && req.Solver != solverGMRES {
+		return nil, errdefs.Invalidf("server: restart is only valid for gmres")
+	}
+	if math.IsNaN(req.Damping) || req.Damping < 0 || req.Damping > 1 {
+		return nil, errdefs.Invalidf("server: damping must be in (0,1]")
+	}
+	if req.Damping != 0 && req.Solver != solverPageRank {
+		return nil, errdefs.Invalidf("server: damping is only valid for pagerank")
+	}
+	if req.Damping == 0 {
+		req.Damping = 0.85
+	}
+	if req.TimeoutMs < 0 {
+		return nil, errdefs.Invalidf("server: negative timeoutMs %d", req.TimeoutMs)
+	}
+	if len(req.TraceID) > 128 {
+		return nil, errdefs.Invalidf("server: traceId longer than 128 bytes")
+	}
+	if linearSolver(req.Solver) {
+		if len(req.B) == 0 {
+			return nil, errdefs.Invalidf("server: solver %s requires b", req.Solver)
+		}
+	} else if len(req.B) > 0 {
+		return nil, errdefs.Invalidf("server: solver %s does not take b", req.Solver)
+	}
+	if req.Solver == solverSpMV && len(req.X0) > 0 {
+		return nil, errdefs.Invalidf("server: solver spmv does not take x0")
+	}
+	if err := checkFiniteVec("b", req.B); err != nil {
+		return nil, err
+	}
+	if err := checkFiniteVec("x0", req.X0); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// decodeIterateRequest parses and validates an iterate body — the other
+// half of the FuzzHTTPSolve surface. Whether Vector is required or
+// forbidden depends on the session's solver, which the handler checks.
+func decodeIterateRequest(data []byte) (*IterateRequest, error) {
+	req := IterateRequest{Steps: 1}
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &req); err != nil {
+			return nil, errdefs.Invalidf("server: bad request body: %v", err)
+		}
+	}
+	if req.Steps == 0 {
+		req.Steps = 1
+	}
+	if req.Steps < 0 || req.Steps > maxStepsPerRequest {
+		return nil, errdefs.Invalidf("server: steps %d outside [1, %d]", req.Steps, maxStepsPerRequest)
+	}
+	if req.TimeoutMs < 0 {
+		return nil, errdefs.Invalidf("server: negative timeoutMs %d", req.TimeoutMs)
+	}
+	if err := checkFiniteVec("vector", req.Vector); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spmvtune/internal/c50"
+	"spmvtune/internal/core"
+	"spmvtune/internal/matgen"
+)
+
+// TestSolverSoakHotSwap is the CI solver-soak gate: concurrent solver
+// sessions iterate (under -race in CI) while a retrain hot-swap fires
+// mid-traffic. It proves the session layer composes with PR 7's model
+// rollouts:
+//
+//   - no torn plan reads: every response reports a plan belonging to
+//     exactly one model (the bad incumbent or the promoted one), and each
+//     session's observed model version transitions monotonically — once a
+//     session has seen the new model it never reports the old one;
+//   - the swap lands at an iteration boundary: iterations never fail or
+//     restart, they just continue under the new plan;
+//   - exactly-once re-tune: each session pays exactly one boundary re-pin
+//     (retunes == 1), and the actual tuning work is one pass per distinct
+//     matrix, however many sessions share it (the plan cache's
+//     singleflight) — asserted on spmvd_tune_seconds_count.
+func TestSolverSoakHotSwap(t *testing.T) {
+	cfg := retrainCoreConfig()
+	mBad := serialIncumbent(t, cfg)
+	td := core.NewTrainingData(cfg)
+	td.AddMatrix(cfg, matgen.RoadNetwork(600, 1))
+	td.AddMatrix(cfg, matgen.BlockFEM(80, 150, 30, 2))
+	mGood := core.TrainModel(td, cfg, c50.DefaultOptions())
+	vBad, vGood := core.ModelVersion(mBad), core.ModelVersion(mGood)
+	if vBad == vGood {
+		t.Fatal("test models share a version")
+	}
+
+	fw := core.NewFramework(cfg, mBad)
+	srv, ts := newTestServer(t, func(c *Config) { c.Framework = fw })
+
+	// Two distinct SPD structures, two sessions each.
+	mats := []struct{ n, band int }{{150, 5}, {200, 7}}
+	ids := make([]string, len(mats))
+	bodies := make([]string, len(mats))
+	for i, m := range mats {
+		a := spdBanded(t, m.n, m.band)
+		ids[i] = uploadMatrix(t, ts, a)
+		b := make([]float64, a.Rows)
+		for j := range b {
+			b[j] = 1
+		}
+		// Unreachable tolerance: sessions iterate for as long as the soak
+		// drives them, never converging out from under the assertions.
+		bodies[i] = fmt.Sprintf(`{"matrix":%q,"solver":"cg","b":%s,"tol":1e-300,"maxIterations":100000}`,
+			ids[i], floatsJSON(b))
+	}
+	const sessionsPerMatrix = 2
+	const itersPerPhase = 12
+	var sids []string
+	for i := range mats {
+		for k := 0; k < sessionsPerMatrix; k++ {
+			sid, st := createSession(t, ts, bodies[i])
+			if st.ModelVersion != vBad {
+				t.Fatalf("session created under version %q, want incumbent %q", st.ModelVersion, vBad)
+			}
+			sids = append(sids, sid)
+		}
+	}
+	tunesAfterCreate := scrapeMetric(t, ts, "spmvd_tune_seconds_count")
+
+	// Each worker drives one session. After itersPerPhase iterations it
+	// signals readiness and keeps iterating; main fires the hot-swap while
+	// all workers are mid-traffic, so swap and iterates genuinely race.
+	type obs struct {
+		versions []string
+		retunes  int64
+		err      string
+	}
+	results := make([]obs, len(sids))
+	ready := make(chan struct{}, len(sids))
+	swapped := make(chan struct{})
+	var wg sync.WaitGroup
+	for w, sid := range sids {
+		wg.Add(1)
+		go func(w int, sid string) {
+			defer wg.Done()
+			o := &results[w]
+			signaled := false
+			for i := 0; i < 2*itersPerPhase; i++ {
+				code, st := iterate(t, ts, sid, `{"steps":1}`)
+				if code != 200 {
+					o.err = fmt.Sprintf("iterate %d: status %d", i, code)
+					return
+				}
+				o.versions = append(o.versions, st.ModelVersion)
+				o.retunes = st.Retunes
+				if i+1 == itersPerPhase {
+					signaled = true
+					ready <- struct{}{}
+					<-swapped // swap is in flight (or done) from here on
+				}
+			}
+			if !signaled {
+				o.err = "never reached the swap barrier"
+			}
+		}(w, sid)
+	}
+	for range sids {
+		<-ready
+	}
+	srv.AdoptModel(mGood, vGood)
+	close(swapped)
+	wg.Wait()
+
+	for w, o := range results {
+		if o.err != "" {
+			t.Fatalf("session %d: %s", w, o.err)
+		}
+		// Monotonic version transition: a prefix of vBad, then vGood — any
+		// other value or a flip back would be a torn or stale plan read.
+		seenGood := false
+		for i, v := range o.versions {
+			switch v {
+			case vBad:
+				if seenGood {
+					t.Fatalf("session %d: version regressed to the old model at iterate %d: %v", w, i, o.versions)
+				}
+			case vGood:
+				seenGood = true
+			default:
+				t.Fatalf("session %d: iterate %d reports version %q, belonging to neither model", w, i, v)
+			}
+		}
+		if !seenGood {
+			t.Fatalf("session %d never picked up the promoted model: %v", w, o.versions)
+		}
+		// Exactly one boundary re-pin per session for one rollout.
+		if o.retunes != 1 {
+			t.Fatalf("session %d: retunes = %d, want exactly 1", w, o.retunes)
+		}
+	}
+	// Exactly-once re-tune per distinct matrix across all sessions: the
+	// boundary re-pins funnel through the plan cache's singleflight.
+	if delta := scrapeMetric(t, ts, "spmvd_tune_seconds_count") - tunesAfterCreate; delta != int64(len(mats)) {
+		t.Fatalf("hot-swap re-tuned %d times, want exactly %d (one per matrix)", delta, len(mats))
+	}
+	if retunes := scrapeMetric(t, ts, "spmvd_session_retunes_total"); retunes != int64(len(sids)) {
+		t.Fatalf("spmvd_session_retunes_total = %d, want %d", retunes, len(sids))
+	}
+}

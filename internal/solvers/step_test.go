@@ -1,0 +1,273 @@
+package solvers
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"spmvtune/internal/sparse"
+)
+
+func stepUntil(t *testing.T, s Stepper, maxSteps int) Status {
+	t.Helper()
+	st := s.Status()
+	for i := 0; i < maxSteps && !st.Converged; i++ {
+		var err error
+		st, err = s.Step(context.Background())
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return st
+}
+
+func TestCGStepperMatchesBatchCG(t *testing.T) {
+	a, b, xStar := spdSystem(2000, 5, 1)
+	tol := 1e-10
+
+	xBatch := make([]float64, len(b))
+	res, err := CG(Default(a), b, xBatch, tol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	xStep := make([]float64, len(b))
+	s, err := NewCGStepper(Lift(Default(a)), b, xStep, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stepUntil(t, s, 10*res.Iterations+10)
+	if !st.Converged {
+		t.Fatalf("stepper did not converge: %+v", st)
+	}
+	if st.Iterations != res.Iterations {
+		t.Errorf("iterations: stepper %d, batch %d", st.Iterations, res.Iterations)
+	}
+	if d := maxAbsDiff(s.Solution(), xStar); d > 1e-6 {
+		t.Errorf("max error %g", d)
+	}
+	// Step after convergence is a no-op.
+	again, err := s.Step(context.Background())
+	if err != nil || again != st {
+		t.Errorf("post-convergence step changed state: %+v err=%v", again, err)
+	}
+}
+
+func TestCGStepperBreakdownSticky(t *testing.T) {
+	// -I is symmetric negative definite: p^T A p < 0 on the first step.
+	coo := &sparse.COO{Rows: 4, Cols: 4}
+	for i := 0; i < 4; i++ {
+		coo.Add(i, i, -1)
+	}
+	a, _ := coo.ToCSR()
+	b := []float64{1, 2, 3, 4}
+	s, err := NewCGStepper(Lift(Default(a)), b, make([]float64, 4), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(context.Background()); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("want ErrBreakdown, got %v", err)
+	}
+	if _, err := s.Step(context.Background()); !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("breakdown not sticky, got %v", err)
+	}
+}
+
+func TestCGStepperCancellation(t *testing.T) {
+	a, b, _ := spdSystem(500, 5, 1)
+	s, err := NewCGStepper(Lift(Default(a)), b, make([]float64, len(b)), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Status()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Step(ctx); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if s.Status() != before {
+		t.Errorf("canceled step mutated status: %+v -> %+v", before, s.Status())
+	}
+	// The solve resumes after cancellation.
+	if _, err := s.Step(context.Background()); err != nil {
+		t.Fatalf("resume after cancel: %v", err)
+	}
+	if s.Status().Iterations != before.Iterations+1 {
+		t.Errorf("resume did not advance: %+v", s.Status())
+	}
+}
+
+func TestCGStepperExecutorErrorPropagates(t *testing.T) {
+	a, b, _ := spdSystem(100, 3, 1)
+	boom := errors.New("device fault")
+	calls := 0
+	mul := func(ctx context.Context, v, u []float64) error {
+		calls++
+		if calls == 3 {
+			return boom
+		}
+		Default(a)(v, u)
+		return nil
+	}
+	s, err := NewCGStepper(mul, b, make([]float64, len(b)), 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stepErr error
+	for i := 0; i < 5 && stepErr == nil; i++ {
+		_, stepErr = s.Step(context.Background())
+	}
+	if !errors.Is(stepErr, boom) {
+		t.Fatalf("executor error not propagated: %v", stepErr)
+	}
+	// Executor errors are transient: the stepper retries the same iteration.
+	if _, err := s.Step(context.Background()); err != nil {
+		t.Fatalf("retry after executor error: %v", err)
+	}
+}
+
+func TestJacobiStepperMatchesBatch(t *testing.T) {
+	a, b, xStar := spdSystem(1000, 5, 2)
+	tol := 1e-10
+
+	xBatch := make([]float64, len(b))
+	res, err := Jacobi(a, Default(a), b, xBatch, tol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewJacobiStepper(a, Lift(Default(a)), b, make([]float64, len(b)), tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stepUntil(t, s, 10*res.Iterations+10)
+	if !st.Converged {
+		t.Fatalf("stepper did not converge: %+v", st)
+	}
+	if d := maxAbsDiff(s.Solution(), xStar); d > 1e-6 {
+		t.Errorf("max error %g", d)
+	}
+}
+
+func TestJacobiStepperZeroDiagonal(t *testing.T) {
+	coo := &sparse.COO{Rows: 2, Cols: 2}
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 1)
+	a, _ := coo.ToCSR()
+	_, err := NewJacobiStepper(a, Lift(Default(a)), []float64{1, 1}, []float64{0, 0}, 1e-10)
+	if !errors.Is(err, ErrBreakdown) {
+		t.Fatalf("want ErrBreakdown at construction, got %v", err)
+	}
+}
+
+func TestGMRESStepperSolves(t *testing.T) {
+	a, b, xStar := spdSystem(800, 7, 3)
+	tol := 1e-10
+	s, err := NewGMRESStepper(Lift(Default(a)), b, make([]float64, len(b)), tol, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stepUntil(t, s, 200)
+	if !st.Converged {
+		t.Fatalf("stepper did not converge: %+v", st)
+	}
+	if d := maxAbsDiff(s.Solution(), xStar); d > 1e-6 {
+		t.Errorf("max error %g", d)
+	}
+	// True residual agrees with the recurrence residual.
+	r := make([]float64, len(b))
+	Default(a)(s.Solution(), r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if rel := norm2(r) / norm2(b); rel > 10*tol {
+		t.Errorf("true relative residual %g", rel)
+	}
+}
+
+func TestPowerStepperFindsDominantEigenvalue(t *testing.T) {
+	// Diagonal matrix: dominant eigenvalue is the largest entry.
+	coo := &sparse.COO{Rows: 50, Cols: 50}
+	for i := 0; i < 50; i++ {
+		coo.Add(i, i, float64(i+1))
+	}
+	a, _ := coo.ToCSR()
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = 1
+	}
+	s, err := NewPowerStepper(Lift(Default(a)), x, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stepUntil(t, s, 5000)
+	if !st.Converged {
+		t.Fatalf("did not converge: %+v", st)
+	}
+	if math.Abs(s.Lambda()-50) > 1e-6 {
+		t.Errorf("lambda = %g, want 50", s.Lambda())
+	}
+}
+
+func TestPageRankStepperUniformChain(t *testing.T) {
+	// Directed 4-cycle: column-stochastic T is a permutation, so the
+	// stationary distribution is uniform.
+	n := 4
+	coo := &sparse.COO{Rows: n, Cols: n}
+	for j := 0; j < n; j++ {
+		coo.Add((j+1)%n, j, 1)
+	}
+	a, _ := coo.ToCSR()
+	s, err := NewPageRankStepper(Lift(Default(a)), make([]float64, n), 0.85, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stepUntil(t, s, 1000)
+	if !st.Converged {
+		t.Fatalf("did not converge: %+v", st)
+	}
+	sum := 0.0
+	for _, v := range s.Solution() {
+		sum += v
+		if math.Abs(v-0.25) > 1e-9 {
+			t.Errorf("rank %g, want 0.25", v)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %g", sum)
+	}
+}
+
+func TestPageRankStepperRejectsBadDamping(t *testing.T) {
+	if _, err := NewPageRankStepper(Lift(func(v, u []float64) {}), make([]float64, 4), 0, 1e-9); err == nil {
+		t.Error("damping 0 accepted")
+	}
+	if _, err := NewPageRankStepper(Lift(func(v, u []float64) {}), make([]float64, 4), 1.5, 1e-9); err == nil {
+		t.Error("damping 1.5 accepted")
+	}
+}
+
+func TestCGStepperZeroAllocPerStep(t *testing.T) {
+	a, b, _ := spdSystem(300, 5, 4)
+	mul := Default(a)
+	s, err := NewCGStepper(Lift(mul), b, make([]float64, len(b)), 1e-300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Step(ctx); err != nil { // pay lazy init outside the measurement
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CG step allocates %v times per run, want 0", allocs)
+	}
+}

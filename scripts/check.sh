@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full verification gate: formatting, vet, build, race-enabled tests, a
 # 1-iteration benchmark smoke, short fuzz smokes on the Matrix Market
-# parser and the spmvd request decoder, plus staticcheck and govulncheck.
+# parser and the spmvd request decoders (SpMV and solver sessions), plus
+# staticcheck and govulncheck.
 # Run via `make check` or directly. Fails on the first broken step.
 #
 # staticcheck and govulncheck are skipped with a notice when the binaries
@@ -50,6 +51,9 @@ go test -run='^$' -fuzz=FuzzReadMTX -fuzztime=10s ./internal/mmio
 
 echo "== fuzz smoke (FuzzHTTPSpMV, 10s)"
 go test -run='^$' -fuzz=FuzzHTTPSpMV -fuzztime=10s ./internal/server
+
+echo "== fuzz smoke (FuzzHTTPSolve, 10s)"
+go test -run='^$' -fuzz=FuzzHTTPSolve -fuzztime=10s ./internal/server
 
 echo "== staticcheck"
 if require_or_skip staticcheck; then
