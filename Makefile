@@ -4,7 +4,7 @@ GO ?= go
 ## compares against. This is the single source of truth — ci.yml consumes
 ## it through `make spmvbench`, so refreshing the baseline means writing
 ## the new file and changing this one line.
-BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR9.json
 ## BENCH_OUT: where spmvbench writes its measurement (CI overrides this to
 ## upload the result as an artifact).
 BENCH_OUT ?= /tmp/spmvbench.json
@@ -12,7 +12,7 @@ BENCH_OUT ?= /tmp/spmvbench.json
 ## the swap/iterate interleaving).
 SOAK_COUNT ?= 1
 
-.PHONY: check build test race bench bench-parallel bench-tune chaos fuzz soak fmt vet lint vulncheck spmvbench
+.PHONY: check build test race bench bench-parallel bench-tune bench-synth chaos fuzz soak fmt vet lint vulncheck spmvbench
 
 ## check: the full verification gate (fmt, vet, build, race tests, fuzz
 ## smoke, staticcheck + govulncheck when installed)
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadMTX -fuzztime=10s ./internal/mmio
 	$(GO) test -run='^$$' -fuzz=FuzzHTTPSpMV -fuzztime=10s ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzHTTPSolve -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzPlanDecode -fuzztime=10s ./internal/plan
 
 ## soak: the solver-session soak gate — concurrent sessions iterating
 ## under the race detector while a model hot-swap fires mid-traffic.
@@ -87,3 +88,12 @@ bench-parallel:
 ## parallelism is involved (see BENCH_PR5.json "tune").
 bench-tune:
 	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench-tune.json -workers 1 -min-tune-speedup 3
+
+## bench-synth: the parameter-space synthesis gate, entirely over modeled
+## (machine-independent) quantities: the pool subspace must reproduce the
+## legacy labels exactly, the synthesized space must model a strictly lower
+## best-achievable geomean than the pool across the corpus, and certified
+## pruning must hold the synth pass's simulated cells within 4x the pool's
+## (see BENCH_PR9.json "synth" for the last committed measurement).
+bench-synth:
+	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench-synth.json -max-synth-sims 4

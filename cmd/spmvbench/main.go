@@ -26,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"reflect"
 	"runtime"
@@ -34,12 +35,13 @@ import (
 
 	"spmvtune/internal/c50"
 	"spmvtune/internal/core"
+	"spmvtune/internal/kernels"
 	"spmvtune/internal/matgen"
 	"spmvtune/internal/plancache"
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output results file")
+	out := flag.String("out", "BENCH_PR9.json", "output results file")
 	baseline := flag.String("baseline", "", "baseline results file to gate against (empty = measure only)")
 	threshold := flag.Float64("threshold", 1.25, "fail when a case's cycles exceed baseline*threshold")
 	n := flag.Int("n", 10, "benchmark corpus size")
@@ -50,15 +52,16 @@ func main() {
 	workers := flag.Int("workers", 8, "parallel-search worker count for the seq-vs-parallel comparison (<= 1 skips it)")
 	minSpeedup := flag.Float64("min-speedup", 3.0, "required search speedup at -workers; enforced only when the host has at least that many CPUs (0 disables)")
 	minTuneSpeedup := flag.Float64("min-tune-speedup", 3.0, "required cached+pruned search speedup over the legacy exhaustive path (0 disables)")
+	maxSynthSims := flag.Float64("max-synth-sims", 4.0, "maximum simulated-cell ratio of the synthesized-space search over the pool search (0 disables)")
 	flag.Parse()
 
-	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed, *workers, *minSpeedup, *minTuneSpeedup); err != nil {
+	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed, *workers, *minSpeedup, *minTuneSpeedup, *maxSynthSims); err != nil {
 		fmt.Fprintln(os.Stderr, "spmvbench:", err)
 		os.Exit(2)
 	}
 }
 
-func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64, workers int, minSpeedup, minTuneSpeedup float64) error {
+func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64, workers int, minSpeedup, minTuneSpeedup, maxSynthSims float64) error {
 	cfg := core.DefaultConfig()
 	model, err := obtainModel(cfg, modelPath, trainCorpus, seed)
 	if err != nil {
@@ -95,6 +98,11 @@ func run(out, baseline string, threshold float64, n, iters int, modelPath string
 		tb.Matrices, tb.LegacySeconds, tb.TunedSeconds, tb.Speedup, tb.Identical,
 		tb.CacheHits, tb.CacheMisses, tb.Pruned)
 	regressions = append(regressions, CheckTune(tb, minTuneSpeedup)...)
+	yb := synthBench(cfg, mats)
+	results.Synth = yb
+	fmt.Printf("synth: %d matrices, space %d vs pool %d kernels, cycle ratio %.4f, sims %d vs %d (%.2fx), pool identical=%v, %d synth wins\n",
+		yb.Matrices, yb.SpaceSize, yb.PoolSize, yb.CycleRatio, yb.SynthSims, yb.PoolSims, yb.SimRatio, yb.PoolIdentical, yb.SynthWins)
+	regressions = append(regressions, CheckSynth(yb, maxSynthSims)...)
 	if err := results.WriteFile(out); err != nil {
 		return err
 	}
@@ -217,6 +225,90 @@ func tuneBench(cfg core.Config, mats []matgen.CorpusMatrix) *TuneBench {
 		tb.Speedup = legacyS / tunedS
 	}
 	return tb
+}
+
+// synthBench runs the parameter-space synthesis comparison: the corpus
+// searched in the degenerate pool space and in the synthesized space, both
+// sequential with a fresh private cost cache and the certified pruner on.
+// A third, legacy pass (default space, no cache, no pruner) anchors the
+// degenerate-subspace contract: the pool pass must reproduce its labels
+// exactly. Simulated-cell counts come from the cache counters — each missed
+// cell simulates the space minus its pruned kernels — so SimRatio measures
+// how much of the 4x larger space the lower bounds actually discard.
+func synthBench(cfg core.Config, mats []matgen.CorpusMatrix) *SynthBench {
+	pass := func(space string, layered bool) ([]core.SearchResult, int64) {
+		c := cfg
+		c.Workers = 1
+		c.KernelSpace = space
+		sp, err := c.Space()
+		if err != nil {
+			panic(err) // space names here are compile-time constants
+		}
+		c.DisableSearchCache = !layered
+		c.DisableSearchPrune = !layered
+		var cc *plancache.CostCache
+		if layered {
+			cc = plancache.NewCostCache(plancache.CostCacheOptions{})
+			c.SearchCache = cc
+		}
+		res := make([]core.SearchResult, 0, len(mats))
+		for _, cm := range mats {
+			res = append(res, core.Search(c, cm.A))
+		}
+		var sims int64
+		if cc != nil {
+			st := cc.Stats()
+			sims = st.Misses*int64(sp.Size()) - st.Pruned
+		}
+		return res, sims
+	}
+	legacy, _ := pass("", false)
+	pool, poolSims := pass("pool", true)
+	synth, synthSims := pass("synth", true)
+
+	sb := &SynthBench{
+		Matrices:      len(mats),
+		PoolSize:      len(kernels.Pool()),
+		SpaceSize:     kernels.SynthSpace().Size(),
+		PoolSims:      poolSims,
+		SynthSims:     synthSims,
+		PoolIdentical: true,
+	}
+	// Best-achievable modeled time per space: the minimum per-U sum, which
+	// compares capability without the smallest-U labeling tie-break.
+	minPerU := func(res core.SearchResult) float64 {
+		best := math.Inf(1)
+		for _, ul := range res.PerU {
+			if ul.Seconds < best {
+				best = ul.Seconds
+			}
+		}
+		return best
+	}
+	var poolLog, synthLog float64
+	for i := range mats {
+		if err := core.CheckSearchEquivalence(legacy[i], pool[i]); err != nil {
+			fmt.Fprintf(os.Stderr, "synth: %s: pool pass diverged: %v\n", mats[i].Name, err)
+			sb.PoolIdentical = false
+		}
+		poolLog += math.Log(minPerU(pool[i]))
+		synthLog += math.Log(minPerU(synth[i]))
+		for _, bl := range synth[i].BestBins() {
+			if bl.KernelID >= sb.PoolSize {
+				sb.SynthWins++
+			}
+		}
+	}
+	n := float64(len(mats))
+	sb.PoolGeoSeconds = math.Exp(poolLog / n)
+	sb.SynthGeoSeconds = math.Exp(synthLog / n)
+	if sb.PoolGeoSeconds > 0 {
+		sb.CycleRatio = sb.SynthGeoSeconds / sb.PoolGeoSeconds
+	}
+	if poolSims > 0 {
+		sb.SimRatio = float64(synthSims) / float64(poolSims)
+	}
+	return sb
 }
 
 // benchCase plans once, then executes the plan iters times through the

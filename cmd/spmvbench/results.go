@@ -10,8 +10,9 @@ import (
 // Schema identifies the result-file layout; bump on breaking changes so a
 // stale baseline fails loudly instead of comparing garbage. v2 added the
 // host CPU count and the sequential-vs-parallel search benchmark; v3 added
-// the legacy-vs-cached tune-time comparison (TuneBench).
-const Schema = "spmvbench/v3"
+// the legacy-vs-cached tune-time comparison (TuneBench); v4 added the
+// parameter-space synthesis comparison (SynthBench).
+const Schema = "spmvbench/v4"
 
 // CounterSummary condenses one case's device counters to the signals the
 // paper's analysis keys on.
@@ -91,6 +92,42 @@ type TuneBench struct {
 	Pruned        int64   `json:"pruned"` // (U, bin, kernel) cells skipped by the lower bound
 }
 
+// SynthBench records the parameter-space synthesis comparison of one run:
+// the exhaustive search over the corpus in the degenerate pool space and in
+// the synthesized space, both at Workers=1 with a fresh cost cache and the
+// lower-bound pruner on. The modeled quantities (geomean seconds, simulated-
+// cell counts, synth wins) are deterministic; only nothing here is wall
+// time, so every gate is always enforced.
+//
+// CycleRatio compares best-achievable modeled time (the minimum per-U sum —
+// the space's capability, independent of the smallest-U labeling
+// tie-break): geomean over the corpus of synth/pool. Below 1.0 means the
+// synthesized kernels model strictly faster than the fixed pool. SimRatio
+// is the search-cost side of the same trade: simulated cells in the synth
+// pass over the pool pass — certified pruning is what keeps a 4x larger
+// space within a bounded simulation budget.
+type SynthBench struct {
+	Matrices  int `json:"matrices"`
+	PoolSize  int `json:"poolSize"`  // kernels in the pool space
+	SpaceSize int `json:"spaceSize"` // kernels in the synthesized space
+
+	PoolSims  int64 `json:"poolSims"`  // cells actually simulated, pool pass
+	SynthSims int64 `json:"synthSims"` // cells actually simulated, synth pass
+
+	PoolGeoSeconds  float64 `json:"poolGeoSeconds"`  // geomean best-achievable modeled s
+	SynthGeoSeconds float64 `json:"synthGeoSeconds"` // geomean best-achievable modeled s
+	CycleRatio      float64 `json:"cycleRatio"`      // synth/pool modeled-cycle geomean
+	SimRatio        float64 `json:"simRatio"`        // synth/pool simulated cells
+
+	// PoolIdentical reports that the pool-space pass reproduced the legacy
+	// (default-space, cache and pruner off) labels on every matrix — the
+	// degenerate-subspace contract.
+	PoolIdentical bool `json:"poolIdentical"`
+	// SynthWins counts best-U bins across the corpus won by a synthesized
+	// (non-pool) kernel.
+	SynthWins int64 `json:"synthWins"`
+}
+
 // Results is the machine-readable output of one spmvbench run.
 type Results struct {
 	Schema    string       `json:"schema"`
@@ -98,6 +135,7 @@ type Results struct {
 	HostCPUs  int          `json:"hostCPUs,omitempty"`
 	Search    *SearchBench `json:"search,omitempty"`
 	Tune      *TuneBench   `json:"tune,omitempty"`
+	Synth     *SynthBench  `json:"synth,omitempty"`
 	Cases     []Case       `json:"cases"`
 }
 
@@ -189,6 +227,34 @@ func CheckSearch(sb *SearchBench, minSpeedup float64) []string {
 // Both passes run single-threaded, so — unlike the parallel search gate —
 // the floor does not depend on the host's CPU count and is always
 // enforced when nonzero.
+// CheckSynth gates the parameter-space synthesis comparison. All three
+// requirements are over deterministic modeled quantities, so they are
+// unconditionally enforced: the pool pass must reproduce the legacy labels
+// (the degenerate-subspace contract), the synthesized space must model
+// strictly faster than the pool across the corpus, and its search cost must
+// stay within maxSimRatio times the pool's simulated cells — the pruning
+// budget that makes the larger space affordable.
+func CheckSynth(sb *SynthBench, maxSimRatio float64) []string {
+	if sb == nil {
+		return nil
+	}
+	var regs []string
+	if !sb.PoolIdentical {
+		regs = append(regs,
+			"synth: pool-space labels differ from the legacy search (degenerate-subspace violation)")
+	}
+	if sb.CycleRatio >= 1 {
+		regs = append(regs,
+			fmt.Sprintf("synth: modeled-cycle geomean ratio %.4f vs pool, want < 1", sb.CycleRatio))
+	}
+	if maxSimRatio > 0 && sb.SimRatio > maxSimRatio {
+		regs = append(regs,
+			fmt.Sprintf("synth: simulated %.2fx the pool's cells (%d vs %d), want <= %.2fx",
+				sb.SimRatio, sb.SynthSims, sb.PoolSims, maxSimRatio))
+	}
+	return regs
+}
+
 func CheckTune(tb *TuneBench, minTuneSpeedup float64) []string {
 	if tb == nil {
 		return nil

@@ -71,15 +71,20 @@ func main() {
 	retrainDir := flag.String("retrain-dir", "", "persist training rows to this directory (empty = memory only)")
 	noRetrain := flag.Bool("no-retrain", false, "disable the online learning loop")
 	exploreRate := flag.Float64("explore-rate", 0.05, "probability of simulating one counterfactual kernel per observed request")
+	kernelSpace := flag.String("kernel-space", "", "kernel space for tuning searches and bootstrap training: 'pool' or '' = the paper's nine kernels, 'synth' = the synthesized parameter space (a -model file carries its own space)")
 	flag.Parse()
 	log.SetPrefix("spmvd: ")
 	log.SetFlags(log.LstdFlags)
 
-	model, err := obtainModel(*modelPath, *corpus)
+	cfg := core.DefaultConfig()
+	cfg.KernelSpace = *kernelSpace
+	if _, err := cfg.Space(); err != nil {
+		log.Fatal(err)
+	}
+	model, err := obtainModel(*modelPath, *corpus, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig()
 	fw := core.NewFramework(cfg, model)
 	log.Printf("model version %s", core.ModelVersion(model))
 
@@ -223,7 +228,7 @@ func storeDesc(dir string) string {
 // obtainModel loads the model file, or bootstrap-trains a small one so the
 // daemon is usable out of the box (a real deployment trains offline with
 // `spmvtune train` and passes -model).
-func obtainModel(path string, corpus int) (*core.Model, error) {
+func obtainModel(path string, corpus int, cfg core.Config) (*core.Model, error) {
 	if path != "" {
 		m, err := core.LoadModel(path)
 		if err != nil {
@@ -236,7 +241,6 @@ func obtainModel(path string, corpus int) (*core.Model, error) {
 		corpus = 2
 	}
 	log.Printf("no -model given: bootstrap-training on a %d-matrix synthetic corpus", corpus)
-	cfg := core.DefaultConfig()
 	mats := matgen.Corpus(matgen.CorpusOptions{N: corpus, MinRows: 256, MaxRows: 2048, Seed: 42})
 	td := core.NewTrainingData(cfg)
 	for i, cm := range mats {

@@ -175,10 +175,15 @@ func cmdTrain(args []string) error {
 	maxRows := fs.Int("maxrows", 8192, "largest corpus matrix")
 	seed := fs.Int64("seed", 42, "corpus seed")
 	workers := fs.Int("workers", 0, "host goroutines for the exhaustive tuning search (0 = GOMAXPROCS, 1 = sequential; labels are identical for every value)")
+	space := fs.String("kernel-space", "", "kernel space the search enumerates and the model predicts over: 'pool' or '' = the paper's nine kernels, 'synth' = the synthesized parameter space")
 	fs.Parse(args)
 
 	cfg := core.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.KernelSpace = *space
+	if _, err := cfg.Space(); err != nil {
+		return err
+	}
 	mats := matgen.Corpus(matgen.CorpusOptions{N: *corpus, MinRows: *minRows, MaxRows: *maxRows, Seed: *seed})
 	td := core.NewTrainingData(cfg)
 	for i, cm := range mats {
@@ -244,7 +249,8 @@ func cmdRun(args []string) error {
 	counters := fs.Bool("counters", false, "collect device performance counters and print per-bin execution profiles (guarded runs only)")
 	workers := fs.Int("workers", 1, "host goroutines serving independent bins in the guarded executor (1 = sequential; the result and report are identical for every value)")
 	deviceWorkers := fs.Int("device-workers", 0, "sharded ND-range executor workers per kernel launch (0 = legacy sequential simulator; >= 1 selects the sharded executor, whose modeled cycles are worker-count-invariant)")
-	searchStats := fs.Bool("search-stats", false, "run the exhaustive tuning search on the matrix and print cost-cache statistics (hits/misses/pruned cells) before executing")
+	searchStats := fs.Bool("search-stats", false, "run the exhaustive tuning search on the matrix and print cost-cache and parameter-space statistics (hits/misses/pruned cells, space size, synth wins, format pick) before executing")
+	space := fs.String("kernel-space", "", "kernel space the -search-stats search enumerates: 'pool' or '' = the paper's nine kernels, 'synth' = the synthesized parameter space")
 	fs.Parse(args)
 	a, err := loadMatrix(*in)
 	if err != nil {
@@ -268,14 +274,39 @@ func cmdRun(args []string) error {
 		// on this exact matrix is visible before the model-predicted run.
 		scfg := cfg
 		scfg.Workers = *workers
+		// Default the stats search to the space the loaded model predicts
+		// over, so the printed statistics describe the search that actually
+		// produced this model's labels; -kernel-space overrides.
+		scfg.KernelSpace = m.Space
+		if *space != "" {
+			scfg.KernelSpace = *space
+		}
+		sp, serr := scfg.Space()
+		if serr != nil {
+			return serr
+		}
 		res, serr := core.SearchCtx(ctx, scfg, a)
 		if serr != nil {
 			return serr
 		}
 		st := core.SearchCacheStats()
+		sps := core.SearchSpaceStats()
 		fmt.Printf("search: best U=%d, %.3f ms simulated\n", res.BestU, res.Seconds*1e3)
+		fmt.Printf("search-space: name=%s kernels=%d cells=%d synth-wins=%d\n",
+			sp.Name, sp.Size(), sps.SpaceCells, sps.SynthWins)
 		fmt.Printf("search-cache: hits=%d misses=%d pruned=%d entries=%d evictions=%d\n",
 			st.Hits, st.Misses, st.Pruned, st.Entries, st.Evictions)
+		if res.Format != "" {
+			fmt.Printf("search-format: best=%s", res.Format)
+			for _, name := range []string{"csr", "ell", "hyb"} {
+				if s, ok := res.FormatSeconds[name]; ok {
+					fmt.Printf(" %s=%.3fms", name, s*1e3)
+				}
+			}
+			fmt.Println()
+		}
+	} else if *space != "" {
+		return fmt.Errorf("-kernel-space only applies to the -search-stats search (the model's space travels with the model)")
 	}
 
 	opt := core.DefaultGuardOptions()

@@ -39,6 +39,14 @@ type Config struct {
 	// the paper's Section IV-C proposes for future work.
 	ExtendedFeatures bool
 
+	// KernelSpace names the candidate kernel enumeration the tuning search
+	// ranges over and the stage-2 model classifies into: "" or "pool" is
+	// the paper's fixed nine-kernel pool, "synth" the parameterized
+	// superset (kernels.SynthSpace) whose extra points are synthesized from
+	// KernelParams. The pool is always the prefix of the synth space, so
+	// pool labels remain valid kernel IDs in every space.
+	KernelSpace string
+
 	// Workers bounds the host-side worker pool the exhaustive tuning
 	// search fans (U, bin, kernel-pool) evaluations over: <= 0 selects
 	// GOMAXPROCS, 1 is fully sequential. The search result is byte-
@@ -80,6 +88,12 @@ func (c Config) FeatureNames() []string {
 		return features.ExtendedNames()
 	}
 	return features.Names()
+}
+
+// Space resolves the configured kernel space ("" = the paper's pool).
+// An unknown name is a 400-class error (it arrives from flags).
+func (c Config) Space() (*kernels.Space, error) {
+	return kernels.SpaceByName(c.KernelSpace)
 }
 
 // DefaultConfig returns the paper's setup: the Kaveri-like device, 100

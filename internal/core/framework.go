@@ -162,6 +162,7 @@ type modelJSON struct {
 	Us       []int           `json:"us"`
 	MaxBins  int             `json:"maxBins"`
 	Extended bool            `json:"extended,omitempty"`
+	Space    string          `json:"space,omitempty"` // "" = the paper's pool
 	Stage1   json.RawMessage `json:"stage1"`
 	Stage2   json.RawMessage `json:"stage2"`
 }
@@ -176,7 +177,7 @@ func SaveModel(path string, m *Model) error {
 	if err != nil {
 		return fmt.Errorf("core: marshal stage2: %w", err)
 	}
-	blob, err := json.MarshalIndent(modelJSON{Us: m.Us, MaxBins: m.MaxBins, Extended: m.Extended, Stage1: s1, Stage2: s2}, "", " ")
+	blob, err := json.MarshalIndent(modelJSON{Us: m.Us, MaxBins: m.MaxBins, Extended: m.Extended, Space: m.Space, Stage1: s1, Stage2: s2}, "", " ")
 	if err != nil {
 		return err
 	}
@@ -196,7 +197,10 @@ func LoadModel(path string) (*Model, error) {
 	if len(mj.Us) == 0 {
 		return nil, fmt.Errorf("core: model has no candidate granularities")
 	}
-	m := &Model{Us: mj.Us, MaxBins: mj.MaxBins, Extended: mj.Extended}
+	if _, err := kernels.SpaceByName(mj.Space); err != nil {
+		return nil, fmt.Errorf("core: parse model: %w", err)
+	}
+	m := &Model{Us: mj.Us, MaxBins: mj.MaxBins, Extended: mj.Extended, Space: mj.Space}
 	m.Stage1 = new(c50.Tree)
 	m.Stage2 = new(c50.Tree)
 	if err := json.Unmarshal(mj.Stage1, m.Stage1); err != nil {

@@ -36,6 +36,12 @@ func ModelVersion(m *Model) string {
 	if m.Extended {
 		put(1)
 	}
+	// The space name is hashed only when set, so pool models — serialized
+	// identically to pre-synthesis builds — keep their pre-synthesis hashes
+	// and a rollout of this code alone invalidates no cached plans.
+	if m.Space != "" {
+		h.Write([]byte(m.Space))
+	}
 	for _, t := range []*c50.Tree{m.Stage1, m.Stage2} {
 		if t == nil {
 			continue
@@ -95,6 +101,17 @@ func (fw *Framework) PlanTraced(ctx context.Context, a *sparse.CSR, tw *trace.Wr
 		b = binning.Single(a)
 		d = Decision{U: 0, KernelByBin: map[int]int{0: 0}}
 	}
+	// Pool-model plans keep the pre-synthesis serialized form (version 0, no
+	// space, no params) so older builds and persisted-plan fixtures read them
+	// unchanged; only a synthesized-space model emits the version-2 fields.
+	// A fallback plan is single-bin Kernel-Serial — a pool point — so it
+	// stays in the legacy form too.
+	sp := kernels.PoolSpace()
+	if m != nil && m.Space != "" && !p.Fallback {
+		sp = m.KernelSpace()
+		p.Version = plan.FormatVersion
+		p.Space = sp.Name
+	}
 	p.Features = fw.Cfg.FeatureVector(a)
 	p.U = d.U
 	p.MaxBins = fw.Cfg.MaxBins
@@ -105,13 +122,19 @@ func (fw *Framework) PlanTraced(ctx context.Context, a *sparse.CSR, tw *trace.Wr
 		if info, ok := kernels.ByID(kid); ok {
 			name = info.Name
 		}
-		p.Bins = append(p.Bins, plan.BinAssignment{
+		ba := plan.BinAssignment{
 			Bin:        binID,
 			Rows:       b.NumRows(binID),
 			Groups:     len(b.Bins[binID]),
 			Kernel:     kid,
 			KernelName: name,
-		})
+		}
+		if p.Version >= 2 {
+			if params, ok := sp.ParamsByID(kid); ok {
+				ba.Params = &params
+			}
+		}
+		p.Bins = append(p.Bins, ba)
 	}
 	return p, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"spmvtune/internal/binning"
 	"spmvtune/internal/errdefs"
+	"spmvtune/internal/formats"
 	"spmvtune/internal/kernels"
 	"spmvtune/internal/plancache"
 	"spmvtune/internal/sparse"
@@ -23,7 +24,7 @@ type BinLabel struct {
 	// 10000-nnz rows)
 	KernelID    int
 	Seconds     float64   // best kernel's simulated time
-	KernelTimes []float64 // simulated seconds per kernel ID
+	KernelTimes []float64 // simulated seconds per kernel ID (space order)
 
 	// Pruned marks kernels the search skipped because their certified
 	// analytic lower bound already exceeded the bin's tie window; for those
@@ -46,6 +47,17 @@ type SearchResult struct {
 	BestU   int
 	Seconds float64 // total time under the best U
 	PerU    []ULabel
+
+	// Format is the storage-format dimension of the search, populated only
+	// in the synthesized kernel space: the cheapest modeled whole-matrix
+	// format among CSR (the binned best, i.e. Seconds) and the device ELL /
+	// HYB kernels. It is advisory — execution stays in CSR; a non-CSR pick
+	// flags the matrix as one where conversion would pay (DESIGN.md §14).
+	// FormatSeconds holds the modeled seconds per candidate format. Both
+	// are zero-valued in the pool space, keeping pool results byte-
+	// identical to the pre-synthesis search.
+	Format        string
+	FormatSeconds map[string]float64
 }
 
 // BestBins returns the per-bin kernel labels for the winning U.
@@ -118,7 +130,19 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	pool := kernels.Pool()
+	sp, err := cfg.Space()
+	if err != nil {
+		return SearchResult{}, err
+	}
+	list := sp.Infos
+	// The synthesized space simulates candidates in ascending-lower-bound
+	// order (a pure function of device, structure and bin, so the
+	// trajectory is deterministic at every worker count): the likely winner
+	// runs first, which maximizes how many of the remaining points the
+	// certified bound can prune. The pool space keeps the fixed ID-order
+	// walk so its cache contents and pruned sets stay byte-identical to the
+	// pre-synthesis search.
+	boundOrdered := sp.Size() > len(kernels.Pool())
 	v := make([]float64, a.Cols)
 	for i := range v {
 		v[i] = 1
@@ -134,7 +158,7 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 		for _, binID := range b.NonEmpty() {
 			ul.Bins = append(ul.Bins, BinLabel{BinID: binID, Rows: b.NumRows(binID), KernelID: -1,
 				AvgLen:      binAvgRowLen(a, b.Bins[binID]),
-				KernelTimes: make([]float64, len(pool)), Seconds: math.Inf(1)})
+				KernelTimes: make([]float64, len(list)), Seconds: math.Inf(1)})
 			tasks = append(tasks, searchTask{ui: len(res.PerU), bi: len(ul.Bins) - 1, groups: b.Bins[binID]})
 		}
 		res.PerU = append(res.PerU, ul)
@@ -150,7 +174,8 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 	}
 	// The shared-computation layer (searchcost.go): replay cached cells and
 	// skip kernels whose certified lower bound cannot win. Nil = legacy path.
-	cl := newCostLayer(cfg, dev, a)
+	cl := newCostLayer(cfg, dev, a, sp)
+	searchSpaceCellsTotal.Add(int64(len(tasks)) * int64(len(list)))
 	scratch := sync.Pool{New: func() any { s := make([]float64, a.Rows); return &s }}
 	errs := make([]error, len(tasks))
 	var stop atomic.Bool
@@ -178,9 +203,13 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 		}
 		up := scratch.Get().(*[]float64)
 		defer scratch.Put(up)
-		var mask uint32
-		best := math.Inf(1) // best simulated time so far, in pool ID order
-		for _, info := range pool {
+		var mask uint64
+		order := list
+		if boundOrdered && cl != nil && cl.prune {
+			order = cl.boundOrder(list, geom)
+		}
+		best := math.Inf(1) // best simulated time so far, in evaluation order
+		for _, info := range order {
 			if cl != nil && cl.prune {
 				// A kernel whose certified floor is already outside the tie
 				// window of a faster simulated kernel can neither win the bin
@@ -240,6 +269,22 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 			break
 		}
 	}
+
+	if boundOrdered {
+		// The extra dimensions of the synthesized space: count how many
+		// best-U bins a non-pool point won (the headline the /metrics
+		// family spmvd_search_synth_wins_total aggregates), and evaluate
+		// the storage-format alternatives against the binned CSR optimum.
+		poolSize := len(kernels.Pool())
+		wins := int64(0)
+		for _, bl := range res.BestBins() {
+			if bl.KernelID >= poolSize {
+				wins++
+			}
+		}
+		searchSynthWinsTotal.Add(wins)
+		res.Format, res.FormatSeconds = formats.AutoSelect(dev, a, res.Seconds)
+	}
 	return res, nil
 }
 
@@ -248,8 +293,9 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 // within the tie slack). Pruned entries hold lower bounds strictly outside
 // the tie window, so they influence neither the minimum nor the pick —
 // the label is the same whether the times were simulated, replayed from
-// cache, or partially replaced by bounds. mask marks the pruned kernels.
-func finishBinLabel(bl *BinLabel, mask uint32) {
+// cache, or partially replaced by bounds. mask marks the pruned kernels
+// (one bit per space ID — MaxSpaceKernels caps a space at 64).
+func finishBinLabel(bl *BinLabel, mask uint64) {
 	best := math.Inf(1)
 	for _, s := range bl.KernelTimes {
 		if s < best {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"spmvtune/internal/binning"
 	"spmvtune/internal/hsa"
@@ -42,8 +43,8 @@ type costLayer struct {
 	cache *plancache.CostCache // nil = caching disabled
 	prune bool
 	a     *sparse.CSR
-	// prefix is deviceFingerprint || matrixFingerprint — the key material
-	// shared by every cell of this search.
+	// prefix is deviceFingerprint || spaceFingerprint || matrixFingerprint
+	// — the key material shared by every cell of this search.
 	prefix []byte
 	// rowLen[r] is the stored length of row r, computed once per matrix from
 	// the row-pointer prefix array and shared read-only by all cells.
@@ -54,8 +55,11 @@ type costLayer struct {
 // the config disables both the cache and the pruner. dev must be the device
 // the search will actually launch on (after any worker clamping); its
 // fingerprint collapses Workers to the executor class, so every worker
-// count shares one key space.
-func newCostLayer(cfg Config, dev hsa.Config, a *sparse.CSR) *costLayer {
+// count shares one key space. sp is the kernel space the search enumerates:
+// its parameter fingerprint is part of every cell key, so entries from
+// spaces differing in any point — even one kernel's LDS tiling — can never
+// collide (a cached cell stores one KernelTimes vector per space layout).
+func newCostLayer(cfg Config, dev hsa.Config, a *sparse.CSR, sp *kernels.Space) *costLayer {
 	cache := cfg.SearchCache
 	if cache == nil {
 		cache = sharedSearchCache
@@ -68,8 +72,9 @@ func newCostLayer(cfg Config, dev hsa.Config, a *sparse.CSR) *costLayer {
 		return nil
 	}
 	cl := &costLayer{dev: dev, cache: cache, prune: prune, a: a}
-	var p [8]byte
-	binary.LittleEndian.PutUint64(p[:], dev.Fingerprint())
+	var p [16]byte
+	binary.LittleEndian.PutUint64(p[0:8], dev.Fingerprint())
+	binary.LittleEndian.PutUint64(p[8:16], sp.Fingerprint())
 	cl.prefix = append(p[:], plan.Fingerprint(a)...)
 	cl.rowLen = make([]int32, a.Rows)
 	for i := range cl.rowLen {
@@ -175,6 +180,29 @@ func (cl *costLayer) lowerBound(info kernels.Info, g cellGeom) float64 {
 		lb = bw
 	}
 	return (lb + d.KernelLaunchCycles) / d.ClockHz
+}
+
+// boundOrder returns the space's kernels sorted by ascending certified
+// lower bound for the cell (ties broken by ID). Bounds are pure functions
+// of (device, structure, bin geometry), so the order — and with it the
+// pruning trajectory — is deterministic at every worker count. Simulating
+// the lowest-bound candidate first makes the best-so-far time tight
+// early, which is what lets the prune discard most of a large space.
+func (cl *costLayer) boundOrder(list []kernels.Info, g cellGeom) []kernels.Info {
+	type cand struct {
+		lb   float64
+		info kernels.Info
+	}
+	cands := make([]cand, len(list))
+	for i, info := range list {
+		cands[i] = cand{lb: cl.lowerBound(info, g), info: info}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
+	out := make([]kernels.Info, len(list))
+	for i, c := range cands {
+		out[i] = c.info
+	}
+	return out
 }
 
 // CheckSearchEquivalence verifies that a cached/pruned search result carries

@@ -1,0 +1,35 @@
+package core
+
+import "sync/atomic"
+
+// Process-wide counters over the parameterized search space, exposed by
+// spmvd as the /metrics families spmvd_search_space_cells and
+// spmvd_search_synth_wins_total and by `spmvtune run -search-stats`.
+var (
+	// searchSpaceCellsTotal counts the candidate cells every search
+	// enumerated: one per (U, bin, kernel) triple of the configured space,
+	// whether the cell was then simulated, replayed from cache, or pruned.
+	searchSpaceCellsTotal atomic.Int64
+	// searchSynthWinsTotal counts best-U bins whose label is a synthesized
+	// (non-pool) kernel — the direct measure of what the parameter space
+	// buys over the paper's fixed pool.
+	searchSynthWinsTotal atomic.Int64
+)
+
+// SpaceStats is a snapshot of the process-wide search-space counters.
+type SpaceStats struct {
+	// SpaceCells is the cumulative number of (U, bin, kernel) candidate
+	// cells enumerated across all searches.
+	SpaceCells int64
+	// SynthWins is the cumulative number of best-U bins won by a
+	// synthesized kernel (always 0 while only the pool space is searched).
+	SynthWins int64
+}
+
+// SearchSpaceStats reports the process-wide search-space counters.
+func SearchSpaceStats() SpaceStats {
+	return SpaceStats{
+		SpaceCells: searchSpaceCellsTotal.Load(),
+		SynthWins:  searchSynthWinsTotal.Load(),
+	}
+}

@@ -26,6 +26,7 @@ type TrainingData struct {
 	Us     []int // class order of Stage1
 
 	raw       []rawLabel
+	space     *kernels.Space
 	extended  bool
 	finalized bool
 }
@@ -46,13 +47,36 @@ func uClassNames(us []int) []string {
 	return names
 }
 
-func kernelClassNames() []string {
-	pool := kernels.Pool()
-	names := make([]string, len(pool))
-	for i, info := range pool {
+// kernelClassNames renders the space's kernels as stage-2 class labels.
+// Over the synthesized space this is the learned quantization of the
+// parameter space: the tree's leaves name concrete KernelParams points, so
+// predicting a class IS predicting a parameter vector.
+func kernelClassNames(sp *kernels.Space) []string {
+	names := make([]string, len(sp.Infos))
+	for i, info := range sp.Infos {
 		names[i] = info.Name
 	}
 	return names
+}
+
+// canonicalSpaceName maps the pool space to "" so models (and the plans they
+// emit) trained on the paper's pool keep the exact serialized form — and
+// ModelVersion hashes — of pre-synthesis builds.
+func canonicalSpaceName(sp *kernels.Space) string {
+	if sp == nil || sp == kernels.PoolSpace() {
+		return ""
+	}
+	return sp.Name
+}
+
+// kernelSpace resolves the collection's space, defaulting literal
+// TrainingData values (the train/test split pattern carries only the two
+// datasets) to the pool.
+func (td *TrainingData) kernelSpace() *kernels.Space {
+	if td.space == nil {
+		return kernels.PoolSpace()
+	}
+	return td.space
 }
 
 // NewTrainingData creates empty two-stage datasets over cfg's search space.
@@ -64,12 +88,19 @@ func NewTrainingData(cfg Config) *TrainingData {
 	// stage-2 error by a third; the paper's Section IV-C calls for exactly
 	// this kind of richer feature. With cfg.ExtendedFeatures the base
 	// vector additionally carries the row-length histogram.
+	sp, err := cfg.Space()
+	if err != nil {
+		// Config misuse, like AddMatrix-after-Finalize: the CLI validates
+		// -kernel-space long before training data is allocated.
+		panic(err)
+	}
 	names := cfg.FeatureNames()
 	s2Attrs := append(append([]string{}, names...), "U", "binID", "binRows", "binAvgLen")
 	return &TrainingData{
 		Stage1:   c50.NewDataset(names, uClassNames(cfg.Us)),
-		Stage2:   c50.NewDataset(s2Attrs, kernelClassNames()),
+		Stage2:   c50.NewDataset(s2Attrs, kernelClassNames(sp)),
 		Us:       cfg.Us,
+		space:    sp,
 		extended: cfg.ExtendedFeatures,
 	}
 }
@@ -137,7 +168,7 @@ func (td *TrainingData) Finalize() {
 
 	// Pass 1: global popularity of each choice (candidate-set membership).
 	uPop := make([]int, len(td.Us))
-	kPop := make([]int, len(kernels.Pool()))
+	kPop := make([]int, td.kernelSpace().Size())
 	for _, r := range td.raw {
 		for _, ci := range td.uCandidates(r.res) {
 			uPop[ci]++
@@ -180,18 +211,41 @@ type Model struct {
 	Us       []int
 	MaxBins  int
 	Extended bool // trained on the extended (histogram) feature vector
-	Stage1   *c50.Tree
-	Stage2   *c50.Tree
+	// Space names the kernel space whose IDs the stage-2 classes index
+	// ("" = the paper's pool, preserving pre-synthesis model hashes and
+	// serialized form). Predictions are clamped to this space.
+	Space  string
+	Stage1 *c50.Tree
+	Stage2 *c50.Tree
+}
+
+// KernelSpace resolves the model's kernel space, falling back to the pool
+// for unknown names (a model is trusted provenance, not request input — a
+// bad name means a hand-edited file, and the pool is the safe floor).
+func (m *Model) KernelSpace() *kernels.Space {
+	sp, err := kernels.SpaceByName(m.Space)
+	if err != nil {
+		return kernels.PoolSpace()
+	}
+	return sp
 }
 
 // TrainModel finalizes the collected samples and fits the two decision
 // trees.
 func TrainModel(td *TrainingData, cfg Config, opts c50.Options) *Model {
 	td.Finalize()
+	sp := td.space
+	if sp == nil {
+		// Literal TrainingData (train/test splits) carries no space; the
+		// training config names it. A bad name would already have failed the
+		// searches that produced the datasets, so ignore it here.
+		sp, _ = cfg.Space()
+	}
 	return &Model{
 		Us:       td.Us,
 		MaxBins:  cfg.MaxBins,
 		Extended: cfg.ExtendedFeatures,
+		Space:    canonicalSpaceName(sp),
 		Stage1:   c50.Train(td.Stage1, opts),
 		Stage2:   c50.Train(td.Stage2, opts),
 	}
@@ -213,10 +267,21 @@ func (m *Model) PredictUVec(vec []float64) int {
 func (m *Model) PredictKernelVec(vec []float64, u, binID, binRows int, binAvgLen float64) int {
 	x := append(append([]float64{}, vec...), float64(u), float64(binID), float64(binRows), binAvgLen)
 	kid := m.Stage2.Predict(x)
-	if _, ok := kernels.ByID(kid); !ok {
+	if _, ok := m.KernelSpace().ByID(kid); !ok {
 		return 0
 	}
 	return kid
+}
+
+// PredictKernelParams is PredictKernelVec plus the predicted kernel's point
+// in parameter space — the stage-2 classifier over a synthesized space is a
+// learned quantization of that space, so every class is a concrete
+// KernelParams vector. Over the pool space the returned params are the
+// pool kernels' canonical coordinates.
+func (m *Model) PredictKernelParams(vec []float64, u, binID, binRows int, binAvgLen float64) (int, kernels.KernelParams) {
+	kid := m.PredictKernelVec(vec, u, binID, binRows, binAvgLen)
+	params, _ := m.KernelSpace().ParamsByID(kid)
+	return kid, params
 }
 
 // PredictU is the Table I convenience form of PredictUVec; it panics on a

@@ -140,3 +140,43 @@ func BenchmarkSimELLSkewed(b *testing.B) {
 	}
 	b.ReportMetric(sim, "sim-ms/op")
 }
+
+// Simulated-device HYB and COO kernels: the device-cost side of the format
+// dimension that the synthesized-space search weighs against binned CSR.
+func BenchmarkSimHYBSkewed(b *testing.B) {
+	a := matgen.PowerLaw(16384, 6, 1.9, 512, 2)
+	h := HYBFromCSR(a, 0)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := h.SimulateMulVec(hsa.DefaultConfig(), v, u)
+		sim = st.Seconds * 1e3
+	}
+	b.ReportMetric(sim, "sim-ms/op")
+}
+
+func BenchmarkSimCOO(b *testing.B) {
+	a := matgen.RandomUniform(16384, 16384, 1, 32, 5)
+	c := sparse.FromCSR(a)
+	v := make([]float64, a.Cols)
+	u := make([]float64, a.Rows)
+	var sim float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := SimulateCOOMulVec(hsa.DefaultConfig(), c, v, u)
+		sim = st.Seconds * 1e3
+	}
+	b.ReportMetric(sim, "sim-ms/op")
+}
+
+func BenchmarkAutoSelect(b *testing.B) {
+	a := matgen.Banded(16384, 7, 2)
+	var pick string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pick, _ = AutoSelect(hsa.DefaultConfig(), a, 1e-3)
+	}
+	b.ReportMetric(float64(len(pick)), "pick-len")
+}

@@ -154,9 +154,11 @@ func VectorKernel() Kernel {
 	return Subvector{X: 256, vector: true}
 }
 
-// ByName returns the pool entry with the given name, or false.
+// ByName resolves a kernel name over the full synthesized superset (the
+// pool names keep their IDs — see Space). Space-restricted lookups go
+// through SpaceByName + Space.ByID.
 func ByName(name string) (Info, bool) {
-	for _, k := range Pool() {
+	for _, k := range SynthSpace().Infos {
 		if k.Name == name {
 			return k, true
 		}
@@ -164,13 +166,12 @@ func ByName(name string) (Info, bool) {
 	return Info{}, false
 }
 
-// ByID returns the pool entry with the given ID, or false.
+// ByID resolves a kernel ID over the full synthesized superset: IDs
+// 0..len(Pool())-1 are exactly the pool, higher IDs the synthesized
+// points, so executors accept plans from every space. Validation paths
+// that must reject IDs outside a specific space use Space.ByID instead.
 func ByID(id int) (Info, bool) {
-	p := Pool()
-	if id < 0 || id >= len(p) {
-		return Info{}, false
-	}
-	return p[id], true
+	return SynthSpace().ByID(id)
 }
 
 // PipeFloorer is implemented by kernels that can certify an analytic lower

@@ -1,0 +1,448 @@
+package kernels
+
+import (
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+)
+
+// Synth realizes one KernelParams point as a runnable kernel. TPR=1 is the
+// serial lock-step walk of Algorithm 3 with a parameterized work-group
+// size; TPR>=2 is the LDS-staged subvector scheme of Algorithms 4/5 with
+// parameterized width, rows per work-group, staging factor and reduction
+// strategy. The pool kernels are the special cases (Serial, Subvector with
+// factor 4 and tree reduction at the device-default work-group size); they
+// keep their dedicated implementations so pool-space charging is
+// bit-identical to the pre-synthesis code, and Synth covers everything in
+// between.
+type Synth struct {
+	P KernelParams
+}
+
+// Name implements Kernel.
+func (s Synth) Name() string { return s.P.Name() }
+
+// synthGeom is the device-clamped launch geometry of one Synth point:
+// arbitrary (possibly hostile, plan-decoded) params always normalize to a
+// dispatchable shape, so Run is total.
+type synthGeom struct {
+	x         int // effective subvector width (1 = serial walk)
+	rowsPerWG int
+	factor    int // LDS staging multiple (TPR >= 2 only)
+	chunk     int // elements one subvector consumes per round
+	wgSize    int // work-items per group
+}
+
+func (s Synth) geom(cfg hsa.Config) synthGeom {
+	var g synthGeom
+	if s.P.TPR <= 1 {
+		g.x = 1
+		g.rowsPerWG = s.P.RowsPerWG
+		if g.rowsPerWG <= 0 || g.rowsPerWG > cfg.MaxWorkGroupSize {
+			g.rowsPerWG = cfg.MaxWorkGroupSize
+		}
+		g.wgSize = g.rowsPerWG
+		return g
+	}
+	g.x = s.P.TPR
+	if g.x < 2 {
+		g.x = 2
+	}
+	if g.x > cfg.MaxWorkGroupSize {
+		g.x = cfg.MaxWorkGroupSize
+	}
+	maxRows := cfg.MaxWorkGroupSize / g.x
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	g.rowsPerWG = s.P.RowsPerWG
+	if g.rowsPerWG <= 0 || g.rowsPerWG > maxRows {
+		g.rowsPerWG = maxRows
+	}
+	g.wgSize = g.x * g.rowsPerWG
+	g.factor = s.P.ldsFactor()
+	// The staged products must fit the work-group's LDS allocation.
+	if max := cfg.LDSBytesPerWG / (8 * g.wgSize); g.factor > max && max >= 1 {
+		g.factor = max
+	}
+	g.chunk = g.factor * g.x
+	return g
+}
+
+// RowsPerWG implements WorkGroupSizer.
+func (s Synth) RowsPerWG(cfg hsa.Config) int { return s.geom(cfg).rowsPerWG }
+
+// PipeFloor implements PipeFloorer. Soundness mirrors Serial.PipeFloor and
+// Subvector.PipeFloor: the bound sums only the charges Run issues
+// unconditionally on the wavefront covering the longest row — the serial
+// walk's per-iteration gathers and ALU work, or the subvector's per-round
+// staging, barriers and reduction instructions (gathers excluded for
+// TPR>=2; the segment roofline bounds those separately).
+func (s Synth) PipeFloor(cfg hsa.Config, maxRowLen int) float64 {
+	if maxRowLen <= 0 {
+		return 0
+	}
+	g := s.geom(cfg)
+	if g.x == 1 {
+		return float64(maxRowLen) * (3*cfg.TxHitCycles + 2*cfg.ALUCycles)
+	}
+	if s.wavefront(cfg, g) {
+		// Per-lane multiply-accumulates over the longest row plus the single
+		// cross-lane combine; no LDS, no barriers.
+		steps := (maxRowLen + g.x - 1) / g.x
+		return float64(steps+log2ceil(g.x)) * cfg.ALUCycles
+	}
+	rounds := (maxRowLen + g.chunk - 1) / g.chunk
+	var perRound float64
+	if s.P.Reduction == ReduceSequential {
+		barriers := 1.0
+		if g.x > cfg.WavefrontSize {
+			barriers = 2
+		}
+		perRound = float64(g.factor)*cfg.LDSCycles +
+			barriers*cfg.BarrierCycles +
+			float64(g.chunk)*cfg.LDSCycles +
+			float64(g.chunk+1)*cfg.ALUCycles
+	} else {
+		redSteps := log2ceil(g.chunk)
+		perRound = float64(g.factor)*cfg.LDSCycles +
+			2*cfg.BarrierCycles +
+			2*float64(redSteps)*cfg.LDSCycles +
+			float64(redSteps+1)*cfg.ALUCycles
+	}
+	return float64(rounds) * perRound
+}
+
+// wavefront reports whether the point runs the wavefront-synchronous
+// combine: requested, and the subvector fits one wavefront so its lanes
+// execute in lock-step. Wider points degrade to the tree reduction — the
+// decision is a pure function of (params, device), so plans decoded on a
+// narrower device stay total and deterministic.
+func (s Synth) wavefront(cfg hsa.Config, g synthGeom) bool {
+	return s.P.Reduction == ReduceWavefront && g.x > 1 && g.x <= cfg.WavefrontSize
+}
+
+// Run implements Kernel.
+func (s Synth) Run(run *hsa.Run, in *Input, groups []binning.Group) {
+	cfg := run.Config()
+	g := s.geom(cfg)
+	if g.x == 1 {
+		s.runSerial(run, in, groups, g)
+		return
+	}
+	if s.wavefront(cfg, g) {
+		s.runWavefront(run, in, groups, g)
+		return
+	}
+	s.runSubvector(run, in, groups, g)
+}
+
+// runSerial is the lock-step serial walk with a parameterized work-group
+// size: the charging per wavefront is exactly Serial.Run's, only the
+// rows-per-dispatch packing differs.
+func (s Synth) runSerial(run *hsa.Run, in *Input, groups []binning.Group, geo synthGeom) {
+	cfg := run.Config()
+	wfSize := cfg.WavefrontSize
+
+	it := rowIter{groups: groups}
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	wgRows := sc.rowBuf(geo.rowsPerWG)
+	addrs := sc.addrBuf(wfSize)
+	vAddrs := sc.vAddrBuf(wfSize)
+	sums := sc.sumBuf(wfSize)
+
+	a := in.A
+	for {
+		wgRows = it.take(wgRows[:0:cap(wgRows)])
+		if len(wgRows) == 0 {
+			break
+		}
+		g := run.BeginWG()
+		for lo := 0; lo < len(wgRows); lo += wfSize {
+			hi := lo + wfSize
+			if hi > len(wgRows) {
+				hi = len(wgRows)
+			}
+			rows := wgRows[lo:hi]
+			acc := g.WF()
+
+			addrs = addrs[:0]
+			for _, r := range rows {
+				addrs = append(addrs, int64(r))
+			}
+			acc.Gather(in.RegBin, addrs)
+			acc.Gather(in.RegRowPtr, addrs)
+			for i := range addrs {
+				addrs[i]++
+			}
+			acc.Gather(in.RegRowPtr, addrs)
+			acc.ALU(2) // rowStart/rowEnd setup
+
+			maxLen := 0
+			for i, r := range rows {
+				sums[i] = 0
+				if l := a.RowLen(int(r)); l > maxLen {
+					maxLen = l
+				}
+			}
+			for t := 0; t < maxLen; t++ {
+				addrs = addrs[:0]
+				vAddrs = vAddrs[:0]
+				for i, r := range rows {
+					lo := a.RowPtr[r]
+					if int64(t) >= a.RowPtr[r+1]-lo {
+						continue
+					}
+					k := lo + int64(t)
+					addrs = append(addrs, k)
+					c := a.ColIdx[k]
+					vAddrs = append(vAddrs, int64(c))
+					sums[i] += a.Val[k] * in.V[c]
+				}
+				acc.Gather(in.RegColIdx, addrs)
+				acc.Gather(in.RegVal, addrs)
+				acc.Gather(in.RegV, vAddrs)
+				acc.ALU(2) // multiply-accumulate + loop bookkeeping
+			}
+
+			addrs = addrs[:0]
+			for i, r := range rows {
+				in.U[r] = sums[i]
+				addrs = append(addrs, int64(r))
+			}
+			acc.Gather(in.RegU, addrs)
+		}
+		g.End()
+	}
+}
+
+// runWavefront is the wavefront-synchronous subvector scheme: each lane
+// walks its x-strided slice of the row accumulating into a private
+// register, then the x partials merge in log2(x) cross-lane permute steps.
+// The lanes of one subvector live in one wavefront and execute in
+// lock-step, so nothing ever stages through LDS and no barrier is issued —
+// the entire per-round overhead of the staged scheme disappears.
+func (s Synth) runWavefront(run *hsa.Run, in *Input, groups []binning.Group, geo synthGeom) {
+	cfg := run.Config()
+	wfSize := cfg.WavefrontSize
+	x := geo.x
+	nWF := (geo.wgSize + wfSize - 1) / wfSize
+
+	a := in.A
+	it := rowIter{groups: groups}
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	rows := sc.rowBuf(geo.rowsPerWG)
+	addrs := sc.addrBuf(wfSize)
+	vAddrs := sc.vAddrBuf(wfSize)
+	combineSteps := log2ceil(x)
+
+	for {
+		rows = it.take(rows[:0:cap(rows)])
+		if len(rows) == 0 {
+			break
+		}
+		for _, r := range rows {
+			in.U[r] = dotRow(a, in.V, r)
+		}
+
+		g := run.BeginWG()
+		for wf := 0; wf < nWF; wf++ {
+			gidLo := wf * wfSize
+			slotLo := gidLo / x
+			acc := g.WF()
+			if slotLo >= len(rows) {
+				acc.ALU(2)
+				continue
+			}
+			slotHi := (gidLo + wfSize - 1) / x
+			if slotHi >= len(rows) {
+				slotHi = len(rows) - 1
+			}
+
+			addrs = addrs[:0]
+			for slot := slotLo; slot <= slotHi; slot++ {
+				addrs = append(addrs, int64(rows[slot]))
+			}
+			acc.Gather(in.RegBin, addrs)
+			acc.Gather(in.RegRowPtr, addrs)
+			for i := range addrs {
+				addrs[i]++
+			}
+			acc.Gather(in.RegRowPtr, addrs)
+			acc.ALU(2)
+
+			maxSteps := 0
+			for slot := slotLo; slot <= slotHi; slot++ {
+				l := a.RowLen(int(rows[slot]))
+				if st := (l + x - 1) / x; st > maxSteps {
+					maxSteps = st
+				}
+			}
+
+			for t := 0; t < maxSteps; t++ {
+				addrs = addrs[:0]
+				vAddrs = vAddrs[:0]
+				for gid := gidLo; gid < gidLo+wfSize; gid++ {
+					slot := gid / x
+					if slot >= len(rows) {
+						continue
+					}
+					lane := gid % x
+					r := rows[slot]
+					e := a.RowPtr[r] + int64(t*x+lane)
+					if e < a.RowPtr[r+1] {
+						addrs = append(addrs, e)
+						vAddrs = append(vAddrs, int64(a.ColIdx[e]))
+					}
+				}
+				if len(addrs) > 0 {
+					acc.Gather(in.RegColIdx, addrs)
+					acc.Gather(in.RegVal, addrs)
+					acc.Gather(in.RegV, vAddrs)
+					acc.ALU(1) // multiply-accumulate into the private partial
+				}
+			}
+
+			// Cross-lane combine: log2(x) permute-add steps, lock-step within
+			// the wavefront, then lane 0 holds the row sum.
+			acc.ALU(combineSteps)
+
+			addrs = addrs[:0]
+			for slot := slotLo; slot <= slotHi; slot++ {
+				gid0 := slot * x
+				if gid0 >= gidLo && gid0 < gidLo+wfSize {
+					addrs = append(addrs, int64(rows[slot]))
+				}
+			}
+			acc.Gather(in.RegU, addrs)
+		}
+		g.End()
+	}
+}
+
+// runSubvector is the LDS-staged subvector scheme over arbitrary geometry.
+// Staging charges match Subvector.Run; the reduction differs by strategy:
+// tree replays the segmented parallel reduction, sequential has lane 0 of
+// each subvector walk the staged chunk serially (chunk LDS reads and adds,
+// no strided bank conflicts, one barrier when the subvector is
+// wavefront-synchronous).
+func (s Synth) runSubvector(run *hsa.Run, in *Input, groups []binning.Group, geo synthGeom) {
+	cfg := run.Config()
+	wfSize := cfg.WavefrontSize
+	x, factor, chunk := geo.x, geo.factor, geo.chunk
+	nWF := (geo.wgSize + wfSize - 1) / wfSize
+
+	a := in.A
+	it := rowIter{groups: groups}
+	sc := acquireScratch()
+	defer releaseScratch(sc)
+	rows := sc.rowBuf(geo.rowsPerWG)
+	addrs := sc.addrBuf(wfSize)
+	vAddrs := sc.vAddrBuf(wfSize)
+	redSteps := log2ceil(chunk)
+	redConflicts := reductionConflicts(redSteps)
+	seq := s.P.Reduction == ReduceSequential
+
+	for {
+		rows = it.take(rows[:0:cap(rows)])
+		if len(rows) == 0 {
+			break
+		}
+		for _, r := range rows {
+			in.U[r] = dotRow(a, in.V, r)
+		}
+
+		g := run.BeginWG()
+		for wf := 0; wf < nWF; wf++ {
+			gidLo := wf * wfSize
+			slotLo := gidLo / x
+			acc := g.WF()
+			if slotLo >= len(rows) {
+				acc.ALU(2)
+				continue
+			}
+			slotHi := (gidLo + wfSize - 1) / x
+			if slotHi >= len(rows) {
+				slotHi = len(rows) - 1
+			}
+
+			addrs = addrs[:0]
+			for slot := slotLo; slot <= slotHi; slot++ {
+				addrs = append(addrs, int64(rows[slot]))
+			}
+			acc.Gather(in.RegBin, addrs)
+			acc.Gather(in.RegRowPtr, addrs)
+			for i := range addrs {
+				addrs[i]++
+			}
+			acc.Gather(in.RegRowPtr, addrs)
+			acc.ALU(2)
+
+			maxRounds := 0
+			for slot := slotLo; slot <= slotHi; slot++ {
+				l := a.RowLen(int(rows[slot]))
+				r := (l + chunk - 1) / chunk
+				if r > maxRounds {
+					maxRounds = r
+				}
+			}
+
+			for round := 0; round < maxRounds; round++ {
+				for t := 0; t < factor; t++ {
+					addrs = addrs[:0]
+					vAddrs = vAddrs[:0]
+					for gid := gidLo; gid < gidLo+wfSize; gid++ {
+						slot := gid / x
+						if slot >= len(rows) {
+							continue
+						}
+						lane := gid % x
+						r := rows[slot]
+						e := a.RowPtr[r] + int64(round*chunk+t*x+lane)
+						if e < a.RowPtr[r+1] {
+							addrs = append(addrs, e)
+							vAddrs = append(vAddrs, int64(a.ColIdx[e]))
+						}
+					}
+					if len(addrs) > 0 {
+						acc.Gather(in.RegColIdx, addrs)
+						acc.Gather(in.RegVal, addrs)
+						acc.Gather(in.RegV, vAddrs)
+						acc.ALU(1) // product
+					}
+					acc.LDSWrite(1) // stage into localMem
+				}
+				acc.Barrier()
+				if seq {
+					// Lane 0 of each subvector combines its chunk serially.
+					acc.LDSRead(chunk)
+					acc.ALU(chunk)
+					acc.ALU(1) // accumulate into sum
+					if x > wfSize {
+						// Subvector spans wavefronts: the next round's staging
+						// must wait for the cross-wavefront combine.
+						acc.Barrier()
+					}
+				} else {
+					acc.LDSRead(redSteps)
+					acc.LDSWrite(redSteps)
+					acc.BankConflicts(redConflicts)
+					acc.ALU(redSteps)
+					acc.Barrier()
+					acc.ALU(1) // first lane accumulates into sum
+				}
+			}
+
+			addrs = addrs[:0]
+			for slot := slotLo; slot <= slotHi; slot++ {
+				gid0 := slot * x
+				if gid0 >= gidLo && gid0 < gidLo+wfSize {
+					addrs = append(addrs, int64(rows[slot]))
+				}
+			}
+			acc.Gather(in.RegU, addrs)
+		}
+		g.End()
+	}
+}

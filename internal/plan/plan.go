@@ -59,6 +59,15 @@ func Fingerprint(a *sparse.CSR) string {
 	return hex.EncodeToString(sum[:16])
 }
 
+// FormatVersion is the current plan-format version. Version 1 (and 0, the
+// implicit version of every plan written before the field existed) is the
+// pre-synthesis format: kernel IDs index the paper's nine-kernel pool and
+// no space or parameter fields are present. Version 2 adds the kernel-space
+// name and per-bin KernelParams. Decode accepts every version up to this
+// one — older on-disk plans load into the degenerate pool subspace instead
+// of being quarantined — and rejects newer ones loudly.
+const FormatVersion = 2
+
 // BinAssignment is one bin's slice of the plan: which kernel serves the
 // rows that landed in this workload bin.
 type BinAssignment struct {
@@ -67,6 +76,13 @@ type BinAssignment struct {
 	Groups     int    `json:"groups"`
 	Kernel     int    `json:"kernel"`
 	KernelName string `json:"kernelName,omitempty"`
+
+	// Params is the kernel's point in parameter space (version >= 2 plans,
+	// provenance for auditing and cross-process decoding). When present it
+	// must match the space's canonical coordinates for Kernel — Validate
+	// rejects the mismatch, so a corrupted assignment fails as a 400-class
+	// error instead of silently executing a different kernel.
+	Params *kernels.KernelParams `json:"params,omitempty"`
 }
 
 // TuningPlan is the full output of the predict path for one matrix
@@ -74,6 +90,17 @@ type BinAssignment struct {
 // model again, and enough provenance (features, model version) to audit
 // why the decision was made.
 type TuningPlan struct {
+	// Version is the plan-format version (see FormatVersion). Zero means a
+	// pre-synthesis plan — the JSON predates the field — and decodes into
+	// the degenerate pool subspace.
+	Version int `json:"version,omitempty"`
+
+	// Space names the kernel space the plan's kernel IDs index ("" = the
+	// paper's pool). Execution resolves IDs through kernels.ByID, whose
+	// superset enumeration keeps every space's IDs stable; the name is the
+	// validation boundary (IDs must lie inside the named space).
+	Space string `json:"space,omitempty"`
+
 	// Fingerprint identifies the matrix structure this plan was derived
 	// from (see Fingerprint). Plans are cached and persisted under it.
 	Fingerprint string `json:"fingerprint"`
@@ -169,6 +196,16 @@ func (p *TuningPlan) KernelFor(binID int) (int, bool) {
 // untrusted input (they may come from disk or the network). Failures match
 // errdefs.ErrInvalidMatrix.
 func (p *TuningPlan) Validate() error {
+	if p.Version < 0 || p.Version > FormatVersion {
+		return errdefs.Invalidf("plan: format version %d not supported (this build reads <= %d)", p.Version, FormatVersion)
+	}
+	if p.Version < 2 && p.Space != "" {
+		return errdefs.Invalidf("plan: version %d plan names kernel space %q (space needs version >= 2)", p.Version, p.Space)
+	}
+	space, err := kernels.SpaceByName(p.Space)
+	if err != nil {
+		return err
+	}
 	if p.Rows < 0 || p.Cols < 0 || p.NNZ < 0 {
 		return errdefs.Invalidf("plan: negative shape %dx%d/%d", p.Rows, p.Cols, p.NNZ)
 	}
@@ -192,8 +229,21 @@ func (p *TuningPlan) Validate() error {
 			return errdefs.Invalidf("plan: bin %d assigned twice", b.Bin)
 		}
 		seen[b.Bin] = true
-		if _, ok := kernels.ByID(b.Kernel); !ok {
-			return errdefs.Invalidf("plan: bin %d uses unknown kernel id %d", b.Bin, b.Kernel)
+		// IDs are validated against the plan's declared space, not the
+		// executor's superset: a pre-synthesis plan referencing a synthesized
+		// ID is corrupt, not forward-compatible.
+		if _, ok := space.ByID(b.Kernel); !ok {
+			return errdefs.Invalidf("plan: bin %d uses kernel id %d outside space %q (%d kernels)",
+				b.Bin, b.Kernel, space.Name, space.Size())
+		}
+		if b.Params != nil {
+			if err := b.Params.Validate(); err != nil {
+				return err
+			}
+			if want, ok := space.ParamsByID(b.Kernel); !ok || *b.Params != want {
+				return errdefs.Invalidf("plan: bin %d params %+v do not match space %q kernel %d (%+v)",
+					b.Bin, *b.Params, space.Name, b.Kernel, want)
+			}
 		}
 	}
 	return nil

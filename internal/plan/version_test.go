@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"errors"
+	"testing"
+
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/kernels"
+)
+
+// v1Blob is a pre-synthesis on-disk plan, byte-for-byte what older builds
+// wrote: no version, space, or params fields. It must keep loading (into the
+// degenerate pool subspace) forever — persisted plans outlive releases.
+const v1Blob = `{
+ "fingerprint": "deadbeefdeadbeefdeadbeefdeadbeef",
+ "modelVersion": "abc123",
+ "rows": 100,
+ "cols": 100,
+ "nnz": 500,
+ "u": 50,
+ "maxBins": 100,
+ "scheme": "coarse",
+ "bins": [
+  {"bin": 0, "rows": 60, "groups": 2, "kernel": 0, "kernelName": "serial"},
+  {"bin": 3, "rows": 40, "groups": 1, "kernel": 8, "kernelName": "vector"}
+ ]
+}`
+
+func TestDecodeV1PlanIntoPoolSubspace(t *testing.T) {
+	p, err := Decode([]byte(v1Blob))
+	if err != nil {
+		t.Fatalf("pre-synthesis plan rejected: %v", err)
+	}
+	if p.Version != 0 || p.Space != "" {
+		t.Fatalf("v1 plan decoded with Version=%d Space=%q, want 0/\"\"", p.Version, p.Space)
+	}
+	// Round trip: encoding must not invent the new fields (omitempty), so a
+	// re-persisted old plan stays readable by old builds too.
+	blob, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("re-encoded v1 plan rejected: %v", err)
+	}
+	if back.Version != 0 || back.Space != "" || len(back.Bins) != 2 || back.Bins[0].Params != nil {
+		t.Errorf("v1 round trip changed plan: %+v", back)
+	}
+	// The pool subspace is the validation boundary: a v1 plan referencing a
+	// synthesized ID is corrupt, not forward-compatible.
+	bad := *p
+	bad.Bins = append([]BinAssignment{}, p.Bins...)
+	bad.Bins[0].Kernel = len(kernels.Pool())
+	if err := bad.Validate(); err == nil {
+		t.Error("v1 plan with synthesized kernel id accepted")
+	} else if !errors.Is(err, errdefs.ErrInvalidMatrix) {
+		t.Errorf("error not classified invalid: %v", err)
+	}
+}
+
+func TestDecodeV2PlanRoundTrip(t *testing.T) {
+	sp := kernels.SynthSpace()
+	synthID := len(kernels.Pool()) // first synthesized point
+	params, ok := sp.ParamsByID(synthID)
+	if !ok {
+		t.Fatalf("synth space has no kernel %d", synthID)
+	}
+	info, _ := sp.ByID(synthID)
+	p := &TuningPlan{
+		Version:     FormatVersion,
+		Space:       sp.Name,
+		Fingerprint: "deadbeefdeadbeefdeadbeefdeadbeef",
+		Rows:        100, Cols: 100, NNZ: 500,
+		U: 50, MaxBins: 100, Scheme: "coarse",
+		Bins: []BinAssignment{
+			{Bin: 0, Rows: 60, Groups: 2, Kernel: 0, KernelName: "serial"},
+			{Bin: 3, Rows: 40, Groups: 1, Kernel: synthID, KernelName: info.Name, Params: &params},
+		},
+	}
+	blob, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatalf("v2 plan rejected: %v", err)
+	}
+	if back.Version != FormatVersion || back.Space != sp.Name {
+		t.Errorf("v2 round trip lost version/space: %+v", back)
+	}
+	if back.Bins[1].Params == nil || *back.Bins[1].Params != params {
+		t.Errorf("v2 round trip lost params: %+v", back.Bins[1].Params)
+	}
+}
+
+func TestDecodeRejectsVersionAndParamCorruption(t *testing.T) {
+	cases := map[string]string{
+		"future version": `{"version":99,"scheme":"single"}`,
+		"negative ver":   `{"version":-1,"scheme":"single"}`,
+		"unknown space":  `{"version":2,"space":"warp","scheme":"single"}`,
+		"v1 with space":  `{"space":"synth","scheme":"single"}`,
+		"v1 names synth": `{"space":"synth","version":1,"scheme":"single","bins":[{"bin":0,"kernel":9}]}`,
+		"bad reduction":  `{"version":2,"space":"synth","scheme":"single","bins":[{"bin":0,"kernel":9,"params":{"tpr":1,"reduction":"warp"}}]}`,
+		"huge tpr":       `{"version":2,"space":"synth","scheme":"single","bins":[{"bin":0,"kernel":9,"params":{"tpr":1048576,"reduction":"tree"}}]}`,
+		"param mismatch": `{"version":2,"space":"synth","scheme":"single","bins":[{"bin":0,"kernel":0,"params":{"tpr":64,"reduction":"tree"}}]}`,
+		"id over space":  `{"version":2,"space":"pool","scheme":"single","bins":[{"bin":0,"kernel":9}]}`,
+	}
+	for name, blob := range cases {
+		if _, err := Decode([]byte(blob)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !errors.Is(err, errdefs.ErrInvalidMatrix) {
+			t.Errorf("%s: error not classified invalid: %v", name, err)
+		}
+	}
+}

@@ -60,7 +60,7 @@ type CostStats struct {
 
 type costEntry struct {
 	times  []float64 // simulated seconds per kernel ID (lower bound where pruned)
-	pruned uint32    // bitmask over kernel IDs whose slot holds a lower bound
+	pruned uint64    // bitmask over kernel IDs whose slot holds a lower bound
 }
 
 type costShard struct {
@@ -105,7 +105,7 @@ func (c *CostCache) shardFor(k CostKey) *costShard {
 // Get returns the cached kernel-pool profile for k by copying it into
 // times (which must be at least as long as the stored profile), plus the
 // pruned-kernel bitmask. A miss leaves times untouched.
-func (c *CostCache) Get(k CostKey, times []float64) (pruned uint32, ok bool) {
+func (c *CostCache) Get(k CostKey, times []float64) (pruned uint64, ok bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.m[k]
@@ -125,7 +125,7 @@ func (c *CostCache) Get(k CostKey, times []float64) (pruned uint32, ok bool) {
 // Put stores the kernel-pool profile for k, copying times. When the shard
 // is full the oldest entry is evicted (FIFO). Re-puts of a resident key
 // refresh the value in place — by construction the bytes are identical.
-func (c *CostCache) Put(k CostKey, times []float64, pruned uint32) {
+func (c *CostCache) Put(k CostKey, times []float64, pruned uint64) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()

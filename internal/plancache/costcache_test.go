@@ -99,7 +99,7 @@ func TestCostCacheConcurrent(t *testing.T) {
 			for i := uint64(0); i < 200; i++ {
 				k := costKey(i % 50)
 				if _, ok := c.Get(k, out); !ok {
-					c.Put(k, []float64{float64(i % 50), 1}, uint32(i%50)&3)
+					c.Put(k, []float64{float64(i % 50), 1}, uint64(i%50)&3)
 				}
 			}
 		}()

@@ -1,0 +1,114 @@
+package plancache
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"testing"
+
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/plan"
+)
+
+// persistRaw writes body to the cache's disk slot for key in the persisted
+// entry format (checksum trailer), bypassing Encode — exactly what an older
+// build left on disk.
+func persistRaw(t *testing.T, c *Cache, key string, body []byte) {
+	t.Helper()
+	sum := sha256.Sum256(body)
+	blob := append(append(body, checksumTrailer...), (hex.EncodeToString(sum[:]) + "\n")...)
+	if err := c.opts.FS.WriteFile(c.diskPath(key), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadsPreSynthesisPlanWithoutQuarantine pins the migration contract of
+// plan format version 2: a version-field-less plan persisted by a
+// pre-synthesis build is valid forever — it loads, decodes into the
+// degenerate pool subspace, and is never quarantined.
+func TestLoadsPreSynthesisPlanWithoutQuarantine(t *testing.T) {
+	c := New(Options{Dir: t.TempDir()})
+	const key = "fp-presynth"
+	persistRaw(t, c, key, []byte(`{
+ "fingerprint": "fp-presynth",
+ "rows": 10, "cols": 10, "nnz": 20,
+ "u": 10, "maxBins": 100, "scheme": "coarse",
+ "bins": [{"bin": 0, "rows": 10, "groups": 1, "kernel": 8, "kernelName": "vector"}]
+}`))
+	p, _, err := c.GetOrCompute(context.Background(), key, func(context.Context) (*plan.TuningPlan, error) {
+		t.Fatal("pre-synthesis persisted plan missed: compute ran")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Quarantined; got != 0 {
+		t.Fatalf("pre-synthesis plan quarantined %d times", got)
+	}
+	if p.Version != 0 || p.Space != "" {
+		t.Errorf("loaded as Version=%d Space=%q, want pool subspace 0/\"\"", p.Version, p.Space)
+	}
+	if len(p.Bins) != 1 || p.Bins[0].Kernel != 8 || p.Bins[0].Params != nil {
+		t.Errorf("plan body mangled: %+v", p.Bins)
+	}
+}
+
+// TestVersion2PlanPersistRoundTrip covers the other side: a synthesized-
+// space plan survives the disk format with its space and params intact.
+func TestVersion2PlanPersistRoundTrip(t *testing.T) {
+	sp := kernels.SynthSpace()
+	synthID := len(kernels.Pool())
+	params, _ := sp.ParamsByID(synthID)
+	p := testPlan("fp-synth")
+	p.Version = plan.FormatVersion
+	p.Space = sp.Name
+	p.Bins[0].Kernel = synthID
+	p.Bins[0].Params = &params
+
+	c := New(Options{Dir: t.TempDir()})
+	c.Put("fp-synth", p)
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cold cache over the same dir must reconstruct the full v2 plan.
+	c2 := New(Options{Dir: c.opts.Dir})
+	got, _, err := c2.GetOrCompute(context.Background(), "fp-synth", func(context.Context) (*plan.TuningPlan, error) {
+		t.Fatal("v2 plan missed on cold load: compute ran")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != plan.FormatVersion || got.Space != sp.Name {
+		t.Errorf("cold load lost version/space: %+v", got)
+	}
+	if got.Bins[0].Params == nil || *got.Bins[0].Params != params {
+		t.Errorf("cold load lost params: %+v", got.Bins[0].Params)
+	}
+
+	// And a plan whose params contradict its kernel ID quarantines instead
+	// of executing a different kernel than the plan recorded.
+	c3 := New(Options{Dir: t.TempDir()})
+	persistRaw(t, c3, "fp-bad", []byte(`{
+ "version": 2, "space": "synth",
+ "fingerprint": "fp-bad",
+ "rows": 10, "cols": 10, "nnz": 20,
+ "u": 10, "maxBins": 100, "scheme": "coarse",
+ "bins": [{"bin": 0, "kernel": `+strconv.Itoa(synthID)+`, "params": {"tpr": 999, "reduction": "tree"}}]
+}`))
+	fresh := testPlan("fp-bad")
+	served, _, err := c3.GetOrCompute(context.Background(), "fp-bad", func(context.Context) (*plan.TuningPlan, error) {
+		return fresh, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != fresh {
+		t.Fatal("plan with mismatched params served instead of re-tuning")
+	}
+	if got := c3.Stats().Quarantined; got != 1 {
+		t.Errorf("quarantined %d, want 1", got)
+	}
+}

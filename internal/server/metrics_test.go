@@ -32,6 +32,8 @@ var metricFamilies = []string{
 	`spmvd_search_cache_hits `,
 	`spmvd_search_cache_misses `,
 	`spmvd_search_cache_pruned `,
+	`spmvd_search_space_cells `,
+	`spmvd_search_synth_wins_total `,
 	`spmvd_matrices_stored `,
 	`spmvd_sessions_active `,
 	`spmvd_session_iterations_total `,

@@ -883,6 +883,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "spmvd_search_cache_hits %d\n", ss.Hits)
 	fmt.Fprintf(w, "spmvd_search_cache_misses %d\n", ss.Misses)
 	fmt.Fprintf(w, "spmvd_search_cache_pruned %d\n", ss.Pruned)
+	// Parameter-space families: candidate cells enumerated across all
+	// searches (whatever the configured kernel space) and best-U bins won by
+	// a synthesized — non-pool — kernel.
+	sps := core.SearchSpaceStats()
+	fmt.Fprintf(w, "spmvd_search_space_cells %d\n", sps.SpaceCells)
+	fmt.Fprintf(w, "spmvd_search_synth_wins_total %d\n", sps.SynthWins)
 	fmt.Fprintf(w, "spmvd_matrices_stored %d\n", s.MatrixCount())
 	// Solver-session gauge: how many resident sessions hold a pinned plan
 	// and scratch right now. The iteration/eviction counters live in

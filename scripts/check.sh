@@ -55,6 +55,9 @@ go test -run='^$' -fuzz=FuzzHTTPSpMV -fuzztime=10s ./internal/server
 echo "== fuzz smoke (FuzzHTTPSolve, 10s)"
 go test -run='^$' -fuzz=FuzzHTTPSolve -fuzztime=10s ./internal/server
 
+echo "== fuzz smoke (FuzzPlanDecode, 10s)"
+go test -run='^$' -fuzz=FuzzPlanDecode -fuzztime=10s ./internal/plan
+
 echo "== staticcheck"
 if require_or_skip staticcheck; then
     staticcheck ./...
