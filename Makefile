@@ -4,7 +4,7 @@ GO ?= go
 ## compares against. This is the single source of truth — ci.yml consumes
 ## it through `make spmvbench`, so refreshing the baseline means writing
 ## the new file and changing this one line.
-BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR10.json
 ## BENCH_OUT: where spmvbench writes its measurement (CI overrides this to
 ## upload the result as an artifact).
 BENCH_OUT ?= /tmp/spmvbench.json
@@ -12,7 +12,7 @@ BENCH_OUT ?= /tmp/spmvbench.json
 ## the swap/iterate interleaving).
 SOAK_COUNT ?= 1
 
-.PHONY: check build test race bench bench-parallel bench-tune bench-synth chaos fuzz soak fmt vet lint vulncheck spmvbench
+.PHONY: check build test race bench bench-parallel bench-tune bench-synth bench-batch chaos fuzz soak fmt vet lint vulncheck spmvbench
 
 ## check: the full verification gate (fmt, vet, build, race tests, fuzz
 ## smoke, staticcheck + govulncheck when installed)
@@ -97,3 +97,12 @@ bench-tune:
 ## (see BENCH_PR9.json "synth" for the last committed measurement).
 bench-synth:
 	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench-synth.json -max-synth-sims 4
+
+## bench-batch: the fused multi-vector (SpMM) gate, entirely over modeled
+## (machine-independent) quantities: the fused B=8 batch must produce
+## byte-identical result vectors to 8 sequential single-vector runs, no
+## vector may fall out of the fused path on the fault-free corpus, and the
+## fused cycles-per-request must be <= 0.6x the unbatched path — the DRAM
+## amortization spmvd's coalescer delivers (see BENCH_PR10.json "batch").
+bench-batch:
+	$(GO) run ./cmd/spmvbench -out /tmp/spmvbench-batch.json -batch-vectors 8 -max-batch-ratio 0.6

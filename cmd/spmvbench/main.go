@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output results file")
+	out := flag.String("out", "BENCH_PR10.json", "output results file")
 	baseline := flag.String("baseline", "", "baseline results file to gate against (empty = measure only)")
 	threshold := flag.Float64("threshold", 1.25, "fail when a case's cycles exceed baseline*threshold")
 	n := flag.Int("n", 10, "benchmark corpus size")
@@ -53,15 +53,17 @@ func main() {
 	minSpeedup := flag.Float64("min-speedup", 3.0, "required search speedup at -workers; enforced only when the host has at least that many CPUs (0 disables)")
 	minTuneSpeedup := flag.Float64("min-tune-speedup", 3.0, "required cached+pruned search speedup over the legacy exhaustive path (0 disables)")
 	maxSynthSims := flag.Float64("max-synth-sims", 4.0, "maximum simulated-cell ratio of the synthesized-space search over the pool search (0 disables)")
+	batchVectors := flag.Int("batch-vectors", 8, "right-hand sides per fused launch in the batch comparison (<= 1 skips it)")
+	maxBatchRatio := flag.Float64("max-batch-ratio", 0.6, "maximum modeled cycles-per-request ratio of the fused batch path over the unbatched path (0 disables)")
 	flag.Parse()
 
-	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed, *workers, *minSpeedup, *minTuneSpeedup, *maxSynthSims); err != nil {
+	if err := run(*out, *baseline, *threshold, *n, *iters, *modelPath, *trainCorpus, *seed, *workers, *minSpeedup, *minTuneSpeedup, *maxSynthSims, *batchVectors, *maxBatchRatio); err != nil {
 		fmt.Fprintln(os.Stderr, "spmvbench:", err)
 		os.Exit(2)
 	}
 }
 
-func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64, workers int, minSpeedup, minTuneSpeedup, maxSynthSims float64) error {
+func run(out, baseline string, threshold float64, n, iters int, modelPath string, trainCorpus int, seed int64, workers int, minSpeedup, minTuneSpeedup, maxSynthSims float64, batchVectors int, maxBatchRatio float64) error {
 	cfg := core.DefaultConfig()
 	model, err := obtainModel(cfg, modelPath, trainCorpus, seed)
 	if err != nil {
@@ -103,6 +105,16 @@ func run(out, baseline string, threshold float64, n, iters int, modelPath string
 	fmt.Printf("synth: %d matrices, space %d vs pool %d kernels, cycle ratio %.4f, sims %d vs %d (%.2fx), pool identical=%v, %d synth wins\n",
 		yb.Matrices, yb.SpaceSize, yb.PoolSize, yb.CycleRatio, yb.SynthSims, yb.PoolSims, yb.SimRatio, yb.PoolIdentical, yb.SynthWins)
 	regressions = append(regressions, CheckSynth(yb, maxSynthSims)...)
+	if batchVectors > 1 {
+		bb, err := batchBench(fw, mats, batchVectors)
+		if err != nil {
+			return fmt.Errorf("batch bench: %w", err)
+		}
+		results.Batch = bb
+		fmt.Printf("batch: %d matrices x %d vectors, fused %.0f cycles vs %.0f unbatched (%.4f per-request ratio), identical=%v, isolated=%d\n",
+			bb.Matrices, bb.Vectors, bb.BatchedCycles, bb.UnbatchedCycles, bb.CyclesPerRequestRatio, bb.Identical, bb.Isolated)
+		regressions = append(regressions, CheckBatch(bb, maxBatchRatio)...)
+	}
 	if err := results.WriteFile(out); err != nil {
 		return err
 	}
@@ -309,6 +321,69 @@ func synthBench(cfg core.Config, mats []matgen.CorpusMatrix) *SynthBench {
 		sb.SimRatio = float64(synthSims) / float64(poolSims)
 	}
 	return sb
+}
+
+// batchBench runs the fused multi-vector comparison: each corpus matrix is
+// planned once, served b times through the single-vector guarded path, then
+// once through the fused b-vector batch path with distinct right-hand
+// sides. The shared-structure workload is exactly what spmvd's coalescer
+// produces — b requests against one matrix inside a window — so the
+// per-request cycle ratio measures the DRAM amortization the coalescer
+// delivers, and the byte-identity check is the demux contract. Modeled
+// cycles are deterministic, so both are CI gates.
+func batchBench(fw *core.Framework, mats []matgen.CorpusMatrix, b int) (*BatchBench, error) {
+	bb := &BatchBench{Matrices: len(mats), Vectors: b, Identical: true}
+	opt := core.DefaultGuardOptions()
+	for _, cm := range mats {
+		a := cm.A
+		p, err := fw.Plan(context.Background(), a)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cm.Name, err)
+		}
+		vs := make([][]float64, b)
+		us := make([][]float64, b)
+		refs := make([][]float64, b)
+		for i := 0; i < b; i++ {
+			vs[i] = make([]float64, a.Cols)
+			for j := range vs[i] {
+				vs[i][j] = 1 + 0.5*float64(i) + 0.25*float64(j%7)
+			}
+			us[i] = make([]float64, a.Rows)
+			refs[i] = make([]float64, a.Rows)
+		}
+		for i := 0; i < b; i++ {
+			rep, err := fw.ExecutePlanOpts(context.Background(), p, a, vs[i], refs[i], opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s: vector %d: %w", cm.Name, i, err)
+			}
+			bb.UnbatchedCycles += rep.Stats.Cycles
+		}
+		brep, err := fw.ExecutePlanBatchOpts(context.Background(), p, a, vs, us, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: batch: %w", cm.Name, err)
+		}
+		bb.BatchedCycles += brep.Shared.Stats.Cycles
+		for _, pv := range brep.PerVector {
+			if pv != nil {
+				bb.BatchedCycles += pv.Stats.Cycles
+			}
+		}
+		bb.Isolated += brep.Isolated
+		for i := 0; i < b; i++ {
+			for r := 0; r < a.Rows; r++ {
+				if math.Float64bits(us[i][r]) != math.Float64bits(refs[i][r]) {
+					bb.Identical = false
+					fmt.Fprintf(os.Stderr, "batch: %s: vector %d row %d: fused %v vs sequential %v\n",
+						cm.Name, i, r, us[i][r], refs[i][r])
+					break
+				}
+			}
+		}
+	}
+	if bb.UnbatchedCycles > 0 {
+		bb.CyclesPerRequestRatio = bb.BatchedCycles / bb.UnbatchedCycles
+	}
+	return bb, nil
 }
 
 // benchCase plans once, then executes the plan iters times through the

@@ -11,8 +11,9 @@ import (
 // stale baseline fails loudly instead of comparing garbage. v2 added the
 // host CPU count and the sequential-vs-parallel search benchmark; v3 added
 // the legacy-vs-cached tune-time comparison (TuneBench); v4 added the
-// parameter-space synthesis comparison (SynthBench).
-const Schema = "spmvbench/v4"
+// parameter-space synthesis comparison (SynthBench); v5 added the fused
+// multi-vector batch comparison (BatchBench).
+const Schema = "spmvbench/v5"
 
 // CounterSummary condenses one case's device counters to the signals the
 // paper's analysis keys on.
@@ -128,6 +129,33 @@ type SynthBench struct {
 	SynthWins int64 `json:"synthWins"`
 }
 
+// BatchBench records the fused multi-vector comparison of one run: every
+// corpus matrix planned once, then served B times through the single-vector
+// guarded path and once through the fused B-vector batch path. Both cycle
+// totals come from the simulator, so the comparison is deterministic and
+// machine-independent.
+//
+// CyclesPerRequestRatio is the fused path's modeled cycles per request over
+// the unbatched path's (total fused cycles, including any isolation
+// re-services, divided by the total of B sequential runs). Below 1.0 means
+// the fused launch amortizes the matrix's DRAM traffic across its
+// right-hand sides; the CI gate requires <= 0.6 at B=8. Identical reports
+// that every fused result vector was byte-identical to its sequential
+// counterpart — the demux contract spmvd's coalescer relies on. Isolated
+// counts vectors that fell out of the fused path; on a clean corpus with no
+// injected faults it must be zero.
+type BatchBench struct {
+	Matrices int `json:"matrices"`
+	Vectors  int `json:"vectors"` // right-hand sides per fused launch (B)
+
+	UnbatchedCycles float64 `json:"unbatchedCycles"` // summed cycles of B single-vector runs
+	BatchedCycles   float64 `json:"batchedCycles"`   // summed cycles of the fused runs
+
+	CyclesPerRequestRatio float64 `json:"cyclesPerRequestRatio"` // batched/unbatched
+	Identical             bool    `json:"identical"`
+	Isolated              int     `json:"isolated"`
+}
+
 // Results is the machine-readable output of one spmvbench run.
 type Results struct {
 	Schema    string       `json:"schema"`
@@ -136,6 +164,7 @@ type Results struct {
 	Search    *SearchBench `json:"search,omitempty"`
 	Tune      *TuneBench   `json:"tune,omitempty"`
 	Synth     *SynthBench  `json:"synth,omitempty"`
+	Batch     *BatchBench  `json:"batch,omitempty"`
 	Cases     []Case       `json:"cases"`
 }
 
@@ -251,6 +280,35 @@ func CheckSynth(sb *SynthBench, maxSimRatio float64) []string {
 		regs = append(regs,
 			fmt.Sprintf("synth: simulated %.2fx the pool's cells (%d vs %d), want <= %.2fx",
 				sb.SimRatio, sb.SynthSims, sb.PoolSims, maxSimRatio))
+	}
+	return regs
+}
+
+// CheckBatch gates the fused multi-vector comparison. Every requirement is
+// over deterministic modeled quantities, so all are always enforced: the
+// fused results must be byte-identical to the sequential single-vector
+// results (the demux contract), no vector may fall out of the fused path on
+// a fault-free corpus, and the fused cycles-per-request must stay within
+// maxRatio of the unbatched path — the DRAM amortization the coalescer
+// exists to deliver. maxRatio <= 0 disables the ratio gate but never the
+// identity and isolation checks.
+func CheckBatch(bb *BatchBench, maxRatio float64) []string {
+	if bb == nil {
+		return nil
+	}
+	var regs []string
+	if !bb.Identical {
+		regs = append(regs,
+			"batch: fused results differ from sequential single-vector results (byte-identity violation)")
+	}
+	if bb.Isolated > 0 {
+		regs = append(regs,
+			fmt.Sprintf("batch: %d vector(s) isolated out of the fused path on a fault-free corpus", bb.Isolated))
+	}
+	if maxRatio > 0 && bb.CyclesPerRequestRatio > maxRatio {
+		regs = append(regs,
+			fmt.Sprintf("batch: %.4f modeled cycles-per-request vs unbatched at B=%d, want <= %.2f",
+				bb.CyclesPerRequestRatio, bb.Vectors, maxRatio))
 	}
 	return regs
 }

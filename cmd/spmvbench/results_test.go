@@ -112,6 +112,35 @@ func TestCheckSearch(t *testing.T) {
 	}
 }
 
+// TestCheckBatch locks the batch-gate semantics: every check runs over
+// deterministic modeled quantities, so non-identical results, isolated
+// vectors, and a missed per-request ratio all fail on any host, and 0
+// disables only the ratio gate.
+func TestCheckBatch(t *testing.T) {
+	if regs := CheckBatch(nil, 0.6); len(regs) != 0 {
+		t.Fatalf("nil batch bench flagged: %v", regs)
+	}
+	diverged := &BatchBench{Vectors: 8, CyclesPerRequestRatio: 0.3, Identical: false}
+	if regs := CheckBatch(diverged, 0.6); len(regs) != 1 || !strings.Contains(regs[0], "byte-identity") {
+		t.Fatalf("divergent results not flagged: %v", regs)
+	}
+	isolated := &BatchBench{Vectors: 8, CyclesPerRequestRatio: 0.3, Identical: true, Isolated: 2}
+	if regs := CheckBatch(isolated, 0.6); len(regs) != 1 || !strings.Contains(regs[0], "isolated") {
+		t.Fatalf("fault-free isolation not flagged: %v", regs)
+	}
+	slow := &BatchBench{Vectors: 8, CyclesPerRequestRatio: 0.9, Identical: true}
+	if regs := CheckBatch(slow, 0.6); len(regs) != 1 || !strings.Contains(regs[0], "cycles-per-request") {
+		t.Fatalf("missed ratio gate not flagged: %v", regs)
+	}
+	if regs := CheckBatch(slow, 0); len(regs) != 0 {
+		t.Fatalf("disabled ratio gate still flagged: %v", regs)
+	}
+	clean := &BatchBench{Vectors: 8, CyclesPerRequestRatio: 0.35, Identical: true}
+	if regs := CheckBatch(clean, 0.6); len(regs) != 0 {
+		t.Fatalf("clean batch bench flagged: %v", regs)
+	}
+}
+
 // TestCheckTune locks the tune-gate semantics: divergent labels always
 // fail, the speedup floor is enforced on every host (both passes are
 // single-threaded, so CPU count is irrelevant), and 0 disables the floor

@@ -6,6 +6,7 @@
 //	spmvd -corpus 40                        # no model file: train at startup
 //	spmvd -addr :8080 -cache-dir /var/cache/spmvd -cache-ttl 1h
 //	spmvd -trace spans.jsonl                # JSONL pipeline spans per request
+//	spmvd -batch-window 2ms -max-batch 32   # fuse concurrent same-matrix SpMVs
 //	spmvd -retrain-interval 10m -retrain-dir /var/lib/spmvd/rows
 //	spmvd -no-retrain                       # serve a frozen model
 //
@@ -55,7 +56,8 @@ func main() {
 	execWorkers := flag.Int("exec-workers", 1, "per-request bin-execution goroutines (1 = sequential bins; clamped so workers*exec-workers <= GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "queued SpMV requests beyond the executing ones before 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request execution deadline")
-	maxBatch := flag.Int("max-batch", 64, "maximum vectors per SpMV request")
+	maxBatch := flag.Int("max-batch", 64, "maximum vectors per SpMV request and per fused coalesced launch")
+	batchWindow := flag.Duration("batch-window", 0, "fuse same-matrix SpMVs arriving within this window into one multi-vector launch (0 = off)")
 	maxSessions := flag.Int("max-sessions", 64, "resident solver sessions before the oldest idle one is evicted")
 	sessionTTL := flag.Duration("session-ttl", 10*time.Minute, "idle solver sessions are evicted after this long")
 	maxBody := flag.Int64("max-body", 64<<20, "maximum request body bytes")
@@ -131,6 +133,7 @@ func main() {
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxBatch:       *maxBatch,
+		BatchWindow:    *batchWindow,
 		MaxBodyBytes:   *maxBody,
 		MaxSessions:    *maxSessions,
 		SessionTTL:     *sessionTTL,

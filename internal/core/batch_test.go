@@ -1,0 +1,215 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime/debug"
+	"testing"
+
+	"spmvtune/internal/binning"
+	"spmvtune/internal/hsa"
+	"spmvtune/internal/kernels"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/plancache"
+	"spmvtune/internal/sparse"
+)
+
+func batchTestVectors(a *sparse.CSR, nb int, seed int64) ([][]float64, [][]float64, [][]float64) {
+	vs := make([][]float64, nb)
+	us := make([][]float64, nb)
+	wants := make([][]float64, nb)
+	for b := range vs {
+		vs[b] = randVec(a.Cols, seed+int64(b))
+		us[b] = make([]float64, a.Rows)
+		wants[b] = make([]float64, a.Rows)
+		a.MulVec(vs[b], wants[b])
+	}
+	return vs, us, wants
+}
+
+// The guarded batch property: ExecutePlanBatch over B vectors must produce
+// byte-identical outputs to B sequential ExecutePlan calls — across device
+// worker counts (legacy and sharded executors) and batch widths, on a
+// clean run with no degradation.
+func TestExecutePlanBatchByteIdenticalToSequential(t *testing.T) {
+	fw := guardFramework(t)
+	mats := []*sparse.CSR{
+		matgen.Mixed(400, 400, 20, []int{2, 60}, 7),
+		matgen.PowerLaw(350, 4, 1.7, 160, 3),
+	}
+	for mi, a := range mats {
+		p, err := fw.Plan(context.Background(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, devWorkers := range []int{0, 1, 2, 4} {
+			cfg := fw.Cfg
+			cfg.Device.Workers = devWorkers
+			bfw := NewFramework(cfg, fw.Model())
+			for _, nb := range []int{1, 2, 3, 8} {
+				vs, us, _ := batchTestVectors(a, nb, int64(mi*100+nb))
+
+				seq := make([][]float64, nb)
+				for b := 0; b < nb; b++ {
+					seq[b] = make([]float64, a.Rows)
+					if _, err := bfw.ExecutePlan(context.Background(), p, a, vs[b], seq[b]); err != nil {
+						t.Fatalf("mat %d w=%d nb=%d: sequential: %v", mi, devWorkers, nb, err)
+					}
+				}
+
+				rep, err := bfw.ExecutePlanBatch(context.Background(), p, a, vs, us)
+				if err != nil {
+					t.Fatalf("mat %d w=%d nb=%d: batch: %v", mi, devWorkers, nb, err)
+				}
+				if rep.Vectors != nb || rep.Isolated != 0 {
+					t.Errorf("mat %d w=%d nb=%d: report vectors=%d isolated=%d", mi, devWorkers, nb, rep.Vectors, rep.Isolated)
+				}
+				for b := 0; b < nb; b++ {
+					if rep.VectorDegraded(b) {
+						t.Errorf("mat %d w=%d nb=%d: clean batch reports vector %d degraded", mi, devWorkers, nb, b)
+					}
+					for i := range seq[b] {
+						if us[b][i] != seq[b][i] {
+							t.Fatalf("mat %d w=%d nb=%d: vector %d differs at row %d: got %v want %v",
+								mi, devWorkers, nb, b, i, us[b][i], seq[b][i])
+						}
+					}
+				}
+				if nb > 1 {
+					for _, pr := range rep.Shared.Profiles {
+						if pr.Vectors != nb {
+							t.Errorf("mat %d w=%d nb=%d: profile Vectors=%d", mi, devWorkers, nb, pr.Vectors)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// A persistent NaN-poison fault on one bin corrupts exactly one vector of
+// the fused launch; that vector alone must be isolated and re-served (down
+// to the CPU reference), while the other requests keep their clean fused
+// result and report no degradation.
+func TestExecutePlanBatchIsolatesFaultedVector(t *testing.T) {
+	fw := guardFramework(t)
+	a := matgen.Mixed(500, 500, 25, []int{2, 60}, 7)
+	p, err := fw.Plan(context.Background(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Bins) == 0 {
+		t.Fatal("plan has no bins")
+	}
+	binID := p.Bins[0].Bin
+	const nb = 4
+	poisoned := binID % nb
+
+	vs, us, wants := batchTestVectors(a, nb, 41)
+	opt := DefaultGuardOptions()
+	opt.Faults = hsa.NewFaultPlan().AddBinFault(binID, hsa.Fault{Class: hsa.FaultNaNPoison})
+
+	rep, err := fw.ExecutePlanBatchOpts(context.Background(), p, a, vs, us, opt)
+	if err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	for b := 0; b < nb; b++ {
+		if i := sparse.FirstVecDiff(wants[b], us[b], 1e-9); i >= 0 {
+			t.Errorf("vector %d wrong at row %d", b, i)
+		}
+	}
+	if rep.Isolated != 1 {
+		t.Errorf("Isolated = %d, want 1", rep.Isolated)
+	}
+	if !rep.VectorDegraded(poisoned) {
+		t.Errorf("poisoned vector %d not reported degraded", poisoned)
+	}
+	for b := 0; b < nb; b++ {
+		if b == poisoned {
+			if rep.PerVector[b] == nil {
+				t.Fatalf("poisoned vector %d has no isolation report", b)
+			}
+			continue
+		}
+		if rep.VectorDegraded(b) {
+			t.Errorf("unfaulted vector %d reported degraded", b)
+		}
+		if rep.PerVector[b] != nil {
+			t.Errorf("unfaulted vector %d was isolated", b)
+		}
+	}
+	if rep.Shared.Degraded() {
+		t.Errorf("shared fused path degraded, which would taint the whole batch: %v", rep.Shared)
+	}
+	// The isolated vector's single-vector chain re-arms the same persistent
+	// fault, so it must have degraded past the predicted kernel.
+	if pv := rep.PerVector[poisoned]; pv != nil && !pv.Degraded() {
+		t.Errorf("isolation report for vector %d is clean; want retries/fallbacks", poisoned)
+	}
+}
+
+// Steady-state fused launches on the legacy executor must allocate nothing:
+// runs, inputs and kernel scratch all come from pools — the device-side
+// half of the batch zero-alloc discipline.
+func TestBatchLaunchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool operations")
+	}
+	dev := hsa.DefaultConfig()
+	a := matgen.Mixed(300, 300, 12, []int{2, 40}, 5)
+	groups := binning.Single(a).Bins[0]
+	vs, us, _ := batchTestVectors(a, 8, 23)
+	for _, info := range kernels.Pool() {
+		k := info.Kernel
+		for i := 0; i < 3; i++ { // warm the pools
+			launchBatchKernel(context.Background(), dev, a, vs, us, k, groups, nil, false)
+		}
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		if n := testing.AllocsPerRun(10, func() {
+			launchBatchKernel(context.Background(), dev, a, vs, us, k, groups, nil, false)
+		}); n != 0 {
+			t.Errorf("%s: batch launch allocates %v/op in steady state, want 0", info.Name, n)
+		}
+	}
+}
+
+// A batched search must not disturb the single-vector cost-cache entries
+// (the cell keys carry the width), its labels must be reproducible against
+// an unpruned/uncached batched search, and its modeled time must show the
+// amortization: more than one vector's worth of work, less than B times it.
+func TestSearchBatchedWidth(t *testing.T) {
+	a := matgen.Mixed(350, 350, 15, []int{2, 50}, 9)
+	cache := plancache.NewCostCache(plancache.CostCacheOptions{})
+
+	cfg1 := testConfig()
+	cfg1.SearchCache = cache
+	res1 := Search(cfg1, a)
+
+	cfgB := cfg1
+	cfgB.Vectors = 8
+	resB := Search(cfgB, a)
+
+	// Replaying the single-vector search from the shared cache must return
+	// the identical result — batched cells keyed apart from B=1 cells.
+	res1b := Search(cfg1, a)
+	if !reflect.DeepEqual(res1, res1b) {
+		t.Error("single-vector search result changed after a batched search shared its cache")
+	}
+
+	// Batched labels are reproducible without cache or pruning.
+	cfgLegacy := cfgB
+	cfgLegacy.SearchCache = nil
+	cfgLegacy.DisableSearchCache = true
+	cfgLegacy.DisableSearchPrune = true
+	legacy := Search(cfgLegacy, a)
+	if err := CheckSearchEquivalence(legacy, resB); err != nil {
+		t.Errorf("batched search not equivalent to legacy batched search: %v", err)
+	}
+
+	if resB.Seconds <= res1.Seconds {
+		t.Errorf("batched (B=8) modeled time %v not above single-vector %v", resB.Seconds, res1.Seconds)
+	}
+	if resB.Seconds >= 8*res1.Seconds {
+		t.Errorf("batched (B=8) modeled time %v shows no amortization vs 8 x %v", resB.Seconds, res1.Seconds)
+	}
+}

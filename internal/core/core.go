@@ -71,6 +71,17 @@ type Config struct {
 	// never changes labels (the bound is certified against the simulator's
 	// cost model); the knob exists for equivalence testing and diagnostics.
 	DisableSearchPrune bool
+
+	// Vectors is the number of dense right-hand sides the tuning search
+	// models per launch: 0 or 1 searches for plain SpMV (byte-identical to
+	// the pre-batch search, including its cache keys), B > 1 evaluates the
+	// fused SpMM variants over B vectors so the search can pick different
+	// kernel parameters for batched traffic — at B=8 the structure traffic
+	// is amortized eight ways and a wider, more ALU-hungry point often
+	// overtakes the B=1 winner. Cost-cache keys and certified lower bounds
+	// carry the vector count, so batched and single-vector searches never
+	// alias.
+	Vectors int
 }
 
 // FeatureVector extracts the matrix features this configuration's models

@@ -35,8 +35,13 @@ func launchKernel(ctx context.Context, dev hsa.Config, a *sparse.CSR, v, u []flo
 		k.Run(run, in, groups)
 		st := run.Stats()
 		var ctr *hsa.Counters
-		if c, ok := run.Counters(); ok {
-			ctr = &c
+		// Gated on collect, not just the Counters() ok bit: the escaping
+		// copy below is heap-allocated whenever its block runs, and the
+		// steady-state launch path must stay allocation-free.
+		if collect {
+			if c, ok := run.Counters(); ok {
+				ctr = &c
+			}
 		}
 		in.Release()
 		run.Release()

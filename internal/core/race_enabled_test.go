@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled gates the hard 0 allocs/op assertions: the race runtime
+// instruments sync.Pool operations with allocations of its own, so the
+// zero-alloc guarantee is only measurable (and only meaningful) without
+// the detector.
+const raceEnabled = true

@@ -9,6 +9,7 @@ import (
 	"spmvtune/internal/binning"
 	"spmvtune/internal/errdefs"
 	"spmvtune/internal/formats"
+	"spmvtune/internal/hsa"
 	"spmvtune/internal/kernels"
 	"spmvtune/internal/plancache"
 	"spmvtune/internal/sparse"
@@ -147,6 +148,22 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 	for i := range v {
 		v[i] = 1
 	}
+	// A batched search (Config.Vectors > 1) times the fused SpMM variants
+	// instead of the single-vector kernels. Kernel cost depends only on
+	// structure, so every right-hand side can alias the same probe vector —
+	// and every output the same scratch slice, since all B results are
+	// identical.
+	vecs := cfg.Vectors
+	if vecs < 1 {
+		vecs = 1
+	}
+	var vsProbe [][]float64
+	if vecs > 1 {
+		vsProbe = make([][]float64, vecs)
+		for i := range vsProbe {
+			vsProbe[i] = v
+		}
+	}
 
 	// Stage 1 (sequential): bin the matrix per U and lay the result skeleton
 	// out in canonical order, one task per non-empty (U, bin) cell.
@@ -203,6 +220,13 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 		}
 		up := scratch.Get().(*[]float64)
 		defer scratch.Put(up)
+		var usProbe [][]float64
+		if vecs > 1 {
+			usProbe = make([][]float64, vecs)
+			for b := range usProbe {
+				usProbe[b] = *up
+			}
+		}
 		var mask uint64
 		order := list
 		if boundOrdered && cl != nil && cl.prune {
@@ -222,7 +246,13 @@ func SearchCtx(ctx context.Context, cfg Config, a *sparse.CSR) (SearchResult, er
 					continue
 				}
 			}
-			st, err := SimulateKernelCtx(ctx, dev, a, v, *up, info.Kernel, t.groups)
+			var st hsa.Stats
+			var err error
+			if vecs > 1 {
+				st, err = SimulateBatchKernelCtx(ctx, dev, a, vsProbe, usProbe, info.Kernel, t.groups)
+			} else {
+				st, err = SimulateKernelCtx(ctx, dev, a, v, *up, info.Kernel, t.groups)
+			}
 			if err != nil {
 				errs[i] = err
 				stop.Store(true)

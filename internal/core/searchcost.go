@@ -43,6 +43,11 @@ type costLayer struct {
 	cache *plancache.CostCache // nil = caching disabled
 	prune bool
 	a     *sparse.CSR
+	// vecs is the launch width the search models (Config.Vectors, floored
+	// at 1). At vecs > 1 the lower bounds switch to the fused-launch pipe
+	// floors and the cell keys carry the width, so batched and
+	// single-vector cost entries never alias.
+	vecs int
 	// prefix is deviceFingerprint || spaceFingerprint || matrixFingerprint
 	// — the key material shared by every cell of this search.
 	prefix []byte
@@ -71,11 +76,23 @@ func newCostLayer(cfg Config, dev hsa.Config, a *sparse.CSR, sp *kernels.Space) 
 	if cache == nil && !prune {
 		return nil
 	}
-	cl := &costLayer{dev: dev, cache: cache, prune: prune, a: a}
+	vecs := cfg.Vectors
+	if vecs < 1 {
+		vecs = 1
+	}
+	cl := &costLayer{dev: dev, cache: cache, prune: prune, a: a, vecs: vecs}
 	var p [16]byte
 	binary.LittleEndian.PutUint64(p[0:8], dev.Fingerprint())
 	binary.LittleEndian.PutUint64(p[8:16], sp.Fingerprint())
 	cl.prefix = append(p[:], plan.Fingerprint(a)...)
+	if vecs > 1 {
+		// Single-vector searches keep the exact pre-batch key material, so
+		// every cache entry written by older builds replays unchanged; only
+		// batched searches append the width.
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], uint64(vecs))
+		cl.prefix = append(cl.prefix, w[:]...)
+	}
 	cl.rowLen = make([]int32, a.Rows)
 	for i := range cl.rowLen {
 		cl.rowLen[i] = int32(a.RowPtr[i+1] - a.RowPtr[i])
@@ -171,7 +188,23 @@ func (cl *costLayer) lowerBound(info kernels.Info, g cellGeom) float64 {
 	wgs := (g.rows + rowsPer - 1) / rowsPer
 	tx := float64(g.segs) * d.TxHitCycles
 	lb := (float64(wgs)*d.WGLaunchCycles + tx/float64(d.SIMDPerCU)) / float64(d.NumCUs)
-	if pf, ok := info.Kernel.(kernels.PipeFloorer); ok {
+	// The additive and DRAM terms count only structure segments (values and
+	// column indices), which a fused launch touches exactly once per batch,
+	// so they stay sound verbatim at every width; only the pipe floor
+	// scales with the vector count.
+	if cl.vecs > 1 {
+		if bf, ok := info.Kernel.(kernels.BatchPipeFloorer); ok {
+			if f := bf.BatchPipeFloor(d, g.maxLen, cl.vecs); f > lb {
+				lb = f
+			}
+		} else if pf, ok := info.Kernel.(kernels.PipeFloorer); ok {
+			// A kernel without a fused floor still cannot undercut its
+			// single-vector floor on any vector of the batch.
+			if f := pf.PipeFloor(d, g.maxLen); f > lb {
+				lb = f
+			}
+		}
+	} else if pf, ok := info.Kernel.(kernels.PipeFloorer); ok {
 		if f := pf.PipeFloor(d, g.maxLen); f > lb {
 			lb = f
 		}

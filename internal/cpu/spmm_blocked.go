@@ -1,0 +1,276 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"spmvtune/internal/sparse"
+)
+
+// This file is the multi-vector (SpMM) fast path over separate dense
+// vectors — the layout the serving batch coalescer works in (each request
+// owns its own v and u slice, so nothing is ever interleaved or copied).
+// The kernel is tiled row-block × vector-block: a block of matrix rows is
+// streamed from memory once and applied to up to spmmVecBlock vectors
+// while its values and column indices are cache-resident, which is the
+// same structure-amortization the fused device kernels model. Per (vector,
+// row) the accumulation is k-ascending, so every output vector is
+// byte-identical to the corresponding single-vector MulVec / MulVecMerge
+// result.
+
+// spmmRowBlock rows of matrix data are applied per tile: long enough to
+// amortize the loop overhead, short enough that a typical block's values
+// and column indices stay L1/L2-resident across the vector block.
+const spmmRowBlock = 128
+
+// spmmVecBlock bounds the vectors per tile so the per-row partial sums fit
+// in registers (the accumulator below is a fixed-size stack array).
+const spmmVecBlock = 8
+
+// SpMMWorkspace holds the partition bounds and merge fix-up scratch so
+// steady-state SpMM calls allocate nothing. The zero value is ready to
+// use; one workspace serves one call at a time.
+type SpMMWorkspace struct {
+	bounds   []int
+	partRows []int
+	partials []float64
+	counts   []int
+}
+
+func (ws *SpMMWorkspace) boundsBuf(n int) []int {
+	if cap(ws.bounds) < n {
+		ws.bounds = make([]int, n)
+	}
+	return ws.bounds[:n]
+}
+
+func (ws *SpMMWorkspace) mergeBufs(w, nb int) ([]int, []float64, []int) {
+	if cap(ws.partRows) < 2*w {
+		ws.partRows = make([]int, 2*w)
+	}
+	if cap(ws.partials) < 2*w*nb {
+		ws.partials = make([]float64, 2*w*nb)
+	}
+	if cap(ws.counts) < w {
+		ws.counts = make([]int, w)
+	}
+	counts := ws.counts[:w]
+	clear(counts)
+	return ws.partRows[:2*w], ws.partials[:2*w*nb], counts
+}
+
+func checkSpMMArgs(a *sparse.CSR, vs, us [][]float64) error {
+	if len(vs) == 0 || len(vs) != len(us) {
+		return fmt.Errorf("cpu: SpMM needs equal, non-zero vector counts (got %d/%d)", len(vs), len(us))
+	}
+	for b := range vs {
+		if len(vs[b]) < a.Cols {
+			return fmt.Errorf("cpu: SpMM vector %d: len(v)=%d < Cols=%d", b, len(vs[b]), a.Cols)
+		}
+		if len(us[b]) < a.Rows {
+			return fmt.Errorf("cpu: SpMM vector %d: len(u)=%d < Rows=%d", b, len(us[b]), a.Rows)
+		}
+	}
+	return nil
+}
+
+// SpMM computes us[b] = A*vs[b] for every bound vector with the blocked
+// kernel, rows distributed over workers by non-zero count (the MulVecNNZ
+// partitioner: whole rows per worker, so each output is byte-identical to
+// MulVec). A non-nil ws makes repeated calls allocation-free at workers<=1;
+// parallel calls still pay only the goroutine spawns.
+func SpMM(a *sparse.CSR, vs, us [][]float64, workers int, ws *SpMMWorkspace) error {
+	if err := checkSpMMArgs(a, vs, us); err != nil {
+		return err
+	}
+	w := Workers(workers)
+	if w > a.Rows {
+		w = a.Rows
+	}
+	if w <= 1 {
+		spmmRange(a, vs, us, 0, a.Rows)
+		return nil
+	}
+	if ws == nil {
+		ws = new(SpMMWorkspace)
+	}
+	bounds := ws.boundsBuf(w + 1)
+	nnzBoundariesInto(a, w, bounds)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		lo, hi := bounds[p], bounds[p+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			spmmRange(a, vs, us, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+// nnzBoundariesInto is NNZBoundaries writing into caller storage (len w+1).
+func nnzBoundariesInto(a *sparse.CSR, w int, bounds []int) {
+	total := a.RowPtr[a.Rows]
+	bounds[0] = 0
+	for p := 1; p < w; p++ {
+		target := total * int64(p) / int64(w)
+		bounds[p] = sort.Search(a.Rows, func(i int) bool { return a.RowPtr[i+1] > target })
+	}
+	bounds[w] = a.Rows
+	for p := 1; p <= w; p++ {
+		if bounds[p] < bounds[p-1] {
+			bounds[p] = bounds[p-1]
+		}
+	}
+}
+
+// spmmRange runs the blocked kernel over rows [lo,hi) for all vectors.
+func spmmRange(a *sparse.CSR, vs, us [][]float64, lo, hi int) {
+	nb := len(vs)
+	var vBlk [spmmVecBlock][]float64
+	var uBlk [spmmVecBlock][]float64
+	var sums [spmmVecBlock]float64
+	for r0 := lo; r0 < hi; r0 += spmmRowBlock {
+		r1 := r0 + spmmRowBlock
+		if r1 > hi {
+			r1 = hi
+		}
+		for b0 := 0; b0 < nb; b0 += spmmVecBlock {
+			b1 := b0 + spmmVecBlock
+			if b1 > nb {
+				b1 = nb
+			}
+			n := b1 - b0
+			for j := 0; j < n; j++ {
+				vBlk[j], uBlk[j] = vs[b0+j], us[b0+j]
+			}
+			for i := r0; i < r1; i++ {
+				s, e := a.RowPtr[i], a.RowPtr[i+1]
+				for j := 0; j < n; j++ {
+					sums[j] = 0
+				}
+				for k := s; k < e; k++ {
+					val := a.Val[k]
+					c := a.ColIdx[k]
+					for j := 0; j < n; j++ {
+						sums[j] += vBlk[j][c] * val
+					}
+				}
+				for j := 0; j < n; j++ {
+					uBlk[j][i] = sums[j]
+				}
+			}
+		}
+	}
+}
+
+// SpMMMerge is SpMM over the MulVecMerge partitioner: the non-zero array is
+// split into exactly equal spans (a span may begin or end mid-row, boundary
+// partials fixed up sequentially afterwards), so even one enormous row is
+// shared across workers. Each output vector is byte-identical to the
+// corresponding MulVecMerge result at the same worker count.
+func SpMMMerge(a *sparse.CSR, vs, us [][]float64, workers int, ws *SpMMWorkspace) error {
+	if err := checkSpMMArgs(a, vs, us); err != nil {
+		return err
+	}
+	nb := len(vs)
+	w := Workers(workers)
+	nnz := a.RowPtr[a.Rows]
+	if int64(w) > nnz {
+		w = int(nnz)
+	}
+	if w <= 1 || a.Rows == 0 {
+		spmmRange(a, vs, us, 0, a.Rows)
+		return nil
+	}
+	if ws == nil {
+		ws = new(SpMMWorkspace)
+	}
+	// Span p's cut rows land in partRows[2p+j] with per-vector partials at
+	// partials[(2p+j)*nb:]; at most two cut rows per span.
+	partRows, partials, counts := ws.mergeBufs(w, nb)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		k0 := nnz * int64(p) / int64(w)
+		k1 := nnz * int64(p+1) / int64(w)
+		wg.Add(1)
+		go func(p int, k0, k1 int64) {
+			defer wg.Done()
+			var sums [spmmVecBlock]float64
+			row := sort.Search(a.Rows, func(i int) bool { return a.RowPtr[i+1] > k0 })
+			for i := row; i < a.Rows && a.RowPtr[i] < k1; i++ {
+				s, e := a.RowPtr[i], a.RowPtr[i+1]
+				cut := false
+				if s < k0 {
+					s = k0
+					cut = true
+				}
+				if e > k1 {
+					e = k1
+					cut = true
+				}
+				for b0 := 0; b0 < nb; b0 += spmmVecBlock {
+					bn := nb - b0
+					if bn > spmmVecBlock {
+						bn = spmmVecBlock
+					}
+					for j := 0; j < bn; j++ {
+						sums[j] = 0
+					}
+					for k := s; k < e; k++ {
+						val := a.Val[k]
+						c := a.ColIdx[k]
+						for j := 0; j < bn; j++ {
+							sums[j] += vs[b0+j][c] * val
+						}
+					}
+					if cut {
+						slot := 2*p + counts[p]
+						for j := 0; j < bn; j++ {
+							partials[slot*nb+b0+j] = sums[j]
+						}
+					} else {
+						for j := 0; j < bn; j++ {
+							us[b0+j][i] = sums[j]
+						}
+					}
+				}
+				if cut {
+					partRows[2*p+counts[p]] = i
+					counts[p]++
+				}
+			}
+		}(p, k0, k1)
+	}
+	wg.Wait()
+	// Fix-up order mirrors MulVecMerge exactly: empty rows zeroed, cut rows
+	// zeroed once, then every span's partials accumulate in span order.
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i] == a.RowPtr[i+1] {
+			for b := 0; b < nb; b++ {
+				us[b][i] = 0
+			}
+		}
+	}
+	for p := 0; p < w; p++ {
+		for j := 0; j < counts[p]; j++ {
+			for b := 0; b < nb; b++ {
+				us[b][partRows[2*p+j]] = 0
+			}
+		}
+	}
+	for p := 0; p < w; p++ {
+		for j := 0; j < counts[p]; j++ {
+			i := partRows[2*p+j]
+			for b := 0; b < nb; b++ {
+				us[b][i] += partials[(2*p+j)*nb+b]
+			}
+		}
+	}
+	return nil
+}

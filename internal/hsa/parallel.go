@@ -173,6 +173,9 @@ func mergeShardRuns(cfg Config, runs []*Run, counters bool) (Stats, *Counters) {
 		s.CyclesLDS += p.CyclesLDS
 		s.CyclesMem += p.CyclesMem
 		s.CyclesBarrier += p.CyclesBarrier
+		if p.Vectors > s.Vectors {
+			s.Vectors = p.Vectors
+		}
 		for i := range cu {
 			cu[i] += r.cuCycles[i]
 		}

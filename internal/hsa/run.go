@@ -32,6 +32,13 @@ type Stats struct {
 	WorkGroups   int64
 	Wavefronts   int64
 
+	// Vectors is the number of dense right-hand sides the launch computed
+	// (1 for plain SpMV, B for a fused SpMM launch). All other fields cover
+	// the whole batch — the matrix-structure traffic is charged once, which
+	// is exactly the amortization a fused launch buys — so per-request costs
+	// at B>1 are the batch quantities divided by Vectors.
+	Vectors int
+
 	// Issue-cycle breakdown: total wavefront-cycles charged per category
 	// (sums over all wavefronts, so they exceed the makespan; their ratios
 	// profile where a kernel spends its time).
@@ -71,6 +78,9 @@ func (s *Stats) Add(o Stats) {
 	s.DRAMBytes += o.DRAMBytes
 	s.WorkGroups += o.WorkGroups
 	s.Wavefronts += o.Wavefronts
+	if o.Vectors > s.Vectors {
+		s.Vectors = o.Vectors
+	}
 }
 
 // Merge accumulates another launch's stats under *parallel* composition:
@@ -104,6 +114,9 @@ func (s *Stats) Merge(o Stats) {
 	s.DRAMBytes += o.DRAMBytes
 	s.WorkGroups += o.WorkGroups
 	s.Wavefronts += o.Wavefronts
+	if o.Vectors > s.Vectors {
+		s.Vectors = o.Vectors
+	}
 }
 
 // Run accounts one kernel launch on a device. Create with NewRun, allocate
@@ -152,6 +165,15 @@ func (r *Run) InjectFaults(st *FaultState) { r.fault = st }
 // launch by panicking with an error matching errdefs.ErrCanceled (and the
 // underlying context sentinel), again recovered by guarded executors.
 func (r *Run) SetContext(ctx context.Context) { r.ctx = ctx }
+
+// SetVectors records the launch's right-hand-side count (Stats.Vectors).
+// Single-vector launches never call it; fused SpMM binds set it to the
+// batch width so cost consumers can amortize the batch makespan honestly.
+func (r *Run) SetVectors(b int) {
+	if b > 0 {
+		r.stats.Vectors = b
+	}
+}
 
 // cancelCheckStride balances poll cost against abort latency: work-groups
 // cost hundreds of modeled cycles, so checking every 64 dispatches keeps

@@ -31,6 +31,17 @@ type Input struct {
 	V []float64 // input vector (length >= Cols)
 	U []float64 // output vector (length >= Rows)
 
+	// Multi-RHS (SpMM) binding: Vs/Us hold the B dense right-hand sides and
+	// outputs of one fused launch (Vs[0]/Us[0] alias V/U). RegV and RegU then
+	// cover B vector slabs laid out back to back — vector b's element i lives
+	// at region index b*stride+i, with the stride rounded to a segment
+	// boundary so distinct vectors never share a cache segment and the batch
+	// pays its honest vector-traffic footprint. Single-vector binds leave Vs
+	// and Us nil. See AcquireBatchInput.
+	Vs, Us  [][]float64
+	vStride int64
+	uStride int64
+
 	RegRowPtr hsa.Region
 	RegColIdx hsa.Region
 	RegVal    hsa.Region

@@ -25,6 +25,11 @@ type ExecProfile struct {
 	Rows int   `json:"rows"`
 	NNZ  int64 `json:"nnz"`
 
+	// Vectors is the number of right-hand sides the accepted launch fused
+	// (0 or 1 for a plain single-vector SpMV launch, B for a batched SpMM
+	// launch serving B coalesced requests at once).
+	Vectors int `json:"vectors,omitempty"`
+
 	// Stage names the fallback-chain link that produced the accepted
 	// result ("predicted", "serial-fallback", "cpu-reference");
 	// FallbackDepth is its index in the chain (0 = the predicted kernel),

@@ -29,13 +29,14 @@ type TrainingSet struct {
 	Counterfactual int // groups where >= 2 distinct kernels were observed
 }
 
-// group accumulates the observations of one (fingerprint, U, bin).
+// group accumulates the observations of one (fingerprint, U, bin, width).
 type group struct {
 	features  []float64
 	u         int
 	bin       int
 	binRows   int
 	binAvgLen float64
+	width     int
 
 	bestKernel   int
 	bestSeconds  float64
@@ -49,8 +50,16 @@ type group struct {
 // (and the smaller U), so the same row log always yields byte-identical
 // datasets — the property the promotion gate's reproducibility rests on.
 //
-// Stage 2 gets one sample per (fingerprint, U, bin) group, labeled with
-// the cheapest observed kernel. Stage 1 gets one sample per fingerprint
+// Grouping keys carry the batch width (normalized so pre-width rows and
+// explicit width-1 rows share the B=1 groups): a fused launch amortizes
+// the structure traffic over its B right-hand sides, so its modeled cost
+// is only comparable to other launches of the same width — without the
+// key extension, cheap batched evidence would overwrite the single-vector
+// labels (and vice versa) and the model would learn from a cost mixture
+// no launch ever pays.
+//
+// Stage 2 gets one sample per (fingerprint, U, bin, width) group, labeled
+// with the cheapest observed kernel. Stage 1 gets one sample per fingerprint
 // observed at two or more granularities, labeled with the U whose summed
 // best-kernel cost over its bins is lowest — a single-U fingerprint
 // carries no evidence of granularity choice and is skipped (the service
@@ -70,12 +79,14 @@ func Aggregate(cfg core.Config, rows []Row) *TrainingSet {
 		if _, ok := uClass[r.U]; !ok {
 			continue // granularity outside the model's class set
 		}
-		key := r.Fingerprint + "\x00" + strconv.Itoa(r.U) + "\x00" + strconv.Itoa(r.Bin)
+		key := r.Fingerprint + "\x00" + strconv.Itoa(r.U) + "\x00" + strconv.Itoa(r.Bin) +
+			"\x00" + strconv.Itoa(r.BatchWidth())
 		g, ok := groups[key]
 		if !ok {
 			g = &group{
 				features: r.Features, u: r.U, bin: r.Bin,
 				binRows: r.BinRows, binAvgLen: r.BinAvgLen,
+				width:      r.BatchWidth(),
 				bestKernel: r.Kernel, bestSeconds: r.Seconds,
 				worstKernel: r.Kernel, worstSeconds: r.Seconds,
 				kernels: map[int]bool{},
@@ -109,10 +120,15 @@ func Aggregate(cfg core.Config, rows []Row) *TrainingSet {
 		if len(g.kernels) >= 2 {
 			ts.Counterfactual++
 		}
-		perFU[fpOf(key)+"\x00"+strconv.Itoa(g.u)] += g.bestSeconds
-		fp := fpOf(key)
-		if !containsInt(perFP[fp], g.u) {
-			perFP[fp] = append(perFP[fp], g.u)
+		// Stage-1 compares summed per-bin costs across granularities, so
+		// only width-1 groups contribute: mixing amortized fused costs into
+		// one U's sum but not another's would bias the granularity label.
+		if g.width == 1 {
+			perFU[fpOf(key)+"\x00"+strconv.Itoa(g.u)] += g.bestSeconds
+			fp := fpOf(key)
+			if !containsInt(perFP[fp], g.u) {
+				perFP[fp] = append(perFP[fp], g.u)
+			}
 		}
 	}
 

@@ -53,6 +53,15 @@ type Row struct {
 	Cycles  float64 `json:"cycles"`
 	Seconds float64 `json:"seconds"`
 
+	// Width is the number of right-hand sides the measured launch fused
+	// (the coalescer's batch width). 0 and 1 both mean a single-vector
+	// launch — rows persisted before the field existed carry no width and
+	// must keep labeling the B=1 groups they always labeled. Widths > 1
+	// key their own aggregation groups: a fused launch's cost amortizes
+	// the structure traffic, so its labels are only comparable to other
+	// launches of the same width.
+	Width int `json:"width,omitempty"`
+
 	// Explore marks a counterfactual row: the kernel was not the plan's
 	// choice but was simulated by the exploration policy.
 	Explore bool `json:"explore,omitempty"`
@@ -84,5 +93,17 @@ func (r Row) Validate() error {
 		return errdefs.Invalidf("retrain: row %s has non-positive cost (cycles=%v seconds=%v)",
 			r.Fingerprint, r.Cycles, r.Seconds)
 	}
+	if r.Width < 0 {
+		return errdefs.Invalidf("retrain: row %s has width %d", r.Fingerprint, r.Width)
+	}
 	return nil
+}
+
+// BatchWidth normalizes the width field: rows written before the field
+// existed (and single-vector rows that omit it) are width 1.
+func (r Row) BatchWidth() int {
+	if r.Width < 1 {
+		return 1
+	}
+	return r.Width
 }

@@ -37,6 +37,12 @@ type Observation struct {
 	Fallback bool
 	Degraded bool
 	Profiles []plan.ExecProfile
+	// Width is the batch width the serving layer fused this evidence at
+	// (the coalescer's vector count; 0 or 1 for a plain single-vector
+	// request). Profiles that record their own Vectors count override it
+	// per row — an isolated vector re-served through the single-vector
+	// chain is width-1 evidence even inside a wide observation.
+	Width int
 }
 
 // usable reports whether the observation can label training rows: only
@@ -311,6 +317,16 @@ func (s *Service) Ingest(o Observation) {
 		if pr.U >= 1 {
 			u = pr.U
 		}
+		// The launch's own fused vector count wins over the observation's
+		// width: a vector isolated out of a fused batch is re-measured
+		// through the single-vector chain and must label B=1 groups.
+		width := pr.Vectors
+		if width < 1 {
+			width = o.Width
+		}
+		if width <= 1 {
+			width = 0 // canonical single-vector encoding (field omitted)
+		}
 		rows = append(rows, Row{
 			Fingerprint:  o.Fingerprint,
 			ModelVersion: o.ModelVersion,
@@ -322,6 +338,7 @@ func (s *Service) Ingest(o Observation) {
 			Kernel:       pr.Kernel,
 			Cycles:       pr.Cycles,
 			Seconds:      pr.Seconds,
+			Width:        width,
 		})
 	}
 	if len(rows) == 0 {
@@ -404,6 +421,7 @@ func (s *Service) explore(o Observation, observed []Row) (Row, bool) {
 	ex.Seconds = st.Seconds
 	ex.Explore = true
 	ex.ModelVersion = ""
+	ex.Width = 0 // the counterfactual is simulated single-vector
 	return ex, true
 }
 

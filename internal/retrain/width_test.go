@@ -1,0 +1,144 @@
+package retrain
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spmvtune/internal/core"
+	"spmvtune/internal/matgen"
+	"spmvtune/internal/plan"
+)
+
+// Width keys aggregation groups: evidence from fused launches must not
+// collapse into (or overwrite) the single-vector groups, while the 0 and 1
+// encodings of "single vector" must share one group.
+func TestAggregateWidthKeysGroupsApart(t *testing.T) {
+	cfg := aggTestConfig()
+	w1old := aggRow(cfg, "A", 50, 0, 3, 5e-6) // pre-width row: Width zero value
+	w1new := aggRow(cfg, "A", 50, 0, 1, 2e-6)
+	w1new.Width = 1 // explicit single-vector encoding
+	w8a := aggRow(cfg, "A", 50, 0, 4, 9e-6)
+	w8a.Width = 8
+	w8b := aggRow(cfg, "A", 50, 0, 5, 3e-6) // cheapest at width 8
+	w8b.Width = 8
+
+	ts := Aggregate(cfg, []Row{w1old, w1new, w8a, w8b})
+	if ts.Groups != 2 || ts.Stage2.Len() != 2 {
+		t.Fatalf("groups = %d (stage2 %d), want 2: width-1 merged, width-8 apart", ts.Groups, ts.Stage2.Len())
+	}
+	// Sorted keys put width 1 before width 8; each group labels its own
+	// cheapest kernel.
+	if ts.Stage2.Y[0] != 1 || ts.Stage2.Y[1] != 5 {
+		t.Fatalf("stage-2 labels = %v, want [1 5]", ts.Stage2.Y)
+	}
+}
+
+// Rows persisted before the width field existed must load and aggregate
+// exactly as B=1 evidence: the JSONL compat contract of the row store.
+func TestOldJSONLRowsLoadAsWidthOne(t *testing.T) {
+	cfg := aggTestConfig()
+	dir := t.TempDir()
+	// An old-format segment, verbatim: no "width" key anywhere.
+	oldSegment := ""
+	for kid, sec := range map[int]float64{3: 5e-6, 1: 2e-6} {
+		oldSegment += fmt.Sprintf(
+			`{"fp":"A","features":[%s],"u":50,"bin":0,"binRows":64,"binAvgLen":8,"kernel":%d,"cycles":%g,"seconds":%g}`+"\n",
+			zerosJSON(len(cfg.FeatureNames())), kid, sec*1e9, sec)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "rows-00000000.jsonl"), []byte(oldSegment), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A new-format fused row joins the log alongside the old evidence.
+	fused := aggRow(cfg, "A", 50, 0, 5, 1e-6)
+	fused.Width = 8
+	if err := store.Append(fused); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("loaded %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Width == 0 && r.BatchWidth() != 1 {
+			t.Fatalf("pre-width row normalizes to width %d, want 1", r.BatchWidth())
+		}
+	}
+	ts := Aggregate(cfg, rows)
+	if ts.Groups != 2 {
+		t.Fatalf("groups = %d, want 2: old rows label B=1, the fused row labels B=8", ts.Groups)
+	}
+	if ts.Stage2.Y[0] != 1 || ts.Stage2.Y[1] != 5 {
+		t.Fatalf("stage-2 labels = %v, want [1 5]", ts.Stage2.Y)
+	}
+}
+
+// Ingest threads the batch width from the observation into its rows, with
+// the profile's own fused vector count taking precedence — so a vector
+// isolated out of a batch (re-served single-vector) labels B=1 groups even
+// inside a wide observation.
+func TestIngestCarriesBatchWidth(t *testing.T) {
+	cfg := svcTestConfig()
+	fw := core.NewFramework(cfg, nil)
+	store, err := OpenStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Framework: fw, Store: store, Synchronous: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := matgen.Banded(128, 3, 1)
+	prof := func(vectors int) plan.ExecProfile {
+		return plan.ExecProfile{
+			Bin: 0, U: 50, Kernel: 1, Rows: 128, NNZ: int64(a.NNZ()),
+			Cycles: 1e5, Seconds: 1e-4, Vectors: vectors,
+		}
+	}
+	svc.Observe(Observation{
+		Fingerprint: "F", A: a,
+		Features: make([]float64, len(cfg.FeatureNames())),
+		U:        50, MaxBins: cfg.MaxBins, Scheme: "coarse",
+		Width:    4,
+		Profiles: []plan.ExecProfile{prof(4), prof(0), prof(1)},
+	})
+	if err := svc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("ingested %d rows, want 3", len(rows))
+	}
+	// prof(4): its own count wins; prof(0): inherits the observation width;
+	// prof(1): explicitly single-vector, stays B=1 despite Width 4.
+	wantWidths := []int{4, 4, 1}
+	for i, r := range rows {
+		if r.BatchWidth() != wantWidths[i] {
+			t.Errorf("row %d: width %d, want %d", i, r.BatchWidth(), wantWidths[i])
+		}
+	}
+}
+
+// zerosJSON renders n comma-separated zeros for a JSON array body.
+func zerosJSON(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += ","
+		}
+		s += "0"
+	}
+	return s
+}

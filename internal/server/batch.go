@@ -1,0 +1,221 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spmvtune/internal/core"
+	"spmvtune/internal/errdefs"
+	"spmvtune/internal/plan"
+)
+
+// The batch coalescer fuses concurrent SpMV executions that share a
+// structural fingerprint into one guarded multi-vector (SpMM) launch.
+// SpMV is DRAM-bound: every single-vector launch re-streams the matrix
+// structure, so N concurrent requests against one matrix pay the dominant
+// memory cost N times. The fused launch streams the structure once and
+// applies it to all B right-hand sides, then demuxes the per-vector
+// results — byte-identical to B sequential launches — back to the waiting
+// requests.
+//
+// Coalescing is opt-in via Config.BatchWindow: the first execution for a
+// fingerprint opens a batch and arms the window timer; same-fingerprint
+// arrivals join it until either the timer fires (trigger "window") or the
+// batch reaches Config.MaxBatch (trigger "size", flushed inline by the
+// arrival that filled it). A window flush runs on the timer goroutine, so
+// waiters — stateless requests holding worker slots and session iterates
+// holding their session lock — never depend on another request's
+// goroutine to make progress.
+//
+// Error isolation is per request: a vector that fails verification inside
+// the fused launch is re-served alone through the single-vector guarded
+// chain (core.BatchReport.PerVector), degrading only that request; the
+// rest of the batch keeps its clean fused result. Only a whole-batch
+// failure (cancellation, invalid plan) fails every waiter.
+
+// batchItem is one execution's share of a pending fused launch. The item
+// owns private copies of its vector and result buffer: a waiter that
+// abandons the batch (client disconnect) must not leave the flush writing
+// into caller-owned memory.
+type batchItem struct {
+	v []float64
+	u []float64
+
+	done      chan struct{} // closed by the flush after the fields below are set
+	err       error
+	degraded  bool
+	fallbacks int
+}
+
+// pendingBatch accumulates same-fingerprint items until a trigger fires.
+// The plan, guard options and trace binding are the opening item's: every
+// member shares the fingerprint, so any member's plan serves the batch
+// (across a model hot-swap two plans may differ in version — the opener's
+// wins, exactly as it would for a multi-vector request body).
+type pendingBatch struct {
+	e       *matrixEntry
+	p       *plan.TuningPlan
+	opt     core.GuardOptions
+	traceID string
+	items   []*batchItem
+	timer   *time.Timer
+}
+
+// coalescer is the per-server batching state: one pending batch per
+// fingerprint, under one mutex (enqueue is O(1) append; all execution
+// happens outside the lock).
+type coalescer struct {
+	s       *Server
+	window  time.Duration
+	mu      sync.Mutex
+	pending map[string]*pendingBatch
+}
+
+func newCoalescer(s *Server, window time.Duration) *coalescer {
+	return &coalescer{s: s, window: window, pending: make(map[string]*pendingBatch)}
+}
+
+// enqueue adds one execution to the fingerprint's pending batch, opening
+// the batch (and arming its window timer) if none is pending. If this
+// item fills the batch to MaxBatch it flushes inline on the caller's
+// goroutine. The returned item completes via wait.
+func (co *coalescer) enqueue(e *matrixEntry, p *plan.TuningPlan, opt core.GuardOptions, traceID string, v []float64) *batchItem {
+	it := &batchItem{
+		v:    append([]float64(nil), v...),
+		u:    make([]float64, e.A.Rows),
+		done: make(chan struct{}),
+	}
+	co.mu.Lock()
+	b := co.pending[e.Fingerprint]
+	if b == nil {
+		b = &pendingBatch{e: e, p: p, opt: opt, traceID: traceID}
+		co.pending[e.Fingerprint] = b
+		fp := e.Fingerprint
+		b.timer = time.AfterFunc(co.window, func() { co.flushWindow(fp, b) })
+	}
+	b.items = append(b.items, it)
+	var full *pendingBatch
+	if len(b.items) >= co.s.cfg.MaxBatch {
+		delete(co.pending, e.Fingerprint)
+		b.timer.Stop()
+		full = b
+	}
+	co.mu.Unlock()
+	if full != nil {
+		co.flush(full, &co.s.m.batchFlushSize)
+	}
+	return it
+}
+
+// wait blocks until the item's batch flushed (copying the result into u)
+// or ctx expires. An abandoned item still executes with its batch — its
+// private buffers make that harmless — the waiter just stops caring.
+func (co *coalescer) wait(ctx context.Context, it *batchItem, u []float64) (degraded bool, fallbacks int, err error) {
+	select {
+	case <-it.done:
+		if it.err != nil {
+			return false, 0, it.err
+		}
+		copy(u, it.u)
+		return it.degraded, it.fallbacks, nil
+	case <-ctx.Done():
+		return false, 0, errdefs.Canceled(ctx.Err())
+	}
+}
+
+// flushWindow is the timer path: flush the batch unless a size trigger
+// already took it (the map entry is the ownership token — whoever removes
+// it flushes).
+func (co *coalescer) flushWindow(fp string, b *pendingBatch) {
+	co.mu.Lock()
+	if co.pending[fp] != b {
+		co.mu.Unlock()
+		return
+	}
+	delete(co.pending, fp)
+	co.mu.Unlock()
+	co.flush(b, &co.s.m.batchFlushWindow)
+}
+
+// flush executes one batch as a fused guarded launch and demuxes the
+// results. It runs outside the coalescer lock, on the timer goroutine
+// (window trigger) or the filling request's goroutine (size trigger), and
+// is the only writer of item result fields. The execution deadline is the
+// server's own: the batch serves many clients, so no single client's
+// deadline may bound it.
+func (co *coalescer) flush(b *pendingBatch, trigger *atomic.Int64) {
+	s := co.s
+	trigger.Add(1)
+	n := len(b.items)
+	s.m.batchedRequests.Add(int64(n))
+	s.m.batchSizeSum.Add(int64(n))
+	s.m.batchSizeCount.Add(1)
+
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.m.panics.Add(1)
+			err := errdefs.Panicf("server: batch flush panicked: %v", rec)
+			for _, it := range b.items {
+				if it.err == nil {
+					it.err = err
+				}
+				select {
+				case <-it.done:
+				default:
+					close(it.done)
+				}
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+	defer cancel()
+
+	vs := make([][]float64, n)
+	us := make([][]float64, n)
+	for i, it := range b.items {
+		vs[i] = it.v
+		us[i] = it.u
+	}
+	rep, err := s.cfg.Framework.ExecutePlanBatchOpts(ctx, b.p, b.e.A, vs, us, b.opt)
+	if err != nil {
+		for _, it := range b.items {
+			it.err = err
+			close(it.done)
+		}
+		return
+	}
+
+	// Demux: per-vector degradation and fallback counts, batch-wide
+	// accounting and evidence. Metrics are recorded here, once per
+	// execution, so the waiting paths must not double-count.
+	anyDegraded := false
+	for i, it := range b.items {
+		if rep.VectorDegraded(i) {
+			it.degraded = true
+			anyDegraded = true
+			s.m.degraded.Add(1)
+		}
+		it.fallbacks = rep.Shared.Fallbacks
+		if pv := rep.PerVector[i]; pv != nil {
+			it.fallbacks += pv.Fallbacks
+			s.m.observeReport(pv)
+		}
+		s.m.vectors.Add(1)
+	}
+	s.m.observeReport(rep.Shared)
+	s.recordEvidence(b.e, b.p, b.traceID, rep.Shared, anyDegraded, n)
+	for _, it := range b.items {
+		close(it.done)
+	}
+}
+
+// execute routes one vector through the coalescer end to end: enqueue,
+// wait, copy out. The common entry point for the stateless SpMV handler
+// and session iterates.
+func (co *coalescer) execute(ctx context.Context, e *matrixEntry, p *plan.TuningPlan, opt core.GuardOptions, traceID string, v, u []float64) (degraded bool, fallbacks int, err error) {
+	it := co.enqueue(e, p, opt, traceID, v)
+	return co.wait(ctx, it, u)
+}

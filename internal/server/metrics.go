@@ -46,6 +46,16 @@ type metrics struct {
 	breakerProbes  atomic.Int64
 	panics         atomic.Int64
 
+	// Batch-coalescer counters: requests served through a fused
+	// multi-vector launch, the size distribution of those launches as a
+	// histogram-style sum/count pair, and flushes split by trigger (the
+	// window timer fired vs the batch hit -max-batch and flushed early).
+	batchedRequests  atomic.Int64
+	batchSizeSum     atomic.Int64
+	batchSizeCount   atomic.Int64
+	batchFlushWindow atomic.Int64
+	batchFlushSize   atomic.Int64
+
 	// Solver-session counters: stepper iterations served across all
 	// sessions, sessions evicted (TTL, capacity, or drain — client
 	// releases are not evictions), and plan re-pins paid at iteration
@@ -116,6 +126,11 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "spmvd_breaker_trips_total %d\n", m.breakerTrips.Load())
 	fmt.Fprintf(w, "spmvd_breaker_half_open_probes_total %d\n", m.breakerProbes.Load())
 	fmt.Fprintf(w, "spmvd_panics_recovered_total %d\n", m.panics.Load())
+	fmt.Fprintf(w, "spmvd_batched_requests_total %d\n", m.batchedRequests.Load())
+	fmt.Fprintf(w, "spmvd_batch_size_sum %d\n", m.batchSizeSum.Load())
+	fmt.Fprintf(w, "spmvd_batch_size_count %d\n", m.batchSizeCount.Load())
+	fmt.Fprintf(w, "spmvd_batch_flushes_total{trigger=\"window\"} %d\n", m.batchFlushWindow.Load())
+	fmt.Fprintf(w, "spmvd_batch_flushes_total{trigger=\"size\"} %d\n", m.batchFlushSize.Load())
 	fmt.Fprintf(w, "spmvd_session_iterations_total %d\n", m.sessionIterations.Load())
 	fmt.Fprintf(w, "spmvd_session_evictions_total %d\n", m.sessionEvictions.Load())
 	fmt.Fprintf(w, "spmvd_session_retunes_total %d\n", m.sessionRetunes.Load())

@@ -36,6 +36,11 @@ var metricFamilies = []string{
 	`spmvd_search_synth_wins_total `,
 	`spmvd_matrices_stored `,
 	`spmvd_sessions_active `,
+	`spmvd_batched_requests_total `,
+	`spmvd_batch_size_sum `,
+	`spmvd_batch_size_count `,
+	`spmvd_batch_flushes_total{trigger="window"} `,
+	`spmvd_batch_flushes_total{trigger="size"} `,
 	`spmvd_session_iterations_total `,
 	`spmvd_session_evictions_total `,
 	`spmvd_session_retunes_total `,

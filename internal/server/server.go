@@ -79,8 +79,17 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps request-supplied deadlines; <= 0 selects 5m.
 	MaxTimeout time.Duration
-	// MaxBatch bounds the vectors of one SpMV request; <= 0 selects 64.
+	// MaxBatch bounds the vectors of one SpMV request, and — when the
+	// coalescer is on — the width of one fused launch; <= 0 selects 64.
 	MaxBatch int
+	// BatchWindow enables the cross-request batch coalescer: executions
+	// that share a matrix fingerprint within this window are fused into
+	// one guarded multi-vector launch (results byte-identical to the
+	// sequential path, per-request error isolation) and demuxed back.
+	// Reaching MaxBatch pending vectors flushes the batch early. 0
+	// disables coalescing — every execution takes the single-vector path
+	// exactly as before.
+	BatchWindow time.Duration
 	// MaxMatrices bounds resident uploaded matrices; the oldest upload is
 	// dropped beyond it. <= 0 selects 1024.
 	MaxMatrices int
@@ -213,6 +222,8 @@ type Server struct {
 	sessions map[string]*session // resident solver sessions (see session.go)
 	sessSeq  atomic.Int64
 
+	co *coalescer // cross-request batch coalescer; nil when BatchWindow is 0
+
 	draining atomic.Bool // set by Drain; /readyz reports 503
 
 	traceSeq atomic.Int64 // generated per-request trace IDs
@@ -246,6 +257,9 @@ func New(cfg Config) (*Server, error) {
 		sessions: make(map[string]*session),
 		queue:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		sem:      make(chan struct{}, cfg.Workers),
+	}
+	if cfg.BatchWindow > 0 {
+		s.co = newCoalescer(s, cfg.BatchWindow)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/matrices", s.instrument(epMatrices, s.handleUpload))
@@ -688,7 +702,14 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 			"error": "overloaded", "detail": "worker queue full"})
 		return
 	}
-	defer release()
+	released := false
+	releaseOnce := func() {
+		if !released {
+			released = true
+			release()
+		}
+	}
+	defer releaseOnce()
 
 	start := time.Now()
 	traceID := s.requestTraceID(req.TraceID, e.ID)
@@ -707,28 +728,58 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		s.cfg.ExecHook()
 	}
 	opt := s.guardOpts(traceID)
-	var lastRep *core.ExecReport
-	for _, vec := range vecs {
-		u := make([]float64, e.A.Rows)
-		rep, err := s.cfg.Framework.ExecutePlanOpts(ctx, p, e.A, vec, u, opt)
-		if err != nil {
-			s.writeError(w, err)
-			return
+	if s.co != nil {
+		// Coalesced path: enqueue every vector before waiting on any, so a
+		// multi-vector request fuses with itself as well as with concurrent
+		// same-fingerprint traffic. Vector/degradation metrics and retrain
+		// evidence are recorded once per fused launch, by the flush.
+		items := make([]*batchItem, len(vecs))
+		for i, vec := range vecs {
+			items[i] = s.co.enqueue(e, p, opt, traceID, vec)
 		}
-		if rep.Degraded() {
-			resp.Degraded = true
-			s.m.degraded.Add(1)
+		// A parked waiter is not an execution: the fused launch runs on the
+		// flush goroutine outside the worker pool, so holding the slot here
+		// would starve the very requests this batch is waiting to fuse with
+		// (at -workers 1 no batch could ever exceed B=1). The slot bounded
+		// admission and tuning above; from here on this goroutine only waits.
+		releaseOnce()
+		for _, it := range items {
+			u := make([]float64, e.A.Rows)
+			degraded, fallbacks, err := s.co.wait(ctx, it, u)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+			if degraded {
+				resp.Degraded = true
+			}
+			resp.Fallbacks += fallbacks
+			resp.Results = append(resp.Results, u)
 		}
-		resp.Fallbacks += rep.Fallbacks
-		resp.Results = append(resp.Results, u)
-		s.m.vectors.Add(1)
-		s.m.observeReport(rep)
-		lastRep = rep
-	}
-	if lastRep != nil {
-		// Accumulate evidence across runs under the same retention cap as
-		// TuningPlan.Profiles: newest wins, bounded memory.
-		s.recordEvidence(e, p, traceID, lastRep, resp.Degraded)
+	} else {
+		var lastRep *core.ExecReport
+		for _, vec := range vecs {
+			u := make([]float64, e.A.Rows)
+			rep, err := s.cfg.Framework.ExecutePlanOpts(ctx, p, e.A, vec, u, opt)
+			if err != nil {
+				s.writeError(w, err)
+				return
+			}
+			if rep.Degraded() {
+				resp.Degraded = true
+				s.m.degraded.Add(1)
+			}
+			resp.Fallbacks += rep.Fallbacks
+			resp.Results = append(resp.Results, u)
+			s.m.vectors.Add(1)
+			s.m.observeReport(rep)
+			lastRep = rep
+		}
+		if lastRep != nil {
+			// Accumulate evidence across runs under the same retention cap as
+			// TuningPlan.Profiles: newest wins, bounded memory.
+			s.recordEvidence(e, p, traceID, lastRep, resp.Degraded, 1)
+		}
 	}
 	if len(req.Vector) > 0 {
 		resp.Result = resp.Results[0]

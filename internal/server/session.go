@@ -241,6 +241,23 @@ func (s *Server) sessionExecutor(sess *session) solvers.SpMVCtx {
 		if s.cfg.ExecHook != nil {
 			s.cfg.ExecHook()
 		}
+		if s.co != nil {
+			// Coalesced path: this iterate's multiply fuses with concurrent
+			// same-fingerprint traffic (other sessions, stateless requests).
+			// Safe under sess.mu — the flush runs on the window timer's
+			// goroutine or another request's, never behind this session's
+			// lock. The flush owns the vector/degradation metrics and the
+			// retrain evidence; only the session's own state updates here.
+			degraded, fallbacks, err := s.co.execute(ctx, sess.e, sess.plan, s.guardOpts(sess.traceID), sess.traceID, v, u)
+			if err != nil {
+				return err
+			}
+			if degraded {
+				sess.degraded = true
+			}
+			sess.fallbacks += int64(fallbacks)
+			return nil
+		}
 		rep, err := s.cfg.Framework.ExecutePlanOpts(ctx, sess.plan, sess.e.A, v, u, s.guardOpts(sess.traceID))
 		if err != nil {
 			return err
@@ -252,7 +269,7 @@ func (s *Server) sessionExecutor(sess *session) solvers.SpMVCtx {
 		sess.fallbacks += int64(rep.Fallbacks)
 		s.m.vectors.Add(1)
 		s.m.observeReport(rep)
-		s.recordEvidence(sess.e, sess.plan, sess.traceID, rep, sess.degraded)
+		s.recordEvidence(sess.e, sess.plan, sess.traceID, rep, sess.degraded, 1)
 		return nil
 	}
 }
@@ -674,9 +691,10 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 
 // recordEvidence folds one guarded run's per-bin profiles into the
 // matrix's profile record (GET /v1/profiles) and the retrain service's
-// evidence feed — shared by the stateless SpMV path and session
-// executions.
-func (s *Server) recordEvidence(e *matrixEntry, p *plan.TuningPlan, traceID string, rep *core.ExecReport, degraded bool) {
+// evidence feed — shared by the stateless SpMV path, session executions,
+// and the batch coalescer's flush (which passes the fused launch's width
+// so the online loop learns B-dependent labels).
+func (s *Server) recordEvidence(e *matrixEntry, p *plan.TuningPlan, traceID string, rep *core.ExecReport, degraded bool, width int) {
 	if len(rep.Profiles) == 0 {
 		return
 	}
@@ -704,6 +722,7 @@ func (s *Server) recordEvidence(e *matrixEntry, p *plan.TuningPlan, traceID stri
 			Fallback:     p.Fallback,
 			Degraded:     degraded,
 			Profiles:     rep.Profiles,
+			Width:        width,
 		})
 	}
 }
